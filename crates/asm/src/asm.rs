@@ -1,0 +1,864 @@
+//! The assembler: label management, fixups, and one emitter per
+//! instruction.
+
+use beri_sim::decode::encode;
+use beri_sim::inst::{AluImmOp, AluOp, BranchCond, CheriInst, Inst, MulDivOp, ShiftOp, Width};
+use beri_sim::reg;
+
+use crate::error::AsmError;
+use crate::program::Program;
+
+/// A forward- or backward-referenced code location.
+///
+/// Create with [`Asm::new_label`], place with [`Asm::bind`], and use in
+/// any branch/jump emitter. Labels are cheap copyable handles.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct Label(usize);
+
+#[derive(Clone, Copy, Debug)]
+enum FixupKind {
+    /// 16-bit PC-relative branch offset (relative to the delay slot).
+    Branch,
+    /// 26-bit within-region jump index.
+    Jump,
+}
+
+#[derive(Clone, Copy, Debug)]
+struct Fixup {
+    word_index: usize,
+    label: Label,
+    kind: FixupKind,
+}
+
+/// The macro-assembler.
+///
+/// Emitter methods are named after the mnemonic they emit (`daddu`,
+/// `ld`, `clc`, ...; Rust keywords get a trailing underscore: `and_`,
+/// `or_`, `break_`, `move_`). Control-flow emitters taking a [`Label`]
+/// automatically append the mandatory delay-slot `NOP` (capability jumps
+/// have no delay slot in this implementation and append nothing).
+pub struct Asm {
+    base: u64,
+    words: Vec<u32>,
+    labels: Vec<Option<u64>>,
+    fixups: Vec<Fixup>,
+    entry: Option<u64>,
+}
+
+impl Asm {
+    /// Starts assembling at `base` (must be 4-byte aligned).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `base` is misaligned.
+    #[must_use]
+    pub fn new(base: u64) -> Asm {
+        assert_eq!(base % 4, 0, "text base must be word-aligned");
+        Asm { base, words: Vec::new(), labels: Vec::new(), fixups: Vec::new(), entry: None }
+    }
+
+    /// The address of the next instruction to be emitted.
+    #[must_use]
+    pub fn here(&self) -> u64 {
+        self.base + 4 * self.words.len() as u64
+    }
+
+    /// Creates an unbound label.
+    pub fn new_label(&mut self) -> Label {
+        self.labels.push(None);
+        Label(self.labels.len() - 1)
+    }
+
+    /// Binds `label` to the current position.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::DoubleBind`] if the label was already bound.
+    pub fn bind(&mut self, label: Label) -> Result<(), AsmError> {
+        let slot = &mut self.labels[label.0];
+        if slot.is_some() {
+            return Err(AsmError::DoubleBind { label: label.0 });
+        }
+        *slot = Some(self.base + 4 * self.words.len() as u64);
+        Ok(())
+    }
+
+    /// Marks the current position as the program entry point (defaults to
+    /// `base`).
+    pub fn set_entry_here(&mut self) {
+        self.entry = Some(self.here());
+    }
+
+    /// Emits an already-constructed instruction.
+    pub fn emit(&mut self, inst: Inst) {
+        self.words.push(encode(&inst));
+    }
+
+    /// Emits a raw word (e.g. data interleaved in text).
+    pub fn emit_word(&mut self, word: u32) {
+        self.words.push(word);
+    }
+
+    /// Resolves all fixups and produces the program image.
+    ///
+    /// # Errors
+    ///
+    /// [`AsmError::UnboundLabel`], [`AsmError::BranchOutOfRange`], or
+    /// [`AsmError::JumpOutOfRegion`].
+    pub fn finalize(mut self) -> Result<Program, AsmError> {
+        for fix in &self.fixups {
+            let target = self.labels[fix.label.0]
+                .ok_or(AsmError::UnboundLabel { label: fix.label.0 })?;
+            let at = self.base + 4 * fix.word_index as u64;
+            match fix.kind {
+                FixupKind::Branch => {
+                    let delay = at + 4;
+                    let delta = target.wrapping_sub(delay) as i64;
+                    let insts = delta >> 2;
+                    if delta % 4 != 0 || insts < i64::from(i16::MIN) || insts > i64::from(i16::MAX)
+                    {
+                        return Err(AsmError::BranchOutOfRange { at, target });
+                    }
+                    let w = &mut self.words[fix.word_index];
+                    *w = (*w & 0xffff_0000) | ((insts as u16) as u32);
+                }
+                FixupKind::Jump => {
+                    let delay = at + 4;
+                    if (target >> 28) != (delay >> 28) || target % 4 != 0 {
+                        return Err(AsmError::JumpOutOfRegion { at, target });
+                    }
+                    let idx = ((target >> 2) & 0x03ff_ffff) as u32;
+                    let w = &mut self.words[fix.word_index];
+                    *w = (*w & 0xfc00_0000) | idx;
+                }
+            }
+        }
+        Ok(Program { base: self.base, words: self.words, entry: self.entry.unwrap_or(self.base) })
+    }
+
+    fn branch_to(&mut self, inst: Inst, label: Label) {
+        self.fixups.push(Fixup { word_index: self.words.len(), label, kind: FixupKind::Branch });
+        self.emit(inst);
+        self.nop(); // mandatory delay slot
+    }
+
+    fn jump_to(&mut self, inst: Inst, label: Label) {
+        self.fixups.push(Fixup { word_index: self.words.len(), label, kind: FixupKind::Jump });
+        self.emit(inst);
+        self.nop();
+    }
+
+    // --- pseudo-instructions ---------------------------------------------
+
+    /// `NOP` (encoded as `SLL $0, $0, 0`).
+    pub fn nop(&mut self) {
+        self.emit(Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 });
+    }
+
+    /// Register move (`DADDU rd, rs, $0`).
+    pub fn move_(&mut self, rd: u8, rs: u8) {
+        self.emit(Inst::Alu { op: AluOp::Daddu, rd, rs, rt: 0 });
+    }
+
+    /// Loads an arbitrary 64-bit constant using the shortest of the usual
+    /// `DADDIU`/`ORI`/`LUI+ORI`/four-part sequences.
+    pub fn li64(&mut self, rt: u8, value: i64) {
+        let v = value as u64;
+        if (-32768..32768).contains(&value) {
+            self.emit(Inst::AluImm { op: AluImmOp::Daddiu, rt, rs: 0, imm: value as u16 });
+        } else if v <= 0xffff {
+            self.emit(Inst::AluImm { op: AluImmOp::Ori, rt, rs: 0, imm: v as u16 });
+        } else if i64::from(value as i32) == value {
+            self.emit(Inst::Lui { rt, imm: (v >> 16) as u16 });
+            if v & 0xffff != 0 {
+                self.emit(Inst::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: v as u16 });
+            }
+        } else {
+            self.emit(Inst::Lui { rt, imm: (v >> 48) as u16 });
+            self.emit(Inst::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: (v >> 32) as u16 });
+            self.emit(Inst::Shift { op: ShiftOp::Dsll, rd: rt, rt, shamt: 16 });
+            self.emit(Inst::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: (v >> 16) as u16 });
+            self.emit(Inst::Shift { op: ShiftOp::Dsll, rd: rt, rt, shamt: 16 });
+            self.emit(Inst::AluImm { op: AluImmOp::Ori, rt, rs: rt, imm: v as u16 });
+        }
+    }
+
+    /// Unconditional branch to `label` (`BEQ $0, $0, label` + delay NOP).
+    pub fn b(&mut self, label: Label) {
+        self.branch_to(Inst::Branch { cond: BranchCond::Eq, rs: 0, rt: 0, offset: 0 }, label);
+    }
+
+    // --- ALU ---------------------------------------------------------------
+
+    /// `DADDU rd, rs, rt`.
+    pub fn daddu(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Daddu, rd, rs, rt });
+    }
+
+    /// `DSUBU rd, rs, rt`.
+    pub fn dsubu(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Dsubu, rd, rs, rt });
+    }
+
+    /// `ADDU rd, rs, rt` (32-bit, sign-extending).
+    pub fn addu(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Addu, rd, rs, rt });
+    }
+
+    /// `AND rd, rs, rt`.
+    pub fn and_(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::And, rd, rs, rt });
+    }
+
+    /// `OR rd, rs, rt`.
+    pub fn or_(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Or, rd, rs, rt });
+    }
+
+    /// `XOR rd, rs, rt`.
+    pub fn xor_(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Xor, rd, rs, rt });
+    }
+
+    /// `NOR rd, rs, rt`.
+    pub fn nor_(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Nor, rd, rs, rt });
+    }
+
+    /// `SLT rd, rs, rt` (signed compare).
+    pub fn slt(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Slt, rd, rs, rt });
+    }
+
+    /// `SLTU rd, rs, rt` (unsigned compare).
+    pub fn sltu(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Sltu, rd, rs, rt });
+    }
+
+    /// `MOVZ rd, rs, rt` — `rd = rs` if `rt == 0`.
+    pub fn movz(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Movz, rd, rs, rt });
+    }
+
+    /// `MOVN rd, rs, rt` — `rd = rs` if `rt != 0`.
+    pub fn movn(&mut self, rd: u8, rs: u8, rt: u8) {
+        self.emit(Inst::Alu { op: AluOp::Movn, rd, rs, rt });
+    }
+
+    /// `DADDIU rt, rs, imm`.
+    pub fn daddiu(&mut self, rt: u8, rs: u8, imm: i16) {
+        self.emit(Inst::AluImm { op: AluImmOp::Daddiu, rt, rs, imm: imm as u16 });
+    }
+
+    /// `ADDIU rt, rs, imm` (32-bit).
+    pub fn addiu(&mut self, rt: u8, rs: u8, imm: i16) {
+        self.emit(Inst::AluImm { op: AluImmOp::Addiu, rt, rs, imm: imm as u16 });
+    }
+
+    /// `ANDI rt, rs, imm` (zero-extended).
+    pub fn andi(&mut self, rt: u8, rs: u8, imm: u16) {
+        self.emit(Inst::AluImm { op: AluImmOp::Andi, rt, rs, imm });
+    }
+
+    /// `ORI rt, rs, imm` (zero-extended).
+    pub fn ori(&mut self, rt: u8, rs: u8, imm: u16) {
+        self.emit(Inst::AluImm { op: AluImmOp::Ori, rt, rs, imm });
+    }
+
+    /// `XORI rt, rs, imm` (zero-extended).
+    pub fn xori(&mut self, rt: u8, rs: u8, imm: u16) {
+        self.emit(Inst::AluImm { op: AluImmOp::Xori, rt, rs, imm });
+    }
+
+    /// `SLTI rt, rs, imm`.
+    pub fn slti(&mut self, rt: u8, rs: u8, imm: i16) {
+        self.emit(Inst::AluImm { op: AluImmOp::Slti, rt, rs, imm: imm as u16 });
+    }
+
+    /// `SLTIU rt, rs, imm`.
+    pub fn sltiu(&mut self, rt: u8, rs: u8, imm: i16) {
+        self.emit(Inst::AluImm { op: AluImmOp::Sltiu, rt, rs, imm: imm as u16 });
+    }
+
+    /// `LUI rt, imm`.
+    pub fn lui(&mut self, rt: u8, imm: u16) {
+        self.emit(Inst::Lui { rt, imm });
+    }
+
+    /// `DSLL rd, rt, shamt` (shamt 0–31).
+    pub fn dsll(&mut self, rd: u8, rt: u8, shamt: u8) {
+        self.emit(Inst::Shift { op: ShiftOp::Dsll, rd, rt, shamt });
+    }
+
+    /// `DSRL rd, rt, shamt`.
+    pub fn dsrl(&mut self, rd: u8, rt: u8, shamt: u8) {
+        self.emit(Inst::Shift { op: ShiftOp::Dsrl, rd, rt, shamt });
+    }
+
+    /// `DSRA rd, rt, shamt`.
+    pub fn dsra(&mut self, rd: u8, rt: u8, shamt: u8) {
+        self.emit(Inst::Shift { op: ShiftOp::Dsra, rd, rt, shamt });
+    }
+
+    /// `DSLL32 rd, rt, shamt` (shift by `shamt + 32`).
+    pub fn dsll32(&mut self, rd: u8, rt: u8, shamt: u8) {
+        self.emit(Inst::Shift { op: ShiftOp::Dsll32, rd, rt, shamt });
+    }
+
+    /// `SLL rd, rt, shamt` (32-bit).
+    pub fn sll(&mut self, rd: u8, rt: u8, shamt: u8) {
+        self.emit(Inst::Shift { op: ShiftOp::Sll, rd, rt, shamt });
+    }
+
+    /// `DSLLV rd, rt, rs` (variable 64-bit shift).
+    pub fn dsllv(&mut self, rd: u8, rt: u8, rs: u8) {
+        self.emit(Inst::ShiftV { op: ShiftOp::Dsll, rd, rt, rs });
+    }
+
+    /// `DSRLV rd, rt, rs`.
+    pub fn dsrlv(&mut self, rd: u8, rt: u8, rs: u8) {
+        self.emit(Inst::ShiftV { op: ShiftOp::Dsrl, rd, rt, rs });
+    }
+
+    /// `DMULTU rs, rt` (HI/LO result).
+    pub fn dmultu(&mut self, rs: u8, rt: u8) {
+        self.emit(Inst::MulDiv { op: MulDivOp::Dmultu, rs, rt });
+    }
+
+    /// `DMULT rs, rt`.
+    pub fn dmult(&mut self, rs: u8, rt: u8) {
+        self.emit(Inst::MulDiv { op: MulDivOp::Dmult, rs, rt });
+    }
+
+    /// `DDIVU rs, rt`.
+    pub fn ddivu(&mut self, rs: u8, rt: u8) {
+        self.emit(Inst::MulDiv { op: MulDivOp::Ddivu, rs, rt });
+    }
+
+    /// `DDIV rs, rt`.
+    pub fn ddiv(&mut self, rs: u8, rt: u8) {
+        self.emit(Inst::MulDiv { op: MulDivOp::Ddiv, rs, rt });
+    }
+
+    /// `MFLO rd`.
+    pub fn mflo(&mut self, rd: u8) {
+        self.emit(Inst::Mflo { rd });
+    }
+
+    /// `MFHI rd`.
+    pub fn mfhi(&mut self, rd: u8) {
+        self.emit(Inst::Mfhi { rd });
+    }
+
+    // --- branches and jumps -------------------------------------------------
+
+    /// `BEQ rs, rt, label` (+ delay NOP).
+    pub fn beq(&mut self, rs: u8, rt: u8, label: Label) {
+        self.branch_to(Inst::Branch { cond: BranchCond::Eq, rs, rt, offset: 0 }, label);
+    }
+
+    /// `BNE rs, rt, label` (+ delay NOP).
+    pub fn bne(&mut self, rs: u8, rt: u8, label: Label) {
+        self.branch_to(Inst::Branch { cond: BranchCond::Ne, rs, rt, offset: 0 }, label);
+    }
+
+    /// `BLEZ rs, label` (+ delay NOP).
+    pub fn blez(&mut self, rs: u8, label: Label) {
+        self.branch_to(Inst::Branch { cond: BranchCond::Lez, rs, rt: 0, offset: 0 }, label);
+    }
+
+    /// `BGTZ rs, label` (+ delay NOP).
+    pub fn bgtz(&mut self, rs: u8, label: Label) {
+        self.branch_to(Inst::Branch { cond: BranchCond::Gtz, rs, rt: 0, offset: 0 }, label);
+    }
+
+    /// `BLTZ rs, label` (+ delay NOP).
+    pub fn bltz(&mut self, rs: u8, label: Label) {
+        self.branch_to(Inst::Branch { cond: BranchCond::Ltz, rs, rt: 0, offset: 0 }, label);
+    }
+
+    /// `BGEZ rs, label` (+ delay NOP).
+    pub fn bgez(&mut self, rs: u8, label: Label) {
+        self.branch_to(Inst::Branch { cond: BranchCond::Gez, rs, rt: 0, offset: 0 }, label);
+    }
+
+    /// `J label` (+ delay NOP).
+    pub fn j(&mut self, label: Label) {
+        self.jump_to(Inst::J { target: 0 }, label);
+    }
+
+    /// `JAL label` (+ delay NOP).
+    pub fn jal(&mut self, label: Label) {
+        self.jump_to(Inst::Jal { target: 0 }, label);
+    }
+
+    /// `JR rs` (+ delay NOP).
+    pub fn jr(&mut self, rs: u8) {
+        self.emit(Inst::Jr { rs });
+        self.nop();
+    }
+
+    /// `JR $ra` (+ delay NOP) — function return.
+    pub fn ret(&mut self) {
+        self.jr(reg::RA);
+    }
+
+    /// `JALR rd, rs` (+ delay NOP).
+    pub fn jalr(&mut self, rd: u8, rs: u8) {
+        self.emit(Inst::Jalr { rd, rs });
+        self.nop();
+    }
+
+    /// `SYSCALL code`.
+    pub fn syscall(&mut self, code: u32) {
+        self.emit(Inst::Syscall { code });
+    }
+
+    /// `BREAK code`.
+    pub fn break_(&mut self, code: u32) {
+        self.emit(Inst::Break { code });
+    }
+
+    // --- legacy memory -------------------------------------------------------
+
+    /// `LD rt, imm(base)`.
+    pub fn ld(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Load { width: Width::Double, rt, base, imm, unsigned: false });
+    }
+
+    /// `LW rt, imm(base)`.
+    pub fn lw(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Load { width: Width::Word, rt, base, imm, unsigned: false });
+    }
+
+    /// `LWU rt, imm(base)`.
+    pub fn lwu(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Load { width: Width::Word, rt, base, imm, unsigned: true });
+    }
+
+    /// `LH rt, imm(base)`.
+    pub fn lh(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Load { width: Width::Half, rt, base, imm, unsigned: false });
+    }
+
+    /// `LHU rt, imm(base)`.
+    pub fn lhu(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Load { width: Width::Half, rt, base, imm, unsigned: true });
+    }
+
+    /// `LB rt, imm(base)`.
+    pub fn lb(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Load { width: Width::Byte, rt, base, imm, unsigned: false });
+    }
+
+    /// `LBU rt, imm(base)`.
+    pub fn lbu(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Load { width: Width::Byte, rt, base, imm, unsigned: true });
+    }
+
+    /// `SD rt, imm(base)`.
+    pub fn sd(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Store { width: Width::Double, rt, base, imm });
+    }
+
+    /// `SW rt, imm(base)`.
+    pub fn sw(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Store { width: Width::Word, rt, base, imm });
+    }
+
+    /// `SH rt, imm(base)`.
+    pub fn sh(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Store { width: Width::Half, rt, base, imm });
+    }
+
+    /// `SB rt, imm(base)`.
+    pub fn sb(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::Store { width: Width::Byte, rt, base, imm });
+    }
+
+    /// `LLD rt, imm(base)`.
+    pub fn lld(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::LoadLinked { width: Width::Double, rt, base, imm });
+    }
+
+    /// `SCD rt, imm(base)`.
+    pub fn scd(&mut self, rt: u8, base: u8, imm: i16) {
+        self.emit(Inst::StoreCond { width: Width::Double, rt, base, imm });
+    }
+
+    // --- CHERI (Table 1) ------------------------------------------------------
+
+    /// `CGetBase rd, cb`.
+    pub fn cgetbase(&mut self, rd: u8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CGetBase { rd, cb }));
+    }
+
+    /// `CGetLen rd, cb`.
+    pub fn cgetlen(&mut self, rd: u8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CGetLen { rd, cb }));
+    }
+
+    /// `CGetTag rd, cb`.
+    pub fn cgettag(&mut self, rd: u8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CGetTag { rd, cb }));
+    }
+
+    /// `CGetPerm rd, cb`.
+    pub fn cgetperm(&mut self, rd: u8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CGetPerm { rd, cb }));
+    }
+
+    /// `CGetPCC rd, cd`.
+    pub fn cgetpcc(&mut self, rd: u8, cd: u8) {
+        self.emit(Inst::Cheri(CheriInst::CGetPCC { rd, cd }));
+    }
+
+    /// `CIncBase cd, cb, rt`.
+    pub fn cincbase(&mut self, cd: u8, cb: u8, rt: u8) {
+        self.emit(Inst::Cheri(CheriInst::CIncBase { cd, cb, rt }));
+    }
+
+    /// `CSetLen cd, cb, rt`.
+    pub fn csetlen(&mut self, cd: u8, cb: u8, rt: u8) {
+        self.emit(Inst::Cheri(CheriInst::CSetLen { cd, cb, rt }));
+    }
+
+    /// `CClearTag cd, cb`.
+    pub fn ccleartag(&mut self, cd: u8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CClearTag { cd, cb }));
+    }
+
+    /// `CAndPerm cd, cb, rt`.
+    pub fn candperm(&mut self, cd: u8, cb: u8, rt: u8) {
+        self.emit(Inst::Cheri(CheriInst::CAndPerm { cd, cb, rt }));
+    }
+
+    /// `CToPtr rd, cb, ct`.
+    pub fn ctoptr(&mut self, rd: u8, cb: u8, ct: u8) {
+        self.emit(Inst::Cheri(CheriInst::CToPtr { rd, cb, ct }));
+    }
+
+    /// `CFromPtr cd, cb, rt`.
+    pub fn cfromptr(&mut self, cd: u8, cb: u8, rt: u8) {
+        self.emit(Inst::Cheri(CheriInst::CFromPtr { cd, cb, rt }));
+    }
+
+    /// `CBTU cb, label` (+ delay NOP).
+    pub fn cbtu(&mut self, cb: u8, label: Label) {
+        self.branch_to(Inst::Cheri(CheriInst::CBTU { cb, offset: 0 }), label);
+    }
+
+    /// `CBTS cb, label` (+ delay NOP).
+    pub fn cbts(&mut self, cb: u8, label: Label) {
+        self.branch_to(Inst::Cheri(CheriInst::CBTS { cb, offset: 0 }), label);
+    }
+
+    /// `CLC cd, rt, imm32(cb)` — `imm` in 32-byte units.
+    pub fn clc(&mut self, cd: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CLC { cd, cb, rt, imm }));
+    }
+
+    /// `CSC cs, rt, imm32(cb)`.
+    pub fn csc(&mut self, cs: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CSC { cs, cb, rt, imm }));
+    }
+
+    /// `CLD rd, rt, imm8(cb)` — `imm` in 8-byte units.
+    pub fn cld(&mut self, rd: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CLoad {
+            width: Width::Double,
+            rd,
+            cb,
+            rt,
+            imm,
+            unsigned: false,
+        }));
+    }
+
+    /// `CLW rd, rt, imm4(cb)`.
+    pub fn clw(&mut self, rd: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CLoad {
+            width: Width::Word,
+            rd,
+            cb,
+            rt,
+            imm,
+            unsigned: false,
+        }));
+    }
+
+    /// `CLWU rd, rt, imm4(cb)`.
+    pub fn clwu(&mut self, rd: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CLoad {
+            width: Width::Word,
+            rd,
+            cb,
+            rt,
+            imm,
+            unsigned: true,
+        }));
+    }
+
+    /// `CLHU rd, rt, imm2(cb)`.
+    pub fn clhu(&mut self, rd: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CLoad {
+            width: Width::Half,
+            rd,
+            cb,
+            rt,
+            imm,
+            unsigned: true,
+        }));
+    }
+
+    /// `CLBU rd, rt, imm1(cb)`.
+    pub fn clbu(&mut self, rd: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CLoad {
+            width: Width::Byte,
+            rd,
+            cb,
+            rt,
+            imm,
+            unsigned: true,
+        }));
+    }
+
+    /// `CSD rs, rt, imm8(cb)`.
+    pub fn csd(&mut self, rs: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CStore { width: Width::Double, rs, cb, rt, imm }));
+    }
+
+    /// `CSW rs, rt, imm4(cb)`.
+    pub fn csw(&mut self, rs: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CStore { width: Width::Word, rs, cb, rt, imm }));
+    }
+
+    /// `CSH rs, rt, imm2(cb)`.
+    pub fn csh(&mut self, rs: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CStore { width: Width::Half, rs, cb, rt, imm }));
+    }
+
+    /// `CSB rs, rt, imm1(cb)`.
+    pub fn csb(&mut self, rs: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CStore { width: Width::Byte, rs, cb, rt, imm }));
+    }
+
+    /// `CLLD rd, rt, imm8(cb)`.
+    pub fn clld(&mut self, rd: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CLLD { rd, cb, rt, imm }));
+    }
+
+    /// `CSCD rs, rt, imm8(cb)`.
+    pub fn cscd(&mut self, rs: u8, rt: u8, imm: i8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CSCD { rs, cb, rt, imm }));
+    }
+
+    /// `CJR cb` (no delay slot).
+    pub fn cjr(&mut self, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CJR { cb }));
+    }
+
+    /// `CJALR cd, cb` (no delay slot).
+    pub fn cjalr(&mut self, cd: u8, cb: u8) {
+        self.emit(Inst::Cheri(CheriInst::CJALR { cd, cb }));
+    }
+}
+
+impl core::fmt::Debug for Asm {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        write!(
+            f,
+            "Asm({} words at {:#x}, {} labels, {} fixups pending)",
+            self.words.len(),
+            self.base,
+            self.labels.len(),
+            self.fixups.len()
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beri_sim::{Machine, MachineConfig, StepResult};
+
+    fn run(prog: &Program) -> Machine {
+        let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..MachineConfig::default() });
+        m.load_code(prog.base, &prog.words).unwrap();
+        m.cpu.jump_to(prog.entry);
+        loop {
+            match m.step().unwrap() {
+                StepResult::Continue => {}
+                StepResult::Syscall => break,
+                other => panic!("program failed: {other:?}\n{}", prog.disassemble()),
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn li64_all_ranges() {
+        for v in [
+            0i64,
+            1,
+            -1,
+            32767,
+            -32768,
+            65535,
+            0x12345,
+            -0x12345,
+            0x7fff_ffff,
+            -0x8000_0000,
+            0x1_0000_0000,
+            0x1234_5678_9abc_def0,
+            -0x1234_5678_9abc_def0,
+            i64::MIN,
+            i64::MAX,
+        ] {
+            let mut a = Asm::new(0x1000);
+            a.li64(reg::V0, v);
+            a.syscall(0);
+            let m = run(&a.finalize().unwrap());
+            assert_eq!(m.cpu.gpr[reg::V0 as usize] as i64, v, "li64({v:#x})");
+        }
+    }
+
+    #[test]
+    fn backward_branch_loop() {
+        let mut a = Asm::new(0x1000);
+        let top = a.new_label();
+        a.li64(reg::T0, 5);
+        a.li64(reg::V0, 0);
+        a.bind(top).unwrap();
+        a.daddiu(reg::V0, reg::V0, 3);
+        a.daddiu(reg::T0, reg::T0, -1);
+        a.bgtz(reg::T0, top);
+        a.syscall(0);
+        let m = run(&a.finalize().unwrap());
+        assert_eq!(m.cpu.gpr[reg::V0 as usize], 15);
+    }
+
+    #[test]
+    fn forward_branch_skips() {
+        let mut a = Asm::new(0x1000);
+        let done = a.new_label();
+        a.li64(reg::V0, 1);
+        a.b(done);
+        a.li64(reg::V0, 99); // skipped
+        a.bind(done).unwrap();
+        a.syscall(0);
+        let m = run(&a.finalize().unwrap());
+        assert_eq!(m.cpu.gpr[reg::V0 as usize], 1);
+    }
+
+    #[test]
+    fn call_and_return_via_jal() {
+        let mut a = Asm::new(0x1000);
+        let f = a.new_label();
+        let main = a.new_label();
+        // function f: v0 = a0 * 2; return
+        a.bind(f).unwrap();
+        a.daddu(reg::V0, reg::A0, reg::A0);
+        a.ret();
+        a.bind(main).unwrap();
+        a.set_entry_here();
+        a.li64(reg::A0, 21);
+        a.jal(f);
+        a.syscall(0);
+        let m = run(&a.finalize().unwrap());
+        assert_eq!(m.cpu.gpr[reg::V0 as usize], 42);
+    }
+
+    #[test]
+    fn recursive_factorial_with_stack() {
+        // fact(n): if n <= 1 return 1 else return n * fact(n-1)
+        let mut a = Asm::new(0x1000);
+        let fact = a.new_label();
+        let base_case = a.new_label();
+        let main = a.new_label();
+        a.bind(fact).unwrap();
+        a.blez(reg::A0, base_case);
+        a.daddiu(reg::SP, reg::SP, -16);
+        a.sd(reg::RA, reg::SP, 0);
+        a.sd(reg::A0, reg::SP, 8);
+        a.daddiu(reg::A0, reg::A0, -1);
+        a.jal(fact);
+        a.ld(reg::A0, reg::SP, 8);
+        a.ld(reg::RA, reg::SP, 0);
+        a.daddiu(reg::SP, reg::SP, 16);
+        a.dmultu(reg::V0, reg::A0);
+        a.mflo(reg::V0);
+        a.ret();
+        a.bind(base_case).unwrap();
+        a.li64(reg::V0, 1);
+        a.ret();
+        a.bind(main).unwrap();
+        a.set_entry_here();
+        a.li64(reg::SP, 0x8_0000);
+        a.li64(reg::A0, 6);
+        a.jal(fact);
+        a.syscall(0);
+        let m = run(&a.finalize().unwrap());
+        assert_eq!(m.cpu.gpr[reg::V0 as usize], 720);
+    }
+
+    #[test]
+    fn cheri_bounds_catch_in_assembled_code() {
+        let mut a = Asm::new(0x1000);
+        a.li64(reg::T0, 0x4000);
+        a.li64(reg::T1, 16);
+        a.cincbase(1, 0, reg::T0);
+        a.csetlen(1, 1, reg::T1);
+        a.li64(reg::T2, 16); // offset: first out-of-bounds byte
+        a.cld(reg::V0, reg::T2, 0, 1);
+        a.syscall(0);
+        let prog = a.finalize().unwrap();
+        let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..MachineConfig::default() });
+        m.load_code(prog.base, &prog.words).unwrap();
+        m.cpu.jump_to(prog.entry);
+        let r = loop {
+            match m.step().unwrap() {
+                StepResult::Continue => {}
+                other => break other,
+            }
+        };
+        assert!(matches!(r, StepResult::Trap(_)), "expected a capability trap, got {r:?}");
+    }
+
+    #[test]
+    fn unbound_label_detected() {
+        let mut a = Asm::new(0x1000);
+        let l = a.new_label();
+        a.b(l);
+        assert!(matches!(a.finalize(), Err(AsmError::UnboundLabel { .. })));
+    }
+
+    #[test]
+    fn double_bind_detected() {
+        let mut a = Asm::new(0x1000);
+        let l = a.new_label();
+        a.bind(l).unwrap();
+        assert_eq!(a.bind(l), Err(AsmError::DoubleBind { label: 0 }));
+    }
+
+    #[test]
+    fn branch_out_of_range_detected() {
+        let mut a = Asm::new(0x1000);
+        let far = a.new_label();
+        a.b(far);
+        for _ in 0..40000 {
+            a.nop();
+        }
+        a.bind(far).unwrap();
+        assert!(matches!(a.finalize(), Err(AsmError::BranchOutOfRange { .. })));
+    }
+
+    #[test]
+    fn here_tracks_position() {
+        let mut a = Asm::new(0x1000);
+        assert_eq!(a.here(), 0x1000);
+        a.nop();
+        a.nop();
+        assert_eq!(a.here(), 0x1008);
+    }
+}

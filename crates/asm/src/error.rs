@@ -1,0 +1,66 @@
+//! Assembler errors.
+
+use core::fmt;
+
+/// An error detected while assembling or finalising a program.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum AsmError {
+    /// A label was used but never bound by the time of `finalize`.
+    UnboundLabel {
+        /// The label's internal id.
+        label: usize,
+    },
+    /// A label was bound twice.
+    DoubleBind {
+        /// The label's internal id.
+        label: usize,
+    },
+    /// A branch target is outside the signed 18-bit byte range.
+    BranchOutOfRange {
+        /// Instruction address of the branch.
+        at: u64,
+        /// Target address.
+        target: u64,
+    },
+    /// A jump target is outside the 256 MB region of the jump.
+    JumpOutOfRegion {
+        /// Instruction address of the jump.
+        at: u64,
+        /// Target address.
+        target: u64,
+    },
+}
+
+impl fmt::Display for AsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AsmError::UnboundLabel { label } => write!(f, "label L{label} was never bound"),
+            AsmError::DoubleBind { label } => write!(f, "label L{label} bound twice"),
+            AsmError::BranchOutOfRange { at, target } => {
+                write!(f, "branch at {at:#x} cannot reach {target:#x}")
+            }
+            AsmError::JumpOutOfRegion { at, target } => {
+                write!(f, "jump at {at:#x} cannot reach {target:#x} (different 256MB region)")
+            }
+        }
+    }
+}
+
+impl std::error::Error for AsmError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_names_the_label() {
+        assert_eq!(AsmError::UnboundLabel { label: 3 }.to_string(), "label L3 was never bound");
+    }
+
+    #[test]
+    fn is_std_error() {
+        let e: Box<dyn std::error::Error> = Box::new(AsmError::DoubleBind { label: 0 });
+        assert!(e.to_string().contains("twice"));
+    }
+}

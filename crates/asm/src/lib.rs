@@ -1,0 +1,51 @@
+//! # cheri-asm — a MIPS64 + CHERI macro-assembler
+//!
+//! The paper compiled its workloads with "an extended LLVM"; this crate is
+//! the equivalent code-emission layer for the Rust reproduction: a small,
+//! strict assembler over the instruction encodings shared with `beri-sim`
+//! ([`beri_sim::decode`]), with:
+//!
+//! * labels and fixups (branches, jumps);
+//! * one emitter method per implemented instruction, named after its
+//!   mnemonic;
+//! * pseudo-instructions (`li64`, `move_`, `b`, `nop`) and automatic
+//!   delay-slot filling on the `*_` branch/jump convenience forms;
+//! * a [`Program`] artifact that `cheri-os` can load.
+//!
+//! ## Example
+//!
+//! A loop that sums 1..=10, assembled and run on the simulator:
+//!
+//! ```
+//! use beri_sim::{reg, Machine, MachineConfig, StepResult};
+//! use cheri_asm::Asm;
+//!
+//! let mut a = Asm::new(0x1000);
+//! let loop_top = a.new_label();
+//! a.li64(reg::T0, 10); // counter
+//! a.li64(reg::V0, 0); // sum
+//! a.bind(loop_top)?;
+//! a.daddu(reg::V0, reg::V0, reg::T0);
+//! a.daddiu(reg::T0, reg::T0, -1);
+//! a.bgtz(reg::T0, loop_top); // delay slot auto-filled with NOP
+//! a.syscall(0);
+//! let prog = a.finalize()?;
+//!
+//! let mut m = Machine::new(MachineConfig::default());
+//! m.load_code(prog.base, &prog.words)?;
+//! m.cpu.jump_to(prog.base);
+//! while m.step()? == StepResult::Continue {}
+//! assert_eq!(m.cpu.gpr[reg::V0 as usize], 55);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod asm;
+mod error;
+mod program;
+
+pub use asm::{Asm, Label};
+pub use error::AsmError;
+pub use program::Program;
+
+/// Re-exported register names, so assembler users need only this crate.
+pub use beri_sim::reg;

@@ -1,0 +1,69 @@
+//! The assembled artifact.
+
+use beri_sim::decode::decode;
+use core::fmt;
+
+/// A finalised program image: a base address, its instruction words, and
+/// the entry point.
+#[derive(Clone, PartialEq, Eq)]
+pub struct Program {
+    /// Load (and link) address of the first word.
+    pub base: u64,
+    /// Instruction words in program order.
+    pub words: Vec<u32>,
+    /// Entry PC (equal to `base` unless an entry label was set).
+    pub entry: u64,
+}
+
+impl Program {
+    /// Size of the text image in bytes.
+    #[must_use]
+    pub fn size_bytes(&self) -> u64 {
+        self.words.len() as u64 * 4
+    }
+
+    /// One-line-per-instruction disassembly (round-tripping through the
+    /// simulator's decoder), for debugging generated code.
+    #[must_use]
+    pub fn disassemble(&self) -> String {
+        use core::fmt::Write as _;
+        let mut out = String::new();
+        for (i, w) in self.words.iter().enumerate() {
+            let addr = self.base + 4 * i as u64;
+            let _ = writeln!(out, "{addr:#010x}: {w:08x}  {:?}", decode(*w));
+        }
+        out
+    }
+}
+
+impl fmt::Debug for Program {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Program({} words at {:#x}, entry {:#x})",
+            self.words.len(),
+            self.base,
+            self.entry
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn size_and_debug() {
+        let p = Program { base: 0x1000, words: vec![0, 0, 0], entry: 0x1000 };
+        assert_eq!(p.size_bytes(), 12);
+        assert!(format!("{p:?}").contains("3 words"));
+    }
+
+    #[test]
+    fn disassemble_lists_addresses() {
+        let p = Program { base: 0x1000, words: vec![0x3402_002a], entry: 0x1000 };
+        let d = p.disassemble();
+        assert!(d.contains("0x00001000"));
+        assert!(d.contains("Ori"));
+    }
+}

@@ -1,0 +1,77 @@
+//! Micro-benchmarks of the pure capability model: manipulation
+//! operations (all single-cycle in hardware, Section 4.4), access
+//! checks, and the 256-bit / 128-bit format conversions.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cheri_core::{CapRegFile, Capability, Compressed128, Perms};
+
+fn bench_manipulation(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cap_manipulation");
+    let cap = Capability::new(0x1000, 1 << 20, Perms::ALL).unwrap();
+    g.bench_function("inc_base", |b| {
+        b.iter(|| black_box(cap).inc_base(black_box(64)).unwrap())
+    });
+    g.bench_function("set_len", |b| {
+        b.iter(|| black_box(cap).set_len(black_box(128)).unwrap())
+    });
+    g.bench_function("and_perm", |b| {
+        b.iter(|| black_box(cap).and_perm(black_box(Perms::LOAD)).unwrap())
+    });
+    g.bench_function("to_from_ptr", |b| {
+        b.iter(|| {
+            let p = black_box(cap).to_ptr(&cap);
+            Capability::from_ptr(&cap, black_box(p)).unwrap()
+        })
+    });
+    g.finish();
+}
+
+fn bench_checks(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cap_checks");
+    let cap = Capability::new(0x1000, 1 << 20, Perms::ALL).unwrap();
+    g.bench_function("data_access_ok", |b| {
+        b.iter(|| cap.check_data_access(black_box(0x2000), 8, Perms::LOAD))
+    });
+    g.bench_function("data_access_oob", |b| {
+        b.iter(|| cap.check_data_access(black_box(0x20_0000), 8, Perms::LOAD))
+    });
+    g.bench_function("execute", |b| b.iter(|| cap.check_execute(black_box(0x1004))));
+    g.finish();
+}
+
+fn bench_formats(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cap_formats");
+    let cap = Capability::new(0x1000, 1 << 16, Perms::ALL).unwrap();
+    g.bench_function("encode_256", |b| b.iter(|| black_box(cap).to_bytes()));
+    let bytes = cap.to_bytes();
+    g.bench_function("decode_256", |b| {
+        b.iter(|| Capability::from_bytes(black_box(&bytes), true))
+    });
+    g.bench_function("compress_128", |b| {
+        b.iter(|| Compressed128::try_from_cap(black_box(&cap)).unwrap())
+    });
+    let z = Compressed128::try_from_cap(&cap).unwrap();
+    g.bench_function("decompress_128", |b| b.iter(|| black_box(z).decompress()));
+    g.finish();
+}
+
+fn bench_regfile(c: &mut Criterion) {
+    let mut g = c.benchmark_group("cap_regfile");
+    // Context-switch cost: save/restore of the 33-capability state
+    // (Section 4.1 notes the large file raises switch overhead).
+    let file = CapRegFile::new();
+    g.bench_function("clone_full_file", |b| b.iter(|| black_box(&file).clone()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_manipulation, bench_checks, bench_formats, bench_regfile
+}
+criterion_main!(benches);

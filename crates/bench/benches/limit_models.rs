@@ -1,0 +1,38 @@
+//! Throughput of the limit-study machinery: trace recording and
+//! per-model evaluation over a mid-sized Olden trace.
+
+use criterion::{criterion_group, criterion_main, Criterion, Throughput};
+
+use cheri_limit::models::{all_models, baseline};
+use cheri_olden::{native, OldenParams};
+
+fn bench_models(c: &mut Criterion) {
+    let params = OldenParams::scaled();
+    let trace = native::treeadd(&params).trace;
+    let events = trace.events.len() as u64;
+
+    let mut g = c.benchmark_group("limit_models");
+    g.throughput(Throughput::Elements(events));
+    g.bench_function("baseline", |b| b.iter(|| baseline(&trace)));
+    for model in all_models() {
+        g.bench_function(model.name(), |b| b.iter(|| model.simulate(&trace)));
+    }
+    g.finish();
+}
+
+fn bench_recording(c: &mut Criterion) {
+    let params = OldenParams::scaled();
+    let mut g = c.benchmark_group("trace_recording");
+    g.bench_function("treeadd_record", |b| b.iter(|| native::treeadd(&params).trace.accesses()));
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_models, bench_recording
+}
+criterion_main!(benches);

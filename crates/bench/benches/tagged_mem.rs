@@ -1,0 +1,70 @@
+//! Micro-benchmarks of the tagged-memory substrate: the 257-bit
+//! interface, the tag-clearing store path, and tag-cache behaviour.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+use cheri_core::{Capability, Perms};
+use cheri_mem::TaggedMem;
+
+fn bench_data_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tagged_mem_data");
+    let mut m = TaggedMem::new(1 << 20);
+    g.bench_function("write_u64", |b| {
+        let mut addr = 0u64;
+        b.iter(|| {
+            m.write_u64(black_box(addr), 0x1234).unwrap();
+            addr = (addr + 8) & 0xf_fff8;
+        })
+    });
+    g.bench_function("read_u64", |b| b.iter(|| m.read_u64(black_box(0x100)).unwrap()));
+    g.finish();
+}
+
+fn bench_cap_path(c: &mut Criterion) {
+    let mut g = c.benchmark_group("tagged_mem_caps");
+    let mut m = TaggedMem::new(1 << 20);
+    let cap = Capability::new(0x4000, 0x100, Perms::ALL).unwrap();
+    g.bench_function("write_cap_hot", |b| {
+        b.iter(|| m.write_cap(black_box(0x800), &cap).unwrap())
+    });
+    g.bench_function("read_cap_hot", |b| b.iter(|| m.read_cap(black_box(0x800)).unwrap()));
+    g.bench_function("write_cap_streaming", |b| {
+        // Strides through 1 MB: every tag-cache line gets touched.
+        let mut addr = 0u64;
+        b.iter(|| {
+            m.write_cap(black_box(addr), &cap).unwrap();
+            addr = (addr + (1 << 14)) & 0xf_8000;
+        })
+    });
+    g.finish();
+}
+
+fn bench_memcpy_semantics(c: &mut Criterion) {
+    // The Section 4.2 memcpy: granule-wise copy preserving tags.
+    let mut g = c.benchmark_group("tagged_mem_memcpy");
+    let mut m = TaggedMem::new(1 << 20);
+    let cap = Capability::new(0x4000, 0x100, Perms::ALL).unwrap();
+    for i in 0..64 {
+        m.write_cap(i * 32, &cap).unwrap();
+    }
+    g.bench_function("copy_2kb_with_tags", |b| {
+        b.iter(|| {
+            for i in 0..64u64 {
+                let (bytes, tag) = m.read_cap_raw(i * 32).unwrap();
+                m.write_cap_raw(0x1_0000 + i * 32, &bytes, tag).unwrap();
+            }
+        })
+    });
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default()
+        .warm_up_time(std::time::Duration::from_millis(300))
+        .measurement_time(std::time::Duration::from_millis(1200))
+        .sample_size(20);
+    targets = bench_data_path, bench_cap_path, bench_memcpy_semantics
+}
+criterion_main!(benches);

@@ -1,0 +1,52 @@
+//! Capability-width ablation, in execution (not just the Figure 3 trace
+//! models): Section 8 concludes "these results reconfirm that CHERI will
+//! benefit from capability compression". This harness runs the Olden
+//! benchmarks under the 256-bit research format and the compressed
+//! 128-bit production format (16-byte in-memory capabilities, 16-byte
+//! tag granule) and reports how much of the CHERI overhead compression
+//! recovers.
+
+use cheri_bench::{overhead_pct, params_for, parse_scale};
+use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy};
+use cheri_olden::dsl::{machine_config, run_bench, DslBench};
+
+fn main() {
+    let params = params_for(parse_scale());
+    println!("== Capability width ablation: 256-bit vs 128-bit CHERI (execution) ==\n");
+    println!(
+        "{:<11}{:>14}{:>14}{:>14}",
+        "benchmark", "cheri-256", "cheri-128", "recovered"
+    );
+    for bench in DslBench::ALL {
+        let strategies: [&dyn PtrStrategy; 3] =
+            [&LegacyPtr, &CapPtr::c256(), &CapPtr::c128()];
+        let mut totals = Vec::new();
+        let mut sums: Vec<Vec<u64>> = Vec::new();
+        for s in strategies {
+            let cfg = machine_config(bench, &params, s);
+            let run = run_bench(bench, &params, s, cfg)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), s.name()));
+            assert!(
+                run.outcome.exit_value().is_some(),
+                "{} [{}] exited {:?}",
+                bench.name(),
+                s.name(),
+                run.outcome.exit
+            );
+            totals.push(run.total_cycles());
+            sums.push(run.checksums().to_vec());
+        }
+        assert_eq!(sums[1], sums[2], "{}: formats disagree", bench.name());
+        let c256 = overhead_pct(totals[1], totals[0]);
+        let c128 = overhead_pct(totals[2], totals[0]);
+        println!(
+            "{:<11}{:>13.1}%{:>13.1}%{:>13.1}pp",
+            bench.name(),
+            c256,
+            c128,
+            c256 - c128
+        );
+    }
+    println!("\n(overhead vs unsafe MIPS; 'recovered' is what compression buys —");
+    println!(" the paper's 'CHERI will benefit from capability compression')");
+}

@@ -1,0 +1,46 @@
+//! Check-elision ablation (Section 8): "CCured is effective in eliding
+//! inner-loop bounds checks ... Similar elision could also be applied to
+//! CHERI to selectively utilize capabilities." This harness compares the
+//! checked and eliding software-fat-pointer binaries on all four
+//! benchmarks.
+
+use beri_sim::MachineConfig;
+use cheri_bench::{overhead_pct, params_for, parse_scale};
+use cheri_cc::strategy::{LegacyPtr, PtrStrategy, SoftFatPtr};
+use cheri_olden::dsl::{run_bench, DslBench};
+
+fn main() {
+    let params = params_for(parse_scale());
+    println!("== Software bounds-check elision ablation ==\n");
+    println!(
+        "{:<11}{:>14}{:>14}{:>14}",
+        "benchmark", "checked", "eliding", "saved"
+    );
+    for bench in DslBench::ALL {
+        let strategies: [&dyn PtrStrategy; 3] =
+            [&LegacyPtr, &SoftFatPtr::checked(), &SoftFatPtr::eliding()];
+        let mut totals = Vec::new();
+        let mut sums: Vec<Vec<u64>> = Vec::new();
+        for s in strategies {
+            let cfg = MachineConfig {
+                mem_bytes: bench.mem_needed(&params, s),
+                ..MachineConfig::default()
+            };
+            let run = run_bench(bench, &params, s, cfg)
+                .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), s.name()));
+            totals.push(run.total_cycles());
+            sums.push(run.checksums().to_vec());
+        }
+        assert_eq!(sums[1], sums[2], "{}: elision changed the result", bench.name());
+        let checked = overhead_pct(totals[1], totals[0]);
+        let eliding = overhead_pct(totals[2], totals[0]);
+        println!(
+            "{:<11}{:>13.1}%{:>13.1}%{:>13.1}pp",
+            bench.name(),
+            checked,
+            eliding,
+            checked - eliding
+        );
+    }
+    println!("\n(overhead vs the unsafe MIPS binary; 'saved' is the elision win)");
+}

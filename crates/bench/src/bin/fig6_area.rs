@@ -1,0 +1,6 @@
+//! Figure 6 + Section 9 reproduction: the FPGA layout breakdown and the
+//! derived area/frequency overheads.
+
+fn main() {
+    print!("{}", cheri_area::render());
+}

@@ -1,0 +1,7 @@
+//! Table 2 reproduction: the functional comparison of protection models
+//! against the Section 2 criteria, generated from the models' own
+//! `criteria()` implementations.
+
+fn main() {
+    print!("{}", cheri_limit::study::render_table2());
+}

@@ -1,0 +1,108 @@
+//! # cheri-bench — experiment harnesses
+//!
+//! One binary per exhibit of the ISCA 2014 paper:
+//!
+//! | binary | reproduces |
+//! |---|---|
+//! | `table1_isa` | Table 1 — executes every CHERI instruction |
+//! | `table2_matrix` | Table 2 — the functional comparison matrix |
+//! | `fig1_layout` | Figure 1 — the 256-bit capability layout |
+//! | `fig2_pipeline` | Figure 2 — the pipeline/coprocessor structure |
+//! | `fig3_limit_study` | Figure 3 — the 8-model limit study |
+//! | `fig4_overheads` | Figure 4 — FPGA execution-time overheads |
+//! | `fig5_heapsize` | Figure 5 — CHERI slowdown vs heap size |
+//! | `fig6_area` | Figure 6 + §9 — area and frequency |
+//! | `ablation_tag_cache` | §4.2 tag-cache size ablation |
+//! | `ablation_elision` | §8 check-elision ablation |
+//!
+//! All accept `--scaled` (CI-sized), default to medium sizes, and accept
+//! `--paper` for the paper's full parameters (minutes of host time).
+//!
+//! This library holds the small amount of shared harness plumbing.
+
+use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy, SoftFatPtr};
+use cheri_olden::OldenParams;
+
+/// Which problem-size preset a harness should use.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Scale {
+    /// CI-sized (`--scaled`).
+    Scaled,
+    /// The default: memory-hierarchy-dominated but quick.
+    Medium,
+    /// The paper's parameters (`--paper`).
+    Paper,
+}
+
+/// Parses the common `--scaled` / `--paper` flags.
+#[must_use]
+pub fn parse_scale() -> Scale {
+    let args: Vec<String> = std::env::args().collect();
+    if args.iter().any(|a| a == "--paper") {
+        Scale::Paper
+    } else if args.iter().any(|a| a == "--scaled") {
+        Scale::Scaled
+    } else {
+        Scale::Medium
+    }
+}
+
+/// The parameter preset for a scale.
+#[must_use]
+pub fn params_for(scale: Scale) -> OldenParams {
+    match scale {
+        Scale::Scaled => OldenParams::scaled(),
+        Scale::Medium => OldenParams::medium(),
+        Scale::Paper => OldenParams::paper(),
+    }
+}
+
+/// The three Figure 4 compilation modes, baseline first.
+#[must_use]
+pub fn figure4_strategies() -> Vec<Box<dyn PtrStrategy>> {
+    vec![Box::new(LegacyPtr), Box::new(SoftFatPtr::checked()), Box::new(CapPtr::c256())]
+}
+
+/// Percentage overhead of `x` over `base`.
+#[must_use]
+pub fn overhead_pct(x: u64, base: u64) -> f64 {
+    if base == 0 {
+        0.0
+    } else {
+        (x as f64 - base as f64) / base as f64 * 100.0
+    }
+}
+
+/// A crude text bar for terminal "figures".
+#[must_use]
+pub fn bar(pct: f64, scale: f64) -> String {
+    let n = (pct / scale).clamp(0.0, 60.0) as usize;
+    "#".repeat(n)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn overhead_pct_basics() {
+        assert_eq!(overhead_pct(150, 100), 50.0);
+        assert_eq!(overhead_pct(100, 100), 0.0);
+        assert_eq!(overhead_pct(5, 0), 0.0);
+    }
+
+    #[test]
+    fn figure4_strategy_order() {
+        let s = figure4_strategies();
+        assert_eq!(s[0].name(), "mips");
+        assert_eq!(s[1].name(), "ccured");
+        assert_eq!(s[2].name(), "cheri");
+    }
+
+    #[test]
+    fn bar_clamps() {
+        assert_eq!(bar(-5.0, 1.0), "");
+        assert_eq!(bar(10.0, 1.0).len(), 10);
+        assert_eq!(bar(1e9, 1.0).len(), 60);
+    }
+}

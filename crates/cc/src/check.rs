@@ -1,0 +1,501 @@
+//! Static validation: types, call positions, scratch-depth limits, and
+//! entry/return conventions.
+//!
+//! [`check`] must pass before [`crate::codegen`] runs; after it has
+//! passed, [`expr_ty`] is total on the module's expressions.
+
+use crate::error::CompileError;
+use crate::ir::{Expr, FuncDef, Module, Stmt, Ty};
+
+/// Scratch budgets for depth checking.
+#[derive(Clone, Copy, Debug)]
+pub struct Limits {
+    /// Integer scratch registers available.
+    pub max_int: usize,
+    /// Pointer scratch slots available.
+    pub max_ptr: usize,
+}
+
+/// (int regs, ptr slots) an expression needs, mirroring the code
+/// generator's evaluation order exactly.
+#[allow(clippy::only_used_in_recursion)]
+fn need(module: &Module, f: &FuncDef, e: &Expr) -> (usize, usize) {
+    match e {
+        Expr::Const(_) => (1, 0),
+        Expr::Local(l) => match f.locals[*l] {
+            Ty::I64 => (1, 0),
+            Ty::Ptr(_) => (0, 1),
+        },
+        Expr::Null(_) => (0, 1),
+        Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+            let (ai, ap) = need(module, f, a);
+            let (bi, bp) = need(module, f, b);
+            (ai.max(bi + 1), ap.max(bp))
+        }
+        Expr::Load { ptr, .. } => {
+            let (pi, pp) = need(module, f, ptr);
+            (pi.max(1), pp.max(1))
+        }
+        Expr::LoadPtr { ptr, .. } => {
+            let (pi, pp) = need(module, f, ptr);
+            (pi, pp.max(1))
+        }
+        Expr::IsNull(p) | Expr::PtrToInt(p) => {
+            let (pi, pp) = need(module, f, p);
+            (pi.max(1), pp.max(1))
+        }
+        Expr::Index { ptr, index, .. } => {
+            let (pi, pp) = need(module, f, ptr);
+            let (ii, ip) = need(module, f, index);
+            // index is evaluated with the base pointer live at the
+            // current slot, and may need a size temporary.
+            (pi.max(ii + 1), pp.max(ip + 1).max(1))
+        }
+        // Calls/allocs are checked at their (top-level) statement.
+        Expr::Call { .. } | Expr::Alloc { .. } => (1, 1),
+    }
+}
+
+/// The type of a checked expression.
+///
+/// # Panics
+///
+/// Panics on malformed expressions; call only after [`check`] has
+/// accepted the module.
+#[must_use]
+pub fn expr_ty(module: &Module, f: &FuncDef, e: &Expr) -> Ty {
+    match e {
+        Expr::Const(_)
+        | Expr::Bin(..)
+        | Expr::Cmp(..)
+        | Expr::Load { .. }
+        | Expr::IsNull(_)
+        | Expr::PtrToInt(_) => Ty::I64,
+        Expr::Local(l) => f.locals[*l],
+        Expr::Null(s) => Ty::Ptr(*s),
+        Expr::LoadPtr { strukt, field, .. } => module.structs[*strukt].fields[*field],
+        Expr::Call { func, .. } => module.funcs[*func]
+            .ret
+            .expect("checked call to void function in value position"),
+        Expr::Alloc { strukt, .. } | Expr::Index { strukt, .. } => Ty::Ptr(*strukt),
+    }
+}
+
+struct Checker<'m> {
+    module: &'m Module,
+    limits: Limits,
+}
+
+impl<'m> Checker<'m> {
+    fn err(&self, f: &FuncDef, message: String) -> CompileError {
+        CompileError::Type { func: f.name, message }
+    }
+
+    fn ty(&self, f: &FuncDef, e: &Expr) -> Result<Ty, CompileError> {
+        Ok(match e {
+            Expr::Const(_) => Ty::I64,
+            Expr::Local(l) => *f
+                .locals
+                .get(*l)
+                .ok_or_else(|| self.err(f, format!("local {l} out of range")))?,
+            Expr::Null(s) => {
+                self.strukt(f, *s)?;
+                Ty::Ptr(*s)
+            }
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                self.expect_int(f, a)?;
+                self.expect_int(f, b)?;
+                Ty::I64
+            }
+            Expr::Load { ptr, strukt, field } => {
+                self.expect_ptr_to(f, ptr, *strukt)?;
+                match self.field(f, *strukt, *field)? {
+                    Ty::I64 => Ty::I64,
+                    Ty::Ptr(_) => {
+                        return Err(self.err(f, format!("Load of pointer field {field}")))
+                    }
+                }
+            }
+            Expr::LoadPtr { ptr, strukt, field } => {
+                self.expect_ptr_to(f, ptr, *strukt)?;
+                match self.field(f, *strukt, *field)? {
+                    Ty::Ptr(s) => Ty::Ptr(s),
+                    Ty::I64 => {
+                        return Err(self.err(f, format!("LoadPtr of integer field {field}")))
+                    }
+                }
+            }
+            Expr::IsNull(p) | Expr::PtrToInt(p) => {
+                if !self.ty(f, p)?.is_ptr() {
+                    return Err(self.err(f, "IsNull/PtrToInt of non-pointer".into()));
+                }
+                Ty::I64
+            }
+            Expr::Index { ptr, strukt, index } => {
+                self.expect_ptr_to(f, ptr, *strukt)?;
+                self.expect_int(f, index)?;
+                Ty::Ptr(*strukt)
+            }
+            Expr::Call { func, args } => {
+                let callee = self
+                    .module
+                    .funcs
+                    .get(*func)
+                    .ok_or_else(|| self.err(f, format!("function {func} out of range")))?;
+                if args.len() != callee.params {
+                    return Err(self.err(
+                        f,
+                        format!("{} expects {} args, got {}", callee.name, callee.params, args.len()),
+                    ));
+                }
+                for (i, a) in args.iter().enumerate() {
+                    let got = self.ty(f, a)?;
+                    if got != callee.locals[i] {
+                        return Err(self.err(
+                            f,
+                            format!("arg {i} of {}: expected {:?}, got {got:?}", callee.name, callee.locals[i]),
+                        ));
+                    }
+                    self.no_calls(f, a)?;
+                }
+                callee
+                    .ret
+                    .ok_or_else(|| self.err(f, format!("{} returns nothing", callee.name)))?
+            }
+            Expr::Alloc { strukt, count } => {
+                self.strukt(f, *strukt)?;
+                self.expect_int(f, count)?;
+                self.no_calls(f, count)?;
+                Ty::Ptr(*strukt)
+            }
+        })
+    }
+
+    fn strukt(&self, f: &FuncDef, s: usize) -> Result<(), CompileError> {
+        if s >= self.module.structs.len() {
+            return Err(self.err(f, format!("struct {s} out of range")));
+        }
+        Ok(())
+    }
+
+    fn field(&self, f: &FuncDef, s: usize, field: usize) -> Result<Ty, CompileError> {
+        self.strukt(f, s)?;
+        self.module.structs[s]
+            .fields
+            .get(field)
+            .copied()
+            .ok_or_else(|| self.err(f, format!("field {field} of {} out of range", self.module.structs[s].name)))
+    }
+
+    fn expect_int(&self, f: &FuncDef, e: &Expr) -> Result<(), CompileError> {
+        if self.ty(f, e)? != Ty::I64 {
+            return Err(self.err(f, "expected integer expression".into()));
+        }
+        Ok(())
+    }
+
+    fn expect_ptr_to(&self, f: &FuncDef, e: &Expr, s: usize) -> Result<(), CompileError> {
+        match self.ty(f, e)? {
+            Ty::Ptr(got) if got == s => Ok(()),
+            other => Err(self.err(f, format!("expected pointer to struct {s}, got {other:?}"))),
+        }
+    }
+
+    /// Rejects `Call`/`Alloc` anywhere inside `e` (used for non-top-level
+    /// positions).
+    fn no_calls(&self, f: &FuncDef, e: &Expr) -> Result<(), CompileError> {
+        let bad = match e {
+            Expr::Call { .. } | Expr::Alloc { .. } => true,
+            Expr::Const(_) | Expr::Local(_) | Expr::Null(_) => false,
+            Expr::Bin(_, a, b) | Expr::Cmp(_, a, b) => {
+                self.no_calls(f, a)?;
+                self.no_calls(f, b)?;
+                false
+            }
+            Expr::Load { ptr, .. } | Expr::LoadPtr { ptr, .. } => {
+                self.no_calls(f, ptr)?;
+                false
+            }
+            Expr::IsNull(p) | Expr::PtrToInt(p) => {
+                self.no_calls(f, p)?;
+                false
+            }
+            Expr::Index { ptr, index, .. } => {
+                self.no_calls(f, ptr)?;
+                self.no_calls(f, index)?;
+                false
+            }
+        };
+        if bad {
+            return Err(CompileError::CallPosition { func: f.name });
+        }
+        Ok(())
+    }
+
+    fn depth_ok(&self, f: &FuncDef, e: &Expr, extra_ptr: usize) -> Result<(), CompileError> {
+        let (ni, np) = need(self.module, f, e);
+        if ni > self.limits.max_int {
+            return Err(CompileError::DepthExceeded {
+                func: f.name,
+                pool: "integer",
+                needed: ni,
+                available: self.limits.max_int,
+            });
+        }
+        if np + extra_ptr > self.limits.max_ptr {
+            return Err(CompileError::DepthExceeded {
+                func: f.name,
+                pool: "pointer",
+                needed: np + extra_ptr,
+                available: self.limits.max_ptr,
+            });
+        }
+        Ok(())
+    }
+
+    /// Checks a value expression in a top-level position (where a call
+    /// or alloc is permitted).
+    fn top_expr(&self, f: &FuncDef, e: &Expr, want: Option<Ty>) -> Result<(), CompileError> {
+        match e {
+            Expr::Call { args, .. } => {
+                let got = self.ty(f, e)?;
+                if let Some(w) = want {
+                    if got != w {
+                        return Err(self.err(f, format!("expected {w:?}, call returns {got:?}")));
+                    }
+                }
+                for a in args {
+                    self.depth_ok(f, a, 0)?;
+                }
+            }
+            Expr::Alloc { count, .. } => {
+                let got = self.ty(f, e)?;
+                if let Some(w) = want {
+                    if got != w {
+                        return Err(self.err(f, format!("expected {w:?}, alloc returns {got:?}")));
+                    }
+                }
+                self.depth_ok(f, count, 0)?;
+            }
+            _ => {
+                let got = self.ty(f, e)?;
+                if let Some(w) = want {
+                    if got != w {
+                        return Err(self.err(f, format!("expected {w:?}, got {got:?}")));
+                    }
+                }
+                self.no_calls(f, e)?;
+                self.depth_ok(f, e, 0)?;
+            }
+        }
+        Ok(())
+    }
+
+    fn stmts(&self, f: &FuncDef, body: &[Stmt]) -> Result<(), CompileError> {
+        for s in body {
+            match s {
+                Stmt::Let(l, e) => {
+                    let want = *f
+                        .locals
+                        .get(*l)
+                        .ok_or_else(|| self.err(f, format!("local {l} out of range")))?;
+                    self.top_expr(f, e, Some(want))?;
+                }
+                Stmt::Store { ptr, strukt, field, value } => {
+                    self.expect_ptr_to(f, ptr, *strukt)?;
+                    if self.field(f, *strukt, *field)? != Ty::I64 {
+                        return Err(self.err(f, "Store to pointer field".into()));
+                    }
+                    self.expect_int(f, value)?;
+                    self.no_calls(f, ptr)?;
+                    self.no_calls(f, value)?;
+                    self.depth_ok(f, ptr, 0)?;
+                    self.depth_ok(f, value, 1)?; // base pointer stays live
+                }
+                Stmt::StorePtr { ptr, strukt, field, value } => {
+                    self.expect_ptr_to(f, ptr, *strukt)?;
+                    let fty = self.field(f, *strukt, *field)?;
+                    let vty = self.ty(f, value)?;
+                    if !fty.is_ptr() || fty != vty {
+                        return Err(self.err(f, format!("StorePtr {fty:?} <- {vty:?}")));
+                    }
+                    self.no_calls(f, ptr)?;
+                    self.no_calls(f, value)?;
+                    self.depth_ok(f, ptr, 0)?;
+                    self.depth_ok(f, value, 1)?;
+                }
+                Stmt::If { cond, then, els } => {
+                    self.expect_int(f, cond)?;
+                    self.no_calls(f, cond)?;
+                    self.depth_ok(f, cond, 0)?;
+                    self.stmts(f, then)?;
+                    self.stmts(f, els)?;
+                }
+                Stmt::While { cond, body } => {
+                    self.expect_int(f, cond)?;
+                    self.no_calls(f, cond)?;
+                    self.depth_ok(f, cond, 0)?;
+                    self.stmts(f, body)?;
+                }
+                Stmt::Return(e) => match (e, f.ret) {
+                    (None, None) => {}
+                    (Some(e), Some(want)) => self.top_expr(f, e, Some(want))?,
+                    (None, Some(_)) => {
+                        return Err(self.err(f, "return without value".into()));
+                    }
+                    (Some(_), None) => {
+                        return Err(self.err(f, "return with value from void function".into()));
+                    }
+                },
+                Stmt::Expr(e) => {
+                    if !matches!(e, Expr::Call { .. }) {
+                        return Err(self.err(f, "expression statement must be a call".into()));
+                    }
+                    // Void calls are allowed here.
+                    if let Expr::Call { func, args } = e {
+                        let callee = &self.module.funcs[*func];
+                        if args.len() != callee.params {
+                            return Err(self.err(f, format!("{} arity mismatch", callee.name)));
+                        }
+                        for (i, a) in args.iter().enumerate() {
+                            let got = self.ty(f, a)?;
+                            if got != callee.locals[i] {
+                                return Err(self.err(f, format!("arg {i} type mismatch")));
+                            }
+                            self.no_calls(f, a)?;
+                            self.depth_ok(f, a, 0)?;
+                        }
+                    }
+                }
+                Stmt::Phase(_) => {}
+                Stmt::Print(e) => {
+                    self.expect_int(f, e)?;
+                    self.no_calls(f, e)?;
+                    self.depth_ok(f, e, 0)?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Validates a module against the given scratch limits.
+///
+/// # Errors
+///
+/// Any [`CompileError`] describing the first problem found.
+pub fn check(module: &Module, limits: Limits) -> Result<(), CompileError> {
+    let entry = module.funcs.get(module.entry).ok_or(CompileError::BadEntry)?;
+    if entry.params != 0 || entry.ret != Some(Ty::I64) {
+        return Err(CompileError::BadEntry);
+    }
+    let checker = Checker { module, limits };
+    for f in &module.funcs {
+        if f.params > f.locals.len() {
+            return Err(checker.err(f, "more params than locals".into()));
+        }
+        checker.stmts(f, &f.body)?;
+        if f.ret.is_some() && !matches!(f.body.last(), Some(Stmt::Return(_))) {
+            return Err(CompileError::MissingReturn { func: f.name });
+        }
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ir::build::*;
+    use crate::ir::{FuncDef, Module, StructDef};
+
+    fn limits() -> Limits {
+        Limits { max_int: 6, max_ptr: 3 }
+    }
+
+    fn module_with_main(body: Vec<Stmt>, locals: Vec<Ty>) -> Module {
+        Module {
+            structs: vec![StructDef { name: "node", fields: vec![Ty::I64, Ty::ptr(0)] }],
+            funcs: vec![FuncDef { name: "main", params: 0, ret: Some(Ty::I64), locals, body }],
+            entry: 0,
+        }
+    }
+
+    #[test]
+    fn accepts_simple_main() {
+        let m = module_with_main(vec![Stmt::Return(Some(c(0)))], vec![]);
+        check(&m, limits()).unwrap();
+    }
+
+    #[test]
+    fn rejects_entry_with_params() {
+        let mut m = module_with_main(vec![Stmt::Return(Some(c(0)))], vec![Ty::I64]);
+        m.funcs[0].params = 1;
+        assert_eq!(check(&m, limits()), Err(CompileError::BadEntry));
+    }
+
+    #[test]
+    fn rejects_type_confusion() {
+        // Load of a pointer field as integer.
+        let m = module_with_main(
+            vec![
+                Stmt::Let(0, alloc(0, c(1))),
+                Stmt::Return(Some(load(l(0), 0, 1))),
+            ],
+            vec![Ty::ptr(0)],
+        );
+        assert!(matches!(check(&m, limits()), Err(CompileError::Type { .. })));
+    }
+
+    #[test]
+    fn rejects_nested_call() {
+        let m = module_with_main(
+            vec![Stmt::Return(Some(add(call(0, vec![]), c(1))))],
+            vec![],
+        );
+        assert!(matches!(check(&m, limits()), Err(CompileError::CallPosition { .. })));
+    }
+
+    #[test]
+    fn rejects_excessive_depth() {
+        // ((((((1+1)+1)+1)... nested the wrong way around to force depth.
+        let mut e = c(1);
+        for _ in 0..8 {
+            e = add(c(1), e);
+        }
+        let m = module_with_main(vec![Stmt::Return(Some(e))], vec![]);
+        assert!(matches!(check(&m, limits()), Err(CompileError::DepthExceeded { pool: "integer", .. })));
+    }
+
+    #[test]
+    fn rejects_missing_return() {
+        let m = module_with_main(vec![Stmt::Phase(1)], vec![]);
+        assert!(matches!(check(&m, limits()), Err(CompileError::MissingReturn { .. })));
+    }
+
+    #[test]
+    fn left_leaning_chains_are_cheap() {
+        // (((1+1)+1)+1)... needs only 2 int registers.
+        let mut e = c(1);
+        for _ in 0..50 {
+            e = add(e, c(1));
+        }
+        let m = module_with_main(vec![Stmt::Return(Some(e))], vec![]);
+        check(&m, limits()).unwrap();
+    }
+
+    #[test]
+    fn expr_ty_after_check() {
+        let m = module_with_main(
+            vec![
+                Stmt::Let(0, alloc(0, c(1))),
+                Stmt::Return(Some(load(l(0), 0, 0))),
+            ],
+            vec![Ty::ptr(0)],
+        );
+        check(&m, limits()).unwrap();
+        let f = &m.funcs[0];
+        assert_eq!(expr_ty(&m, f, &l(0)), Ty::ptr(0));
+        assert_eq!(expr_ty(&m, f, &load(l(0), 0, 0)), Ty::I64);
+        assert_eq!(expr_ty(&m, f, &loadp(l(0), 0, 1)), Ty::ptr(0));
+    }
+}

@@ -1,0 +1,110 @@
+//! Compiler errors.
+
+use core::fmt;
+
+/// An error detected while checking or compiling a module.
+#[derive(Clone, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompileError {
+    /// A type error; the message names the function and construct.
+    Type {
+        /// Function in which the error occurred.
+        func: &'static str,
+        /// What went wrong.
+        message: String,
+    },
+    /// `Call`/`Alloc` appeared somewhere other than the top level of a
+    /// `Let`, `Expr`, or `Return` statement.
+    CallPosition {
+        /// Offending function.
+        func: &'static str,
+    },
+    /// An expression needs more scratch registers than the strategy
+    /// provides.
+    DepthExceeded {
+        /// Offending function.
+        func: &'static str,
+        /// Which pool overflowed.
+        pool: &'static str,
+        /// Registers required.
+        needed: usize,
+        /// Registers available.
+        available: usize,
+    },
+    /// A function has more arguments than the calling convention can
+    /// register-allocate.
+    TooManyArgs {
+        /// Offending function.
+        func: &'static str,
+    },
+    /// The entry function must take no parameters and return `I64`.
+    BadEntry,
+    /// A function with a return type does not end in a `Return`.
+    MissingReturn {
+        /// Offending function.
+        func: &'static str,
+    },
+    /// Struct or frame offsets exceeded encodable ranges.
+    OffsetTooLarge {
+        /// Offending function (or struct context).
+        func: &'static str,
+        /// The offset that did not fit.
+        offset: u64,
+    },
+    /// The assembler rejected the generated program (an internal error).
+    Asm(String),
+}
+
+impl fmt::Display for CompileError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompileError::Type { func, message } => write!(f, "type error in {func}: {message}"),
+            CompileError::CallPosition { func } => {
+                write!(f, "call/alloc in non-top-level position in {func}")
+            }
+            CompileError::DepthExceeded { func, pool, needed, available } => write!(
+                f,
+                "expression in {func} needs {needed} {pool} scratch registers ({available} available)"
+            ),
+            CompileError::TooManyArgs { func } => {
+                write!(f, "{func} has more arguments than the calling convention supports")
+            }
+            CompileError::BadEntry => {
+                write!(f, "entry function must take no parameters and return I64")
+            }
+            CompileError::MissingReturn { func } => {
+                write!(f, "{func} has a return type but does not end with a return")
+            }
+            CompileError::OffsetTooLarge { func, offset } => {
+                write!(f, "offset {offset:#x} in {func} exceeds the encodable range")
+            }
+            CompileError::Asm(e) => write!(f, "assembler rejected generated code: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for CompileError {}
+
+impl From<cheri_asm::AsmError> for CompileError {
+    fn from(e: cheri_asm::AsmError) -> CompileError {
+        CompileError::Asm(e.to_string())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = CompileError::DepthExceeded {
+            func: "bisort",
+            pool: "pointer",
+            needed: 5,
+            available: 3,
+        };
+        let s = e.to_string();
+        assert!(s.contains("bisort"));
+        assert!(s.contains('5'));
+    }
+}

@@ -1,0 +1,388 @@
+//! The intermediate representation: a tiny typed language of integers,
+//! typed pointers to heap structures, functions, and structured control
+//! flow — just expressive enough for the Olden benchmarks.
+//!
+//! Restrictions (enforced by [`crate::check`]):
+//!
+//! * `Call` and `Alloc` may appear only as the top-level expression of a
+//!   `Let`, `Expr`, or `Return` statement (so no evaluation state is live
+//!   across a call).
+//! * Expression depth is bounded by the code generator's scratch budget.
+//! * `main` takes no parameters and returns `I64`.
+
+/// A struct type id (index into [`Module::structs`]).
+pub type StructId = usize;
+/// A function id (index into [`Module::funcs`]).
+pub type FuncId = usize;
+/// A local-variable id (index into [`FuncDef::locals`]; parameters come
+/// first).
+pub type LocalId = usize;
+
+/// A value type.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Ty {
+    /// A 64-bit integer.
+    I64,
+    /// A pointer to struct `StructId`.
+    Ptr(StructId),
+}
+
+impl Ty {
+    /// Shorthand for `Ty::Ptr(s)`.
+    #[must_use]
+    pub const fn ptr(s: StructId) -> Ty {
+        Ty::Ptr(s)
+    }
+
+    /// Whether this is a pointer type.
+    #[must_use]
+    pub const fn is_ptr(self) -> bool {
+        matches!(self, Ty::Ptr(_))
+    }
+}
+
+/// A heap structure definition.
+#[derive(Clone, Debug)]
+pub struct StructDef {
+    /// Diagnostic name.
+    pub name: &'static str,
+    /// Field types in declaration order.
+    pub fields: Vec<Ty>,
+}
+
+/// Integer binary operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum BinOp {
+    /// Wrapping addition.
+    Add,
+    /// Wrapping subtraction.
+    Sub,
+    /// Low 64 bits of the product.
+    Mul,
+    /// Signed division (0 on divide-by-zero, as the hardware).
+    Div,
+    /// Signed remainder.
+    Rem,
+    /// Unsigned division.
+    Udiv,
+    /// Unsigned remainder.
+    Urem,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Left shift (by the low 6 bits).
+    Shl,
+    /// Logical right shift.
+    Shr,
+    /// Arithmetic right shift.
+    Sar,
+}
+
+/// Integer comparisons, producing 0 or 1.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum CmpOp {
+    /// Equal.
+    Eq,
+    /// Not equal.
+    Ne,
+    /// Signed less-than.
+    Lt,
+    /// Signed less-or-equal.
+    Le,
+    /// Signed greater-than.
+    Gt,
+    /// Signed greater-or-equal.
+    Ge,
+    /// Unsigned less-than.
+    Ltu,
+}
+
+/// An expression.
+#[derive(Clone, Debug)]
+pub enum Expr {
+    /// An integer constant.
+    Const(i64),
+    /// A local variable (integer or pointer, per its declared type).
+    Local(LocalId),
+    /// The null pointer of struct type `StructId`.
+    Null(StructId),
+    /// Integer arithmetic.
+    Bin(BinOp, Box<Expr>, Box<Expr>),
+    /// Integer comparison.
+    Cmp(CmpOp, Box<Expr>, Box<Expr>),
+    /// Load the integer field `field` of `*ptr`.
+    Load {
+        /// Pointer operand.
+        ptr: Box<Expr>,
+        /// The struct type being accessed.
+        strukt: StructId,
+        /// Field index.
+        field: usize,
+    },
+    /// Load the pointer field `field` of `*ptr`.
+    LoadPtr {
+        /// Pointer operand.
+        ptr: Box<Expr>,
+        /// The struct type being accessed.
+        strukt: StructId,
+        /// Field index.
+        field: usize,
+    },
+    /// Call a function (top-level positions only).
+    Call {
+        /// Callee.
+        func: FuncId,
+        /// Arguments.
+        args: Vec<Expr>,
+    },
+    /// Allocate `count` contiguous instances of `strukt`, returning a
+    /// pointer to the first (top-level positions only).
+    Alloc {
+        /// Element type.
+        strukt: StructId,
+        /// Element count (an integer expression).
+        count: Box<Expr>,
+    },
+    /// 1 if the pointer is null, else 0.
+    IsNull(Box<Expr>),
+    /// The pointer's address as an integer (for hashing; `CToPtr` under
+    /// the capability strategy).
+    PtrToInt(Box<Expr>),
+    /// `&ptr[index]`: advance a pointer by `index` elements of `strukt`.
+    Index {
+        /// Base pointer.
+        ptr: Box<Expr>,
+        /// The element struct type.
+        strukt: StructId,
+        /// Element index (an integer expression).
+        index: Box<Expr>,
+    },
+}
+
+/// A statement.
+#[derive(Clone, Debug)]
+pub enum Stmt {
+    /// Evaluate and assign to a local.
+    Let(LocalId, Expr),
+    /// Store an integer into a struct field.
+    Store {
+        /// Pointer to the struct.
+        ptr: Expr,
+        /// The struct type.
+        strukt: StructId,
+        /// Field index.
+        field: usize,
+        /// The value stored.
+        value: Expr,
+    },
+    /// Store a pointer into a struct field.
+    StorePtr {
+        /// Pointer to the struct.
+        ptr: Expr,
+        /// The struct type.
+        strukt: StructId,
+        /// Field index.
+        field: usize,
+        /// The pointer stored.
+        value: Expr,
+    },
+    /// Two-armed conditional.
+    If {
+        /// Condition (non-zero = true).
+        cond: Expr,
+        /// Then-branch.
+        then: Vec<Stmt>,
+        /// Else-branch (may be empty).
+        els: Vec<Stmt>,
+    },
+    /// Pre-tested loop.
+    While {
+        /// Condition (non-zero = continue).
+        cond: Expr,
+        /// Loop body.
+        body: Vec<Stmt>,
+    },
+    /// Return from the function.
+    Return(Option<Expr>),
+    /// Evaluate for side effects (calls).
+    Expr(Expr),
+    /// Emit a `SYS_PHASE` marker with this id (Figure 4 decomposition).
+    Phase(u64),
+    /// Emit the value via `SYS_PRINT` (checksums for cross-mode
+    /// result comparison).
+    Print(Expr),
+}
+
+/// A function definition.
+#[derive(Clone, Debug)]
+pub struct FuncDef {
+    /// Diagnostic name.
+    pub name: &'static str,
+    /// Number of parameters (the first `params` locals).
+    pub params: usize,
+    /// Return type, if any.
+    pub ret: Option<Ty>,
+    /// All local types, parameters first.
+    pub locals: Vec<Ty>,
+    /// The body.
+    pub body: Vec<Stmt>,
+}
+
+/// A whole program.
+#[derive(Clone, Debug)]
+pub struct Module {
+    /// Struct types.
+    pub structs: Vec<StructDef>,
+    /// Functions.
+    pub funcs: Vec<FuncDef>,
+    /// The entry function (no parameters, returns `I64`).
+    pub entry: FuncId,
+}
+
+/// Expression-building helpers, so benchmark sources stay readable.
+pub mod build {
+    use super::{BinOp, CmpOp, Expr, LocalId, StructId};
+
+    /// Integer constant.
+    #[must_use]
+    pub fn c(v: i64) -> Expr {
+        Expr::Const(v)
+    }
+
+    /// Local variable reference.
+    #[must_use]
+    pub fn l(id: LocalId) -> Expr {
+        Expr::Local(id)
+    }
+
+    /// `a + b`.
+    #[must_use]
+    pub fn add(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Add, Box::new(a), Box::new(b))
+    }
+
+    /// `a - b`.
+    #[must_use]
+    pub fn sub(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Sub, Box::new(a), Box::new(b))
+    }
+
+    /// `a * b`.
+    #[must_use]
+    pub fn mul(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Mul, Box::new(a), Box::new(b))
+    }
+
+    /// Unsigned `a % b`.
+    #[must_use]
+    pub fn urem(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Urem, Box::new(a), Box::new(b))
+    }
+
+    /// Unsigned `a / b`.
+    #[must_use]
+    pub fn udiv(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Udiv, Box::new(a), Box::new(b))
+    }
+
+    /// `a & b`.
+    #[must_use]
+    pub fn band(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::And, Box::new(a), Box::new(b))
+    }
+
+    /// `a ^ b`.
+    #[must_use]
+    pub fn bxor(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Xor, Box::new(a), Box::new(b))
+    }
+
+    /// `a << b`.
+    #[must_use]
+    pub fn shl(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Shl, Box::new(a), Box::new(b))
+    }
+
+    /// `a >> b` (logical).
+    #[must_use]
+    pub fn shr(a: Expr, b: Expr) -> Expr {
+        Expr::Bin(BinOp::Shr, Box::new(a), Box::new(b))
+    }
+
+    /// Comparison.
+    #[must_use]
+    pub fn cmp(op: CmpOp, a: Expr, b: Expr) -> Expr {
+        Expr::Cmp(op, Box::new(a), Box::new(b))
+    }
+
+    /// Integer field load.
+    #[must_use]
+    pub fn load(ptr: Expr, strukt: StructId, field: usize) -> Expr {
+        Expr::Load { ptr: Box::new(ptr), strukt, field }
+    }
+
+    /// Pointer field load.
+    #[must_use]
+    pub fn loadp(ptr: Expr, strukt: StructId, field: usize) -> Expr {
+        Expr::LoadPtr { ptr: Box::new(ptr), strukt, field }
+    }
+
+    /// Function call.
+    #[must_use]
+    pub fn call(func: usize, args: Vec<Expr>) -> Expr {
+        Expr::Call { func, args }
+    }
+
+    /// Allocation of `count` elements.
+    #[must_use]
+    pub fn alloc(strukt: StructId, count: Expr) -> Expr {
+        Expr::Alloc { strukt, count: Box::new(count) }
+    }
+
+    /// Null test.
+    #[must_use]
+    pub fn is_null(p: Expr) -> Expr {
+        Expr::IsNull(Box::new(p))
+    }
+
+    /// Pointer-to-integer.
+    #[must_use]
+    pub fn ptoi(p: Expr) -> Expr {
+        Expr::PtrToInt(Box::new(p))
+    }
+
+    /// `&p[i]`.
+    #[must_use]
+    pub fn index(p: Expr, strukt: StructId, i: Expr) -> Expr {
+        Expr::Index { ptr: Box::new(p), strukt, index: Box::new(i) }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::build::*;
+    use super::*;
+
+    #[test]
+    fn ty_helpers() {
+        assert!(Ty::ptr(3).is_ptr());
+        assert!(!Ty::I64.is_ptr());
+        assert_eq!(Ty::ptr(3), Ty::Ptr(3));
+    }
+
+    #[test]
+    fn builders_construct_expected_shapes() {
+        match add(c(1), l(0)) {
+            Expr::Bin(BinOp::Add, a, b) => {
+                assert!(matches!(*a, Expr::Const(1)));
+                assert!(matches!(*b, Expr::Local(0)));
+            }
+            other => panic!("{other:?}"),
+        }
+        assert!(matches!(is_null(l(1)), Expr::IsNull(_)));
+        assert!(matches!(alloc(0, c(1)), Expr::Alloc { strukt: 0, .. }));
+    }
+}

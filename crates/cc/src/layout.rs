@@ -1,0 +1,90 @@
+//! Struct layout under a pointer strategy.
+//!
+//! Layout differences are a first-order effect in the paper's Figure 4:
+//! "Unsafe nodes are 24-bytes, which fit more efficiently in our 32-byte
+//! cache lines than CHERI's 96-byte nodes."
+
+use crate::ir::Ty;
+use crate::strategy::PtrStrategy;
+
+/// The resolved layout of one struct under one strategy.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct StructLayout {
+    /// Byte offset of each field.
+    pub offsets: Vec<u64>,
+    /// Total size in bytes, rounded up so that arrays of the struct keep
+    /// every element (and the heap bump pointer) correctly aligned.
+    pub size: u64,
+    /// Struct alignment.
+    pub align: u64,
+}
+
+impl StructLayout {
+    /// Computes offsets and size for `fields` under `strategy`.
+    #[must_use]
+    pub fn compute(fields: &[Ty], strategy: &dyn PtrStrategy) -> StructLayout {
+        let mut off = 0u64;
+        let mut align = 8u64;
+        let mut offsets = Vec::with_capacity(fields.len());
+        for f in fields {
+            let (fsize, falign) = match f {
+                Ty::I64 => (8, 8),
+                Ty::Ptr(_) => (strategy.ptr_size(), strategy.ptr_align()),
+            };
+            off = off.div_ceil(falign) * falign;
+            offsets.push(off);
+            off += fsize;
+            align = align.max(falign);
+        }
+        // Also keep heap allocations aligned for the next object.
+        let align = align.max(strategy.heap_align());
+        StructLayout { offsets, size: off.div_ceil(align) * align, align }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::strategy::{CapPtr, LegacyPtr, SoftFatPtr};
+
+    #[test]
+    fn bisort_node_sizes_match_paper() {
+        // value, left, right — the bisort/treeadd node shape.
+        let node = [Ty::I64, Ty::ptr(0), Ty::ptr(0)];
+        let legacy = StructLayout::compute(&node, &LegacyPtr);
+        assert_eq!(legacy.offsets, vec![0, 8, 16]);
+        assert_eq!(legacy.size, 24);
+
+        let cheri = StructLayout::compute(&node, &CapPtr::c256());
+        assert_eq!(cheri.offsets, vec![0, 32, 64]);
+        assert_eq!(cheri.size, 96);
+
+        let soft = StructLayout::compute(&node, &SoftFatPtr::checked());
+        assert_eq!(soft.offsets, vec![0, 8, 32]);
+        assert_eq!(soft.size, 56);
+    }
+
+    #[test]
+    fn int_only_struct_is_rounded_for_cap_heap() {
+        let s = [Ty::I64, Ty::I64, Ty::I64];
+        assert_eq!(StructLayout::compute(&s, &LegacyPtr).size, 24);
+        // The capability heap hands out 32-byte-aligned blocks so later
+        // capability-sized fields stay representable.
+        assert_eq!(StructLayout::compute(&s, &CapPtr::c256()).size, 32);
+    }
+
+    #[test]
+    fn int_fields_first_keeps_offsets_small() {
+        let s = [Ty::I64, Ty::I64, Ty::ptr(0), Ty::ptr(0), Ty::ptr(0), Ty::ptr(0)];
+        let cap = StructLayout::compute(&s, &CapPtr::c256());
+        assert_eq!(cap.offsets, vec![0, 8, 32, 64, 96, 128]);
+        assert_eq!(cap.size, 160);
+    }
+
+    #[test]
+    fn empty_struct_is_heap_align_sized_or_zero() {
+        let e = StructLayout::compute(&[], &LegacyPtr);
+        assert_eq!(e.size, 0);
+        assert_eq!(e.offsets, Vec::<u64>::new());
+    }
+}

@@ -1,0 +1,738 @@
+//! Pointer strategies: the three compilation modes of the Section 8
+//! evaluation.
+//!
+//! A [`PtrStrategy`] decides how pointer values are represented in
+//! registers and memory and emits the machine code for every
+//! pointer-touching operation. The code generator is otherwise identical
+//! across modes, so measured differences between binaries are exactly the
+//! differences the paper attributes to the protection scheme.
+//!
+//! Register conventions shared with the code generator:
+//!
+//! * `$k0`, `$k1`, `$at` are strategy scratch (no user code runs in
+//!   kernel mode, so `k0`/`k1` are free);
+//! * int expression scratch is `$t0-$t3`, `$t8`, `$t9`;
+//! * `$a0-$a7` carry arguments (integers and, for the GPR-based
+//!   strategies, pointer components);
+//! * the capability strategy uses `C4-C7` as scratch, `C16-C23` as the
+//!   eight capability argument registers (Section 5.1: "The CHERI ABI
+//!   defines eight capability-argument registers"), and `C3` for pointer
+//!   returns.
+
+use beri_sim::reg;
+use cheri_asm::{Asm, Label};
+use cheri_os::SOFT_BOUNDS_BREAK_CODE;
+
+/// Where a pointer value currently lives.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum PtrLoc {
+    /// A bare address in one GPR (legacy mode).
+    Gpr(u8),
+    /// A software fat pointer in three GPRs.
+    Fat {
+        /// Current address.
+        addr: u8,
+        /// Region base.
+        base: u8,
+        /// Region length in bytes.
+        len: u8,
+    },
+    /// A capability register (CHERI mode).
+    Cap(u8),
+}
+
+/// Emission context handed to strategy hooks.
+pub struct Emit<'a> {
+    /// The assembler.
+    pub asm: &'a mut Asm,
+    /// Label of the program's bounds-trap stub (software checks branch
+    /// here; it executes `BREAK 0xbad`).
+    pub trap: Label,
+}
+
+/// A pointer representation + code-emission strategy.
+///
+/// All `emit_*` hooks may clobber `$k0`, `$k1` and `$at` only (besides
+/// their destination).
+pub trait PtrStrategy {
+    /// Short mode name ("mips", "ccured", "cheri").
+    fn name(&self) -> &'static str;
+
+    /// In-memory pointer size in bytes (8 / 24 / 32).
+    fn ptr_size(&self) -> u64;
+
+    /// In-memory pointer alignment in bytes.
+    fn ptr_align(&self) -> u64;
+
+    /// Alignment every heap allocation must keep so that subsequent
+    /// allocations stay representable (32 under CHERI: tags cover
+    /// aligned 256-bit granules).
+    fn heap_align(&self) -> u64 {
+        self.ptr_align().max(8)
+    }
+
+    /// How many pointer scratch slots the code generator may use.
+    fn num_scratch(&self) -> usize;
+
+    /// The `i`-th pointer scratch slot.
+    fn scratch(&self, i: usize) -> PtrLoc;
+
+    /// Where pointer-typed function results are returned.
+    fn ret_loc(&self) -> PtrLoc;
+
+    /// `Some(n)` if pointer arguments consume `n` consecutive GPR
+    /// argument registers; `None` if they travel in dedicated capability
+    /// argument registers (`C16 + i`).
+    fn arg_gprs_per_ptr(&self) -> Option<usize>;
+
+    /// Whether dereferences require an explicit emitted check (software
+    /// fat pointers only).
+    fn wants_check(&self) -> bool {
+        false
+    }
+
+    /// Whether provably-redundant checks may be elided (the CCured
+    /// optimisation the paper credits for mst's tight inner loop).
+    fn elides_checks(&self) -> bool {
+        false
+    }
+
+    /// `dst = src` (pointer register move).
+    fn emit_move(&self, e: &mut Emit<'_>, dst: PtrLoc, src: PtrLoc);
+
+    /// `dst = NULL`.
+    fn emit_null(&self, e: &mut Emit<'_>, dst: PtrLoc);
+
+    /// Load a pointer local from `sp + off`.
+    fn emit_load_local(&self, e: &mut Emit<'_>, dst: PtrLoc, off: i16);
+
+    /// Store a pointer local to `sp + off`.
+    fn emit_store_local(&self, e: &mut Emit<'_>, src: PtrLoc, off: i16);
+
+    /// `dst_gpr = (p == NULL)`.
+    fn emit_is_null(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc);
+
+    /// `dst_gpr = address of p` (hashing; `CToPtr` under CHERI).
+    fn emit_to_int(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc);
+
+    /// `dst_gpr = *(i64*)(p + off)`; `check` requests the software
+    /// bounds check where applicable.
+    fn emit_load_field(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc, off: i16, check: bool);
+
+    /// `*(i64*)(p + off) = src_gpr`.
+    fn emit_store_field(&self, e: &mut Emit<'_>, src_gpr: u8, p: PtrLoc, off: i16, check: bool);
+
+    /// `dst = *(ptr*)(p + off)` (a pointer-typed field).
+    fn emit_load_ptr_field(&self, e: &mut Emit<'_>, dst: PtrLoc, p: PtrLoc, off: i16, check: bool);
+
+    /// `*(ptr*)(p + off) = src`.
+    fn emit_store_ptr_field(
+        &self,
+        e: &mut Emit<'_>,
+        src: PtrLoc,
+        p: PtrLoc,
+        off: i16,
+        check: bool,
+    );
+
+    /// `dst = p advanced by byte_off_gpr bytes` (array indexing).
+    fn emit_index(&self, e: &mut Emit<'_>, dst: PtrLoc, p: PtrLoc, byte_off_gpr: u8);
+
+    /// Bump-allocate `bytes_gpr` bytes from the heap cell at
+    /// `heap_cell`, leaving a pointer to the block in `dst`. `bytes_gpr`
+    /// is already a multiple of [`PtrStrategy::heap_align`].
+    fn emit_alloc(&self, e: &mut Emit<'_>, dst: PtrLoc, bytes_gpr: u8, heap_cell: u64);
+}
+
+fn expect_gpr(p: PtrLoc) -> u8 {
+    match p {
+        PtrLoc::Gpr(r) => r,
+        other => panic!("legacy strategy handed a non-GPR location {other:?}"),
+    }
+}
+
+fn expect_fat(p: PtrLoc) -> (u8, u8, u8) {
+    match p {
+        PtrLoc::Fat { addr, base, len } => (addr, base, len),
+        other => panic!("fat-pointer strategy handed {other:?}"),
+    }
+}
+
+fn expect_cap(p: PtrLoc) -> u8 {
+    match p {
+        PtrLoc::Cap(c) => c,
+        other => panic!("capability strategy handed {other:?}"),
+    }
+}
+
+/// Shared bump-allocator prologue: leaves the old heap pointer in `$k1`
+/// and advances the cell by `bytes_gpr`.
+fn emit_bump(a: &mut Asm, bytes_gpr: u8, heap_cell: u64) {
+    a.li64(reg::K0, heap_cell as i64);
+    a.ld(reg::K1, reg::K0, 0);
+    a.daddu(reg::AT, reg::K1, bytes_gpr);
+    a.sd(reg::AT, reg::K0, 0);
+}
+
+// ---------------------------------------------------------------------
+// Legacy (unsafe MIPS baseline)
+// ---------------------------------------------------------------------
+
+/// Pointers are bare 64-bit integers: the conventional-MIPS baseline of
+/// Figure 4. No bounds exist and no checks are emitted.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LegacyPtr;
+
+impl PtrStrategy for LegacyPtr {
+    fn name(&self) -> &'static str {
+        "mips"
+    }
+
+    fn ptr_size(&self) -> u64 {
+        8
+    }
+
+    fn ptr_align(&self) -> u64 {
+        8
+    }
+
+    fn num_scratch(&self) -> usize {
+        4
+    }
+
+    fn scratch(&self, i: usize) -> PtrLoc {
+        PtrLoc::Gpr([reg::S0, reg::S1, reg::S2, reg::S3][i])
+    }
+
+    fn ret_loc(&self) -> PtrLoc {
+        PtrLoc::Gpr(reg::V0)
+    }
+
+    fn arg_gprs_per_ptr(&self) -> Option<usize> {
+        Some(1)
+    }
+
+    fn emit_move(&self, e: &mut Emit<'_>, dst: PtrLoc, src: PtrLoc) {
+        let (d, s) = (expect_gpr(dst), expect_gpr(src));
+        if d != s {
+            e.asm.move_(d, s);
+        }
+    }
+
+    fn emit_null(&self, e: &mut Emit<'_>, dst: PtrLoc) {
+        e.asm.move_(expect_gpr(dst), reg::ZERO);
+    }
+
+    fn emit_load_local(&self, e: &mut Emit<'_>, dst: PtrLoc, off: i16) {
+        e.asm.ld(expect_gpr(dst), reg::SP, off);
+    }
+
+    fn emit_store_local(&self, e: &mut Emit<'_>, src: PtrLoc, off: i16) {
+        e.asm.sd(expect_gpr(src), reg::SP, off);
+    }
+
+    fn emit_is_null(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc) {
+        e.asm.sltiu(dst_gpr, expect_gpr(p), 1);
+    }
+
+    fn emit_to_int(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc) {
+        let s = expect_gpr(p);
+        if dst_gpr != s {
+            e.asm.move_(dst_gpr, s);
+        }
+    }
+
+    fn emit_load_field(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc, off: i16, _check: bool) {
+        e.asm.ld(dst_gpr, expect_gpr(p), off);
+    }
+
+    fn emit_store_field(&self, e: &mut Emit<'_>, src_gpr: u8, p: PtrLoc, off: i16, _check: bool) {
+        e.asm.sd(src_gpr, expect_gpr(p), off);
+    }
+
+    fn emit_load_ptr_field(
+        &self,
+        e: &mut Emit<'_>,
+        dst: PtrLoc,
+        p: PtrLoc,
+        off: i16,
+        _check: bool,
+    ) {
+        e.asm.ld(expect_gpr(dst), expect_gpr(p), off);
+    }
+
+    fn emit_store_ptr_field(
+        &self,
+        e: &mut Emit<'_>,
+        src: PtrLoc,
+        p: PtrLoc,
+        off: i16,
+        _check: bool,
+    ) {
+        e.asm.sd(expect_gpr(src), expect_gpr(p), off);
+    }
+
+    fn emit_index(&self, e: &mut Emit<'_>, dst: PtrLoc, p: PtrLoc, byte_off_gpr: u8) {
+        e.asm.daddu(expect_gpr(dst), expect_gpr(p), byte_off_gpr);
+    }
+
+    fn emit_alloc(&self, e: &mut Emit<'_>, dst: PtrLoc, bytes_gpr: u8, heap_cell: u64) {
+        emit_bump(e.asm, bytes_gpr, heap_cell);
+        e.asm.move_(expect_gpr(dst), reg::K1);
+    }
+}
+
+// ---------------------------------------------------------------------
+// Software fat pointers (CCured stand-in)
+// ---------------------------------------------------------------------
+
+/// Pointers are `(address, base, length)` triples ("at least two
+/// general-purpose registers for each pointer", Section 5.1 — we carry
+/// three, as CCured's sequence pointers do) and every dereference is
+/// guarded by an explicit check unless elided.
+#[derive(Clone, Copy, Debug)]
+pub struct SoftFatPtr {
+    elide: bool,
+}
+
+impl SoftFatPtr {
+    /// Checks on every dereference.
+    #[must_use]
+    pub fn checked() -> SoftFatPtr {
+        SoftFatPtr { elide: false }
+    }
+
+    /// Straight-line redundant checks are elided (closer to CCured's
+    /// static elision; still sound).
+    #[must_use]
+    pub fn eliding() -> SoftFatPtr {
+        SoftFatPtr { elide: true }
+    }
+
+    /// Emits the bounds check for an access of `size` bytes at
+    /// `addr + off`:
+    /// `if (addr+off < base || addr+off+size > base+len) trap`.
+    fn emit_check(e: &mut Emit<'_>, p: PtrLoc, off: i16, size: i16) {
+        let (addr, base, len) = expect_fat(p);
+        let a = &mut *e.asm;
+        a.daddiu(reg::K0, addr, off); // ea
+        a.sltu(reg::AT, reg::K0, base); // ea < base ?
+        a.bne(reg::AT, reg::ZERO, e.trap);
+        a.daddu(reg::K1, base, len); // limit
+        a.daddiu(reg::K0, reg::K0, size); // ea + size
+        a.sltu(reg::AT, reg::K1, reg::K0); // limit < ea+size ?
+        a.bne(reg::AT, reg::ZERO, e.trap);
+    }
+}
+
+impl PtrStrategy for SoftFatPtr {
+    fn name(&self) -> &'static str {
+        if self.elide {
+            "ccured-elide"
+        } else {
+            "ccured"
+        }
+    }
+
+    fn ptr_size(&self) -> u64 {
+        24
+    }
+
+    fn ptr_align(&self) -> u64 {
+        8
+    }
+
+    fn num_scratch(&self) -> usize {
+        3
+    }
+
+    fn scratch(&self, i: usize) -> PtrLoc {
+        [
+            PtrLoc::Fat { addr: reg::S0, base: reg::S1, len: reg::S2 },
+            PtrLoc::Fat { addr: reg::S3, base: reg::S4, len: reg::S5 },
+            PtrLoc::Fat { addr: reg::S6, base: reg::S7, len: reg::GP },
+        ][i]
+    }
+
+    fn ret_loc(&self) -> PtrLoc {
+        PtrLoc::Fat { addr: reg::V0, base: reg::V1, len: reg::GP }
+    }
+
+    fn arg_gprs_per_ptr(&self) -> Option<usize> {
+        Some(3)
+    }
+
+    fn wants_check(&self) -> bool {
+        true
+    }
+
+    fn elides_checks(&self) -> bool {
+        self.elide
+    }
+
+    fn emit_move(&self, e: &mut Emit<'_>, dst: PtrLoc, src: PtrLoc) {
+        let (da, db, dl) = expect_fat(dst);
+        let (sa, sb, sl) = expect_fat(src);
+        if da != sa {
+            e.asm.move_(da, sa);
+        }
+        if db != sb {
+            e.asm.move_(db, sb);
+        }
+        if dl != sl {
+            e.asm.move_(dl, sl);
+        }
+    }
+
+    fn emit_null(&self, e: &mut Emit<'_>, dst: PtrLoc) {
+        let (a, b, l) = expect_fat(dst);
+        e.asm.move_(a, reg::ZERO);
+        e.asm.move_(b, reg::ZERO);
+        e.asm.move_(l, reg::ZERO);
+    }
+
+    fn emit_load_local(&self, e: &mut Emit<'_>, dst: PtrLoc, off: i16) {
+        let (a, b, l) = expect_fat(dst);
+        e.asm.ld(a, reg::SP, off);
+        e.asm.ld(b, reg::SP, off + 8);
+        e.asm.ld(l, reg::SP, off + 16);
+    }
+
+    fn emit_store_local(&self, e: &mut Emit<'_>, src: PtrLoc, off: i16) {
+        let (a, b, l) = expect_fat(src);
+        e.asm.sd(a, reg::SP, off);
+        e.asm.sd(b, reg::SP, off + 8);
+        e.asm.sd(l, reg::SP, off + 16);
+    }
+
+    fn emit_is_null(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc) {
+        let (a, _, _) = expect_fat(p);
+        e.asm.sltiu(dst_gpr, a, 1);
+    }
+
+    fn emit_to_int(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc) {
+        let (a, _, _) = expect_fat(p);
+        if dst_gpr != a {
+            e.asm.move_(dst_gpr, a);
+        }
+    }
+
+    fn emit_load_field(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc, off: i16, check: bool) {
+        if check {
+            Self::emit_check(e, p, off, 8);
+        }
+        let (a, _, _) = expect_fat(p);
+        e.asm.ld(dst_gpr, a, off);
+    }
+
+    fn emit_store_field(&self, e: &mut Emit<'_>, src_gpr: u8, p: PtrLoc, off: i16, check: bool) {
+        if check {
+            Self::emit_check(e, p, off, 8);
+        }
+        let (a, _, _) = expect_fat(p);
+        e.asm.sd(src_gpr, a, off);
+    }
+
+    fn emit_load_ptr_field(
+        &self,
+        e: &mut Emit<'_>,
+        dst: PtrLoc,
+        p: PtrLoc,
+        off: i16,
+        check: bool,
+    ) {
+        if check {
+            Self::emit_check(e, p, off, 24);
+        }
+        let (pa, _, _) = expect_fat(p);
+        let (da, db, dl) = expect_fat(dst);
+        // Load `addr` last so `dst` may alias `p` (p = p->next).
+        e.asm.ld(dl, pa, off + 16);
+        e.asm.ld(db, pa, off + 8);
+        e.asm.ld(da, pa, off);
+    }
+
+    fn emit_store_ptr_field(
+        &self,
+        e: &mut Emit<'_>,
+        src: PtrLoc,
+        p: PtrLoc,
+        off: i16,
+        check: bool,
+    ) {
+        if check {
+            Self::emit_check(e, p, off, 24);
+        }
+        let (pa, _, _) = expect_fat(p);
+        let (sa, sb, sl) = expect_fat(src);
+        e.asm.sd(sa, pa, off);
+        e.asm.sd(sb, pa, off + 8);
+        e.asm.sd(sl, pa, off + 16);
+    }
+
+    fn emit_index(&self, e: &mut Emit<'_>, dst: PtrLoc, p: PtrLoc, byte_off_gpr: u8) {
+        let (pa, pb, pl) = expect_fat(p);
+        let (da, db, dl) = expect_fat(dst);
+        e.asm.daddu(da, pa, byte_off_gpr);
+        if db != pb {
+            e.asm.move_(db, pb);
+        }
+        if dl != pl {
+            e.asm.move_(dl, pl);
+        }
+    }
+
+    fn emit_alloc(&self, e: &mut Emit<'_>, dst: PtrLoc, bytes_gpr: u8, heap_cell: u64) {
+        emit_bump(e.asm, bytes_gpr, heap_cell);
+        let (a, b, l) = expect_fat(dst);
+        e.asm.move_(a, reg::K1);
+        e.asm.move_(b, reg::K1);
+        e.asm.move_(l, bytes_gpr);
+    }
+}
+
+// ---------------------------------------------------------------------
+// CHERI capabilities
+// ---------------------------------------------------------------------
+
+/// Pointers are CHERI capabilities: hardware enforces bounds and
+/// permissions on every dereference; the only instruction overhead is
+/// setting bounds at allocation (Section 8: "CHERI requires one extra
+/// instruction for each allocation to set bounds").
+///
+/// The default targets the 256-bit research format; [`CapPtr::c128`]
+/// targets the compressed 128-bit production format — same code shape,
+/// half the in-memory pointer size — and must be run on a machine
+/// configured with `CapFormat::C128`.
+#[derive(Clone, Copy, Debug)]
+pub struct CapPtr {
+    mem_bytes: u64,
+}
+
+impl Default for CapPtr {
+    fn default() -> CapPtr {
+        CapPtr::c256()
+    }
+}
+
+impl CapPtr {
+    /// The 256-bit architectural format (Figure 1).
+    #[must_use]
+    pub const fn c256() -> CapPtr {
+        CapPtr { mem_bytes: 32 }
+    }
+
+    /// The compressed 128-bit production format (Section 4.1 / the
+    /// Figure 3 "128b CHERI" column).
+    #[must_use]
+    pub const fn c128() -> CapPtr {
+        CapPtr { mem_bytes: 16 }
+    }
+}
+
+/// First capability argument register.
+pub const CAP_ARG_BASE: u8 = 16;
+/// Capability register used for pointer returns.
+pub const CAP_RET: u8 = 3;
+
+impl CapPtr {
+    /// Offset addressing for a capability access of `unit`-byte scaled
+    /// immediates: returns `(rt, imm)` such that `gpr[rt] + imm*unit ==
+    /// off`, using `$at` when `off` exceeds the scaled 6-bit immediate.
+    fn offset_operands(a: &mut Asm, off: i16, unit: i16) -> (u8, i8) {
+        if off % unit == 0 && (off / unit) < 32 && (off / unit) >= -32 {
+            (reg::ZERO, (off / unit) as i8)
+        } else {
+            a.li64(reg::AT, i64::from(off));
+            (reg::AT, 0)
+        }
+    }
+}
+
+impl PtrStrategy for CapPtr {
+    fn name(&self) -> &'static str {
+        if self.mem_bytes == 16 {
+            "cheri128"
+        } else {
+            "cheri"
+        }
+    }
+
+    fn ptr_size(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    fn ptr_align(&self) -> u64 {
+        self.mem_bytes
+    }
+
+    fn num_scratch(&self) -> usize {
+        4
+    }
+
+    fn scratch(&self, i: usize) -> PtrLoc {
+        PtrLoc::Cap([4, 5, 6, 7][i])
+    }
+
+    fn ret_loc(&self) -> PtrLoc {
+        PtrLoc::Cap(CAP_RET)
+    }
+
+    fn arg_gprs_per_ptr(&self) -> Option<usize> {
+        None
+    }
+
+    fn emit_move(&self, e: &mut Emit<'_>, dst: PtrLoc, src: PtrLoc) {
+        let (d, s) = (expect_cap(dst), expect_cap(src));
+        if d != s {
+            // CIncBase cd, cb, $zero is the capability move idiom.
+            e.asm.cincbase(d, s, reg::ZERO);
+        }
+    }
+
+    fn emit_null(&self, e: &mut Emit<'_>, dst: PtrLoc) {
+        e.asm.cfromptr(expect_cap(dst), 0, reg::ZERO);
+    }
+
+    fn emit_load_local(&self, e: &mut Emit<'_>, dst: PtrLoc, off: i16) {
+        let d = expect_cap(dst);
+        let unit = self.mem_bytes as i16;
+        if off % unit == 0 && off / unit < 32 && off >= 0 {
+            e.asm.clc(d, reg::SP, (off / unit) as i8, 0);
+        } else {
+            e.asm.daddiu(reg::AT, reg::SP, off);
+            e.asm.clc(d, reg::AT, 0, 0);
+        }
+    }
+
+    fn emit_store_local(&self, e: &mut Emit<'_>, src: PtrLoc, off: i16) {
+        let s = expect_cap(src);
+        let unit = self.mem_bytes as i16;
+        if off % unit == 0 && off / unit < 32 && off >= 0 {
+            e.asm.csc(s, reg::SP, (off / unit) as i8, 0);
+        } else {
+            e.asm.daddiu(reg::AT, reg::SP, off);
+            e.asm.csc(s, reg::AT, 0, 0);
+        }
+    }
+
+    fn emit_is_null(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc) {
+        e.asm.cgettag(dst_gpr, expect_cap(p));
+        e.asm.xori(dst_gpr, dst_gpr, 1);
+    }
+
+    fn emit_to_int(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc) {
+        e.asm.ctoptr(dst_gpr, expect_cap(p), 0);
+    }
+
+    fn emit_load_field(&self, e: &mut Emit<'_>, dst_gpr: u8, p: PtrLoc, off: i16, _check: bool) {
+        let (rt, imm) = Self::offset_operands(e.asm, off, 8);
+        e.asm.cld(dst_gpr, rt, imm, expect_cap(p));
+    }
+
+    fn emit_store_field(&self, e: &mut Emit<'_>, src_gpr: u8, p: PtrLoc, off: i16, _check: bool) {
+        let (rt, imm) = Self::offset_operands(e.asm, off, 8);
+        e.asm.csd(src_gpr, rt, imm, expect_cap(p));
+    }
+
+    fn emit_load_ptr_field(
+        &self,
+        e: &mut Emit<'_>,
+        dst: PtrLoc,
+        p: PtrLoc,
+        off: i16,
+        _check: bool,
+    ) {
+        let (rt, imm) = Self::offset_operands(e.asm, off, self.mem_bytes as i16);
+        e.asm.clc(expect_cap(dst), rt, imm, expect_cap(p));
+    }
+
+    fn emit_store_ptr_field(
+        &self,
+        e: &mut Emit<'_>,
+        src: PtrLoc,
+        p: PtrLoc,
+        off: i16,
+        _check: bool,
+    ) {
+        let (rt, imm) = Self::offset_operands(e.asm, off, self.mem_bytes as i16);
+        e.asm.csc(expect_cap(src), rt, imm, expect_cap(p));
+    }
+
+    fn emit_index(&self, e: &mut Emit<'_>, dst: PtrLoc, p: PtrLoc, byte_off_gpr: u8) {
+        e.asm.cincbase(expect_cap(dst), expect_cap(p), byte_off_gpr);
+    }
+
+    fn emit_alloc(&self, e: &mut Emit<'_>, dst: PtrLoc, bytes_gpr: u8, heap_cell: u64) {
+        emit_bump(e.asm, bytes_gpr, heap_cell);
+        let d = expect_cap(dst);
+        // Derive the object capability and set its bounds — the
+        // allocation-time extra instructions of Figure 4.
+        e.asm.cfromptr(d, 0, reg::K1);
+        e.asm.csetlen(d, d, bytes_gpr);
+    }
+}
+
+/// The trap stub every compiled program carries: software bounds checks
+/// branch here.
+pub fn emit_trap_stub(a: &mut Asm, trap: Label) {
+    a.bind(trap).expect("trap label bound once");
+    a.break_(SOFT_BOUNDS_BREAK_CODE);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sizes_match_the_paper() {
+        assert_eq!(LegacyPtr.ptr_size(), 8);
+        assert_eq!(SoftFatPtr::checked().ptr_size(), 24);
+        assert_eq!(CapPtr::c256().ptr_size(), 32);
+        assert_eq!(CapPtr::c128().ptr_size(), 16);
+        assert_eq!(CapPtr::c256().ptr_align(), 32);
+        assert_eq!(CapPtr::c128().ptr_align(), 16);
+    }
+
+    #[test]
+    fn names_distinguish_elision() {
+        assert_eq!(SoftFatPtr::checked().name(), "ccured");
+        assert_eq!(SoftFatPtr::eliding().name(), "ccured-elide");
+        assert!(SoftFatPtr::eliding().elides_checks());
+        assert!(!SoftFatPtr::checked().elides_checks());
+    }
+
+    #[test]
+    fn only_soft_wants_checks() {
+        assert!(!LegacyPtr.wants_check());
+        assert!(SoftFatPtr::checked().wants_check());
+        assert!(!CapPtr::c256().wants_check());
+    }
+
+    #[test]
+    fn scratch_slots_are_distinct() {
+        for s in [
+            &LegacyPtr as &dyn PtrStrategy,
+            &SoftFatPtr::checked(),
+            &CapPtr::c256(),
+        ] {
+            let slots: Vec<PtrLoc> = (0..s.num_scratch()).map(|i| s.scratch(i)).collect();
+            for (i, a) in slots.iter().enumerate() {
+                for b in &slots[i + 1..] {
+                    assert_ne!(a, b, "{} has duplicate scratch", s.name());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn cap_offset_operands_use_scaled_imm_when_possible() {
+        let mut a = Asm::new(0x1000);
+        assert_eq!(CapPtr::offset_operands(&mut a, 64, 32), (reg::ZERO, 2));
+        assert_eq!(CapPtr::offset_operands(&mut a, 248, 8), (reg::ZERO, 31));
+        assert_eq!(a.here(), 0x1000, "no instructions for representable offsets");
+        let (rt, imm) = CapPtr::offset_operands(&mut a, 1024, 32);
+        assert_eq!((rt, imm), (reg::AT, 0));
+        assert!(a.here() > 0x1000, "large offsets materialise via $at");
+    }
+}

@@ -1,0 +1,320 @@
+//! The proposed 128-bit compressed capability format.
+//!
+//! Section 4.1: "An implementation intended for widespread deployment would
+//! likely use a denser representation — for example, 128-bits using 40-bit
+//! virtual addresses or the Low-Fat Pointer approach." Section 7 evaluates
+//! this variant as "128b CHERI" and Section 8 concludes that "CHERI will
+//! benefit from capability compression".
+//!
+//! Like the Low-Fat scheme, the compressed format trades *granularity* for
+//! space: large regions must be aligned to, and sized in multiples of, a
+//! power-of-two block. [`Compressed128::required_alignment`] tells an
+//! allocator how much padding a given length needs, which the limit study
+//! uses to charge the 128-bit variant its (small) padding overhead.
+
+use core::fmt;
+
+use crate::cap::Capability;
+use crate::perms::Perms;
+use crate::CAP128_SIZE_BYTES;
+
+/// Number of virtual-address bits the compressed format supports.
+pub const VADDR_BITS: u32 = 40;
+/// Mantissa bits available for the length field.
+pub const LEN_MANTISSA_BITS: u32 = 18;
+/// Permission bits preserved by compression (the 5 architectural ones plus
+/// 11 of the experimentation bits).
+pub const PERM_BITS: u32 = 16;
+
+/// Why a capability could not be represented in 128 bits.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CompressError {
+    /// `base` or `base+length` does not fit in [`VADDR_BITS`] bits.
+    AddressTooWide,
+    /// `base` or `length` is not aligned to the block size the length
+    /// requires; the payload is the required alignment.
+    Unaligned {
+        /// Alignment (a power of two) that `base` and `length` must honour.
+        required: u64,
+    },
+    /// The capability is untagged; only valid capabilities are compressed.
+    Untagged,
+}
+
+impl fmt::Display for CompressError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CompressError::AddressTooWide => {
+                write!(f, "address does not fit in {VADDR_BITS} bits")
+            }
+            CompressError::Unaligned { required } => {
+                write!(f, "base/length not aligned to required {required}-byte block")
+            }
+            CompressError::Untagged => write!(f, "cannot compress an untagged capability"),
+        }
+    }
+}
+
+impl std::error::Error for CompressError {}
+
+/// A 128-bit compressed capability.
+///
+/// Bit layout (most significant first, big-endian in memory):
+///
+/// ```text
+/// [127:112] perms (16)   [111:106] exponent (6)   [105:88] len mantissa (18)
+/// [87:48]   base (40)    [47:0]    reserved
+/// ```
+///
+/// `length = mantissa << exponent`; `base` must be a multiple of
+/// `1 << exponent`.
+///
+/// # Example
+///
+/// ```
+/// use cheri_core::{Capability, Compressed128, Perms};
+///
+/// let c = Capability::new(0x1000, 0x2000, Perms::LOAD | Perms::STORE)?;
+/// let z = Compressed128::try_from_cap(&c).expect("small aligned region is exact");
+/// let back = z.decompress();
+/// assert_eq!(back.base(), 0x1000);
+/// assert_eq!(back.length(), 0x2000);
+/// # Ok::<(), cheri_core::CapCause>(())
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash)]
+pub struct Compressed128 {
+    perms: u16,
+    exponent: u8,
+    mantissa: u32,
+    base: u64,
+}
+
+impl Compressed128 {
+    /// Compresses an exact capability.
+    ///
+    /// # Errors
+    ///
+    /// * [`CompressError::Untagged`] for untagged inputs.
+    /// * [`CompressError::AddressTooWide`] if the region does not fit in
+    ///   40-bit virtual addresses.
+    /// * [`CompressError::Unaligned`] if `base`/`length` are not multiples
+    ///   of [`Compressed128::required_alignment`]`(length)` — the caller
+    ///   (e.g. a capability-aware `malloc`) must pad.
+    pub fn try_from_cap(cap: &Capability) -> Result<Compressed128, CompressError> {
+        if !cap.tag() {
+            return Err(CompressError::Untagged);
+        }
+        let base = cap.base();
+        let length = cap.length();
+        if base >= 1 << VADDR_BITS || cap.top() > 1 << VADDR_BITS {
+            return Err(CompressError::AddressTooWide);
+        }
+        let align = Self::required_alignment(length);
+        if !base.is_multiple_of(align) || !length.is_multiple_of(align) {
+            return Err(CompressError::Unaligned { required: align });
+        }
+        let exponent = align.trailing_zeros() as u8;
+        let mantissa = (length >> exponent) as u32;
+        debug_assert!(mantissa < (1 << LEN_MANTISSA_BITS));
+        Ok(Compressed128 {
+            perms: (cap.perms().bits() & 0xffff) as u16,
+            exponent,
+            mantissa,
+            base,
+        })
+    }
+
+    /// The power-of-two alignment that `base` and `length` must honour for
+    /// a region of `length` bytes to be exactly representable.
+    ///
+    /// Regions up to 2^18 bytes are byte-granular (alignment 1); beyond
+    /// that each doubling of the length doubles the required block size.
+    ///
+    /// ```
+    /// use cheri_core::Compressed128;
+    /// assert_eq!(Compressed128::required_alignment(100), 1);
+    /// assert_eq!(Compressed128::required_alignment(1 << 18), 2);
+    /// assert_eq!(Compressed128::required_alignment((1 << 20) + 1), 8);
+    /// ```
+    #[must_use]
+    pub fn required_alignment(length: u64) -> u64 {
+        let bits = 64 - length.leading_zeros();
+        if bits <= LEN_MANTISSA_BITS {
+            1
+        } else {
+            1 << (bits - LEN_MANTISSA_BITS)
+        }
+    }
+
+    /// Rounds `length` up to the next exactly-representable length — the
+    /// padding a 128-bit-capability allocator must apply. Used by the
+    /// limit study to charge CHERI-128 its allocation padding.
+    #[must_use]
+    pub fn round_len(length: u64) -> u64 {
+        let align = Self::required_alignment(length);
+        length.div_ceil(align) * align
+    }
+
+    /// Expands back to the architectural 256-bit form. Permissions above
+    /// bit 15 are lost by compression and decompress as zero.
+    #[must_use]
+    pub fn decompress(&self) -> Capability {
+        let length = u64::from(self.mantissa) << self.exponent;
+        Capability::new(self.base, length, Perms::from_bits_truncate(u32::from(self.perms)))
+            .expect("compressed regions fit in 40 bits and cannot overflow")
+    }
+
+    /// The region base.
+    #[must_use]
+    pub const fn base(&self) -> u64 {
+        self.base
+    }
+
+    /// The region length.
+    #[must_use]
+    pub const fn length(&self) -> u64 {
+        (self.mantissa as u64) << self.exponent
+    }
+
+    /// Serialises to the 16-byte big-endian memory image.
+    #[must_use]
+    pub fn to_bytes(&self) -> [u8; CAP128_SIZE_BYTES] {
+        let hi: u64 = (u64::from(self.perms) << 48)
+            | (u64::from(self.exponent & 0x3f) << 42)
+            | (u64::from(self.mantissa & 0x3ffff) << 24)
+            | (self.base >> 16);
+        let lo: u64 = (self.base & 0xffff) << 48;
+        let mut out = [0u8; CAP128_SIZE_BYTES];
+        out[0..8].copy_from_slice(&hi.to_be_bytes());
+        out[8..16].copy_from_slice(&lo.to_be_bytes());
+        out
+    }
+
+    /// Deserialises from the 16-byte memory image.
+    #[must_use]
+    pub fn from_bytes(bytes: &[u8; CAP128_SIZE_BYTES]) -> Compressed128 {
+        let hi = u64::from_be_bytes(bytes[0..8].try_into().expect("8-byte slice"));
+        let lo = u64::from_be_bytes(bytes[8..16].try_into().expect("8-byte slice"));
+        Compressed128 {
+            perms: (hi >> 48) as u16,
+            exponent: ((hi >> 42) & 0x3f) as u8,
+            mantissa: ((hi >> 24) & 0x3ffff) as u32,
+            base: ((hi & 0xff_ffff) << 16) | (lo >> 48),
+        }
+    }
+}
+
+impl fmt::Debug for Compressed128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Compressed128")
+            .field("perms", &format_args!("{:#x}", self.perms))
+            .field("base", &format_args!("{:#x}", self.base))
+            .field("length", &format_args!("{:#x}", self.length()))
+            .field("exponent", &self.exponent)
+            .finish()
+    }
+}
+
+impl fmt::Display for Compressed128 {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "cap128[base={:#x} len={:#x} e={}]",
+            self.base,
+            self.length(),
+            self.exponent
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(base: u64, len: u64) -> Capability {
+        Capability::new(base, len, Perms::LOAD | Perms::STORE).unwrap()
+    }
+
+    #[test]
+    fn small_regions_are_byte_exact() {
+        // "Granularity should accommodate ... odd numbers of bytes".
+        for len in [0u64, 1, 13, 24, 96, 4095, (1 << 18) - 1] {
+            let c = cap(0x1234, len);
+            let z = Compressed128::try_from_cap(&c).unwrap();
+            assert_eq!(z.decompress().base(), 0x1234);
+            assert_eq!(z.decompress().length(), len);
+        }
+    }
+
+    #[test]
+    fn large_regions_need_alignment() {
+        let big = cap(0x3, 1 << 20); // misaligned base for a 1 MB region
+        match Compressed128::try_from_cap(&big) {
+            Err(CompressError::Unaligned { required }) => assert_eq!(required, 8),
+            other => panic!("expected Unaligned, got {other:?}"),
+        }
+        let ok = cap(0x4000, 1 << 20);
+        let z = Compressed128::try_from_cap(&ok).unwrap();
+        assert_eq!(z.length(), 1 << 20);
+    }
+
+    #[test]
+    fn round_len_is_monotone_and_sufficient() {
+        for len in [1u64, 100, (1 << 18) + 1, (1 << 25) + 12345] {
+            let r = Compressed128::round_len(len);
+            assert!(r >= len);
+            assert_eq!(r % Compressed128::required_alignment(r), 0);
+            // A region at an aligned base with rounded length compresses.
+            let align = Compressed128::required_alignment(r);
+            let c = cap(align * 7, r);
+            assert!(Compressed128::try_from_cap(&c).is_ok(), "len={len} r={r}");
+        }
+    }
+
+    #[test]
+    fn forty_bit_limit() {
+        let wide = cap(1 << 40, 16);
+        assert_eq!(
+            Compressed128::try_from_cap(&wide).unwrap_err(),
+            CompressError::AddressTooWide
+        );
+        let top = cap((1 << 40) - 32, 32);
+        assert!(Compressed128::try_from_cap(&top).is_ok());
+    }
+
+    #[test]
+    fn untagged_is_rejected() {
+        let c = cap(0, 16).clear_tag();
+        assert_eq!(
+            Compressed128::try_from_cap(&c).unwrap_err(),
+            CompressError::Untagged
+        );
+    }
+
+    #[test]
+    fn byte_roundtrip() {
+        let c = cap(0xaa_bbcc_dd00, 0x1_0000);
+        let z = Compressed128::try_from_cap(&c).unwrap();
+        let back = Compressed128::from_bytes(&z.to_bytes());
+        assert_eq!(z, back);
+        assert_eq!(back.decompress().base(), 0xaa_bbcc_dd00);
+        assert_eq!(back.decompress().length(), 0x1_0000);
+    }
+
+    #[test]
+    fn perms_are_truncated_to_16_bits() {
+        let c = Capability::new(0, 64, Perms::ALL).unwrap();
+        let z = Compressed128::try_from_cap(&c).unwrap();
+        let p = z.decompress().perms();
+        assert!(p.contains(Perms::LOAD | Perms::STORE | Perms::EXECUTE));
+        assert_eq!(p.bits(), 0xffff);
+    }
+
+    #[test]
+    fn decompressed_is_dominated_by_original() {
+        let c = Capability::new(0x100, 0x500, Perms::ALL).unwrap();
+        let z = Compressed128::try_from_cap(&c).unwrap();
+        assert!(c.dominates(&z.decompress()));
+    }
+}

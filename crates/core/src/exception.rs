@@ -1,0 +1,239 @@
+//! Capability exception causes.
+//!
+//! The capability coprocessor "exchanges operands with [the pipeline] and
+//! [the pipeline] receives exceptions from it" (Section 4). When a
+//! capability check fails, CHERI raises a coprocessor-2 exception carrying a
+//! cause code and the index of the offending capability register.
+
+use core::fmt;
+
+/// Why a capability check failed.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+#[non_exhaustive]
+pub enum CapExcCode {
+    /// The capability register's tag was clear — the value is plain data
+    /// and may not be dereferenced or jumped through.
+    TagViolation,
+    /// An access fell (partly) outside `[base, base+length)`.
+    LengthViolation,
+    /// The capability lacks [`crate::Perms::LOAD`].
+    PermitLoadViolation,
+    /// The capability lacks [`crate::Perms::STORE`].
+    PermitStoreViolation,
+    /// The capability lacks [`crate::Perms::EXECUTE`].
+    PermitExecuteViolation,
+    /// The capability lacks [`crate::Perms::LOAD_CAP`].
+    PermitLoadCapViolation,
+    /// The capability lacks [`crate::Perms::STORE_CAP`].
+    PermitStoreCapViolation,
+    /// A manipulation would have *increased* privilege: `CIncBase` past the
+    /// end of the region, `CSetLen` beyond the current length, or a
+    /// `CFromPtr` outside the source region.
+    MonotonicityViolation,
+    /// The TLB entry for the page prohibits capability loads (Section 6.1:
+    /// "CHERI extends page table entries with bits to authorize capability
+    /// loads and stores").
+    TlbProhibitLoadCap,
+    /// The TLB entry for the page prohibits capability stores.
+    TlbProhibitStoreCap,
+    /// A capability load or store used an address that is not 256-bit
+    /// aligned, so no single tag bit covers it.
+    AlignmentViolation,
+    /// Arithmetic on a capability field overflowed the 64-bit address
+    /// space.
+    AddressOverflow,
+}
+
+impl CapExcCode {
+    /// A short, stable, lowercase description (suitable for `Display` per
+    /// C-GOOD-ERR).
+    #[must_use]
+    pub const fn message(self) -> &'static str {
+        match self {
+            CapExcCode::TagViolation => "capability tag is clear",
+            CapExcCode::LengthViolation => "access outside capability bounds",
+            CapExcCode::PermitLoadViolation => "capability does not permit load",
+            CapExcCode::PermitStoreViolation => "capability does not permit store",
+            CapExcCode::PermitExecuteViolation => "capability does not permit execute",
+            CapExcCode::PermitLoadCapViolation => "capability does not permit capability load",
+            CapExcCode::PermitStoreCapViolation => "capability does not permit capability store",
+            CapExcCode::MonotonicityViolation => "manipulation would increase privilege",
+            CapExcCode::TlbProhibitLoadCap => "page prohibits capability loads",
+            CapExcCode::TlbProhibitStoreCap => "page prohibits capability stores",
+            CapExcCode::AlignmentViolation => "capability access is not 256-bit aligned",
+            CapExcCode::AddressOverflow => "capability address arithmetic overflowed",
+        }
+    }
+
+    /// The numeric cause code stored in the capability cause register, as
+    /// the simulator exposes it to the OS.
+    #[must_use]
+    pub const fn code(self) -> u8 {
+        match self {
+            CapExcCode::TagViolation => 0x02,
+            CapExcCode::LengthViolation => 0x01,
+            CapExcCode::PermitLoadViolation => 0x12,
+            CapExcCode::PermitStoreViolation => 0x13,
+            CapExcCode::PermitExecuteViolation => 0x11,
+            CapExcCode::PermitLoadCapViolation => 0x14,
+            CapExcCode::PermitStoreCapViolation => 0x15,
+            CapExcCode::MonotonicityViolation => 0x10,
+            CapExcCode::TlbProhibitLoadCap => 0x20,
+            CapExcCode::TlbProhibitStoreCap => 0x21,
+            CapExcCode::AlignmentViolation => 0x22,
+            CapExcCode::AddressOverflow => 0x23,
+        }
+    }
+}
+
+impl fmt::Display for CapExcCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.message())
+    }
+}
+
+/// A capability exception: a cause code plus the index of the capability
+/// register that failed the check.
+///
+/// Register index 0xff denotes `PCC` (a fetch-side violation); indices
+/// 0–31 denote `C0`–`C31`.
+///
+/// # Example
+///
+/// ```
+/// use cheri_core::{CapCause, CapExcCode};
+///
+/// let cause = CapCause::new(CapExcCode::LengthViolation, 3);
+/// assert_eq!(cause.reg(), 3);
+/// assert_eq!(cause.to_string(), "access outside capability bounds (C3)");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct CapCause {
+    code: CapExcCode,
+    reg: u8,
+}
+
+/// The pseudo register index reported for `PCC`-related faults.
+pub const PCC_FAULT_REG: u8 = 0xff;
+
+impl CapCause {
+    /// Creates a cause for capability register `reg` (or [`PCC_FAULT_REG`]).
+    #[must_use]
+    pub const fn new(code: CapExcCode, reg: u8) -> CapCause {
+        CapCause { code, reg }
+    }
+
+    /// The cause code.
+    #[must_use]
+    pub const fn code(self) -> CapExcCode {
+        self.code
+    }
+
+    /// The offending capability register index.
+    #[must_use]
+    pub const fn reg(self) -> u8 {
+        self.reg
+    }
+
+    /// Returns a copy of this cause re-attributed to register `reg`.
+    ///
+    /// The pure capability methods on [`crate::Capability`] do not know
+    /// which register they were invoked on; the coprocessor uses this to
+    /// fill in the register index before delivering the exception.
+    #[must_use]
+    pub const fn with_reg(self, reg: u8) -> CapCause {
+        CapCause { code: self.code, reg }
+    }
+
+    /// The packed value of the capability cause register: cause code in the
+    /// high byte, register index in the low byte.
+    #[must_use]
+    pub const fn packed(self) -> u16 {
+        ((self.code.code() as u16) << 8) | self.reg as u16
+    }
+}
+
+impl From<CapExcCode> for CapCause {
+    /// Wraps a bare code with "register unknown" (0), to be re-attributed
+    /// by the coprocessor via [`CapCause::with_reg`].
+    fn from(code: CapExcCode) -> CapCause {
+        CapCause::new(code, 0)
+    }
+}
+
+impl fmt::Display for CapCause {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.reg == PCC_FAULT_REG {
+            write!(f, "{} (PCC)", self.code)
+        } else {
+            write!(f, "{} (C{})", self.code, self.reg)
+        }
+    }
+}
+
+impl std::error::Error for CapCause {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn packed_roundtrips_fields() {
+        let c = CapCause::new(CapExcCode::PermitStoreViolation, 17);
+        assert_eq!(c.packed() >> 8, u16::from(CapExcCode::PermitStoreViolation.code()));
+        assert_eq!(c.packed() & 0xff, 17);
+    }
+
+    #[test]
+    fn with_reg_reattributes() {
+        let c: CapCause = CapExcCode::TagViolation.into();
+        assert_eq!(c.reg(), 0);
+        assert_eq!(c.with_reg(9).reg(), 9);
+        assert_eq!(c.with_reg(9).code(), CapExcCode::TagViolation);
+    }
+
+    #[test]
+    fn pcc_display() {
+        let c = CapCause::new(CapExcCode::PermitExecuteViolation, PCC_FAULT_REG);
+        assert!(c.to_string().contains("(PCC)"));
+    }
+
+    #[test]
+    fn codes_are_unique() {
+        let all = [
+            CapExcCode::TagViolation,
+            CapExcCode::LengthViolation,
+            CapExcCode::PermitLoadViolation,
+            CapExcCode::PermitStoreViolation,
+            CapExcCode::PermitExecuteViolation,
+            CapExcCode::PermitLoadCapViolation,
+            CapExcCode::PermitStoreCapViolation,
+            CapExcCode::MonotonicityViolation,
+            CapExcCode::TlbProhibitLoadCap,
+            CapExcCode::TlbProhibitStoreCap,
+            CapExcCode::AlignmentViolation,
+            CapExcCode::AddressOverflow,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for b in &all[i + 1..] {
+                assert_ne!(a.code(), b.code(), "{a:?} and {b:?} share a code");
+            }
+        }
+    }
+
+    #[test]
+    fn messages_are_lowercase_without_period() {
+        for code in [CapExcCode::TagViolation, CapExcCode::LengthViolation] {
+            let m = code.message();
+            assert!(!m.ends_with('.'));
+            assert!(m.chars().next().unwrap().is_lowercase());
+        }
+    }
+
+    #[test]
+    fn error_trait_object() {
+        let c = CapCause::new(CapExcCode::LengthViolation, 1);
+        let e: Box<dyn std::error::Error> = Box::new(c);
+        assert!(e.to_string().contains("bounds"));
+    }
+}

@@ -1,0 +1,77 @@
+//! # cheri-core — the CHERI memory-capability model
+//!
+//! This crate implements the architectural capability model of
+//! *"The CHERI capability model: Revisiting RISC in an age of risk"*
+//! (Woodruff et al., ISCA 2014), independent of any particular pipeline:
+//!
+//! * [`Capability`] — the 256-bit architectural capability of Figure 1:
+//!   a 31-bit permission vector, a 64-bit `base`, a 64-bit `length`,
+//!   a reserved field used for experimentation, and an out-of-band tag.
+//! * [`Perms`] — the permission vector (load/store/execute/load-cap/store-cap
+//!   plus reserved experimentation bits).
+//! * Monotonic manipulation operations (`CIncBase`, `CSetLen`, `CAndPerm`,
+//!   `CClearTag`, `CToPtr`, `CFromPtr`, ...) as fallible methods that can
+//!   *only reduce* privilege — the unforgeability property of Section 4.2.
+//! * [`CapCause`]/[`CapExcCode`] — capability exception causes raised when a
+//!   check fails.
+//! * [`CapRegFile`] — the 32-entry capability register file plus `PCC`
+//!   (Section 4.1); `C0` is the implicit legacy data capability.
+//! * [`compress::Compressed128`] — the proposed 128-bit production format
+//!   (Section 7's "128b CHERI" column), a Low-Fat-pointer-style
+//!   floating-point encoding of bounds.
+//! * [`ops::CapInstrKind`] — the catalogue of Table 1 instructions, used by
+//!   the assembler, the simulator's capability coprocessor, and the Table 1
+//!   harness.
+//!
+//! The crate is `#![no_std]`-shaped in spirit (no I/O, no allocation beyond
+//! `alloc`-free types) so that the simulator, the limit study, and tests can
+//! all share one authoritative definition of the model.
+//!
+//! ## Example
+//!
+//! Deriving a bounded, read-only capability from the initial all-powerful
+//! capability, exactly as a `malloc()` returning a `const` buffer would
+//! (Section 5.1):
+//!
+//! ```
+//! use cheri_core::{Capability, Perms};
+//!
+//! let almighty = Capability::max();
+//! let obj = almighty.inc_base(0x1000)?.set_len(64)?;
+//! let ro = obj.and_perm(Perms::LOAD)?;
+//! assert_eq!(ro.base(), 0x1000);
+//! assert_eq!(ro.length(), 64);
+//! assert!(ro.check_data_access(0x1000, 8, Perms::LOAD).is_ok());
+//! assert!(ro.check_data_access(0x1000, 8, Perms::STORE).is_err());
+//! # Ok::<(), cheri_core::CapCause>(())
+//! ```
+
+pub mod cap;
+pub mod compress;
+pub mod exception;
+pub mod ops;
+pub mod perms;
+pub mod regfile;
+
+pub use cap::Capability;
+pub use compress::Compressed128;
+pub use exception::{CapCause, CapExcCode};
+pub use ops::CapInstrKind;
+pub use perms::Perms;
+pub use regfile::{CapRegFile, PCC_INDEX};
+
+/// Number of architectural capability registers (Section 4.1: "There are 32
+/// capability registers ... mirroring the number of integer and
+/// floating-point registers in MIPS").
+pub const NUM_CAP_REGS: usize = 32;
+
+/// Width of one architectural capability in bytes (Figure 1: 256 bits).
+pub const CAP_SIZE_BYTES: usize = 32;
+
+/// Width of the compressed production capability in bytes (Section 7:
+/// "128b CHERI").
+pub const CAP128_SIZE_BYTES: usize = 16;
+
+/// Tag granularity: one tag bit per 256-bit (32-byte) memory granule
+/// (Section 4.2: "one tag bit for each 256-bit line in memory").
+pub const TAG_GRANULE: u64 = 32;

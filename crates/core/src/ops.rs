@@ -1,0 +1,340 @@
+//! The catalogue of CHERI instruction-set extensions (Table 1).
+//!
+//! [`CapInstrKind`] enumerates every instruction the paper adds to the
+//! 64-bit MIPS IV ISA, grouped exactly as Table 1 groups them. The
+//! assembler (`cheri-asm`), the capability coprocessor (`beri-sim`), and
+//! the Table 1 reproduction harness all consume this one catalogue so the
+//! three cannot drift apart.
+
+use core::fmt;
+
+/// The Table 1 instruction groups.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CapInstrGroup {
+    /// Field inspection: move capability fields to general-purpose
+    /// registers.
+    Inspection,
+    /// Monotonic field manipulation.
+    Manipulation,
+    /// Conversion between C pointers and capabilities (Section 4.3).
+    PointerConversion,
+    /// Branches on the capability tag bit.
+    TagBranch,
+    /// Capability register loads/stores and data loads/stores via a
+    /// capability register.
+    MemoryAccess,
+    /// Load-linked / store-conditional via capability.
+    Atomics,
+    /// Jumps through capability registers (protected control flow).
+    ControlFlow,
+}
+
+impl fmt::Display for CapInstrGroup {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            CapInstrGroup::Inspection => "inspection",
+            CapInstrGroup::Manipulation => "manipulation",
+            CapInstrGroup::PointerConversion => "pointer conversion",
+            CapInstrGroup::TagBranch => "tag branch",
+            CapInstrGroup::MemoryAccess => "memory access",
+            CapInstrGroup::Atomics => "atomics",
+            CapInstrGroup::ControlFlow => "control flow",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One CHERI instruction from Table 1.
+///
+/// The width-parameterised load/store families (`CL[BHWD][U]`, `CS[BHWD]`)
+/// are expanded into their individual members, matching what the encoder
+/// must emit.
+///
+/// # Example
+///
+/// ```
+/// use cheri_core::CapInstrKind;
+///
+/// // Every Table 1 row is present:
+/// assert!(CapInstrKind::ALL.len() >= 23);
+/// let cincbase = CapInstrKind::CIncBase;
+/// assert_eq!(cincbase.mnemonic(), "CIncBase");
+/// assert_eq!(cincbase.description(), "Increase base and decrease length");
+/// ```
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum CapInstrKind {
+    /// Move base to a GPR.
+    CGetBase,
+    /// Move length to a GPR.
+    CGetLen,
+    /// Move tag bit to a GPR.
+    CGetTag,
+    /// Move permissions to a GPR.
+    CGetPerm,
+    /// Move the PCC and PC to GPRs.
+    CGetPCC,
+    /// Increase base and decrease length.
+    CIncBase,
+    /// Set (reduce) length.
+    CSetLen,
+    /// Invalidate a capability register.
+    CClearTag,
+    /// Restrict permissions.
+    CAndPerm,
+    /// Generate C0-based integer pointer from a capability.
+    CToPtr,
+    /// CIncBase with support for NULL casts.
+    CFromPtr,
+    /// Branch if capability tag is unset.
+    CBTU,
+    /// Branch if capability tag is set.
+    CBTS,
+    /// Load capability register.
+    CLC,
+    /// Store capability register.
+    CSC,
+    /// Load byte via capability register.
+    CLB,
+    /// Load byte unsigned via capability register.
+    CLBU,
+    /// Load half-word via capability register.
+    CLH,
+    /// Load half-word unsigned via capability register.
+    CLHU,
+    /// Load word via capability register.
+    CLW,
+    /// Load word unsigned via capability register.
+    CLWU,
+    /// Load double via capability register.
+    CLD,
+    /// Store byte via capability register.
+    CSB,
+    /// Store half-word via capability register.
+    CSH,
+    /// Store word via capability register.
+    CSW,
+    /// Store double via capability register.
+    CSD,
+    /// Load linked (double) via capability register.
+    CLLD,
+    /// Store conditional (double) via capability register.
+    CSCD,
+    /// Jump capability register.
+    CJR,
+    /// Jump and link capability register.
+    CJALR,
+}
+
+impl CapInstrKind {
+    /// Every instruction, in Table 1 order.
+    pub const ALL: &'static [CapInstrKind] = &[
+        CapInstrKind::CGetBase,
+        CapInstrKind::CGetLen,
+        CapInstrKind::CGetTag,
+        CapInstrKind::CGetPerm,
+        CapInstrKind::CGetPCC,
+        CapInstrKind::CIncBase,
+        CapInstrKind::CSetLen,
+        CapInstrKind::CClearTag,
+        CapInstrKind::CAndPerm,
+        CapInstrKind::CToPtr,
+        CapInstrKind::CFromPtr,
+        CapInstrKind::CBTU,
+        CapInstrKind::CBTS,
+        CapInstrKind::CLC,
+        CapInstrKind::CSC,
+        CapInstrKind::CLB,
+        CapInstrKind::CLBU,
+        CapInstrKind::CLH,
+        CapInstrKind::CLHU,
+        CapInstrKind::CLW,
+        CapInstrKind::CLWU,
+        CapInstrKind::CLD,
+        CapInstrKind::CSB,
+        CapInstrKind::CSH,
+        CapInstrKind::CSW,
+        CapInstrKind::CSD,
+        CapInstrKind::CLLD,
+        CapInstrKind::CSCD,
+        CapInstrKind::CJR,
+        CapInstrKind::CJALR,
+    ];
+
+    /// The assembler mnemonic.
+    #[must_use]
+    pub const fn mnemonic(self) -> &'static str {
+        match self {
+            CapInstrKind::CGetBase => "CGetBase",
+            CapInstrKind::CGetLen => "CGetLen",
+            CapInstrKind::CGetTag => "CGetTag",
+            CapInstrKind::CGetPerm => "CGetPerm",
+            CapInstrKind::CGetPCC => "CGetPCC",
+            CapInstrKind::CIncBase => "CIncBase",
+            CapInstrKind::CSetLen => "CSetLen",
+            CapInstrKind::CClearTag => "CClearTag",
+            CapInstrKind::CAndPerm => "CAndPerm",
+            CapInstrKind::CToPtr => "CToPtr",
+            CapInstrKind::CFromPtr => "CFromPtr",
+            CapInstrKind::CBTU => "CBTU",
+            CapInstrKind::CBTS => "CBTS",
+            CapInstrKind::CLC => "CLC",
+            CapInstrKind::CSC => "CSC",
+            CapInstrKind::CLB => "CLB",
+            CapInstrKind::CLBU => "CLBU",
+            CapInstrKind::CLH => "CLH",
+            CapInstrKind::CLHU => "CLHU",
+            CapInstrKind::CLW => "CLW",
+            CapInstrKind::CLWU => "CLWU",
+            CapInstrKind::CLD => "CLD",
+            CapInstrKind::CSB => "CSB",
+            CapInstrKind::CSH => "CSH",
+            CapInstrKind::CSW => "CSW",
+            CapInstrKind::CSD => "CSD",
+            CapInstrKind::CLLD => "CLLD",
+            CapInstrKind::CSCD => "CSCD",
+            CapInstrKind::CJR => "CJR",
+            CapInstrKind::CJALR => "CJALR",
+        }
+    }
+
+    /// The Table 1 description column.
+    #[must_use]
+    pub const fn description(self) -> &'static str {
+        match self {
+            CapInstrKind::CGetBase => "Move base to a GPR",
+            CapInstrKind::CGetLen => "Move length to a GPR",
+            CapInstrKind::CGetTag => "Move tag bit to a GPR",
+            CapInstrKind::CGetPerm => "Move permissions to a GPR",
+            CapInstrKind::CGetPCC => "Move the PCC and PC to GPRs",
+            CapInstrKind::CIncBase => "Increase base and decrease length",
+            CapInstrKind::CSetLen => "Set (reduce) length",
+            CapInstrKind::CClearTag => "Invalidate a capability register",
+            CapInstrKind::CAndPerm => "Restrict permissions",
+            CapInstrKind::CToPtr => "Generate C0-based integer pointer from a capability",
+            CapInstrKind::CFromPtr => "CIncBase with support for NULL casts",
+            CapInstrKind::CBTU => "Branch if capability tag is unset",
+            CapInstrKind::CBTS => "Branch if capability tag is set",
+            CapInstrKind::CLC => "Load capability register",
+            CapInstrKind::CSC => "Store capability register",
+            CapInstrKind::CLB => "Load byte via capability register",
+            CapInstrKind::CLBU => "Load byte via capability register (zero-extend)",
+            CapInstrKind::CLH => "Load half-word via capability register",
+            CapInstrKind::CLHU => "Load half-word via capability register (zero-extend)",
+            CapInstrKind::CLW => "Load word via capability register",
+            CapInstrKind::CLWU => "Load word via capability register (zero-extend)",
+            CapInstrKind::CLD => "Load double via capability register",
+            CapInstrKind::CSB => "Store byte via capability register",
+            CapInstrKind::CSH => "Store half-word via capability register",
+            CapInstrKind::CSW => "Store word via capability register",
+            CapInstrKind::CSD => "Store double via capability register",
+            CapInstrKind::CLLD => "Load linked via capability register",
+            CapInstrKind::CSCD => "Store conditional via capability register",
+            CapInstrKind::CJR => "Jump capability register",
+            CapInstrKind::CJALR => "Jump and link capability register",
+        }
+    }
+
+    /// The Table 1 group the instruction belongs to.
+    #[must_use]
+    pub const fn group(self) -> CapInstrGroup {
+        match self {
+            CapInstrKind::CGetBase
+            | CapInstrKind::CGetLen
+            | CapInstrKind::CGetTag
+            | CapInstrKind::CGetPerm
+            | CapInstrKind::CGetPCC => CapInstrGroup::Inspection,
+            CapInstrKind::CIncBase
+            | CapInstrKind::CSetLen
+            | CapInstrKind::CClearTag
+            | CapInstrKind::CAndPerm => CapInstrGroup::Manipulation,
+            CapInstrKind::CToPtr | CapInstrKind::CFromPtr => CapInstrGroup::PointerConversion,
+            CapInstrKind::CBTU | CapInstrKind::CBTS => CapInstrGroup::TagBranch,
+            CapInstrKind::CLC
+            | CapInstrKind::CSC
+            | CapInstrKind::CLB
+            | CapInstrKind::CLBU
+            | CapInstrKind::CLH
+            | CapInstrKind::CLHU
+            | CapInstrKind::CLW
+            | CapInstrKind::CLWU
+            | CapInstrKind::CLD
+            | CapInstrKind::CSB
+            | CapInstrKind::CSH
+            | CapInstrKind::CSW
+            | CapInstrKind::CSD => CapInstrGroup::MemoryAccess,
+            CapInstrKind::CLLD | CapInstrKind::CSCD => CapInstrGroup::Atomics,
+            CapInstrKind::CJR | CapInstrKind::CJALR => CapInstrGroup::ControlFlow,
+        }
+    }
+
+    /// Whether the instruction can raise a capability exception.
+    #[must_use]
+    pub const fn can_trap(self) -> bool {
+        !matches!(
+            self,
+            CapInstrKind::CGetBase
+                | CapInstrKind::CGetLen
+                | CapInstrKind::CGetTag
+                | CapInstrKind::CGetPerm
+                | CapInstrKind::CGetPCC
+                | CapInstrKind::CClearTag
+                | CapInstrKind::CBTU
+                | CapInstrKind::CBTS
+                | CapInstrKind::CToPtr
+        )
+    }
+}
+
+impl fmt::Display for CapInstrKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.mnemonic())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::HashSet;
+
+    #[test]
+    fn all_contains_every_table1_row() {
+        // 13 scalar rows + CL[BHWD][U]=7 + CS[BHWD]=4 + CLLD/CSCD + CJR/CJALR
+        assert_eq!(CapInstrKind::ALL.len(), 30);
+    }
+
+    #[test]
+    fn mnemonics_are_unique() {
+        let set: HashSet<&str> = CapInstrKind::ALL.iter().map(|k| k.mnemonic()).collect();
+        assert_eq!(set.len(), CapInstrKind::ALL.len());
+    }
+
+    #[test]
+    fn every_group_is_populated() {
+        let groups: HashSet<_> = CapInstrKind::ALL
+            .iter()
+            .map(|k| format!("{}", k.group()))
+            .collect();
+        assert_eq!(groups.len(), 7);
+    }
+
+    #[test]
+    fn inspection_never_traps_manipulation_can() {
+        assert!(!CapInstrKind::CGetBase.can_trap());
+        assert!(!CapInstrKind::CGetPCC.can_trap());
+        assert!(CapInstrKind::CIncBase.can_trap());
+        assert!(CapInstrKind::CLC.can_trap());
+        assert!(CapInstrKind::CJR.can_trap());
+        // CClearTag and the tag branches are safe by construction.
+        assert!(!CapInstrKind::CClearTag.can_trap());
+        assert!(!CapInstrKind::CBTS.can_trap());
+    }
+
+    #[test]
+    fn display_matches_mnemonic() {
+        for k in CapInstrKind::ALL {
+            assert_eq!(k.to_string(), k.mnemonic());
+        }
+    }
+}

@@ -1,0 +1,341 @@
+//! The 31-bit capability permission vector (Figure 1, Section 4.1).
+//!
+//! "The permissions field is a 31-bit vector with a '1' in each position
+//! indicating an allowed permission for the region. Permissions include load
+//! data, store data, execute, and load and store for capabilities. The other
+//! 26 permissions ... are being used for experimentation."
+
+use core::fmt;
+use core::ops::{BitAnd, BitAndAssign, BitOr, BitOrAssign, Not};
+
+/// A set of capability permissions.
+///
+/// `Perms` is a thin newtype over the low 31 bits of a `u32`. The five
+/// architecturally defined permissions of the ISCA 2014 paper have named
+/// constants; the remaining bits are reserved for experimentation
+/// ([`Perms::RESERVED_MASK`]) and round-trip through memory untouched.
+///
+/// # Example
+///
+/// ```
+/// use cheri_core::Perms;
+///
+/// let rw = Perms::LOAD | Perms::STORE;
+/// assert!(rw.contains(Perms::LOAD));
+/// assert!(!rw.contains(Perms::EXECUTE));
+/// // CAndPerm-style restriction can only clear bits:
+/// let ro = rw & Perms::LOAD;
+/// assert!(ro.is_subset_of(rw));
+/// ```
+#[derive(Clone, Copy, PartialEq, Eq, Hash, Default, PartialOrd, Ord)]
+pub struct Perms(u32);
+
+impl Perms {
+    /// Permit loading data through the capability.
+    pub const LOAD: Perms = Perms(1 << 0);
+    /// Permit storing data through the capability.
+    pub const STORE: Perms = Perms(1 << 1);
+    /// Permit instruction fetch through the capability (used by `PCC`).
+    pub const EXECUTE: Perms = Perms(1 << 2);
+    /// Permit loading *capabilities* (tagged 256-bit values) through the
+    /// capability (`CLC`).
+    pub const LOAD_CAP: Perms = Perms(1 << 3);
+    /// Permit storing *capabilities* through the capability (`CSC`).
+    pub const STORE_CAP: Perms = Perms(1 << 4);
+
+    /// Mask of the 26 reserved/experimentation permission bits.
+    pub const RESERVED_MASK: u32 = ((1 << 31) - 1) & !0b1_1111;
+
+    /// Mask of all 31 valid permission bits.
+    pub const ALL_MASK: u32 = (1 << 31) - 1;
+
+    /// The empty permission set.
+    ///
+    /// ```
+    /// use cheri_core::Perms;
+    /// assert!(!Perms::NONE.contains(Perms::LOAD));
+    /// ```
+    pub const NONE: Perms = Perms(0);
+
+    /// Every permission bit set — the permissions held by the reset
+    /// capability (Section 4.3: "On CPU reset, capability registers are
+    /// initialized, granting the OS access to the entire address space").
+    pub const ALL: Perms = Perms(Self::ALL_MASK);
+
+    /// Constructs a permission set from raw bits, truncating to the 31
+    /// architectural bits.
+    ///
+    /// ```
+    /// use cheri_core::Perms;
+    /// assert_eq!(Perms::from_bits_truncate(u32::MAX).bits(), (1 << 31) - 1);
+    /// ```
+    #[inline]
+    #[must_use]
+    pub const fn from_bits_truncate(bits: u32) -> Perms {
+        Perms(bits & Self::ALL_MASK)
+    }
+
+    /// Returns the raw 31-bit vector.
+    #[inline]
+    #[must_use]
+    pub const fn bits(self) -> u32 {
+        self.0
+    }
+
+    /// Returns `true` if every permission in `other` is present in `self`.
+    #[inline]
+    #[must_use]
+    pub const fn contains(self, other: Perms) -> bool {
+        self.0 & other.0 == other.0
+    }
+
+    /// Returns `true` if `self` grants no more than `other` — the
+    /// monotonicity relation used to verify that capability manipulation
+    /// never increases privilege.
+    #[inline]
+    #[must_use]
+    pub const fn is_subset_of(self, other: Perms) -> bool {
+        other.contains(self)
+    }
+
+    /// Returns `true` if no permission bits are set.
+    #[inline]
+    #[must_use]
+    pub const fn is_empty(self) -> bool {
+        self.0 == 0
+    }
+
+    /// The intersection of two permission sets (the semantics of
+    /// `CAndPerm`, Table 1: "Restrict permissions").
+    #[inline]
+    #[must_use]
+    pub const fn intersect(self, other: Perms) -> Perms {
+        Perms(self.0 & other.0)
+    }
+
+    /// Iterates over the named architectural permissions contained in the
+    /// set, as `(bit, mnemonic)` pairs. Reserved bits are not yielded.
+    pub fn iter_named(self) -> impl Iterator<Item = (Perms, &'static str)> {
+        [
+            (Perms::LOAD, "load"),
+            (Perms::STORE, "store"),
+            (Perms::EXECUTE, "execute"),
+            (Perms::LOAD_CAP, "load-cap"),
+            (Perms::STORE_CAP, "store-cap"),
+        ]
+        .into_iter()
+        .filter(move |(p, _)| self.contains(*p))
+    }
+}
+
+impl BitOr for Perms {
+    type Output = Perms;
+    #[inline]
+    fn bitor(self, rhs: Perms) -> Perms {
+        Perms(self.0 | rhs.0)
+    }
+}
+
+impl BitOrAssign for Perms {
+    #[inline]
+    fn bitor_assign(&mut self, rhs: Perms) {
+        self.0 |= rhs.0;
+    }
+}
+
+impl BitAnd for Perms {
+    type Output = Perms;
+    #[inline]
+    fn bitand(self, rhs: Perms) -> Perms {
+        Perms(self.0 & rhs.0)
+    }
+}
+
+impl BitAndAssign for Perms {
+    #[inline]
+    fn bitand_assign(&mut self, rhs: Perms) {
+        self.0 &= rhs.0;
+    }
+}
+
+impl Not for Perms {
+    type Output = Perms;
+    #[inline]
+    fn not(self) -> Perms {
+        Perms(!self.0 & Self::ALL_MASK)
+    }
+}
+
+impl From<Perms> for u32 {
+    #[inline]
+    fn from(p: Perms) -> u32 {
+        p.bits()
+    }
+}
+
+impl fmt::Debug for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Perms(")?;
+        let mut first = true;
+        for (_, name) in self.iter_named() {
+            if !first {
+                write!(f, "|")?;
+            }
+            write!(f, "{name}")?;
+            first = false;
+        }
+        if self.0 & Self::RESERVED_MASK != 0 {
+            if !first {
+                write!(f, "|")?;
+            }
+            write!(f, "reserved:{:#x}", self.0 & Self::RESERVED_MASK)?;
+            first = false;
+        }
+        if first {
+            write!(f, "none")?;
+        }
+        write!(f, ")")
+    }
+}
+
+impl fmt::Display for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut s = ['-'; 5];
+        if self.contains(Perms::LOAD) {
+            s[0] = 'r';
+        }
+        if self.contains(Perms::STORE) {
+            s[1] = 'w';
+        }
+        if self.contains(Perms::EXECUTE) {
+            s[2] = 'x';
+        }
+        if self.contains(Perms::LOAD_CAP) {
+            s[3] = 'R';
+        }
+        if self.contains(Perms::STORE_CAP) {
+            s[4] = 'W';
+        }
+        for c in s {
+            write!(f, "{c}")?;
+        }
+        Ok(())
+    }
+}
+
+impl fmt::Binary for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Binary::fmt(&self.0, f)
+    }
+}
+
+impl fmt::LowerHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::LowerHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::UpperHex for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::UpperHex::fmt(&self.0, f)
+    }
+}
+
+impl fmt::Octal for Perms {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Octal::fmt(&self.0, f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn named_bits_are_distinct() {
+        let all = [
+            Perms::LOAD,
+            Perms::STORE,
+            Perms::EXECUTE,
+            Perms::LOAD_CAP,
+            Perms::STORE_CAP,
+        ];
+        for (i, a) in all.iter().enumerate() {
+            for (j, b) in all.iter().enumerate() {
+                if i != j {
+                    assert!((*a & *b).is_empty(), "{a:?} overlaps {b:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn all_has_31_bits() {
+        assert_eq!(Perms::ALL.bits().count_ones(), 31);
+        assert_eq!(Perms::ALL.bits(), 0x7fff_ffff);
+    }
+
+    #[test]
+    fn reserved_mask_excludes_named() {
+        assert_eq!(Perms::RESERVED_MASK.count_ones(), 26);
+        for (p, _) in Perms::ALL.iter_named() {
+            assert_eq!(p.bits() & Perms::RESERVED_MASK, 0);
+        }
+    }
+
+    #[test]
+    fn truncation_drops_bit_31() {
+        assert_eq!(Perms::from_bits_truncate(0x8000_0000).bits(), 0);
+    }
+
+    #[test]
+    fn subset_relation() {
+        let rw = Perms::LOAD | Perms::STORE;
+        assert!(Perms::LOAD.is_subset_of(rw));
+        assert!(rw.is_subset_of(Perms::ALL));
+        assert!(!rw.is_subset_of(Perms::LOAD));
+        assert!(Perms::NONE.is_subset_of(Perms::NONE));
+    }
+
+    #[test]
+    fn intersect_is_commutative_and_reducing() {
+        let a = Perms::LOAD | Perms::EXECUTE;
+        let b = Perms::LOAD | Perms::STORE;
+        assert_eq!(a.intersect(b), b.intersect(a));
+        assert!(a.intersect(b).is_subset_of(a));
+        assert!(a.intersect(b).is_subset_of(b));
+        assert_eq!(a.intersect(b), Perms::LOAD);
+    }
+
+    #[test]
+    fn not_stays_within_31_bits() {
+        assert_eq!(!Perms::NONE, Perms::ALL);
+        assert_eq!(!Perms::ALL, Perms::NONE);
+        assert_eq!((!Perms::LOAD).bits() & !Perms::ALL_MASK, 0);
+    }
+
+    #[test]
+    fn display_is_rwx_style() {
+        let p = Perms::LOAD | Perms::STORE | Perms::STORE_CAP;
+        assert_eq!(p.to_string(), "rw--W");
+        assert_eq!(Perms::NONE.to_string(), "-----");
+        assert_eq!(Perms::ALL.to_string(), "rwxRW");
+    }
+
+    #[test]
+    fn debug_is_never_empty() {
+        assert_eq!(format!("{:?}", Perms::NONE), "Perms(none)");
+        assert!(format!("{:?}", Perms::LOAD).contains("load"));
+        let with_reserved = Perms::from_bits_truncate(1 << 10);
+        assert!(format!("{with_reserved:?}").contains("reserved"));
+    }
+
+    #[test]
+    fn binary_and_hex_formatting() {
+        let p = Perms::LOAD | Perms::EXECUTE;
+        assert_eq!(format!("{p:b}"), "101");
+        assert_eq!(format!("{p:x}"), "5");
+        assert_eq!(format!("{p:o}"), "5");
+        assert_eq!(format!("{p:X}"), "5");
+    }
+}

@@ -1,0 +1,211 @@
+//! The capability register file (Section 4.1).
+//!
+//! "CHERI implements an additional register file for capabilities ... There
+//! are 32 capability registers, each 256-bit wide." `C0` is the implicit
+//! legacy data capability through which all MIPS loads and stores are
+//! offset; `PCC` is the implied program-counter capability validating
+//! instruction fetch.
+
+use core::fmt;
+
+use crate::cap::Capability;
+use crate::NUM_CAP_REGS;
+
+/// Pseudo-index used by [`CapRegFile::get`]/[`CapRegFile::set`] to address
+/// `PCC` where an instruction encoding calls for it.
+pub const PCC_INDEX: u8 = 0xff;
+
+/// The 32-entry capability register file plus `PCC`.
+///
+/// At reset every register (including `PCC`) holds the almighty capability
+/// so that an unmodified OS "can run unchanged without knowledge of the
+/// capability extensions" (Section 4.3). The OS then restricts and
+/// delegates on `execve()`.
+///
+/// # Example
+///
+/// ```
+/// use cheri_core::{CapRegFile, Capability, Perms};
+///
+/// let mut regs = CapRegFile::new();
+/// // Sandbox legacy code by constraining C0 (Section 5.3):
+/// let sandbox = regs.c0().inc_base(0x1000)?.set_len(0x1000)?;
+/// regs.set_c0(sandbox);
+/// assert_eq!(regs.c0().base(), 0x1000);
+/// # Ok::<(), cheri_core::CapCause>(())
+/// ```
+#[derive(Clone, PartialEq, Eq)]
+pub struct CapRegFile {
+    regs: [Capability; NUM_CAP_REGS],
+    pcc: Capability,
+}
+
+impl CapRegFile {
+    /// A reset register file: every register and `PCC` hold
+    /// [`Capability::max`].
+    #[must_use]
+    pub fn new() -> CapRegFile {
+        CapRegFile {
+            regs: [Capability::max(); NUM_CAP_REGS],
+            pcc: Capability::max(),
+        }
+    }
+
+    /// A register file with *no* authority anywhere — the starting point
+    /// for constructing a confined protection domain, where each right
+    /// must be delegated explicitly.
+    #[must_use]
+    pub fn empty() -> CapRegFile {
+        CapRegFile {
+            regs: [Capability::null(); NUM_CAP_REGS],
+            pcc: Capability::null(),
+        }
+    }
+
+    /// Reads register `index` (0–31) or `PCC` via [`PCC_INDEX`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `index` is neither a valid register number nor
+    /// [`PCC_INDEX`]; the decoder guarantees 5-bit register fields, so an
+    /// out-of-range index is a simulator bug, not a guest error.
+    #[must_use]
+    pub fn get(&self, index: u8) -> &Capability {
+        if index == PCC_INDEX {
+            &self.pcc
+        } else {
+            &self.regs[usize::from(index)]
+        }
+    }
+
+    /// Writes register `index` (0–31) or `PCC` via [`PCC_INDEX`].
+    ///
+    /// # Panics
+    ///
+    /// As for [`CapRegFile::get`].
+    pub fn set(&mut self, index: u8, cap: Capability) {
+        if index == PCC_INDEX {
+            self.pcc = cap;
+        } else {
+            self.regs[usize::from(index)] = cap;
+        }
+    }
+
+    /// The implicit legacy data capability `C0` (Section 4.1: "Existing
+    /// MIPS load and store instructions are implicitly offset via
+    /// capability register 0").
+    #[must_use]
+    pub fn c0(&self) -> &Capability {
+        &self.regs[0]
+    }
+
+    /// Replaces `C0`, e.g. to sandbox legacy code (Section 5.3).
+    pub fn set_c0(&mut self, cap: Capability) {
+        self.regs[0] = cap;
+    }
+
+    /// The program counter capability.
+    #[must_use]
+    pub fn pcc(&self) -> &Capability {
+        &self.pcc
+    }
+
+    /// Replaces `PCC` (used by `CJR`/`CJALR` and exception entry).
+    pub fn set_pcc(&mut self, cap: Capability) {
+        self.pcc = cap;
+    }
+
+    /// Iterates over the 32 numbered registers (not `PCC`).
+    pub fn iter(&self) -> impl Iterator<Item = &Capability> {
+        self.regs.iter()
+    }
+
+    /// Returns `true` if every tagged capability in `self` (including
+    /// `PCC`) is dominated by `bound` — i.e. the register file's ambient
+    /// authority does not exceed `bound`. Used to verify delegation and
+    /// the unforgeability property.
+    #[must_use]
+    pub fn within(&self, bound: &Capability) -> bool {
+        self.iter().all(|c| bound.dominates(c)) && bound.dominates(&self.pcc)
+    }
+}
+
+impl Default for CapRegFile {
+    /// Equivalent to [`CapRegFile::new`] (the reset state).
+    fn default() -> CapRegFile {
+        CapRegFile::new()
+    }
+}
+
+impl fmt::Debug for CapRegFile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "CapRegFile {{")?;
+        writeln!(f, "  PCC: {}", self.pcc)?;
+        for (i, c) in self.regs.iter().enumerate() {
+            if !c.is_null() {
+                writeln!(f, "  C{i:02}: {c}")?;
+            }
+        }
+        write!(f, "}}")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::perms::Perms;
+
+    #[test]
+    fn reset_state_is_almighty() {
+        let r = CapRegFile::new();
+        assert_eq!(*r.c0(), Capability::max());
+        assert_eq!(*r.pcc(), Capability::max());
+        assert!(r.within(&Capability::max()));
+    }
+
+    #[test]
+    fn empty_state_has_no_authority() {
+        let r = CapRegFile::empty();
+        assert!(r.within(&Capability::null()));
+        assert!(!r.pcc().tag());
+    }
+
+    #[test]
+    fn get_set_roundtrip_including_pcc() {
+        let mut r = CapRegFile::new();
+        let c = Capability::new(0x2000, 0x100, Perms::LOAD).unwrap();
+        r.set(7, c);
+        assert_eq!(*r.get(7), c);
+        r.set(PCC_INDEX, c);
+        assert_eq!(*r.get(PCC_INDEX), c);
+        assert_eq!(*r.pcc(), c);
+    }
+
+    #[test]
+    fn within_detects_excess_authority() {
+        let mut r = CapRegFile::empty();
+        let bound = Capability::new(0x1000, 0x1000, Perms::ALL).unwrap();
+        r.set(3, bound.inc_base(0x10).unwrap());
+        r.set_pcc(bound.and_perm(Perms::EXECUTE).unwrap());
+        assert!(r.within(&bound));
+        // Slip in something outside the bound:
+        r.set(4, Capability::new(0, 0x10000, Perms::LOAD).unwrap());
+        assert!(!r.within(&bound));
+    }
+
+    #[test]
+    #[should_panic(expected = "index out of bounds")]
+    fn out_of_range_index_panics() {
+        let r = CapRegFile::new();
+        let _ = r.get(32);
+    }
+
+    #[test]
+    fn debug_elides_null_registers() {
+        let mut r = CapRegFile::empty();
+        r.set(5, Capability::max());
+        let s = format!("{r:?}");
+        assert!(s.contains("C05"));
+        assert!(!s.contains("C06"));
+    }
+}

@@ -1,0 +1,141 @@
+//! Property-based tests of the capability model's central invariants:
+//! monotonicity (no operation increases privilege) and representation
+//! round-trips.
+
+use cheri_core::{CapExcCode, Capability, Compressed128, Perms};
+use proptest::prelude::*;
+
+/// An arbitrary valid (non-wrapping) tagged capability.
+fn arb_capability() -> impl Strategy<Value = Capability> {
+    (any::<u64>(), any::<u64>(), any::<u32>()).prop_map(|(a, b, p)| {
+        let (base, top) = if a <= b { (a, b) } else { (b, a) };
+        Capability::new(base, top - base, Perms::from_bits_truncate(p))
+            .expect("non-wrapping region")
+    })
+}
+
+/// One user-mode manipulation step.
+#[derive(Debug, Clone)]
+enum Step {
+    IncBase(u64),
+    SetLen(u64),
+    AndPerm(u32),
+    ClearTag,
+    RoundTripMemory,
+    ToFromPtr,
+}
+
+fn arb_step() -> impl Strategy<Value = Step> {
+    prop_oneof![
+        any::<u64>().prop_map(Step::IncBase),
+        any::<u64>().prop_map(Step::SetLen),
+        any::<u32>().prop_map(Step::AndPerm),
+        Just(Step::ClearTag),
+        Just(Step::RoundTripMemory),
+        Just(Step::ToFromPtr),
+    ]
+}
+
+proptest! {
+    /// Unforgeability (Section 4.2): whatever sequence of user-mode
+    /// manipulations is applied, the result never exceeds the authority of
+    /// the capability it was derived from.
+    #[test]
+    fn manipulation_is_monotonic(start in arb_capability(), steps in proptest::collection::vec(arb_step(), 1..24)) {
+        let mut cur = start;
+        for step in steps {
+            let next = match step {
+                Step::IncBase(d) => cur.inc_base(d).ok(),
+                Step::SetLen(l) => cur.set_len(l).ok(),
+                Step::AndPerm(p) => cur.and_perm(Perms::from_bits_truncate(p)).ok(),
+                Step::ClearTag => Some(cur.clear_tag()),
+                Step::RoundTripMemory => Some(Capability::from_bytes(&cur.to_bytes(), cur.tag())),
+                Step::ToFromPtr => Capability::from_ptr(&cur, cur.to_ptr(&cur)).ok(),
+            };
+            if let Some(n) = next {
+                prop_assert!(cur.dominates(&n),
+                    "step {step:?} escalated privilege: {cur} -> {n}");
+                cur = n;
+            }
+            prop_assert!(start.dominates(&cur),
+                "chain escalated privilege: {start} -> {cur}");
+        }
+    }
+
+    /// A store of plain data over a capability (modelled by an untagged
+    /// reload) always yields an unusable value.
+    #[test]
+    fn untagged_reload_is_unusable(c in arb_capability(), addr in any::<u64>()) {
+        let reloaded = Capability::from_untagged_bytes(&c.to_bytes());
+        prop_assert!(!reloaded.tag());
+        prop_assert_eq!(
+            reloaded.check_data_access(addr, 1, Perms::LOAD).unwrap_err().code(),
+            CapExcCode::TagViolation
+        );
+    }
+
+    /// Memory round-trip is the identity on all fields.
+    #[test]
+    fn byte_roundtrip_identity(c in arb_capability()) {
+        let back = Capability::from_bytes(&c.to_bytes(), c.tag());
+        prop_assert_eq!(c, back);
+    }
+
+    /// Every access the shrunk capability admits, the original admitted.
+    #[test]
+    fn derived_access_implies_original_access(
+        c in arb_capability(),
+        delta in 0u64..1 << 20,
+        len in 0u64..1 << 20,
+        addr in any::<u64>(),
+        size in 1u64..64,
+    ) {
+        if let Ok(d) = c.inc_base(delta).and_then(|d| d.set_len(len.min(d.length()))) {
+            if d.check_data_access(addr, size, Perms::LOAD).is_ok() {
+                prop_assert!(c.check_data_access(addr, size, Perms::LOAD).is_ok());
+            }
+        }
+    }
+
+    /// Bounds checks accept exactly the bytes in [base, base+length).
+    #[test]
+    fn bounds_are_exact(base in 0u64..1 << 40, len in 1u64..1 << 16) {
+        let c = Capability::new(base, len, Perms::ALL).unwrap();
+        prop_assert!(c.check_data_access(base, 1, Perms::LOAD).is_ok());
+        prop_assert!(c.check_data_access(base + len - 1, 1, Perms::LOAD).is_ok());
+        prop_assert!(c.check_data_access(base + len, 1, Perms::LOAD).is_err());
+        if base > 0 {
+            prop_assert!(c.check_data_access(base - 1, 1, Perms::LOAD).is_err());
+        }
+        // Straddling the top is rejected even though it starts in bounds.
+        prop_assert!(c.check_data_access(base + len - 1, 2, Perms::LOAD).is_err());
+    }
+
+    /// Compression: whenever compression succeeds it is exact, and the
+    /// decompressed capability is dominated by the original.
+    #[test]
+    fn compression_is_exact_and_monotonic(base in 0u64..1 << 39, len in 0u64..1 << 30) {
+        let rounded = Compressed128::round_len(len);
+        let align = Compressed128::required_alignment(rounded);
+        let abase = base / align * align;
+        if u128::from(abase) + u128::from(rounded) <= 1 << 40 {
+            let padded = Capability::new(abase, rounded, Perms::LOAD | Perms::STORE).unwrap();
+            let z = Compressed128::try_from_cap(&padded).expect("rounded region is representable");
+            prop_assert_eq!(z.decompress().base(), abase);
+            prop_assert_eq!(z.decompress().length(), rounded);
+            prop_assert!(padded.dominates(&z.decompress()));
+            // And the 16-byte memory image round-trips.
+            prop_assert_eq!(Compressed128::from_bytes(&z.to_bytes()), z);
+        }
+    }
+
+    /// round_len never pads by more than one part in 2^18 (the mantissa
+    /// precision), so CHERI-128 allocation overhead is bounded.
+    #[test]
+    fn round_len_padding_is_bounded(len in 1u64..1 << 40) {
+        let r = Compressed128::round_len(len);
+        prop_assert!(r >= len);
+        let align = Compressed128::required_alignment(len);
+        prop_assert!(r - len < align);
+    }
+}

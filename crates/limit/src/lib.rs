@@ -1,0 +1,37 @@
+//! # cheri-limit — the Section 7 limit study
+//!
+//! "To understand performance tradeoffs, we performed a simulation-based
+//! limit study on pointer-intensive benchmarks. The study measured
+//! instruction rate, memory traffic overhead, system-call rate, and
+//! memory storage overhead (Figure 3)."
+//!
+//! The paper's methodology: record complete traces of the Olden
+//! benchmarks on the unprotected baseline, extract the events relevant
+//! to bounds checking (allocation events and all loads/stores), and
+//! simulate the extra memory accesses, instructions, pages, and system
+//! calls an *ideal* implementation of each protection model would add.
+//!
+//! This crate provides:
+//!
+//! * [`trace`] — the pointer-event [`Trace`] format and the
+//!   [`TracedHeap`] recorder that native workload implementations
+//!   (in `cheri-olden`) run against.
+//! * [`models`] — one overhead model per scheme, each implementing
+//!   [`ProtModel`]: [`models::Mondrian`], [`models::MpxTable`],
+//!   [`models::MpxFatPtr`], [`models::SoftwareFatPtr`],
+//!   [`models::Hardbound`], [`models::MMachine`], [`models::Cheri256`],
+//!   [`models::Cheri128`] — and the Table 2 criteria matrix.
+//! * [`study`] — the harness that evaluates all models over a set of
+//!   traces and renders the Figure 3 overhead table.
+
+pub mod models;
+pub mod study;
+pub mod trace;
+
+pub use models::{all_models, Criteria, Mark, Overheads, ProtModel};
+pub use study::{run_study, StudyResult};
+pub use trace::{Event, ObjInfo, TPtr, Trace, TracedHeap};
+
+/// Page size used for footprint accounting (4 KB, as in the paper's
+/// MMU discussion).
+pub const PAGE: u64 = 4096;

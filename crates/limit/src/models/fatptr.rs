@@ -1,0 +1,348 @@
+//! Fat-pointer protection models: iMPX compiler-managed fat pointers,
+//! software fat pointers, the M-Machine, and the two CHERI variants.
+
+use cheri_core::Compressed128;
+
+use crate::models::{baseline, no_pad, relayout_pages, Criteria, Mark, Overheads, ProtModel, Tally};
+use crate::trace::Trace;
+
+/// iMPX with compiler-managed fat pointers (Section 6.4): "Each 64-bit
+/// pointer consumes 320 bits: the original pointer along with 256 bits
+/// of metadata", stored consecutively ("greater locality") — but checks
+/// remain explicit instructions and the representation breaks the ABI.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpxFatPtr;
+
+impl ProtModel for MpxFatPtr {
+    fn name(&self) -> &'static str {
+        "MPX (FP)"
+    }
+
+    fn criteria(&self) -> Criteria {
+        Criteria {
+            unprivileged_use: Mark::Yes,
+            fine_grained: Mark::Yes,
+            unforgeable: Mark::No, // in-band metadata is writable data
+            access_control: Mark::No,
+            pointer_safety: Mark::Yes,
+            segment_scalability: Mark::Yes,
+            domain_scalability: Mark::NotApplicable,
+            incremental_deployment: Mark::No, // pointer size changes the ABI
+        }
+    }
+
+    fn simulate(&self, trace: &Trace) -> Overheads {
+        let t = Tally::new(trace);
+        let base = baseline(trace);
+        // 40-byte pointers: one extra (wide) reference moving 32 more
+        // bytes per pointer access; consecutive layout keeps locality.
+        let extra_refs = t.ptr_accesses();
+        let extra_bytes = 32 * t.ptr_accesses();
+        let opt_checks = 2 * t.ptr_loads;
+        let pess_checks = 2 * t.accesses;
+        Overheads {
+            pages: relayout_pages(trace, 32, &no_pad),
+            bytes: base.bytes + extra_bytes,
+            refs: base.refs + extra_refs,
+            instrs_opt: base.instrs_opt + extra_refs + opt_checks,
+            instrs_pess: base.instrs_pess + extra_refs + pess_checks,
+            syscalls: base.syscalls,
+        }
+    }
+}
+
+/// Pure software fat pointers (the CCured/Cyclone lineage of Section
+/// 5.1): a 24-byte `(pointer, base, length)` record moved by ordinary
+/// loads and stores, with compare-and-branch check sequences.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct SoftwareFatPtr;
+
+impl ProtModel for SoftwareFatPtr {
+    fn name(&self) -> &'static str {
+        "Software FP"
+    }
+
+    fn criteria(&self) -> Criteria {
+        Criteria {
+            unprivileged_use: Mark::Yes,
+            fine_grained: Mark::Yes,
+            unforgeable: Mark::No,
+            access_control: Mark::No,
+            pointer_safety: Mark::Yes,
+            segment_scalability: Mark::Yes,
+            domain_scalability: Mark::NotApplicable,
+            incremental_deployment: Mark::No,
+        }
+    }
+
+    fn simulate(&self, trace: &Trace) -> Overheads {
+        let t = Tally::new(trace);
+        let base = baseline(trace);
+        // Three GPR-width accesses instead of one per pointer move.
+        let extra_refs = 2 * t.ptr_accesses();
+        let extra_bytes = 16 * t.ptr_accesses();
+        // Checks: two compare+branch pairs (~3 instructions each bound).
+        let opt_checks = 3 * t.ptr_loads;
+        let pess_checks = 6 * t.accesses;
+        Overheads {
+            pages: relayout_pages(trace, 16, &no_pad),
+            bytes: base.bytes + extra_bytes,
+            refs: base.refs + extra_refs,
+            instrs_opt: base.instrs_opt + extra_refs + opt_checks,
+            instrs_pess: base.instrs_pess + extra_refs + pess_checks,
+            syscalls: base.syscalls,
+        }
+    }
+}
+
+/// The M-Machine (Section 6.5): 64-bit guarded pointers — no space or
+/// traffic cost per pointer, but "only power-of-two aligned and sized
+/// segments are supported", so every allocation pads (and aligns) to a
+/// power of two, which is what hurts its page footprint in Figure 3.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MMachine;
+
+fn pow2_pad(size: u64) -> (u64, u64) {
+    let p = size.max(8).next_power_of_two();
+    (p, p)
+}
+
+impl ProtModel for MMachine {
+    fn name(&self) -> &'static str {
+        "M-Machine"
+    }
+
+    fn criteria(&self) -> Criteria {
+        Criteria {
+            unprivileged_use: Mark::Yes, // per the paper's guarded user-mode proposal
+            fine_grained: Mark::No,      // power-of-two granularity
+            unforgeable: Mark::Yes,
+            access_control: Mark::Yes,
+            pointer_safety: Mark::Yes,
+            segment_scalability: Mark::Yes,
+            domain_scalability: Mark::Yes,
+            incremental_deployment: Mark::No,
+        }
+    }
+
+    fn simulate(&self, trace: &Trace) -> Overheads {
+        let t = Tally::new(trace);
+        let base = baseline(trace);
+        Overheads {
+            pages: relayout_pages(trace, 0, &pow2_pad),
+            bytes: base.bytes,
+            refs: base.refs,
+            instrs_opt: base.instrs_opt + t.mallocs,
+            instrs_pess: base.instrs_pess + t.mallocs,
+            syscalls: base.syscalls,
+        }
+    }
+}
+
+/// CHERI with the 256-bit research capability format (Figure 1):
+/// pointers quadruple in memory but remain single references; bounds are
+/// set by `CIncBase`/`CSetLen` at allocation and all checks are implicit.
+/// Tag-table traffic is one bit per 256 bits through the 8 KB tag cache.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cheri256;
+
+fn cheri_criteria() -> Criteria {
+    Criteria {
+        unprivileged_use: Mark::Yes,
+        fine_grained: Mark::Yes,
+        unforgeable: Mark::Yes,
+        access_control: Mark::Yes,
+        pointer_safety: Mark::Yes,
+        segment_scalability: Mark::Yes,
+        domain_scalability: Mark::Yes,
+        incremental_deployment: Mark::Yes,
+    }
+}
+
+impl ProtModel for Cheri256 {
+    fn name(&self) -> &'static str {
+        "CHERI"
+    }
+
+    fn criteria(&self) -> Criteria {
+        cheri_criteria()
+    }
+
+    fn simulate(&self, trace: &Trace) -> Overheads {
+        let t = Tally::new(trace);
+        let base = baseline(trace);
+        // A capability access is one (wide) reference of 32 bytes.
+        let extra_bytes = 24 * t.ptr_accesses();
+        let data_bytes = base.bytes + extra_bytes;
+        // Tag traffic: 1 bit per 256 data bits, mostly absorbed by the
+        // 8 KB tag cache; count the table bytes themselves.
+        let tag_bytes = data_bytes / 256;
+        Overheads {
+            pages: relayout_pages(trace, 24, &cap_align_pad),
+            bytes: data_bytes + tag_bytes,
+            refs: base.refs,
+            instrs_opt: base.instrs_opt + 2 * t.mallocs,
+            instrs_pess: base.instrs_pess + 2 * t.mallocs,
+            syscalls: base.syscalls,
+        }
+    }
+}
+
+fn cap_align_pad(size: u64) -> (u64, u64) {
+    (size.div_ceil(32) * 32, 32)
+}
+
+/// The proposed 128-bit production format (Section 7's "128b CHERI"):
+/// halves capability traffic and adds only the Low-Fat-style alignment
+/// padding of [`Compressed128::round_len`] for very large objects.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Cheri128;
+
+fn cap128_pad(size: u64) -> (u64, u64) {
+    let rounded = Compressed128::round_len(size.max(1));
+    (rounded.div_ceil(16) * 16, Compressed128::required_alignment(rounded).max(16))
+}
+
+impl ProtModel for Cheri128 {
+    fn name(&self) -> &'static str {
+        "128b CHERI"
+    }
+
+    fn criteria(&self) -> Criteria {
+        cheri_criteria()
+    }
+
+    fn simulate(&self, trace: &Trace) -> Overheads {
+        let t = Tally::new(trace);
+        let base = baseline(trace);
+        let extra_bytes = 8 * t.ptr_accesses();
+        let data_bytes = base.bytes + extra_bytes;
+        let tag_bytes = data_bytes / 128;
+        Overheads {
+            pages: relayout_pages(trace, 8, &cap128_pad),
+            bytes: data_bytes + tag_bytes,
+            refs: base.refs,
+            instrs_opt: base.instrs_opt + 2 * t.mallocs,
+            instrs_pess: base.instrs_pess + 2 * t.mallocs,
+            syscalls: base.syscalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::{Trace, TracedHeap};
+
+    /// A binary tree, the canonical Olden shape.
+    fn tree_trace(depth: u32) -> Trace {
+        let mut h = TracedHeap::new();
+        fn build(h: &mut TracedHeap, d: u32) -> crate::trace::TPtr {
+            let n = h.alloc(24);
+            h.store_int(n, 0, i64::from(d));
+            if d > 0 {
+                let l = build(h, d - 1);
+                let r = build(h, d - 1);
+                h.store_ptr(n, 8, l);
+                h.store_ptr(n, 16, r);
+            }
+            n
+        }
+        fn sum(h: &mut TracedHeap, p: crate::trace::TPtr) -> i64 {
+            if p.is_null() {
+                return 0;
+            }
+            h.compute(4);
+            let v = h.load_int(p, 0);
+            let l = h.load_ptr(p, 8);
+            let r = h.load_ptr(p, 16);
+            let sl = sum(h, l);
+            let sr = sum(h, r);
+            v + sl + sr
+        }
+        let root = build(&mut h, depth);
+        let total = sum(&mut h, root);
+        assert!(total > 0);
+        h.finish("tree")
+    }
+
+    #[test]
+    fn cheri_refs_equal_baseline() {
+        let tr = tree_trace(8);
+        let base = baseline(&tr);
+        let c = Cheri256.simulate(&tr);
+        assert_eq!(c.refs, base.refs, "inline metadata adds no references");
+        assert!(c.bytes > base.bytes);
+    }
+
+    #[test]
+    fn cheri128_strictly_cheaper_than_256() {
+        let tr = tree_trace(9);
+        let c256 = Cheri256.simulate(&tr);
+        let c128 = Cheri128.simulate(&tr);
+        assert!(c128.bytes < c256.bytes);
+        assert!(c128.pages <= c256.pages);
+        assert_eq!(c128.instrs_opt, c256.instrs_opt);
+    }
+
+    #[test]
+    fn cheri_instruction_overhead_is_allocation_only() {
+        let tr = tree_trace(8);
+        let t = Tally::new(&tr);
+        let base = baseline(&tr);
+        let c = Cheri256.simulate(&tr);
+        assert_eq!(c.instrs_opt - base.instrs_opt, 2 * t.mallocs);
+        assert_eq!(c.instrs_opt, c.instrs_pess, "hardware checks: opt == pess");
+    }
+
+    #[test]
+    fn softfp_pessimistic_is_most_expensive_instructions() {
+        let tr = tree_trace(8);
+        let base = baseline(&tr);
+        let soft = SoftwareFatPtr.simulate(&tr).percent_over(&base);
+        let cheri = Cheri256.simulate(&tr).percent_over(&base);
+        assert!(soft.instrs_pess > 10.0 * cheri.instrs_pess.max(0.1));
+        assert!(soft.instrs_pess > soft.instrs_opt);
+    }
+
+    #[test]
+    fn mmachine_pages_exceed_cheri128() {
+        // 24-byte nodes pad to 32 under M-Machine (33% waste) while
+        // CHERI-128 nodes are 40 bytes -> pow-of-2 padding hurts less
+        // here, so craft odd sizes where padding dominates: 136-byte
+        // objects pad to 256.
+        let mut h = TracedHeap::new();
+        let objs: Vec<_> = (0..3000).map(|_| h.alloc(136)).collect();
+        for w in objs.windows(2) {
+            h.store_ptr(w[0], 8, w[1]);
+        }
+        let mut p = objs[0];
+        for _ in 0..2998 {
+            p = h.load_ptr(p, 8);
+        }
+        let tr = h.finish("odd");
+        let base = baseline(&tr);
+        let mm = MMachine.simulate(&tr).percent_over(&base);
+        let c128 = Cheri128.simulate(&tr).percent_over(&base);
+        assert!(
+            mm.pages > c128.pages,
+            "pow2 padding should dominate: {} vs {}",
+            mm.pages,
+            c128.pages
+        );
+        assert!(mm.bytes.abs() < 1.0, "M-Machine adds no traffic");
+    }
+
+    #[test]
+    fn mpxfp_bytes_exceed_cheri256() {
+        // "Without Hardbound's pointer compression, iMPX experiences
+        // significant memory overheads, even compared to 256-bit CHERI
+        // capabilities."
+        let tr = tree_trace(9);
+        let base = baseline(&tr);
+        let mpxfp = MpxFatPtr.simulate(&tr).percent_over(&base);
+        let cheri = Cheri256.simulate(&tr).percent_over(&base);
+        assert!(mpxfp.bytes > cheri.bytes);
+        assert!(mpxfp.refs > cheri.refs);
+    }
+}

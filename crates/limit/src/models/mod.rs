@@ -1,0 +1,475 @@
+//! Protection-model overhead simulators (Figure 3) and the functional
+//! comparison matrix (Table 2).
+//!
+//! Every model consumes the same baseline [`Trace`] and computes its
+//! *absolute* cost in the paper's four metrics (plus system calls); the
+//! study harness normalises against [`baseline`] to produce overhead
+//! percentages, exactly as Figure 3 plots "normalized overhead against
+//! the baseline".
+//!
+//! The per-model adaptations follow Section 7's descriptions (40-bit
+//! Mondrian tables with 64-bit records covering 16 nodes, Hardbound
+//! compression of ≤1024-byte 4-byte-aligned regions with a 2-bit tag per
+//! 64-bit word, M-Machine power-of-two padding, 256-bit iMPX bounds-table
+//! leaves, ...). Cost constants that the paper leaves unspecified
+//! (allocator instruction counts, kernel-entry cost) are named constants
+//! below, shared across models so relative comparisons stay fair.
+
+mod fatptr;
+mod table;
+
+pub use fatptr::{Cheri128, Cheri256, MMachine, MpxFatPtr, SoftwareFatPtr};
+pub use table::{Hardbound, Mondrian, MpxTable};
+
+use std::collections::HashSet;
+
+use crate::trace::{Event, Trace};
+use crate::PAGE;
+
+/// Instructions charged for a baseline `malloc()` (size-class lookup,
+/// free-list pop, header update — a realistic dlmalloc-style fast path).
+pub const MALLOC_INSTRS: u64 = 60;
+/// Instructions charged for a baseline `free()`.
+pub const FREE_INSTRS: u64 = 30;
+/// Instructions charged for one kernel entry/exit (Mondrian's
+/// per-allocation protection-table system call).
+pub const SYSCALL_INSTRS: u64 = 300;
+
+/// Absolute cost of running a trace under one model.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct Overheads {
+    /// Distinct 4 KB virtual pages touched (data + model metadata) —
+    /// "Virtual memory footprint (pages)".
+    pub pages: u64,
+    /// Bytes moved to/from memory — "Memory I/O (bytes)".
+    pub bytes: u64,
+    /// Individual loads and stores — "Memory references (count)".
+    pub refs: u64,
+    /// Total instructions, optimistic checking (bounds checked once per
+    /// pointer load).
+    pub instrs_opt: u64,
+    /// Total instructions, pessimistic checking (bounds checked on every
+    /// dereference).
+    pub instrs_pess: u64,
+    /// System calls issued.
+    pub syscalls: u64,
+}
+
+impl Overheads {
+    /// Percentage overhead of `self` relative to `base`, metric-wise.
+    #[must_use]
+    pub fn percent_over(&self, base: &Overheads) -> OverheadPct {
+        fn pct(m: u64, b: u64) -> f64 {
+            if b == 0 {
+                0.0
+            } else {
+                (m as f64 - b as f64) / b as f64 * 100.0
+            }
+        }
+        OverheadPct {
+            pages: pct(self.pages, base.pages),
+            bytes: pct(self.bytes, base.bytes),
+            refs: pct(self.refs, base.refs),
+            instrs_opt: pct(self.instrs_opt, base.instrs_opt),
+            instrs_pess: pct(self.instrs_pess, base.instrs_pess),
+        }
+    }
+}
+
+/// Figure 3 overheads, as percentages over the baseline.
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
+pub struct OverheadPct {
+    /// Virtual memory footprint overhead (%).
+    pub pages: f64,
+    /// Memory I/O overhead (%).
+    pub bytes: f64,
+    /// Memory reference-count overhead (%).
+    pub refs: f64,
+    /// Instruction overhead, optimistic (%).
+    pub instrs_opt: f64,
+    /// Instruction overhead, pessimistic (%).
+    pub instrs_pess: f64,
+}
+
+/// A Table 2 cell.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Mark {
+    /// The paper's check mark.
+    Yes,
+    /// The paper's dash.
+    No,
+    /// "n/a" (domain scalability for protection-domain-free models).
+    NotApplicable,
+    /// Qualified check (Mondrian's fine-grained heap-only protection).
+    Partial,
+}
+
+impl core::fmt::Display for Mark {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        let s = match self {
+            Mark::Yes => "yes",
+            Mark::No => "-",
+            Mark::NotApplicable => "n/a",
+            Mark::Partial => "yes**",
+        };
+        f.write_str(s)
+    }
+}
+
+/// One row of Table 2: the eight protection criteria of Section 2.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Criteria {
+    /// Unprivileged use.
+    pub unprivileged_use: Mark,
+    /// Fine-grained protection.
+    pub fine_grained: Mark,
+    /// Unforgeable references.
+    pub unforgeable: Mark,
+    /// Access control (read/write/execute permissions).
+    pub access_control: Mark,
+    /// Pointer safety (vs address validity).
+    pub pointer_safety: Mark,
+    /// Segment scalability.
+    pub segment_scalability: Mark,
+    /// Domain scalability.
+    pub domain_scalability: Mark,
+    /// Incremental deployment.
+    pub incremental_deployment: Mark,
+}
+
+impl Criteria {
+    /// The criteria in Table 2 column order, with their headings.
+    #[must_use]
+    pub fn columns(&self) -> [(&'static str, Mark); 8] {
+        [
+            ("Unprivileged use", self.unprivileged_use),
+            ("Fine-grained", self.fine_grained),
+            ("Unforgeable", self.unforgeable),
+            ("Access control", self.access_control),
+            ("Pointer safety", self.pointer_safety),
+            ("Segment scalability", self.segment_scalability),
+            ("Domain scalability", self.domain_scalability),
+            ("Incremental deployment", self.incremental_deployment),
+        ]
+    }
+}
+
+/// A protection model: a Table 2 row and a Figure 3 overhead simulator.
+pub trait ProtModel {
+    /// Display name (Figure 3 axis label).
+    fn name(&self) -> &'static str;
+
+    /// The Table 2 row.
+    fn criteria(&self) -> Criteria;
+
+    /// Absolute cost of running `trace` under this model.
+    fn simulate(&self, trace: &Trace) -> Overheads;
+}
+
+/// The Figure 3 model set, in the paper's axis order.
+#[must_use]
+pub fn all_models() -> Vec<Box<dyn ProtModel>> {
+    vec![
+        Box::new(Mondrian),
+        Box::new(MpxTable),
+        Box::new(MpxFatPtr),
+        Box::new(SoftwareFatPtr),
+        Box::new(Hardbound),
+        Box::new(MMachine),
+        Box::new(Cheri256),
+        Box::new(Cheri128),
+    ]
+}
+
+/// The MMU baseline row of Table 2 (not part of Figure 3 — it is the
+/// normalisation baseline).
+#[must_use]
+pub fn mmu_criteria() -> Criteria {
+    Criteria {
+        unprivileged_use: Mark::No,
+        fine_grained: Mark::No,
+        unforgeable: Mark::No,
+        access_control: Mark::Yes,
+        pointer_safety: Mark::No,
+        segment_scalability: Mark::No,
+        domain_scalability: Mark::No,
+        incremental_deployment: Mark::Yes,
+    }
+}
+
+/// Quantities every model derives from a trace, computed in one pass.
+#[derive(Clone, Debug)]
+pub struct Tally {
+    /// All load/store events.
+    pub accesses: u64,
+    /// Pointer loads.
+    pub ptr_loads: u64,
+    /// Pointer stores.
+    pub ptr_stores: u64,
+    /// Application ALU instructions.
+    pub compute: u64,
+    /// `malloc` count.
+    pub mallocs: u64,
+    /// `free` count.
+    pub frees: u64,
+    /// Total bytes allocated.
+    pub alloc_bytes: u64,
+    /// Distinct 4 KB pages of baseline data addresses touched.
+    pub data_pages: u64,
+    /// Distinct pages containing accessed pointer slots.
+    pub ptr_pages: u64,
+    /// Pointer accesses whose target object exceeds Hardbound's
+    /// compressible range (length > 1024 bytes).
+    pub incompressible_ptr_accesses: u64,
+}
+
+impl Tally {
+    /// Tallies a trace.
+    #[must_use]
+    pub fn new(trace: &Trace) -> Tally {
+        let mut t = Tally {
+            accesses: 0,
+            ptr_loads: 0,
+            ptr_stores: 0,
+            compute: 0,
+            mallocs: 0,
+            frees: 0,
+            alloc_bytes: trace.objects.iter().map(|o| o.size).sum(),
+            data_pages: 0,
+            ptr_pages: 0,
+            incompressible_ptr_accesses: 0,
+        };
+        let mut pages = HashSet::new();
+        let mut ptr_pages = HashSet::new();
+        for e in &trace.events {
+            match *e {
+                Event::Malloc { .. } => t.mallocs += 1,
+                Event::Free { .. } => t.frees += 1,
+                Event::Compute { n } => t.compute += u64::from(n),
+                Event::Access { obj, off, store, ptr, target } => {
+                    t.accesses += 1;
+                    let addr = trace.objects[obj as usize].base + u64::from(off);
+                    pages.insert(addr / PAGE);
+                    if ptr {
+                        ptr_pages.insert(addr / PAGE);
+                        if store {
+                            t.ptr_stores += 1;
+                        } else {
+                            t.ptr_loads += 1;
+                        }
+                        if target != u32::MAX
+                            && trace.objects[target as usize].size > 1024
+                        {
+                            t.incompressible_ptr_accesses += 1;
+                        }
+                    }
+                }
+            }
+        }
+        t.data_pages = pages.len() as u64;
+        t.ptr_pages = ptr_pages.len() as u64;
+        t
+    }
+
+    /// Pointer loads + stores.
+    #[must_use]
+    pub fn ptr_accesses(&self) -> u64 {
+        self.ptr_loads + self.ptr_stores
+    }
+
+    /// Baseline instruction count: one per access, application compute,
+    /// and allocator work.
+    #[must_use]
+    pub fn base_instrs(&self) -> u64 {
+        self.accesses + self.compute + MALLOC_INSTRS * self.mallocs + FREE_INSTRS * self.frees
+    }
+
+    /// Baseline syscalls: one `mmap` per megabyte of heap growth
+    /// (Section 4.2's amortised-malloc observation).
+    #[must_use]
+    pub fn base_syscalls(&self) -> u64 {
+        self.alloc_bytes / (1 << 20) + 1
+    }
+}
+
+/// The unprotected baseline measurement every model normalises against.
+#[must_use]
+pub fn baseline(trace: &Trace) -> Overheads {
+    let t = Tally::new(trace);
+    Overheads {
+        pages: t.data_pages,
+        bytes: t.accesses * 8,
+        refs: t.accesses,
+        instrs_opt: t.base_instrs(),
+        instrs_pess: t.base_instrs(),
+        syscalls: t.base_syscalls(),
+    }
+}
+
+/// Recomputes the set of pages touched when pointer slots are inflated
+/// by `extra_per_ptr` bytes and object sizes pass through `pad`, which
+/// returns `(padded_size, base_alignment)` — the fat-pointer relayout
+/// shared by the iMPX-FP, software-FP, M-Machine, and CHERI models.
+#[must_use]
+pub fn relayout_pages(
+    trace: &Trace,
+    extra_per_ptr: u64,
+    pad: &dyn Fn(u64) -> (u64, u64),
+) -> u64 {
+    // New object bases under a bump allocator.
+    let mut bases = Vec::with_capacity(trace.objects.len());
+    let mut next = 0x4_0000u64;
+    for o in &trace.objects {
+        let inflated = o.size + extra_per_ptr * o.ptr_slots();
+        let (size, align) = pad(inflated);
+        next = next.div_ceil(align) * align;
+        bases.push(next);
+        next += size;
+    }
+    let mut pages = HashSet::new();
+    for e in &trace.events {
+        if let Event::Access { obj, off, .. } = *e {
+            let o = &trace.objects[obj as usize];
+            let below = o.ptr_offs.partition_point(|&p| p < off);
+            let addr = bases[obj as usize] + u64::from(off) + extra_per_ptr * below as u64;
+            pages.insert(addr / PAGE);
+        }
+    }
+    pages.len() as u64
+}
+
+/// Identity padding (no change, 8-byte alignment).
+#[must_use]
+pub fn no_pad(size: u64) -> (u64, u64) {
+    (size, 8)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::trace::TracedHeap;
+
+    fn small_trace() -> Trace {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(24);
+        let b = h.alloc(24);
+        h.store_int(a, 0, 1);
+        h.store_ptr(a, 8, b);
+        let q = h.load_ptr(a, 8);
+        h.store_int(q, 0, 2);
+        h.compute(100);
+        h.free(b);
+        h.finish("small")
+    }
+
+    #[test]
+    fn tally_counts() {
+        let t = Tally::new(&small_trace());
+        assert_eq!(t.accesses, 4);
+        assert_eq!(t.ptr_loads, 1);
+        assert_eq!(t.ptr_stores, 1);
+        assert_eq!(t.compute, 100);
+        assert_eq!(t.mallocs, 2);
+        assert_eq!(t.frees, 1);
+        assert_eq!(t.alloc_bytes, 48);
+        assert_eq!(t.data_pages, 1);
+    }
+
+    #[test]
+    fn baseline_metrics() {
+        let b = baseline(&small_trace());
+        assert_eq!(b.refs, 4);
+        assert_eq!(b.bytes, 32);
+        assert_eq!(b.instrs_opt, b.instrs_pess);
+        assert_eq!(b.instrs_opt, 4 + 100 + 2 * MALLOC_INSTRS + FREE_INSTRS);
+        assert_eq!(b.syscalls, 1);
+    }
+
+    #[test]
+    fn percent_over_baseline_is_zero_for_baseline() {
+        let tr = small_trace();
+        let b = baseline(&tr);
+        let p = b.percent_over(&b);
+        assert_eq!(p.bytes, 0.0);
+        assert_eq!(p.instrs_opt, 0.0);
+    }
+
+    #[test]
+    fn relayout_identity_matches_baseline_pages() {
+        let tr = small_trace();
+        let t = Tally::new(&tr);
+        assert_eq!(relayout_pages(&tr, 0, &no_pad), t.data_pages);
+    }
+
+    #[test]
+    fn relayout_inflation_grows_span() {
+        // Many 24-byte objects with 2 pointer slots each: inflating
+        // pointers to 32 bytes must spread accesses over ~3x the pages.
+        let mut h = TracedHeap::new();
+        let objs: Vec<_> = (0..2000).map(|_| h.alloc(24)).collect();
+        for w in objs.windows(2) {
+            h.store_ptr(w[0], 8, w[1]);
+            h.store_ptr(w[0], 16, w[1]);
+            h.store_int(w[0], 0, 1);
+        }
+        let tr = h.finish("chain");
+        let base = Tally::new(&tr).data_pages;
+        let fat = relayout_pages(&tr, 24, &no_pad);
+        let ratio = fat as f64 / base as f64;
+        assert!(ratio > 2.0 && ratio < 5.0, "ratio {ratio}");
+    }
+
+    #[test]
+    fn all_models_present_in_paper_order() {
+        let names: Vec<&str> = all_models().iter().map(|m| m.name()).collect();
+        assert_eq!(
+            names,
+            vec![
+                "Mondrian",
+                "MPX",
+                "MPX (FP)",
+                "Software FP",
+                "Hardbound",
+                "M-Machine",
+                "CHERI",
+                "128b CHERI"
+            ]
+        );
+    }
+
+    #[test]
+    fn table2_matches_paper() {
+        // Spot-check the distinguishing cells of Table 2.
+        let models = all_models();
+        let by_name = |n: &str| {
+            models
+                .iter()
+                .find(|m| m.name() == n)
+                .unwrap_or_else(|| panic!("{n} missing"))
+                .criteria()
+        };
+        // CHERI is the only all-yes row.
+        let cheri = by_name("CHERI");
+        assert!(cheri.columns().iter().all(|(_, m)| *m == Mark::Yes));
+        // Hardbound lacks access control and has n/a domain scalability.
+        let hb = by_name("Hardbound");
+        assert_eq!(hb.access_control, Mark::No);
+        assert_eq!(hb.domain_scalability, Mark::NotApplicable);
+        // MPX fat pointers forfeit unforgeability and incremental deployment.
+        let mpxfp = by_name("MPX (FP)");
+        assert_eq!(mpxfp.unforgeable, Mark::No);
+        assert_eq!(mpxfp.incremental_deployment, Mark::No);
+        // M-Machine is not fine-grained and not incrementally deployable.
+        let mm = by_name("M-Machine");
+        assert_eq!(mm.fine_grained, Mark::No);
+        assert_eq!(mm.incremental_deployment, Mark::No);
+        // Mondrian: privileged, partially fine-grained.
+        let mon = by_name("Mondrian");
+        assert_eq!(mon.unprivileged_use, Mark::No);
+        assert_eq!(mon.fine_grained, Mark::Partial);
+        // The MMU row fails almost everything but deploys trivially.
+        let mmu = mmu_criteria();
+        assert_eq!(mmu.pointer_safety, Mark::No);
+        assert_eq!(mmu.incremental_deployment, Mark::Yes);
+    }
+}

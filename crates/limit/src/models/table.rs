@@ -1,0 +1,283 @@
+//! Table-based protection models: Mondrian, iMPX (look-aside table
+//! mode), and Hardbound.
+
+use crate::models::{
+    baseline, Criteria, Mark, Overheads, ProtModel, Tally, SYSCALL_INSTRS,
+};
+use crate::trace::Trace;
+use crate::PAGE;
+
+/// Mondrian memory protection (Section 6.2), adapted per Section 7:
+/// 40-bit virtual address space, vector-table with 14-bit first- and
+/// mid-level indices, 64-bit leaf records each covering 16 words.
+///
+/// Mondrian's defining costs: every allocation and free crosses into the
+/// kernel to update the supervisor-owned protection table ("Reintroducing
+/// domain switches for Mondrian would significantly impair segmentation
+/// scalability"), while steady-state traffic is low because protection
+/// is not attached to pointers.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Mondrian;
+
+/// Bytes of data covered by one 64-bit Mondrian leaf record (16 nodes of
+/// 64 bits).
+const MONDRIAN_RECORD_COVERS: u64 = 16 * 8;
+
+impl ProtModel for Mondrian {
+    fn name(&self) -> &'static str {
+        "Mondrian"
+    }
+
+    fn criteria(&self) -> Criteria {
+        Criteria {
+            unprivileged_use: Mark::No,
+            fine_grained: Mark::Partial, // heap yes; stack/globals no
+            unforgeable: Mark::No,
+            access_control: Mark::Yes,
+            pointer_safety: Mark::No,
+            segment_scalability: Mark::Yes,
+            domain_scalability: Mark::No,
+            incremental_deployment: Mark::Yes,
+        }
+    }
+
+    fn simulate(&self, trace: &Trace) -> Overheads {
+        let t = Tally::new(trace);
+        let base = baseline(trace);
+        // Table writes: one 64-bit record per 128 bytes of every
+        // (de)allocated region, written by the software fill handler.
+        let table_writes: u64 = trace
+            .objects
+            .iter()
+            .map(|o| o.size.div_ceil(MONDRIAN_RECORD_COVERS))
+            .sum::<u64>()
+            + t.frees; // clearing on free, one record minimum
+        // PLB miss walks: a 3-level read per table-covered region
+        // entering the PLB; approximated as 4 walks per data page.
+        let plb_walk_reads = 3 * 4 * t.data_pages;
+        let extra_refs = table_writes + plb_walk_reads;
+        let table_bytes = t.alloc_bytes / 16; // 64 bits per 128 bytes
+        let syscalls = t.mallocs + t.frees + base.syscalls;
+        // Per the paper, "we assume a hardware read of the table but
+        // simulate a software table fill based on a minimal table fill
+        // algorithm": charge only the fill algorithm's instructions; the
+        // domain-switch *rate* (whose kernel-crossing cost is
+        // [`SYSCALL_INSTRS`]-scale) is reported separately in `syscalls`.
+        let kernel_instrs = (t.mallocs + t.frees) * 12 + 2 * table_writes;
+        let _ = SYSCALL_INSTRS; // the crossing cost itself is the syscalls metric
+        Overheads {
+            pages: t.data_pages + table_bytes.div_ceil(PAGE) + 2,
+            bytes: base.bytes + extra_refs * 8,
+            refs: base.refs + extra_refs,
+            instrs_opt: base.instrs_opt + kernel_instrs,
+            instrs_pess: base.instrs_pess + kernel_instrs,
+            syscalls,
+        }
+    }
+}
+
+/// Intel MPX, look-aside-table mode (Section 6.4): bounds are loaded and
+/// stored explicitly (`bndldx`/`bndstx`) against a hierarchical table
+/// whose 256-bit leaf entries shadow every 64-bit pointer location —
+/// "The iMPX table contains more than 4 pages for each page of memory
+/// containing pointers".
+#[derive(Clone, Copy, Debug, Default)]
+pub struct MpxTable;
+
+impl MpxTable {
+    /// The shared iMPX criteria row (the table and fat-pointer variants
+    /// differ only in unforgeability and deployability).
+    fn base_criteria() -> Criteria {
+        Criteria {
+            unprivileged_use: Mark::Yes,
+            fine_grained: Mark::Yes,
+            unforgeable: Mark::Yes,
+            access_control: Mark::No, // "iMPX does not support permission bits"
+            pointer_safety: Mark::Yes,
+            segment_scalability: Mark::Yes,
+            domain_scalability: Mark::NotApplicable,
+            incremental_deployment: Mark::Yes,
+        }
+    }
+}
+
+impl ProtModel for MpxTable {
+    fn name(&self) -> &'static str {
+        "MPX"
+    }
+
+    fn criteria(&self) -> Criteria {
+        Self::base_criteria()
+    }
+
+    fn simulate(&self, trace: &Trace) -> Overheads {
+        let t = Tally::new(trace);
+        let base = baseline(trace);
+        // Every pointer load/store walks the table: an 8-byte directory
+        // read plus a 32-byte leaf access.
+        let extra_refs = 2 * t.ptr_accesses();
+        let extra_bytes = (8 + 32) * t.ptr_accesses();
+        // bndldx/bndstx is one instruction; checks are two (bndcl+bndcu).
+        let table_instrs = t.ptr_accesses();
+        let opt_checks = 2 * t.ptr_loads;
+        let pess_checks = 2 * t.accesses;
+        Overheads {
+            pages: t.data_pages + 4 * t.ptr_pages + t.data_pages / 512 + 1,
+            bytes: base.bytes + extra_bytes,
+            refs: base.refs + extra_refs,
+            instrs_opt: base.instrs_opt + table_instrs + opt_checks,
+            instrs_pess: base.instrs_pess + table_instrs + pess_checks,
+            syscalls: base.syscalls,
+        }
+    }
+}
+
+/// Hardbound (Section 6.3): a hardware fat-pointer model with a shadow
+/// bounds table and a 2-bit tag per 64-bit word. Per Section 7's
+/// adaptation, pointers to regions of up to 1024 bytes (4-byte-aligned
+/// length) compress into 8 unused pointer bits and cost nothing; other
+/// pointers incur a 128-bit bounds-table access per load/store.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct Hardbound;
+
+impl ProtModel for Hardbound {
+    fn name(&self) -> &'static str {
+        "Hardbound"
+    }
+
+    fn criteria(&self) -> Criteria {
+        Criteria {
+            unprivileged_use: Mark::Yes,
+            fine_grained: Mark::Yes,
+            unforgeable: Mark::Yes, // within its threat model (setbound is forgeable; Table 2 footnote)
+            access_control: Mark::No,
+            pointer_safety: Mark::Yes,
+            segment_scalability: Mark::Yes,
+            domain_scalability: Mark::NotApplicable,
+            incremental_deployment: Mark::Yes,
+        }
+    }
+
+    fn simulate(&self, trace: &Trace) -> Overheads {
+        let t = Tally::new(trace);
+        let base = baseline(trace);
+        // 128-bit bounds-table entry per incompressible pointer access.
+        let bounds_refs = t.incompressible_ptr_accesses;
+        let bounds_bytes = 16 * bounds_refs;
+        // 2-bit word tags: one 8-byte tag-line access per 32 data
+        // accesses survives the cache.
+        let tag_refs = t.accesses / 32;
+        let tag_table_bytes = t.alloc_bytes / 32;
+        let bounds_table_bytes = 16 * t.ptr_pages * (PAGE / 8) / 8; // sparse shadow regions
+        Overheads {
+            pages: t.data_pages
+                + bounds_table_bytes.div_ceil(PAGE)
+                + tag_table_bytes.div_ceil(PAGE)
+                + 1,
+            bytes: base.bytes + bounds_bytes + tag_refs * 8,
+            refs: base.refs + bounds_refs + tag_refs,
+            // "CHERI and Hardbound require a single instruction" per
+            // allocation; checks are implicit in hardware (opt == pess).
+            instrs_opt: base.instrs_opt + t.mallocs,
+            instrs_pess: base.instrs_pess + t.mallocs,
+            syscalls: base.syscalls,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::all_models;
+    use crate::trace::TracedHeap;
+
+    /// A linked list of small nodes: compressible pointers, dense heap.
+    fn list_trace(n: usize) -> Trace {
+        let mut h = TracedHeap::new();
+        let nodes: Vec<_> = (0..n).map(|_| h.alloc(24)).collect();
+        for w in nodes.windows(2) {
+            h.store_ptr(w[0], 16, w[1]);
+        }
+        // Walk it twice.
+        for _ in 0..2 {
+            let mut p = nodes[0];
+            loop {
+                let v = h.load_int(p, 0);
+                h.store_int(p, 0, v + 1);
+                h.compute(3);
+                let next = h.load_ptr(p, 16);
+                if next.is_null() {
+                    break;
+                }
+                p = next;
+            }
+        }
+        h.finish("list")
+    }
+
+    #[test]
+    fn mondrian_charges_syscalls_not_traffic() {
+        let tr = list_trace(500);
+        let base = baseline(&tr);
+        let m = Mondrian.simulate(&tr);
+        assert!(m.syscalls > base.syscalls + 400, "per-malloc kernel entries");
+        let pct = m.percent_over(&base);
+        assert!(pct.bytes < 40.0, "Mondrian traffic should be modest: {}", pct.bytes);
+        assert!(pct.instrs_opt > 0.0);
+        // Optimistic and pessimistic are the same: no per-deref checks.
+        assert_eq!(m.instrs_opt, m.instrs_pess);
+    }
+
+    #[test]
+    fn mpx_has_highest_pages_and_bytes() {
+        let tr = list_trace(500);
+        let base = baseline(&tr);
+        let mpx = MpxTable.simulate(&tr).percent_over(&base);
+        for m in all_models() {
+            let pct = m.simulate(&tr).percent_over(&base);
+            assert!(
+                mpx.bytes >= pct.bytes - 1e-9,
+                "MPX should have the largest byte overhead; {} beats it",
+                m.name()
+            );
+        }
+        assert!(mpx.pages > 100.0, "table shadowing dominates pages: {}", mpx.pages);
+    }
+
+    #[test]
+    fn mpx_pessimistic_exceeds_optimistic() {
+        let tr = list_trace(200);
+        let m = MpxTable.simulate(&tr);
+        assert!(m.instrs_pess > m.instrs_opt);
+    }
+
+    #[test]
+    fn hardbound_compresses_small_objects() {
+        let tr = list_trace(300);
+        let base = baseline(&tr);
+        let hb = Hardbound.simulate(&tr).percent_over(&base);
+        // All nodes are 24 bytes -> every pointer compresses; traffic
+        // overhead reduces to word tags.
+        assert!(hb.refs < 5.0, "compressed pointers cost almost nothing: {}", hb.refs);
+        assert!(hb.bytes < 10.0);
+    }
+
+    #[test]
+    fn hardbound_pays_for_large_objects() {
+        let mut h = TracedHeap::new();
+        let big: Vec<_> = (0..64).map(|_| h.alloc(4096)).collect();
+        for w in big.windows(2) {
+            h.store_ptr(w[0], 0, w[1]);
+        }
+        let mut p = big[0];
+        for _ in 0..62 {
+            p = h.load_ptr(p, 0);
+        }
+        let tr = h.finish("big");
+        let t = Tally::new(&tr);
+        assert!(t.incompressible_ptr_accesses > 60);
+        let base = baseline(&tr);
+        let hb = Hardbound.simulate(&tr).percent_over(&base);
+        assert!(hb.refs > 50.0, "incompressible pointers hit the table: {}", hb.refs);
+    }
+}

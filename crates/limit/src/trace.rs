@@ -1,0 +1,405 @@
+//! Pointer-event traces and the recording heap.
+//!
+//! The paper "recorded complete instruction traces of Olden benchmarks on
+//! our baseline MIPS implementation ... then extracted information
+//! relevant to bounds checking: C memory-management functions such as
+//! malloc() and free(), and all memory loads and stores". Here the
+//! native workload implementations run against a [`TracedHeap`], which
+//! plays both roles: it executes the program (objects have real backing
+//! storage) and records the event stream the overhead models consume.
+//!
+//! All data accesses are 64-bit — the Olden workloads are
+//! pointer-and-long structures — so an event does not carry a size.
+
+/// A handle to a traced heap object (an abstract pointer).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct TPtr(u32);
+
+impl TPtr {
+    /// The null pointer.
+    pub const NULL: TPtr = TPtr(u32::MAX);
+
+    /// Whether this is [`TPtr::NULL`].
+    #[must_use]
+    pub fn is_null(self) -> bool {
+        self == TPtr::NULL
+    }
+
+    /// The object index (for model internals).
+    #[must_use]
+    pub fn obj(self) -> u32 {
+        self.0
+    }
+}
+
+impl Default for TPtr {
+    fn default() -> TPtr {
+        TPtr::NULL
+    }
+}
+
+/// One trace event.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// `malloc()` of object `obj` (size in [`Trace::objects`]).
+    Malloc {
+        /// Object index.
+        obj: u32,
+    },
+    /// `free()` of object `obj`.
+    Free {
+        /// Object index.
+        obj: u32,
+    },
+    /// A 64-bit load or store at `obj + off`.
+    Access {
+        /// Object index.
+        obj: u32,
+        /// Byte offset within the object.
+        off: u32,
+        /// Store (true) or load (false).
+        store: bool,
+        /// The slot holds a pointer (fat-pointer models inflate it).
+        ptr: bool,
+        /// For pointer accesses: the pointed-to object (drives
+        /// Hardbound's compression decision), or `u32::MAX`.
+        target: u32,
+    },
+    /// `n` pure-ALU instructions of application work.
+    Compute {
+        /// Instruction count.
+        n: u32,
+    },
+}
+
+/// Per-object metadata recorded alongside the events.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct ObjInfo {
+    /// Baseline (unprotected) address of the object.
+    pub base: u64,
+    /// Object size in bytes.
+    pub size: u64,
+    /// Sorted byte offsets of the slots that hold pointers.
+    pub ptr_offs: Vec<u32>,
+}
+
+impl ObjInfo {
+    /// Number of pointer-holding slots.
+    #[must_use]
+    pub fn ptr_slots(&self) -> u64 {
+        self.ptr_offs.len() as u64
+    }
+}
+
+/// A recorded run: the event stream plus the object table.
+#[derive(Clone, Debug)]
+pub struct Trace {
+    /// Workload name.
+    pub name: String,
+    /// Events in program order.
+    pub events: Vec<Event>,
+    /// Object table, indexed by the `obj` fields of events.
+    pub objects: Vec<ObjInfo>,
+}
+
+impl Trace {
+    /// Number of memory-access events.
+    #[must_use]
+    pub fn accesses(&self) -> u64 {
+        self.events
+            .iter()
+            .filter(|e| matches!(e, Event::Access { .. }))
+            .count() as u64
+    }
+}
+
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+enum Slot {
+    Int(i64),
+    Ptr(TPtr),
+}
+
+struct Object {
+    base: u64,
+    slots: Vec<Slot>,
+    ptr_offs: Vec<u32>,
+    freed: bool,
+}
+
+/// The recording heap: executes the workload *and* captures its trace.
+///
+/// # Example
+///
+/// ```
+/// use cheri_limit::TracedHeap;
+///
+/// let mut h = TracedHeap::new();
+/// let a = h.alloc(24);
+/// let b = h.alloc(24);
+/// h.store_int(a, 0, 7);
+/// h.store_ptr(a, 8, b);
+/// assert_eq!(h.load_int(a, 0), 7);
+/// assert_eq!(h.load_ptr(a, 8), b);
+/// let trace = h.finish("demo");
+/// assert_eq!(trace.objects.len(), 2);
+/// assert_eq!(trace.objects[0].ptr_offs, vec![8]);
+/// assert_eq!(trace.accesses(), 4);
+/// ```
+pub struct TracedHeap {
+    events: Vec<Event>,
+    objects: Vec<Object>,
+    next_addr: u64,
+}
+
+impl TracedHeap {
+    /// An empty heap; allocation starts at a fixed abstract heap base.
+    #[must_use]
+    pub fn new() -> TracedHeap {
+        TracedHeap { events: Vec::new(), objects: Vec::new(), next_addr: 0x4_0000 }
+    }
+
+    fn obj(&self, p: TPtr) -> &Object {
+        assert!(!p.is_null(), "dereferenced NULL TPtr");
+        let o = &self.objects[p.0 as usize];
+        assert!(!o.freed, "use after free of object {}", p.0);
+        o
+    }
+
+    fn slot_index(o: &Object, off: u64) -> usize {
+        assert_eq!(off % 8, 0, "unaligned 64-bit access at offset {off}");
+        let idx = (off / 8) as usize;
+        assert!(idx < o.slots.len(), "offset {off} out of bounds ({} slots)", o.slots.len());
+        idx
+    }
+
+    /// Allocates `size` bytes (rounded up to 8), recording a `Malloc`.
+    pub fn alloc(&mut self, size: u64) -> TPtr {
+        let size = size.div_ceil(8) * 8;
+        let id = u32::try_from(self.objects.len()).expect("too many objects");
+        self.objects.push(Object {
+            base: self.next_addr,
+            slots: vec![Slot::Int(0); (size / 8) as usize],
+            ptr_offs: Vec::new(),
+            freed: false,
+        });
+        self.next_addr += size;
+        self.events.push(Event::Malloc { obj: id });
+        TPtr(id)
+    }
+
+    /// Frees an object, recording a `Free`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double free or NULL.
+    pub fn free(&mut self, p: TPtr) {
+        assert!(!p.is_null(), "free(NULL)");
+        let o = &mut self.objects[p.0 as usize];
+        assert!(!o.freed, "double free of object {}", p.0);
+        o.freed = true;
+        self.events.push(Event::Free { obj: p.0 });
+    }
+
+    /// Loads the integer at `p + off`.
+    ///
+    /// # Panics
+    ///
+    /// Panics on NULL, out-of-bounds, misalignment, or loading a pointer
+    /// slot as an integer.
+    pub fn load_int(&mut self, p: TPtr, off: u64) -> i64 {
+        let o = self.obj(p);
+        let v = match o.slots[Self::slot_index(o, off)] {
+            Slot::Int(v) => v,
+            Slot::Ptr(_) => panic!("integer load of pointer slot at {off}"),
+        };
+        self.events.push(Event::Access {
+            obj: p.0,
+            off: off as u32,
+            store: false,
+            ptr: false,
+            target: u32::MAX,
+        });
+        v
+    }
+
+    /// Stores an integer at `p + off`.
+    pub fn store_int(&mut self, p: TPtr, off: u64, v: i64) {
+        let o = self.obj(p);
+        let idx = Self::slot_index(o, off);
+        self.objects[p.0 as usize].slots[idx] = Slot::Int(v);
+        self.events.push(Event::Access {
+            obj: p.0,
+            off: off as u32,
+            store: true,
+            ptr: false,
+            target: u32::MAX,
+        });
+    }
+
+    /// Loads the pointer at `p + off` (a never-written slot reads as
+    /// NULL, matching zeroed allocation).
+    pub fn load_ptr(&mut self, p: TPtr, off: u64) -> TPtr {
+        let o = self.obj(p);
+        let v = match o.slots[Self::slot_index(o, off)] {
+            Slot::Ptr(q) => q,
+            Slot::Int(0) => TPtr::NULL,
+            Slot::Int(v) => panic!("pointer load of integer slot holding {v}"),
+        };
+        self.events.push(Event::Access {
+            obj: p.0,
+            off: off as u32,
+            store: false,
+            ptr: true,
+            target: v.0,
+        });
+        v
+    }
+
+    /// Stores pointer `q` at `p + off`.
+    pub fn store_ptr(&mut self, p: TPtr, off: u64, q: TPtr) {
+        let o = self.obj(p);
+        let idx = Self::slot_index(o, off);
+        let obj = &mut self.objects[p.0 as usize];
+        obj.slots[idx] = Slot::Ptr(q);
+        let off32 = off as u32;
+        if let Err(pos) = obj.ptr_offs.binary_search(&off32) {
+            obj.ptr_offs.insert(pos, off32);
+        }
+        self.events.push(Event::Access {
+            obj: p.0,
+            off: off32,
+            store: true,
+            ptr: true,
+            target: q.0,
+        });
+    }
+
+    /// Accounts `n` ALU instructions of application work (coalesced with
+    /// a preceding `Compute` event).
+    pub fn compute(&mut self, n: u32) {
+        if let Some(Event::Compute { n: last }) = self.events.last_mut() {
+            *last = last.saturating_add(n);
+        } else {
+            self.events.push(Event::Compute { n });
+        }
+    }
+
+    /// The baseline address of an object (for hash functions — the
+    /// `PtrToInt` of the native workloads).
+    #[must_use]
+    pub fn addr_of(&self, p: TPtr) -> u64 {
+        self.obj(p).base
+    }
+
+    /// Finishes recording.
+    #[must_use]
+    pub fn finish(self, name: &str) -> Trace {
+        Trace {
+            name: name.to_owned(),
+            events: self.events,
+            objects: self
+                .objects
+                .into_iter()
+                .map(|o| ObjInfo {
+                    base: o.base,
+                    size: o.slots.len() as u64 * 8,
+                    ptr_offs: o.ptr_offs,
+                })
+                .collect(),
+        }
+    }
+}
+
+impl Default for TracedHeap {
+    fn default() -> TracedHeap {
+        TracedHeap::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_assigns_disjoint_addresses() {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(24);
+        let b = h.alloc(100); // rounds to 104
+        let (ba, bb) = (h.addr_of(a), h.addr_of(b));
+        assert_eq!(bb - ba, 24);
+        let t = h.finish("t");
+        assert_eq!(t.objects[1].size, 104);
+    }
+
+    #[test]
+    fn values_roundtrip_and_events_record() {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(16);
+        h.store_int(a, 8, -5);
+        assert_eq!(h.load_int(a, 8), -5);
+        h.compute(10);
+        h.compute(5);
+        let t = h.finish("t");
+        assert_eq!(t.accesses(), 2);
+        // Compute events coalesce.
+        assert!(matches!(t.events.last(), Some(Event::Compute { n: 15 })));
+    }
+
+    #[test]
+    fn ptr_offs_sorted_and_deduped() {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(32);
+        let b = h.alloc(8);
+        h.store_ptr(a, 24, b);
+        h.store_ptr(a, 8, b);
+        h.store_ptr(a, 24, b); // overwrite same slot
+        let t = h.finish("t");
+        assert_eq!(t.objects[0].ptr_offs, vec![8, 24]);
+    }
+
+    #[test]
+    fn null_reads_from_fresh_slots() {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(16);
+        assert!(h.load_ptr(a, 0).is_null());
+    }
+
+    #[test]
+    fn access_events_carry_targets() {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(8);
+        let b = h.alloc(8);
+        h.store_ptr(a, 0, b);
+        let t = h.finish("t");
+        match t.events.last() {
+            Some(Event::Access { ptr: true, target, .. }) => assert_eq!(*target, b.obj()),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "out of bounds")]
+    fn oob_access_panics() {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(16);
+        h.load_int(a, 16);
+    }
+
+    #[test]
+    #[should_panic(expected = "use after free")]
+    fn use_after_free_panics() {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(8);
+        h.free(a);
+        h.load_int(a, 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut h = TracedHeap::new();
+        let a = h.alloc(8);
+        h.free(a);
+        h.free(a);
+    }
+}

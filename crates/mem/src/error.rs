@@ -1,0 +1,65 @@
+//! Physical-memory access errors.
+
+use core::fmt;
+
+/// An error accessing physical memory.
+///
+/// These are *simulator-level* errors (the guest machine is misconfigured
+/// or the simulator has a bug): guest-visible protection violations are
+/// [`cheri_core::CapCause`]s or TLB exceptions, raised before an access
+/// ever reaches physical memory.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum MemError {
+    /// The access extends past the end of physical memory.
+    OutOfRange {
+        /// First byte of the access.
+        addr: u64,
+        /// Access size in bytes.
+        size: u64,
+        /// Physical memory size in bytes.
+        mem_size: u64,
+    },
+    /// A naturally-aligned access was required.
+    Misaligned {
+        /// The offending address.
+        addr: u64,
+        /// The required alignment in bytes.
+        required: u64,
+    },
+}
+
+impl fmt::Display for MemError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            MemError::OutOfRange { addr, size, mem_size } => write!(
+                f,
+                "physical access {addr:#x}+{size:#x} outside memory of {mem_size:#x} bytes"
+            ),
+            MemError::Misaligned { addr, required } => {
+                write!(f, "physical access at {addr:#x} requires {required}-byte alignment")
+            }
+        }
+    }
+}
+
+impl std::error::Error for MemError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_addresses() {
+        let e = MemError::OutOfRange { addr: 0x100, size: 8, mem_size: 0x80 };
+        assert!(e.to_string().contains("0x100"));
+        let m = MemError::Misaligned { addr: 0x11, required: 32 };
+        assert!(m.to_string().contains("32-byte"));
+    }
+
+    #[test]
+    fn is_error_trait_object() {
+        let e: Box<dyn std::error::Error> = Box::new(MemError::Misaligned { addr: 1, required: 2 });
+        assert!(!e.to_string().is_empty());
+    }
+}

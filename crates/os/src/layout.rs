@@ -1,0 +1,87 @@
+//! The user address-space layout.
+
+use beri_sim::tlb::PAGE_SIZE;
+
+/// Where a process's segments live in its virtual address space.
+///
+/// The compiler (`cheri-cc`) and the kernel share this layout: the
+/// compiler hard-codes the globals cell holding the bump-allocator
+/// pointer; the kernel initialises that cell to [`ProcessLayout::heap_base`]
+/// on exec.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ProcessLayout {
+    /// Base of the text segment.
+    pub text_base: u64,
+    /// Base of the globals segment; the first 8 bytes are the heap
+    /// bump pointer used by generated allocators.
+    pub globals_base: u64,
+    /// Base of the heap.
+    pub heap_base: u64,
+    /// Initial stack pointer (stack grows down).
+    pub stack_top: u64,
+    /// One past the highest user virtual address; `C0`/`PCC` are
+    /// delegated over `[0, user_top)` on exec.
+    pub user_top: u64,
+}
+
+impl Default for ProcessLayout {
+    /// The default layout: 16 MB of user address space with text at
+    /// 64 KB, globals at 128 KB, heap at 256 KB, and the stack at the
+    /// top.
+    fn default() -> ProcessLayout {
+        ProcessLayout {
+            text_base: 0x1_0000,
+            globals_base: 0x2_0000,
+            heap_base: 0x4_0000,
+            stack_top: 0x100_0000 - PAGE_SIZE,
+            user_top: 0x100_0000,
+        }
+    }
+}
+
+impl ProcessLayout {
+    /// Address of the heap bump-pointer cell.
+    #[must_use]
+    pub fn heap_ptr_cell(&self) -> u64 {
+        self.globals_base
+    }
+
+    /// Validates internal consistency (ordering and page alignment).
+    ///
+    /// # Panics
+    ///
+    /// Panics if segments overlap or are misaligned — a configuration
+    /// bug, not a runtime condition.
+    pub fn validate(&self) {
+        assert!(self.text_base < self.globals_base);
+        assert!(self.globals_base < self.heap_base);
+        assert!(self.heap_base < self.stack_top);
+        assert!(self.stack_top < self.user_top);
+        for a in [self.text_base, self.globals_base, self.heap_base, self.user_top] {
+            assert_eq!(a % PAGE_SIZE, 0, "{a:#x} not page-aligned");
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_layout_is_consistent() {
+        ProcessLayout::default().validate();
+    }
+
+    #[test]
+    fn heap_ptr_cell_is_in_globals() {
+        let l = ProcessLayout::default();
+        assert_eq!(l.heap_ptr_cell(), l.globals_base);
+    }
+
+    #[test]
+    #[should_panic(expected = "not page-aligned")]
+    fn misaligned_layout_rejected() {
+        let l = ProcessLayout { text_base: 0x1_0001, ..ProcessLayout::default() };
+        l.validate();
+    }
+}

@@ -1,0 +1,231 @@
+//! Architectural CPU state: GPRs, HI/LO, the PC pair (for delay slots),
+//! CP0, and the CP2 capability register file.
+
+use cheri_core::{CapCause, CapRegFile};
+
+/// CP0 register numbers implemented by BERI-sim.
+pub mod cp0reg {
+    /// TLB index for `TLBWI`/`TLBR`.
+    pub const INDEX: u8 = 0;
+    /// EntryLo0 (even page).
+    pub const ENTRYLO0: u8 = 2;
+    /// EntryLo1 (odd page).
+    pub const ENTRYLO1: u8 = 3;
+    /// Faulting virtual address.
+    pub const BADVADDR: u8 = 8;
+    /// Free-running counter.
+    pub const COUNT: u8 = 9;
+    /// EntryHi (VPN2).
+    pub const ENTRYHI: u8 = 10;
+    /// Status register.
+    pub const STATUS: u8 = 12;
+    /// Cause register.
+    pub const CAUSE: u8 = 13;
+    /// Exception PC.
+    pub const EPC: u8 = 14;
+    /// CHERI: packed capability cause ([`cheri_core::CapCause::packed`]).
+    pub const CAPCAUSE: u8 = 27;
+}
+
+/// Coprocessor 0: system control state.
+#[derive(Clone, Debug, Default)]
+pub struct Cp0 {
+    /// TLB index register.
+    pub index: u64,
+    /// EntryLo0.
+    pub entrylo0: u64,
+    /// EntryLo1.
+    pub entrylo1: u64,
+    /// BadVAddr.
+    pub badvaddr: u64,
+    /// Count (incremented once per retired instruction).
+    pub count: u64,
+    /// EntryHi.
+    pub entryhi: u64,
+    /// Status.
+    pub status: u64,
+    /// Cause.
+    pub cause: u64,
+    /// EPC.
+    pub epc: u64,
+    /// Packed CHERI capability cause.
+    pub capcause: u64,
+}
+
+impl Cp0 {
+    /// Reads a CP0 register by number; unimplemented registers read 0.
+    #[must_use]
+    pub fn read(&self, rd: u8) -> u64 {
+        match rd {
+            cp0reg::INDEX => self.index,
+            cp0reg::ENTRYLO0 => self.entrylo0,
+            cp0reg::ENTRYLO1 => self.entrylo1,
+            cp0reg::BADVADDR => self.badvaddr,
+            cp0reg::COUNT => self.count,
+            cp0reg::ENTRYHI => self.entryhi,
+            cp0reg::STATUS => self.status,
+            cp0reg::CAUSE => self.cause,
+            cp0reg::EPC => self.epc,
+            cp0reg::CAPCAUSE => self.capcause,
+            _ => 0,
+        }
+    }
+
+    /// Writes a CP0 register by number; writes to read-only or
+    /// unimplemented registers are ignored (as on the real part).
+    pub fn write(&mut self, rd: u8, value: u64) {
+        match rd {
+            cp0reg::INDEX => self.index = value,
+            cp0reg::ENTRYLO0 => self.entrylo0 = value,
+            cp0reg::ENTRYLO1 => self.entrylo1 = value,
+            cp0reg::COUNT => self.count = value,
+            cp0reg::ENTRYHI => self.entryhi = value,
+            cp0reg::STATUS => self.status = value,
+            cp0reg::EPC => self.epc = value,
+            _ => {}
+        }
+    }
+
+    /// Records exception state: EPC, Cause (exception code in bits 6:2,
+    /// BD in bit 31), BadVAddr for address-related faults.
+    pub fn raise(&mut self, epc: u64, in_delay_slot: bool, exc_code: u64, badvaddr: Option<u64>) {
+        self.epc = epc;
+        self.cause = (exc_code & 0x1f) << 2 | if in_delay_slot { 1 << 31 } else { 0 };
+        if let Some(v) = badvaddr {
+            self.badvaddr = v;
+        }
+    }
+
+    /// Records a capability cause (CP2 exception register).
+    pub fn raise_cap(&mut self, cause: CapCause) {
+        self.capcause = u64::from(cause.packed());
+    }
+}
+
+/// The architectural register state of one hardware thread.
+#[derive(Clone, Debug)]
+pub struct Cpu {
+    /// General-purpose registers; `gpr[0]` reads as zero (writes to it
+    /// are discarded by [`Cpu::set_gpr`]).
+    pub gpr: [u64; 32],
+    /// Multiply/divide HI.
+    pub hi: u64,
+    /// Multiply/divide LO.
+    pub lo: u64,
+    /// PC of the instruction to execute next.
+    pub pc: u64,
+    /// PC after that (differs from `pc + 4` when a branch is pending; this
+    /// is how MIPS delay slots are modelled).
+    pub next_pc: u64,
+    /// Coprocessor 0.
+    pub cp0: Cp0,
+    /// Coprocessor 2: the CHERI capability register file.
+    pub caps: CapRegFile,
+    /// Load-linked reservation (physical address), if armed.
+    pub ll_reservation: Option<u64>,
+}
+
+impl Cpu {
+    /// A reset CPU: zero registers, almighty capability file, PC at 0.
+    #[must_use]
+    pub fn new() -> Cpu {
+        Cpu {
+            gpr: [0; 32],
+            hi: 0,
+            lo: 0,
+            pc: 0,
+            next_pc: 4,
+            cp0: Cp0::default(),
+            caps: CapRegFile::new(),
+            ll_reservation: None,
+        }
+    }
+
+    /// Writes a GPR, discarding writes to `$zero`.
+    #[inline]
+    pub fn set_gpr(&mut self, r: u8, value: u64) {
+        if r != 0 {
+            self.gpr[usize::from(r)] = value;
+        }
+    }
+
+    /// Reads a GPR.
+    #[inline]
+    #[must_use]
+    pub fn get_gpr(&self, r: u8) -> u64 {
+        self.gpr[usize::from(r)]
+    }
+
+    /// Places execution at `pc` with no pending branch.
+    pub fn jump_to(&mut self, pc: u64) {
+        self.pc = pc;
+        self.next_pc = pc.wrapping_add(4);
+    }
+
+    /// True if the instruction at `pc` sits in a branch delay slot.
+    #[must_use]
+    pub fn in_delay_slot(&self) -> bool {
+        self.next_pc != self.pc.wrapping_add(4)
+    }
+}
+
+impl Default for Cpu {
+    fn default() -> Cpu {
+        Cpu::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_core::CapExcCode;
+
+    #[test]
+    fn zero_register_is_hardwired() {
+        let mut c = Cpu::new();
+        c.set_gpr(0, 42);
+        assert_eq!(c.get_gpr(0), 0);
+        c.set_gpr(1, 42);
+        assert_eq!(c.get_gpr(1), 42);
+    }
+
+    #[test]
+    fn cp0_roundtrip_and_readonly() {
+        let mut cp0 = Cp0::default();
+        cp0.write(cp0reg::STATUS, 0xff);
+        assert_eq!(cp0.read(cp0reg::STATUS), 0xff);
+        // BadVAddr is read-only.
+        cp0.write(cp0reg::BADVADDR, 0x1234);
+        assert_eq!(cp0.read(cp0reg::BADVADDR), 0);
+        // Unimplemented registers read zero.
+        assert_eq!(cp0.read(31), 0);
+    }
+
+    #[test]
+    fn raise_packs_cause() {
+        let mut cp0 = Cp0::default();
+        cp0.raise(0x1000, true, 2, Some(0xbad));
+        assert_eq!(cp0.epc, 0x1000);
+        assert_eq!(cp0.badvaddr, 0xbad);
+        assert_eq!(cp0.cause & (1 << 31), 1 << 31);
+        assert_eq!((cp0.cause >> 2) & 0x1f, 2);
+        cp0.raise_cap(CapCause::new(CapExcCode::TagViolation, 5));
+        assert_eq!(cp0.capcause & 0xff, 5);
+    }
+
+    #[test]
+    fn delay_slot_detection() {
+        let mut c = Cpu::new();
+        c.jump_to(0x100);
+        assert!(!c.in_delay_slot());
+        c.next_pc = 0x200; // pending branch
+        assert!(c.in_delay_slot());
+    }
+
+    #[test]
+    fn reset_capability_file_is_almighty() {
+        let c = Cpu::new();
+        assert!(c.caps.pcc().tag());
+        assert_eq!(c.caps.c0().base(), 0);
+    }
+}

@@ -1,0 +1,646 @@
+//! Instruction encoding and decoding.
+//!
+//! This module is the single source of truth for binary encodings: the
+//! `cheri-asm` assembler calls [`encode`] and the simulator calls
+//! [`decode`], so the two cannot disagree.
+//!
+//! MIPS IV encodings follow the MIPS64 manuals. The CHERI extensions live
+//! in the COP2 primary-opcode space (0x12), as in the paper ("CHERI
+//! capability extensions are implemented as a MIPS coprocessor, CP2"),
+//! with a 5-bit sub-opcode in bits 25:21:
+//!
+//! ```text
+//! inspect      | 0x12 | sub | rd | cb | 0…          sub = 0..4
+//! manipulate   | 0x12 | sub | cd | cb | rt | 0…     sub = 5..10
+//! tag branch   | 0x12 | sub | cb | offset16 |       sub = 11, 12
+//! cap ld/st    | 0x12 | sub | r  | cb | rt | imm6 | sub = 13..27
+//! cap jump     | 0x12 | sub | cd | cb | 0…          sub = 28, 29
+//! ```
+//!
+//! `imm6` is a signed 6-bit immediate scaled by the access width
+//! (32 bytes for `CLC`/`CSC`), mirroring CHERI-MIPS's scaled offsets.
+
+use crate::inst::{AluImmOp, AluOp, BranchCond, CheriInst, Inst, MulDivOp, ShiftOp, Width};
+
+const OP_SPECIAL: u32 = 0x00;
+const OP_REGIMM: u32 = 0x01;
+const OP_COP0: u32 = 0x10;
+const OP_COP2: u32 = 0x12;
+
+#[inline]
+fn bits(word: u32, hi: u32, lo: u32) -> u32 {
+    (word >> lo) & ((1 << (hi - lo + 1)) - 1)
+}
+
+/// Decodes one 32-bit instruction word.
+///
+/// Unknown encodings decode to [`Inst::Reserved`], which raises a
+/// Reserved Instruction exception at execution, as on the real machine.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn decode(word: u32) -> Inst {
+    let op = bits(word, 31, 26);
+    let rs = bits(word, 25, 21) as u8;
+    let rt = bits(word, 20, 16) as u8;
+    let rd = bits(word, 15, 11) as u8;
+    let shamt = bits(word, 10, 6) as u8;
+    let funct = bits(word, 5, 0);
+    let imm = bits(word, 15, 0) as u16;
+    let simm = imm as i16;
+
+    match op {
+        OP_SPECIAL => match funct {
+            0x00 => Inst::Shift { op: ShiftOp::Sll, rd, rt, shamt },
+            0x02 => Inst::Shift { op: ShiftOp::Srl, rd, rt, shamt },
+            0x03 => Inst::Shift { op: ShiftOp::Sra, rd, rt, shamt },
+            0x04 => Inst::ShiftV { op: ShiftOp::Sll, rd, rt, rs },
+            0x06 => Inst::ShiftV { op: ShiftOp::Srl, rd, rt, rs },
+            0x07 => Inst::ShiftV { op: ShiftOp::Sra, rd, rt, rs },
+            0x08 => Inst::Jr { rs },
+            0x09 => Inst::Jalr { rd, rs },
+            0x0a => Inst::Alu { op: AluOp::Movz, rd, rs, rt },
+            0x0b => Inst::Alu { op: AluOp::Movn, rd, rs, rt },
+            0x0c => Inst::Syscall { code: bits(word, 25, 6) },
+            0x0d => Inst::Break { code: bits(word, 25, 6) },
+            0x10 => Inst::Mfhi { rd },
+            0x11 => Inst::Mthi { rs },
+            0x12 => Inst::Mflo { rd },
+            0x13 => Inst::Mtlo { rs },
+            0x14 => Inst::ShiftV { op: ShiftOp::Dsll, rd, rt, rs },
+            0x16 => Inst::ShiftV { op: ShiftOp::Dsrl, rd, rt, rs },
+            0x17 => Inst::ShiftV { op: ShiftOp::Dsra, rd, rt, rs },
+            0x18 => Inst::MulDiv { op: MulDivOp::Mult, rs, rt },
+            0x19 => Inst::MulDiv { op: MulDivOp::Multu, rs, rt },
+            0x1a => Inst::MulDiv { op: MulDivOp::Div, rs, rt },
+            0x1b => Inst::MulDiv { op: MulDivOp::Divu, rs, rt },
+            0x1c => Inst::MulDiv { op: MulDivOp::Dmult, rs, rt },
+            0x1d => Inst::MulDiv { op: MulDivOp::Dmultu, rs, rt },
+            0x1e => Inst::MulDiv { op: MulDivOp::Ddiv, rs, rt },
+            0x1f => Inst::MulDiv { op: MulDivOp::Ddivu, rs, rt },
+            0x20 => Inst::Alu { op: AluOp::Add, rd, rs, rt },
+            0x21 => Inst::Alu { op: AluOp::Addu, rd, rs, rt },
+            0x22 => Inst::Alu { op: AluOp::Sub, rd, rs, rt },
+            0x23 => Inst::Alu { op: AluOp::Subu, rd, rs, rt },
+            0x24 => Inst::Alu { op: AluOp::And, rd, rs, rt },
+            0x25 => Inst::Alu { op: AluOp::Or, rd, rs, rt },
+            0x26 => Inst::Alu { op: AluOp::Xor, rd, rs, rt },
+            0x27 => Inst::Alu { op: AluOp::Nor, rd, rs, rt },
+            0x2a => Inst::Alu { op: AluOp::Slt, rd, rs, rt },
+            0x2b => Inst::Alu { op: AluOp::Sltu, rd, rs, rt },
+            0x2c => Inst::Alu { op: AluOp::Dadd, rd, rs, rt },
+            0x2d => Inst::Alu { op: AluOp::Daddu, rd, rs, rt },
+            0x2e => Inst::Alu { op: AluOp::Dsub, rd, rs, rt },
+            0x2f => Inst::Alu { op: AluOp::Dsubu, rd, rs, rt },
+            0x38 => Inst::Shift { op: ShiftOp::Dsll, rd, rt, shamt },
+            0x3a => Inst::Shift { op: ShiftOp::Dsrl, rd, rt, shamt },
+            0x3b => Inst::Shift { op: ShiftOp::Dsra, rd, rt, shamt },
+            0x3c => Inst::Shift { op: ShiftOp::Dsll32, rd, rt, shamt },
+            0x3e => Inst::Shift { op: ShiftOp::Dsrl32, rd, rt, shamt },
+            0x3f => Inst::Shift { op: ShiftOp::Dsra32, rd, rt, shamt },
+            _ => Inst::Reserved { word },
+        },
+        OP_REGIMM => match rt {
+            0x00 => Inst::Branch { cond: BranchCond::Ltz, rs, rt: 0, offset: simm },
+            0x01 => Inst::Branch { cond: BranchCond::Gez, rs, rt: 0, offset: simm },
+            0x10 => Inst::BranchLink { cond: BranchCond::Ltz, rs, offset: simm },
+            0x11 => Inst::BranchLink { cond: BranchCond::Gez, rs, offset: simm },
+            _ => Inst::Reserved { word },
+        },
+        0x02 => Inst::J { target: bits(word, 25, 0) },
+        0x03 => Inst::Jal { target: bits(word, 25, 0) },
+        0x04 => Inst::Branch { cond: BranchCond::Eq, rs, rt, offset: simm },
+        0x05 => Inst::Branch { cond: BranchCond::Ne, rs, rt, offset: simm },
+        0x06 => Inst::Branch { cond: BranchCond::Lez, rs, rt: 0, offset: simm },
+        0x07 => Inst::Branch { cond: BranchCond::Gtz, rs, rt: 0, offset: simm },
+        0x08 => Inst::AluImm { op: AluImmOp::Addi, rt, rs, imm },
+        0x09 => Inst::AluImm { op: AluImmOp::Addiu, rt, rs, imm },
+        0x0a => Inst::AluImm { op: AluImmOp::Slti, rt, rs, imm },
+        0x0b => Inst::AluImm { op: AluImmOp::Sltiu, rt, rs, imm },
+        0x0c => Inst::AluImm { op: AluImmOp::Andi, rt, rs, imm },
+        0x0d => Inst::AluImm { op: AluImmOp::Ori, rt, rs, imm },
+        0x0e => Inst::AluImm { op: AluImmOp::Xori, rt, rs, imm },
+        0x0f => Inst::Lui { rt, imm },
+        OP_COP0 => {
+            if bits(word, 25, 25) == 1 {
+                match funct {
+                    0x01 => Inst::Tlbr,
+                    0x02 => Inst::Tlbwi,
+                    0x06 => Inst::Tlbwr,
+                    0x08 => Inst::Tlbp,
+                    0x18 => Inst::Eret,
+                    _ => Inst::Reserved { word },
+                }
+            } else {
+                match rs {
+                    0x00 | 0x01 => Inst::Mfc0 { rt, rd },
+                    0x04 | 0x05 => Inst::Mtc0 { rt, rd },
+                    _ => Inst::Reserved { word },
+                }
+            }
+        }
+        OP_COP2 => decode_cheri(word),
+        0x18 => Inst::AluImm { op: AluImmOp::Daddi, rt, rs, imm },
+        0x19 => Inst::AluImm { op: AluImmOp::Daddiu, rt, rs, imm },
+        0x20 => Inst::Load { width: Width::Byte, rt, base: rs, imm: simm, unsigned: false },
+        0x21 => Inst::Load { width: Width::Half, rt, base: rs, imm: simm, unsigned: false },
+        0x23 => Inst::Load { width: Width::Word, rt, base: rs, imm: simm, unsigned: false },
+        0x24 => Inst::Load { width: Width::Byte, rt, base: rs, imm: simm, unsigned: true },
+        0x25 => Inst::Load { width: Width::Half, rt, base: rs, imm: simm, unsigned: true },
+        0x27 => Inst::Load { width: Width::Word, rt, base: rs, imm: simm, unsigned: true },
+        0x28 => Inst::Store { width: Width::Byte, rt, base: rs, imm: simm },
+        0x29 => Inst::Store { width: Width::Half, rt, base: rs, imm: simm },
+        0x2b => Inst::Store { width: Width::Word, rt, base: rs, imm: simm },
+        0x30 => Inst::LoadLinked { width: Width::Word, rt, base: rs, imm: simm },
+        0x34 => Inst::LoadLinked { width: Width::Double, rt, base: rs, imm: simm },
+        0x37 => Inst::Load { width: Width::Double, rt, base: rs, imm: simm, unsigned: false },
+        0x38 => Inst::StoreCond { width: Width::Word, rt, base: rs, imm: simm },
+        0x3c => Inst::StoreCond { width: Width::Double, rt, base: rs, imm: simm },
+        0x3f => Inst::Store { width: Width::Double, rt, base: rs, imm: simm },
+        _ => Inst::Reserved { word },
+    }
+}
+
+fn decode_cheri(word: u32) -> Inst {
+    let sub = bits(word, 25, 21);
+    let r1 = bits(word, 20, 16) as u8;
+    let r2 = bits(word, 15, 11) as u8;
+    let r3 = bits(word, 10, 6) as u8;
+    let imm6 = {
+        let raw = bits(word, 5, 0) as i8;
+        if raw >= 32 { raw - 64 } else { raw }
+    };
+    let offset = bits(word, 15, 0) as u16 as i16;
+
+    let c = match sub {
+        0 => CheriInst::CGetBase { rd: r1, cb: r2 },
+        1 => CheriInst::CGetLen { rd: r1, cb: r2 },
+        2 => CheriInst::CGetTag { rd: r1, cb: r2 },
+        3 => CheriInst::CGetPerm { rd: r1, cb: r2 },
+        4 => CheriInst::CGetPCC { rd: r1, cd: r2 },
+        5 => CheriInst::CIncBase { cd: r1, cb: r2, rt: r3 },
+        6 => CheriInst::CSetLen { cd: r1, cb: r2, rt: r3 },
+        7 => CheriInst::CClearTag { cd: r1, cb: r2 },
+        8 => CheriInst::CAndPerm { cd: r1, cb: r2, rt: r3 },
+        9 => CheriInst::CToPtr { rd: r1, cb: r2, ct: r3 },
+        10 => CheriInst::CFromPtr { cd: r1, cb: r2, rt: r3 },
+        11 => CheriInst::CBTU { cb: r1, offset },
+        12 => CheriInst::CBTS { cb: r1, offset },
+        13 => CheriInst::CLC { cd: r1, cb: r2, rt: r3, imm: imm6 },
+        14 => CheriInst::CSC { cs: r1, cb: r2, rt: r3, imm: imm6 },
+        15 => CheriInst::CLoad { width: Width::Byte, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: false },
+        16 => CheriInst::CLoad { width: Width::Byte, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: true },
+        17 => CheriInst::CLoad { width: Width::Half, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: false },
+        18 => CheriInst::CLoad { width: Width::Half, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: true },
+        19 => CheriInst::CLoad { width: Width::Word, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: false },
+        20 => CheriInst::CLoad { width: Width::Word, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: true },
+        21 => CheriInst::CLoad { width: Width::Double, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: false },
+        22 => CheriInst::CStore { width: Width::Byte, rs: r1, cb: r2, rt: r3, imm: imm6 },
+        23 => CheriInst::CStore { width: Width::Half, rs: r1, cb: r2, rt: r3, imm: imm6 },
+        24 => CheriInst::CStore { width: Width::Word, rs: r1, cb: r2, rt: r3, imm: imm6 },
+        25 => CheriInst::CStore { width: Width::Double, rs: r1, cb: r2, rt: r3, imm: imm6 },
+        26 => CheriInst::CLLD { rd: r1, cb: r2, rt: r3, imm: imm6 },
+        27 => CheriInst::CSCD { rs: r1, cb: r2, rt: r3, imm: imm6 },
+        28 => CheriInst::CJR { cb: r1 },
+        29 => CheriInst::CJALR { cd: r1, cb: r2 },
+        _ => return Inst::Reserved { word },
+    };
+    Inst::Cheri(c)
+}
+
+/// Encodes an instruction to its 32-bit word.
+///
+/// # Panics
+///
+/// Panics if a field is out of range for its encoding (e.g. a register
+/// number ≥ 32, or a capability-load immediate outside the signed 6-bit
+/// range) or if asked to encode [`Inst::Reserved`]. The assembler
+/// validates fields before constructing `Inst` values, so a panic here is
+/// an assembler bug.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn encode(inst: &Inst) -> u32 {
+    fn r(v: u8) -> u32 {
+        assert!(v < 32, "register field out of range: {v}");
+        u32::from(v)
+    }
+    fn sp(funct: u32, rs: u8, rt: u8, rd: u8, shamt: u8) -> u32 {
+        (r(rs) << 21) | (r(rt) << 16) | (r(rd) << 11) | (r(shamt) << 6) | funct
+    }
+    fn i(op: u32, rs: u8, rt: u8, imm: u16) -> u32 {
+        (op << 26) | (r(rs) << 21) | (r(rt) << 16) | u32::from(imm)
+    }
+
+    match *inst {
+        Inst::Alu { op, rd, rs, rt } => {
+            let funct = match op {
+                AluOp::Add => 0x20,
+                AluOp::Addu => 0x21,
+                AluOp::Sub => 0x22,
+                AluOp::Subu => 0x23,
+                AluOp::And => 0x24,
+                AluOp::Or => 0x25,
+                AluOp::Xor => 0x26,
+                AluOp::Nor => 0x27,
+                AluOp::Slt => 0x2a,
+                AluOp::Sltu => 0x2b,
+                AluOp::Dadd => 0x2c,
+                AluOp::Daddu => 0x2d,
+                AluOp::Dsub => 0x2e,
+                AluOp::Dsubu => 0x2f,
+                AluOp::Movz => 0x0a,
+                AluOp::Movn => 0x0b,
+            };
+            sp(funct, rs, rt, rd, 0)
+        }
+        Inst::AluImm { op, rt, rs, imm } => {
+            let opc = match op {
+                AluImmOp::Addi => 0x08,
+                AluImmOp::Addiu => 0x09,
+                AluImmOp::Slti => 0x0a,
+                AluImmOp::Sltiu => 0x0b,
+                AluImmOp::Andi => 0x0c,
+                AluImmOp::Ori => 0x0d,
+                AluImmOp::Xori => 0x0e,
+                AluImmOp::Daddi => 0x18,
+                AluImmOp::Daddiu => 0x19,
+            };
+            i(opc, rs, rt, imm)
+        }
+        Inst::Lui { rt, imm } => i(0x0f, 0, rt, imm),
+        Inst::Shift { op, rd, rt, shamt } => {
+            let funct = match op {
+                ShiftOp::Sll => 0x00,
+                ShiftOp::Srl => 0x02,
+                ShiftOp::Sra => 0x03,
+                ShiftOp::Dsll => 0x38,
+                ShiftOp::Dsrl => 0x3a,
+                ShiftOp::Dsra => 0x3b,
+                ShiftOp::Dsll32 => 0x3c,
+                ShiftOp::Dsrl32 => 0x3e,
+                ShiftOp::Dsra32 => 0x3f,
+            };
+            sp(funct, 0, rt, rd, shamt)
+        }
+        Inst::ShiftV { op, rd, rt, rs } => {
+            let funct = match op {
+                ShiftOp::Sll => 0x04,
+                ShiftOp::Srl => 0x06,
+                ShiftOp::Sra => 0x07,
+                ShiftOp::Dsll => 0x14,
+                ShiftOp::Dsrl => 0x16,
+                ShiftOp::Dsra => 0x17,
+                _ => panic!("no variable form for {op:?}"),
+            };
+            sp(funct, rs, rt, rd, 0)
+        }
+        Inst::MulDiv { op, rs, rt } => {
+            let funct = match op {
+                MulDivOp::Mult => 0x18,
+                MulDivOp::Multu => 0x19,
+                MulDivOp::Div => 0x1a,
+                MulDivOp::Divu => 0x1b,
+                MulDivOp::Dmult => 0x1c,
+                MulDivOp::Dmultu => 0x1d,
+                MulDivOp::Ddiv => 0x1e,
+                MulDivOp::Ddivu => 0x1f,
+            };
+            sp(funct, rs, rt, 0, 0)
+        }
+        Inst::Mfhi { rd } => sp(0x10, 0, 0, rd, 0),
+        Inst::Mthi { rs } => sp(0x11, rs, 0, 0, 0),
+        Inst::Mflo { rd } => sp(0x12, 0, 0, rd, 0),
+        Inst::Mtlo { rs } => sp(0x13, rs, 0, 0, 0),
+        Inst::Branch { cond, rs, rt, offset } => match cond {
+            BranchCond::Eq => i(0x04, rs, rt, offset as u16),
+            BranchCond::Ne => i(0x05, rs, rt, offset as u16),
+            BranchCond::Lez => i(0x06, rs, 0, offset as u16),
+            BranchCond::Gtz => i(0x07, rs, 0, offset as u16),
+            BranchCond::Ltz => i(OP_REGIMM, rs, 0x00, offset as u16),
+            BranchCond::Gez => i(OP_REGIMM, rs, 0x01, offset as u16),
+        },
+        Inst::BranchLink { cond, rs, offset } => match cond {
+            BranchCond::Ltz => i(OP_REGIMM, rs, 0x10, offset as u16),
+            BranchCond::Gez => i(OP_REGIMM, rs, 0x11, offset as u16),
+            _ => panic!("no link form for {cond:?}"),
+        },
+        Inst::J { target } => {
+            assert!(target < (1 << 26), "jump target out of range");
+            (0x02 << 26) | target
+        }
+        Inst::Jal { target } => {
+            assert!(target < (1 << 26), "jump target out of range");
+            (0x03 << 26) | target
+        }
+        Inst::Jr { rs } => sp(0x08, rs, 0, 0, 0),
+        Inst::Jalr { rd, rs } => sp(0x09, rs, 0, rd, 0),
+        Inst::Load { width, rt, base, imm, unsigned } => {
+            let opc = match (width, unsigned) {
+                (Width::Byte, false) => 0x20,
+                (Width::Half, false) => 0x21,
+                (Width::Word, false) => 0x23,
+                (Width::Byte, true) => 0x24,
+                (Width::Half, true) => 0x25,
+                (Width::Word, true) => 0x27,
+                (Width::Double, _) => 0x37,
+            };
+            i(opc, base, rt, imm as u16)
+        }
+        Inst::Store { width, rt, base, imm } => {
+            let opc = match width {
+                Width::Byte => 0x28,
+                Width::Half => 0x29,
+                Width::Word => 0x2b,
+                Width::Double => 0x3f,
+            };
+            i(opc, base, rt, imm as u16)
+        }
+        Inst::LoadLinked { width, rt, base, imm } => {
+            let opc = if width == Width::Double { 0x34 } else { 0x30 };
+            i(opc, base, rt, imm as u16)
+        }
+        Inst::StoreCond { width, rt, base, imm } => {
+            let opc = if width == Width::Double { 0x3c } else { 0x38 };
+            i(opc, base, rt, imm as u16)
+        }
+        Inst::Syscall { code } => {
+            assert!(code < (1 << 20), "syscall code out of range");
+            (code << 6) | 0x0c
+        }
+        Inst::Break { code } => {
+            assert!(code < (1 << 20), "break code out of range");
+            (code << 6) | 0x0d
+        }
+        Inst::Mfc0 { rt, rd } => (OP_COP0 << 26) | (0x01 << 21) | (r(rt) << 16) | (r(rd) << 11),
+        Inst::Mtc0 { rt, rd } => (OP_COP0 << 26) | (0x05 << 21) | (r(rt) << 16) | (r(rd) << 11),
+        Inst::Tlbr => (OP_COP0 << 26) | (1 << 25) | 0x01,
+        Inst::Tlbwi => (OP_COP0 << 26) | (1 << 25) | 0x02,
+        Inst::Tlbwr => (OP_COP0 << 26) | (1 << 25) | 0x06,
+        Inst::Tlbp => (OP_COP0 << 26) | (1 << 25) | 0x08,
+        Inst::Eret => (OP_COP0 << 26) | (1 << 25) | 0x18,
+        Inst::Cheri(c) => encode_cheri(&c),
+        Inst::Reserved { word } => panic!("cannot encode reserved word {word:#x}"),
+    }
+}
+
+fn encode_cheri(c: &CheriInst) -> u32 {
+    fn r(v: u8) -> u32 {
+        assert!(v < 32, "register field out of range: {v}");
+        u32::from(v)
+    }
+    fn imm6(v: i8) -> u32 {
+        assert!((-32..32).contains(&v), "cap immediate out of 6-bit range: {v}");
+        (v as u32) & 0x3f
+    }
+    fn f(sub: u32, r1: u8, r2: u8, r3: u8, im: u32) -> u32 {
+        (OP_COP2 << 26) | (sub << 21) | (r(r1) << 16) | (r(r2) << 11) | (r(r3) << 6) | im
+    }
+    fn br(sub: u32, cb: u8, offset: i16) -> u32 {
+        (OP_COP2 << 26) | (sub << 21) | (r(cb) << 16) | u32::from(offset as u16)
+    }
+
+    match *c {
+        CheriInst::CGetBase { rd, cb } => f(0, rd, cb, 0, 0),
+        CheriInst::CGetLen { rd, cb } => f(1, rd, cb, 0, 0),
+        CheriInst::CGetTag { rd, cb } => f(2, rd, cb, 0, 0),
+        CheriInst::CGetPerm { rd, cb } => f(3, rd, cb, 0, 0),
+        CheriInst::CGetPCC { rd, cd } => f(4, rd, cd, 0, 0),
+        CheriInst::CIncBase { cd, cb, rt } => f(5, cd, cb, rt, 0),
+        CheriInst::CSetLen { cd, cb, rt } => f(6, cd, cb, rt, 0),
+        CheriInst::CClearTag { cd, cb } => f(7, cd, cb, 0, 0),
+        CheriInst::CAndPerm { cd, cb, rt } => f(8, cd, cb, rt, 0),
+        CheriInst::CToPtr { rd, cb, ct } => f(9, rd, cb, ct, 0),
+        CheriInst::CFromPtr { cd, cb, rt } => f(10, cd, cb, rt, 0),
+        CheriInst::CBTU { cb, offset } => br(11, cb, offset),
+        CheriInst::CBTS { cb, offset } => br(12, cb, offset),
+        CheriInst::CLC { cd, cb, rt, imm } => f(13, cd, cb, rt, imm6(imm)),
+        CheriInst::CSC { cs, cb, rt, imm } => f(14, cs, cb, rt, imm6(imm)),
+        CheriInst::CLoad { width, rd, cb, rt, imm, unsigned } => {
+            let sub = match (width, unsigned) {
+                (Width::Byte, false) => 15,
+                (Width::Byte, true) => 16,
+                (Width::Half, false) => 17,
+                (Width::Half, true) => 18,
+                (Width::Word, false) => 19,
+                (Width::Word, true) => 20,
+                (Width::Double, _) => 21,
+            };
+            f(sub, rd, cb, rt, imm6(imm))
+        }
+        CheriInst::CStore { width, rs, cb, rt, imm } => {
+            let sub = match width {
+                Width::Byte => 22,
+                Width::Half => 23,
+                Width::Word => 24,
+                Width::Double => 25,
+            };
+            f(sub, rs, cb, rt, imm6(imm))
+        }
+        CheriInst::CLLD { rd, cb, rt, imm } => f(26, rd, cb, rt, imm6(imm)),
+        CheriInst::CSCD { rs, cb, rt, imm } => f(27, rs, cb, rt, imm6(imm)),
+        CheriInst::CJR { cb } => f(28, cb, 0, 0, 0),
+        CheriInst::CJALR { cd, cb } => f(29, cd, cb, 0, 0),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::inst::reg;
+
+    fn roundtrip(i: Inst) {
+        let w = encode(&i);
+        assert_eq!(decode(w), i, "word {w:#010x}");
+    }
+
+    #[test]
+    fn alu_roundtrip() {
+        for op in [
+            AluOp::Add,
+            AluOp::Addu,
+            AluOp::Sub,
+            AluOp::Subu,
+            AluOp::Dadd,
+            AluOp::Daddu,
+            AluOp::Dsub,
+            AluOp::Dsubu,
+            AluOp::And,
+            AluOp::Or,
+            AluOp::Xor,
+            AluOp::Nor,
+            AluOp::Slt,
+            AluOp::Sltu,
+            AluOp::Movz,
+            AluOp::Movn,
+        ] {
+            roundtrip(Inst::Alu { op, rd: 3, rs: 4, rt: 5 });
+        }
+    }
+
+    #[test]
+    fn imm_roundtrip() {
+        for op in [
+            AluImmOp::Addi,
+            AluImmOp::Addiu,
+            AluImmOp::Daddi,
+            AluImmOp::Daddiu,
+            AluImmOp::Slti,
+            AluImmOp::Sltiu,
+            AluImmOp::Andi,
+            AluImmOp::Ori,
+            AluImmOp::Xori,
+        ] {
+            roundtrip(Inst::AluImm { op, rt: 2, rs: 29, imm: 0x8001 });
+        }
+        roundtrip(Inst::Lui { rt: 8, imm: 0xffff });
+    }
+
+    #[test]
+    fn shift_roundtrip() {
+        for op in [
+            ShiftOp::Sll,
+            ShiftOp::Srl,
+            ShiftOp::Sra,
+            ShiftOp::Dsll,
+            ShiftOp::Dsrl,
+            ShiftOp::Dsra,
+            ShiftOp::Dsll32,
+            ShiftOp::Dsrl32,
+            ShiftOp::Dsra32,
+        ] {
+            roundtrip(Inst::Shift { op, rd: 1, rt: 2, shamt: 31 });
+        }
+        for op in [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra, ShiftOp::Dsll, ShiftOp::Dsrl, ShiftOp::Dsra] {
+            roundtrip(Inst::ShiftV { op, rd: 1, rt: 2, rs: 3 });
+        }
+    }
+
+    #[test]
+    fn muldiv_and_hilo_roundtrip() {
+        for op in [
+            MulDivOp::Mult,
+            MulDivOp::Multu,
+            MulDivOp::Div,
+            MulDivOp::Divu,
+            MulDivOp::Dmult,
+            MulDivOp::Dmultu,
+            MulDivOp::Ddiv,
+            MulDivOp::Ddivu,
+        ] {
+            roundtrip(Inst::MulDiv { op, rs: 4, rt: 5 });
+        }
+        roundtrip(Inst::Mfhi { rd: 9 });
+        roundtrip(Inst::Mflo { rd: 9 });
+        roundtrip(Inst::Mthi { rs: 9 });
+        roundtrip(Inst::Mtlo { rs: 9 });
+    }
+
+    #[test]
+    fn branch_jump_roundtrip() {
+        for cond in [BranchCond::Eq, BranchCond::Ne] {
+            roundtrip(Inst::Branch { cond, rs: 1, rt: 2, offset: -4 });
+        }
+        for cond in [BranchCond::Lez, BranchCond::Gtz, BranchCond::Ltz, BranchCond::Gez] {
+            roundtrip(Inst::Branch { cond, rs: 1, rt: 0, offset: 100 });
+        }
+        roundtrip(Inst::BranchLink { cond: BranchCond::Gez, rs: 0, offset: 2 });
+        roundtrip(Inst::J { target: 0x123456 });
+        roundtrip(Inst::Jal { target: 0x3ff_ffff });
+        roundtrip(Inst::Jr { rs: reg::RA });
+        roundtrip(Inst::Jalr { rd: reg::RA, rs: reg::T9 });
+    }
+
+    #[test]
+    fn memory_roundtrip() {
+        for width in [Width::Byte, Width::Half, Width::Word, Width::Double] {
+            roundtrip(Inst::Load { width, rt: 7, base: 29, imm: -8, unsigned: false });
+            roundtrip(Inst::Store { width, rt: 7, base: 29, imm: 8 });
+        }
+        for width in [Width::Byte, Width::Half, Width::Word] {
+            roundtrip(Inst::Load { width, rt: 7, base: 29, imm: 4, unsigned: true });
+        }
+        for width in [Width::Word, Width::Double] {
+            roundtrip(Inst::LoadLinked { width, rt: 3, base: 4, imm: 0 });
+            roundtrip(Inst::StoreCond { width, rt: 3, base: 4, imm: 0 });
+        }
+    }
+
+    #[test]
+    fn system_roundtrip() {
+        roundtrip(Inst::Syscall { code: 0 });
+        roundtrip(Inst::Syscall { code: 77 });
+        roundtrip(Inst::Break { code: 1 });
+        roundtrip(Inst::Mfc0 { rt: 1, rd: 12 });
+        roundtrip(Inst::Mtc0 { rt: 1, rd: 12 });
+        roundtrip(Inst::Tlbwi);
+        roundtrip(Inst::Tlbwr);
+        roundtrip(Inst::Tlbp);
+        roundtrip(Inst::Tlbr);
+        roundtrip(Inst::Eret);
+    }
+
+    #[test]
+    fn cheri_roundtrip_all_table1() {
+        use crate::inst::CheriInst as C;
+        let cases = [
+            C::CGetBase { rd: 1, cb: 2 },
+            C::CGetLen { rd: 1, cb: 2 },
+            C::CGetTag { rd: 1, cb: 2 },
+            C::CGetPerm { rd: 1, cb: 2 },
+            C::CGetPCC { rd: 1, cd: 2 },
+            C::CIncBase { cd: 1, cb: 2, rt: 3 },
+            C::CSetLen { cd: 1, cb: 2, rt: 3 },
+            C::CClearTag { cd: 1, cb: 2 },
+            C::CAndPerm { cd: 1, cb: 2, rt: 3 },
+            C::CToPtr { rd: 1, cb: 2, ct: 0 },
+            C::CFromPtr { cd: 1, cb: 0, rt: 3 },
+            C::CBTU { cb: 4, offset: -2 },
+            C::CBTS { cb: 4, offset: 7 },
+            C::CLC { cd: 5, cb: 6, rt: 0, imm: -1 },
+            C::CSC { cs: 5, cb: 6, rt: 0, imm: 3 },
+            C::CLLD { rd: 5, cb: 6, rt: 0, imm: 0 },
+            C::CSCD { rs: 5, cb: 6, rt: 0, imm: 0 },
+            C::CJR { cb: 17 },
+            C::CJALR { cd: 17, cb: 18 },
+        ];
+        for c in cases {
+            roundtrip(Inst::Cheri(c));
+        }
+        for width in [Width::Byte, Width::Half, Width::Word, Width::Double] {
+            roundtrip(Inst::Cheri(C::CLoad { width, rd: 9, cb: 10, rt: 11, imm: -32, unsigned: false }));
+            roundtrip(Inst::Cheri(C::CStore { width, rs: 9, cb: 10, rt: 11, imm: 31 }));
+        }
+        for width in [Width::Byte, Width::Half, Width::Word] {
+            roundtrip(Inst::Cheri(C::CLoad { width, rd: 9, cb: 10, rt: 11, imm: 5, unsigned: true }));
+        }
+    }
+
+    #[test]
+    fn unknown_words_are_reserved() {
+        // COP3 (0x13) is unimplemented on BERI.
+        assert!(matches!(decode(0x13 << 26), Inst::Reserved { .. }));
+        // SPECIAL funct 0x01 is unallocated.
+        assert!(matches!(decode(0x0000_0001), Inst::Reserved { .. }));
+        // COP2 sub 31 is unallocated.
+        assert!(matches!(decode((0x12 << 26) | (31 << 21)), Inst::Reserved { .. }));
+    }
+
+    #[test]
+    fn nop_is_sll_zero() {
+        assert_eq!(
+            decode(0),
+            Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 }
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn encode_validates_registers() {
+        let _ = encode(&Inst::Jr { rs: 32 });
+    }
+
+    #[test]
+    #[should_panic(expected = "6-bit")]
+    fn encode_validates_cap_imm() {
+        let _ = encode(&Inst::Cheri(CheriInst::CLC { cd: 1, cb: 2, rt: 0, imm: 32 }));
+    }
+}

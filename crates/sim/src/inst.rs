@@ -1,0 +1,436 @@
+//! The decoded instruction set: the 64-bit MIPS IV subset BERI executes,
+//! plus the CHERI capability extensions of Table 1.
+
+use cheri_core::CapInstrKind;
+use core::fmt;
+
+/// MIPS ABI register numbers (n64 calling convention), used by the
+/// assembler and the OS.
+pub mod reg {
+    /// Hard-wired zero.
+    pub const ZERO: u8 = 0;
+    /// Assembler temporary.
+    pub const AT: u8 = 1;
+    /// Function result registers.
+    pub const V0: u8 = 2;
+    /// Second function result register.
+    pub const V1: u8 = 3;
+    /// Argument registers `$a0`–`$a7` (n64).
+    pub const A0: u8 = 4;
+    /// `$a1`.
+    pub const A1: u8 = 5;
+    /// `$a2`.
+    pub const A2: u8 = 6;
+    /// `$a3`.
+    pub const A3: u8 = 7;
+    /// `$a4`.
+    pub const A4: u8 = 8;
+    /// `$a5`.
+    pub const A5: u8 = 9;
+    /// `$a6`.
+    pub const A6: u8 = 10;
+    /// `$a7`.
+    pub const A7: u8 = 11;
+    /// Caller-saved temporaries `$t0`–`$t3` (n64 numbering: r12–r15).
+    pub const T0: u8 = 12;
+    /// `$t1`.
+    pub const T1: u8 = 13;
+    /// `$t2`.
+    pub const T2: u8 = 14;
+    /// `$t3`.
+    pub const T3: u8 = 15;
+    /// Callee-saved `$s0`–`$s7`.
+    pub const S0: u8 = 16;
+    /// `$s1`.
+    pub const S1: u8 = 17;
+    /// `$s2`.
+    pub const S2: u8 = 18;
+    /// `$s3`.
+    pub const S3: u8 = 19;
+    /// `$s4`.
+    pub const S4: u8 = 20;
+    /// `$s5`.
+    pub const S5: u8 = 21;
+    /// `$s6`.
+    pub const S6: u8 = 22;
+    /// `$s7`.
+    pub const S7: u8 = 23;
+    /// Caller-saved `$t8`, `$t9`.
+    pub const T8: u8 = 24;
+    /// `$t9`.
+    pub const T9: u8 = 25;
+    /// Kernel scratch registers.
+    pub const K0: u8 = 26;
+    /// Second kernel scratch register.
+    pub const K1: u8 = 27;
+    /// Global pointer.
+    pub const GP: u8 = 28;
+    /// Stack pointer.
+    pub const SP: u8 = 29;
+    /// Frame pointer.
+    pub const FP: u8 = 30;
+    /// Return address.
+    pub const RA: u8 = 31;
+}
+
+/// Width of a scalar memory access.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Width {
+    /// 8-bit.
+    Byte,
+    /// 16-bit.
+    Half,
+    /// 32-bit.
+    Word,
+    /// 64-bit.
+    Double,
+}
+
+impl Width {
+    /// Access size in bytes.
+    #[must_use]
+    pub const fn bytes(self) -> u64 {
+        match self {
+            Width::Byte => 1,
+            Width::Half => 2,
+            Width::Word => 4,
+            Width::Double => 8,
+        }
+    }
+}
+
+/// Three-register ALU operations (`SPECIAL` encodings).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluOp {
+    /// 32-bit add with overflow trap.
+    Add,
+    /// 32-bit add, no trap.
+    Addu,
+    /// 32-bit subtract with overflow trap.
+    Sub,
+    /// 32-bit subtract, no trap.
+    Subu,
+    /// 64-bit add with overflow trap.
+    Dadd,
+    /// 64-bit add, no trap.
+    Daddu,
+    /// 64-bit subtract with overflow trap.
+    Dsub,
+    /// 64-bit subtract, no trap.
+    Dsubu,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise nor.
+    Nor,
+    /// Set on less than (signed).
+    Slt,
+    /// Set on less than (unsigned).
+    Sltu,
+    /// Conditional move if zero.
+    Movz,
+    /// Conditional move if not zero.
+    Movn,
+}
+
+/// Shift operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ShiftOp {
+    /// 32-bit logical left.
+    Sll,
+    /// 32-bit logical right.
+    Srl,
+    /// 32-bit arithmetic right.
+    Sra,
+    /// 64-bit logical left.
+    Dsll,
+    /// 64-bit logical right.
+    Dsrl,
+    /// 64-bit arithmetic right.
+    Dsra,
+    /// 64-bit logical left by `shamt + 32`.
+    Dsll32,
+    /// 64-bit logical right by `shamt + 32`.
+    Dsrl32,
+    /// 64-bit arithmetic right by `shamt + 32`.
+    Dsra32,
+}
+
+/// HI/LO multiply–divide unit operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum MulDivOp {
+    /// 32-bit signed multiply.
+    Mult,
+    /// 32-bit unsigned multiply.
+    Multu,
+    /// 32-bit signed divide.
+    Div,
+    /// 32-bit unsigned divide.
+    Divu,
+    /// 64-bit signed multiply.
+    Dmult,
+    /// 64-bit unsigned multiply.
+    Dmultu,
+    /// 64-bit signed divide.
+    Ddiv,
+    /// 64-bit unsigned divide.
+    Ddivu,
+}
+
+/// Branch comparison conditions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum BranchCond {
+    /// `rs == rt`.
+    Eq,
+    /// `rs != rt`.
+    Ne,
+    /// `rs <= 0` (signed).
+    Lez,
+    /// `rs > 0` (signed).
+    Gtz,
+    /// `rs < 0` (signed).
+    Ltz,
+    /// `rs >= 0` (signed).
+    Gez,
+}
+
+/// A decoded instruction.
+///
+/// Field conventions follow the MIPS manuals: `rs`/`rt`/`rd` are GPR
+/// numbers, `cd`/`cb` are capability register numbers, `imm` is the raw
+/// 16-bit immediate (sign- or zero-extension happens at execute per
+/// instruction), and branch offsets are in instructions (to be shifted
+/// left by 2 and applied to the delay-slot PC).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Inst {
+    /// Three-register ALU operation: `rd = rs op rt`.
+    Alu { op: AluOp, rd: u8, rs: u8, rt: u8 },
+    /// Immediate ALU operation: `rt = rs op imm`.
+    AluImm { op: AluImmOp, rt: u8, rs: u8, imm: u16 },
+    /// Load upper immediate: `rt = sign_extend(imm << 16)`.
+    Lui { rt: u8, imm: u16 },
+    /// Constant-shift: `rd = rt shift shamt`.
+    Shift { op: ShiftOp, rd: u8, rt: u8, shamt: u8 },
+    /// Variable-shift: `rd = rt shift (rs & mask)`.
+    ShiftV { op: ShiftOp, rd: u8, rt: u8, rs: u8 },
+    /// Multiply/divide into HI/LO.
+    MulDiv { op: MulDivOp, rs: u8, rt: u8 },
+    /// Move from HI.
+    Mfhi { rd: u8 },
+    /// Move from LO.
+    Mflo { rd: u8 },
+    /// Move to HI.
+    Mthi { rs: u8 },
+    /// Move to LO.
+    Mtlo { rs: u8 },
+    /// Conditional branch with 16-bit offset (delay slot executes).
+    Branch { cond: BranchCond, rs: u8, rt: u8, offset: i16 },
+    /// Branch-and-link (`BLTZAL`/`BGEZAL`): link to `$ra`.
+    BranchLink { cond: BranchCond, rs: u8, offset: i16 },
+    /// Absolute-region jump.
+    J { target: u32 },
+    /// Jump and link.
+    Jal { target: u32 },
+    /// Jump register.
+    Jr { rs: u8 },
+    /// Jump and link register.
+    Jalr { rd: u8, rs: u8 },
+    /// Scalar load: `rt = mem[rs + imm]` (sign-extending unless
+    /// `unsigned`).
+    Load { width: Width, rt: u8, base: u8, imm: i16, unsigned: bool },
+    /// Scalar store: `mem[rs + imm] = rt`.
+    Store { width: Width, rt: u8, base: u8, imm: i16 },
+    /// Load linked (word or double).
+    LoadLinked { width: Width, rt: u8, base: u8, imm: i16 },
+    /// Store conditional (word or double); `rt` receives success flag.
+    StoreCond { width: Width, rt: u8, base: u8, imm: i16 },
+    /// System call.
+    Syscall { code: u32 },
+    /// Breakpoint.
+    Break { code: u32 },
+    /// Move from CP0 register `sel`-less: `rt = cp0[rd]`.
+    Mfc0 { rt: u8, rd: u8 },
+    /// Move to CP0: `cp0[rd] = rt`.
+    Mtc0 { rt: u8, rd: u8 },
+    /// TLB write indexed.
+    Tlbwi,
+    /// TLB write random.
+    Tlbwr,
+    /// TLB probe.
+    Tlbp,
+    /// TLB read indexed.
+    Tlbr,
+    /// Exception return.
+    Eret,
+    /// A CHERI coprocessor-2 instruction.
+    Cheri(CheriInst),
+    /// An encoding BERI does not implement (raises Reserved Instruction).
+    Reserved { word: u32 },
+}
+
+/// Immediate ALU operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum AluImmOp {
+    /// 32-bit add immediate with overflow trap (sign-extended).
+    Addi,
+    /// 32-bit add immediate (sign-extended), no trap.
+    Addiu,
+    /// 64-bit add immediate with overflow trap.
+    Daddi,
+    /// 64-bit add immediate, no trap.
+    Daddiu,
+    /// Set on less than immediate (signed, sign-extended).
+    Slti,
+    /// Set on less than immediate (unsigned compare, sign-extended imm).
+    Sltiu,
+    /// And with zero-extended immediate.
+    Andi,
+    /// Or with zero-extended immediate.
+    Ori,
+    /// Xor with zero-extended immediate.
+    Xori,
+}
+
+/// A decoded CHERI (COP2) instruction. See [`crate::decode`] for the
+/// encoding this simulator and the `cheri-asm` assembler share.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum CheriInst {
+    /// `CGetBase rd, cb`.
+    CGetBase { rd: u8, cb: u8 },
+    /// `CGetLen rd, cb`.
+    CGetLen { rd: u8, cb: u8 },
+    /// `CGetTag rd, cb`.
+    CGetTag { rd: u8, cb: u8 },
+    /// `CGetPerm rd, cb`.
+    CGetPerm { rd: u8, cb: u8 },
+    /// `CGetPCC rd, cd`: PC to GPR `rd`, PCC to capability register `cd`.
+    CGetPCC { rd: u8, cd: u8 },
+    /// `CIncBase cd, cb, rt`.
+    CIncBase { cd: u8, cb: u8, rt: u8 },
+    /// `CSetLen cd, cb, rt`.
+    CSetLen { cd: u8, cb: u8, rt: u8 },
+    /// `CClearTag cd, cb`.
+    CClearTag { cd: u8, cb: u8 },
+    /// `CAndPerm cd, cb, rt`.
+    CAndPerm { cd: u8, cb: u8, rt: u8 },
+    /// `CToPtr rd, cb, ct`.
+    CToPtr { rd: u8, cb: u8, ct: u8 },
+    /// `CFromPtr cd, cb, rt`.
+    CFromPtr { cd: u8, cb: u8, rt: u8 },
+    /// `CBTU cb, offset` — branch if tag unset.
+    CBTU { cb: u8, offset: i16 },
+    /// `CBTS cb, offset` — branch if tag set.
+    CBTS { cb: u8, offset: i16 },
+    /// `CLC cd, rt, imm(cb)` — load capability; `imm` scaled by 32.
+    CLC { cd: u8, cb: u8, rt: u8, imm: i8 },
+    /// `CSC cs, rt, imm(cb)` — store capability; `imm` scaled by 32.
+    CSC { cs: u8, cb: u8, rt: u8, imm: i8 },
+    /// `CL[BHWD][U] rd, rt, imm(cb)` — load via capability; `imm` scaled
+    /// by the access width.
+    CLoad { width: Width, rd: u8, cb: u8, rt: u8, imm: i8, unsigned: bool },
+    /// `CS[BHWD] rs, rt, imm(cb)` — store via capability.
+    CStore { width: Width, rs: u8, cb: u8, rt: u8, imm: i8 },
+    /// `CLLD rd, rt, imm(cb)` — load linked double via capability.
+    CLLD { rd: u8, cb: u8, rt: u8, imm: i8 },
+    /// `CSCD rs, rt, imm(cb)` — store conditional double via capability;
+    /// `rs` also receives the success flag.
+    CSCD { rs: u8, cb: u8, rt: u8, imm: i8 },
+    /// `CJR cb` — jump to `cb.base`, installing `cb` as `PCC`.
+    CJR { cb: u8 },
+    /// `CJALR cd, cb` — jump via `cb`, saving the return `PCC`+offset in
+    /// `cd`.
+    CJALR { cd: u8, cb: u8 },
+}
+
+impl CheriInst {
+    /// The Table 1 catalogue entry this instruction realises.
+    #[must_use]
+    pub fn kind(&self) -> CapInstrKind {
+        match self {
+            CheriInst::CGetBase { .. } => CapInstrKind::CGetBase,
+            CheriInst::CGetLen { .. } => CapInstrKind::CGetLen,
+            CheriInst::CGetTag { .. } => CapInstrKind::CGetTag,
+            CheriInst::CGetPerm { .. } => CapInstrKind::CGetPerm,
+            CheriInst::CGetPCC { .. } => CapInstrKind::CGetPCC,
+            CheriInst::CIncBase { .. } => CapInstrKind::CIncBase,
+            CheriInst::CSetLen { .. } => CapInstrKind::CSetLen,
+            CheriInst::CClearTag { .. } => CapInstrKind::CClearTag,
+            CheriInst::CAndPerm { .. } => CapInstrKind::CAndPerm,
+            CheriInst::CToPtr { .. } => CapInstrKind::CToPtr,
+            CheriInst::CFromPtr { .. } => CapInstrKind::CFromPtr,
+            CheriInst::CBTU { .. } => CapInstrKind::CBTU,
+            CheriInst::CBTS { .. } => CapInstrKind::CBTS,
+            CheriInst::CLC { .. } => CapInstrKind::CLC,
+            CheriInst::CSC { .. } => CapInstrKind::CSC,
+            CheriInst::CLoad { width, unsigned, .. } => match (width, unsigned) {
+                (Width::Byte, false) => CapInstrKind::CLB,
+                (Width::Byte, true) => CapInstrKind::CLBU,
+                (Width::Half, false) => CapInstrKind::CLH,
+                (Width::Half, true) => CapInstrKind::CLHU,
+                (Width::Word, false) => CapInstrKind::CLW,
+                (Width::Word, true) => CapInstrKind::CLWU,
+                (Width::Double, _) => CapInstrKind::CLD,
+            },
+            CheriInst::CStore { width, .. } => match width {
+                Width::Byte => CapInstrKind::CSB,
+                Width::Half => CapInstrKind::CSH,
+                Width::Word => CapInstrKind::CSW,
+                Width::Double => CapInstrKind::CSD,
+            },
+            CheriInst::CLLD { .. } => CapInstrKind::CLLD,
+            CheriInst::CSCD { .. } => CapInstrKind::CSCD,
+            CheriInst::CJR { .. } => CapInstrKind::CJR,
+            CheriInst::CJALR { .. } => CapInstrKind::CJALR,
+        }
+    }
+}
+
+impl fmt::Display for Inst {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Inst::Cheri(c) => write!(f, "{}", c.kind().mnemonic()),
+            other => write!(f, "{other:?}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn width_bytes() {
+        assert_eq!(Width::Byte.bytes(), 1);
+        assert_eq!(Width::Half.bytes(), 2);
+        assert_eq!(Width::Word.bytes(), 4);
+        assert_eq!(Width::Double.bytes(), 8);
+    }
+
+    #[test]
+    fn cheri_inst_maps_to_table1_kind() {
+        let i = CheriInst::CLoad { width: Width::Word, rd: 1, cb: 2, rt: 0, imm: 0, unsigned: true };
+        assert_eq!(i.kind(), CapInstrKind::CLWU);
+        let s = CheriInst::CStore { width: Width::Byte, rs: 1, cb: 2, rt: 0, imm: 0 };
+        assert_eq!(s.kind(), CapInstrKind::CSB);
+        assert_eq!(CheriInst::CJR { cb: 3 }.kind(), CapInstrKind::CJR);
+    }
+
+    #[test]
+    fn display_uses_mnemonics() {
+        let i = Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 2, rt: 3 });
+        assert_eq!(i.to_string(), "CIncBase");
+    }
+
+    #[test]
+    fn abi_register_numbers() {
+        assert_eq!(reg::ZERO, 0);
+        assert_eq!(reg::SP, 29);
+        assert_eq!(reg::RA, 31);
+        assert_eq!(reg::A7, 11);
+    }
+}

@@ -1,0 +1,1685 @@
+//! The machine: CPU + TLB + cache hierarchy + tagged memory, and the
+//! fetch/decode/execute loop.
+//!
+//! [`Machine::step`] executes exactly one instruction and reports what
+//! happened via [`StepResult`]. Exceptions (TLB refills, capability
+//! violations, syscalls) are *delivered to the embedder* — normally the
+//! `cheri-os` host-level kernel — with CP0/CP2 state updated as the
+//! hardware would; the faulting instruction is not retired, so fixing the
+//! cause (e.g. installing a TLB entry) and calling `step` again retries
+//! it.
+
+use cheri_core::{CapCause, CapExcCode, Capability, Compressed128, Perms};
+use cheri_mem::{MemError, TaggedMem};
+
+use crate::cache::{Hierarchy, HierarchyParams};
+use crate::cpu::Cpu;
+use crate::decode::decode;
+use crate::exception::{Exception, TrapKind};
+use crate::inst::{reg, AluImmOp, AluOp, BranchCond, CheriInst, Inst, MulDivOp, ShiftOp, Width};
+use crate::pipeline::{BranchPredictor, INDIRECT_JUMP_PENALTY, MISPREDICT_PENALTY};
+use crate::stats::Stats;
+use crate::tlb::{Tlb, TlbFlags, PAGE_SHIFT};
+
+/// Which in-memory capability format the machine implements.
+///
+/// Section 4.1: "An implementation intended for widespread deployment
+/// would likely use a denser representation — for example, 128-bits".
+/// The register file is architectural (full precision) in both modes;
+/// the format governs what `CLC`/`CSC` move through memory and the tag
+/// granule.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub enum CapFormat {
+    /// The 256-bit research format of Figure 1 (32-byte granule).
+    #[default]
+    C256,
+    /// The compressed 128-bit production format (16-byte granule);
+    /// capabilities must be representable (the capability-aware
+    /// allocator guarantees this) or `CSC` raises an alignment fault.
+    C128,
+}
+
+impl CapFormat {
+    /// In-memory capability size in bytes (= tag granule).
+    #[must_use]
+    pub const fn size(self) -> u64 {
+        match self {
+            CapFormat::C256 => 32,
+            CapFormat::C128 => 16,
+        }
+    }
+}
+
+/// Configuration of a [`Machine`].
+#[derive(Clone, Debug)]
+pub struct MachineConfig {
+    /// Physical memory size in bytes.
+    pub mem_bytes: usize,
+    /// Number of paired TLB entries (128 ⇒ 1 MB coverage, Figure 5).
+    pub tlb_entries: usize,
+    /// Cache geometry and latencies.
+    pub hierarchy: HierarchyParams,
+    /// Whether the capability coprocessor is fitted (false ⇒ pure BERI;
+    /// COP2 raises Coprocessor Unusable).
+    pub cheri_enabled: bool,
+    /// Tag-cache capacity in bytes (Section 4.2 default: 8 KB).
+    pub tag_cache_bytes: usize,
+    /// In-memory capability format (256-bit research / 128-bit
+    /// production).
+    pub cap_format: CapFormat,
+    /// Branch-history-table entries.
+    pub bht_entries: usize,
+    /// Extra cycles for a multiply.
+    pub mul_penalty: u64,
+    /// Extra cycles for a divide.
+    pub div_penalty: u64,
+}
+
+impl Default for MachineConfig {
+    fn default() -> MachineConfig {
+        MachineConfig {
+            mem_bytes: 64 << 20,
+            tlb_entries: crate::tlb::DEFAULT_ENTRIES,
+            hierarchy: HierarchyParams::default(),
+            cheri_enabled: true,
+            tag_cache_bytes: cheri_mem::DEFAULT_TAG_CACHE_BYTES,
+            cap_format: CapFormat::default(),
+            bht_entries: 512,
+            mul_penalty: 3,
+            div_penalty: 16,
+        }
+    }
+}
+
+/// What one [`Machine::step`] did.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum StepResult {
+    /// An ordinary instruction retired.
+    Continue,
+    /// `SYSCALL` executed; service it (arguments are in the GPRs) and
+    /// call [`Machine::advance_past_trap`] to resume after it.
+    Syscall,
+    /// `BREAK` executed with the given code.
+    Break(u32),
+    /// An exception was raised; the faulting instruction did not retire.
+    /// Retrying [`Machine::step`] re-executes it (correct for TLB
+    /// refills once the kernel installs a mapping).
+    Trap(Exception),
+}
+
+#[derive(Clone, Copy, Debug)]
+enum Outcome {
+    Next,
+    /// A conditional branch or branch-likely: `(target, taken)`.
+    Branch { target: u64, taken: bool, predicted: bool },
+    /// An unconditional jump with a delay slot.
+    Jump { target: u64, indirect: bool },
+    /// A capability jump: no delay slot; installs a new PCC.
+    CapJump { target: u64, pcc: Capability },
+    Trap { kind: TrapKind, badvaddr: Option<u64> },
+    Syscall,
+    Break(u32),
+}
+
+/// The simulated machine.
+pub struct Machine {
+    /// Architectural CPU state.
+    pub cpu: Cpu,
+    /// Tagged physical memory.
+    pub mem: TaggedMem,
+    /// Cache hierarchy (timing model).
+    pub hierarchy: Hierarchy,
+    /// Branch predictor (timing model).
+    pub predictor: BranchPredictor,
+    /// Execution statistics.
+    pub stats: Stats,
+    tlb: Tlb,
+    cfg: MachineConfig,
+    bare: bool,
+    // One-entry micro-TLBs so the common translation path is O(1);
+    // invalidated on any TLB mutation. (page_number, frame_number, flags)
+    utlb_fetch: Option<(u64, u64, TlbFlags)>,
+    utlb_load: Option<(u64, u64, TlbFlags)>,
+    utlb_store: Option<(u64, u64, TlbFlags)>,
+}
+
+impl Machine {
+    /// Builds a machine in "bare" mode (virtual = physical, no TLB
+    /// faults) — convenient for tests, examples, and micro-benchmarks.
+    /// The `cheri-os` kernel switches to translated mode via
+    /// [`Machine::enable_translation`].
+    #[must_use]
+    pub fn new(cfg: MachineConfig) -> Machine {
+        Machine {
+            cpu: Cpu::new(),
+            mem: TaggedMem::with_config(
+                cfg.mem_bytes,
+                cfg.tag_cache_bytes,
+                cfg.cap_format.size(),
+            ),
+            hierarchy: Hierarchy::new(cfg.hierarchy),
+            predictor: BranchPredictor::new(cfg.bht_entries),
+            stats: Stats::default(),
+            tlb: Tlb::new(cfg.tlb_entries),
+            cfg: cfg.clone(),
+            bare: true,
+            utlb_fetch: None,
+            utlb_load: None,
+            utlb_store: None,
+        }
+    }
+
+    /// The configuration this machine was built with.
+    #[must_use]
+    pub fn config(&self) -> &MachineConfig {
+        &self.cfg
+    }
+
+    /// Keeps virtual = physical (the reset state). Provided for symmetry
+    /// and self-documenting call sites in examples.
+    pub fn identity_map_all(&mut self) {
+        self.bare = true;
+    }
+
+    /// Switches to TLB-translated mode; subsequent accesses fault until
+    /// mappings are installed.
+    pub fn enable_translation(&mut self) {
+        self.bare = false;
+        self.invalidate_utlb();
+    }
+
+    /// Whether translation is active.
+    #[must_use]
+    pub fn translation_enabled(&self) -> bool {
+        !self.bare
+    }
+
+    fn invalidate_utlb(&mut self) {
+        self.utlb_fetch = None;
+        self.utlb_load = None;
+        self.utlb_store = None;
+    }
+
+    /// Installs a 4 KB mapping (kernel TLB-refill path).
+    pub fn tlb_install(&mut self, vaddr: u64, paddr: u64, flags: TlbFlags) {
+        self.tlb.install(vaddr, paddr, flags);
+        self.invalidate_utlb();
+    }
+
+    /// Flushes the TLB (context switch / `execve`).
+    pub fn tlb_flush(&mut self) {
+        self.tlb.flush();
+        self.invalidate_utlb();
+    }
+
+    /// Invalidates the page containing `vaddr` (revocation by unmapping).
+    pub fn tlb_invalidate_page(&mut self, vaddr: u64) {
+        self.tlb.invalidate_page(vaddr);
+        self.invalidate_utlb();
+    }
+
+    /// Read-only view of the TLB.
+    #[must_use]
+    pub fn tlb(&self) -> &Tlb {
+        &self.tlb
+    }
+
+    /// Adds kernel-side cycles (e.g. the software TLB-refill handler) to
+    /// the cycle count.
+    pub fn charge_cycles(&mut self, cycles: u64) {
+        self.stats.cycles += cycles;
+    }
+
+    /// Copies a code/data image into *physical* memory (also usable as
+    /// virtual in bare mode).
+    ///
+    /// # Errors
+    ///
+    /// [`MemError`] if the image does not fit.
+    pub fn load_code(&mut self, paddr: u64, words: &[u32]) -> Result<(), MemError> {
+        for (i, w) in words.iter().enumerate() {
+            self.mem.write_u32(paddr + 4 * i as u64, *w)?;
+        }
+        Ok(())
+    }
+
+    fn translate(
+        &mut self,
+        vaddr: u64,
+        write: bool,
+        fetch: bool,
+    ) -> Result<(u64, TlbFlags), TrapKind> {
+        if self.bare {
+            return Ok((vaddr, TlbFlags::rw()));
+        }
+        let page = vaddr >> PAGE_SHIFT;
+        let slot = if fetch {
+            &self.utlb_fetch
+        } else if write {
+            &self.utlb_store
+        } else {
+            &self.utlb_load
+        };
+        if let Some((p, f, fl)) = slot {
+            if *p == page {
+                return Ok(((f << PAGE_SHIFT) | (vaddr & 0xfff), *fl));
+            }
+        }
+        let t = self.tlb.translate(vaddr, write)?;
+        let entry = (page, t.paddr >> PAGE_SHIFT, t.flags);
+        if fetch {
+            self.utlb_fetch = Some(entry);
+        } else if write {
+            self.utlb_store = Some(entry);
+        } else {
+            self.utlb_load = Some(entry);
+        }
+        Ok((t.paddr, t.flags))
+    }
+
+    fn trap(&mut self, kind: TrapKind, badvaddr: Option<u64>) -> StepResult {
+        let in_ds = self.cpu.in_delay_slot();
+        let epc = if in_ds { self.cpu.pc.wrapping_sub(4) } else { self.cpu.pc };
+        let code = match kind {
+            TrapKind::TlbRefill { write, .. } | TrapKind::TlbInvalid { write, .. } => {
+                if write {
+                    3
+                } else {
+                    2
+                }
+            }
+            TrapKind::TlbModified { .. } => 1,
+            TrapKind::AddressError { write, .. } => {
+                if write {
+                    5
+                } else {
+                    4
+                }
+            }
+            TrapKind::Syscall { .. } => 8,
+            TrapKind::Break { .. } => 9,
+            TrapKind::ReservedInstruction { .. } => 10,
+            TrapKind::CoprocessorUnusable => 11,
+            TrapKind::IntegerOverflow => 12,
+            TrapKind::CapViolation(_) => 18, // C2E, the CP2 exception code
+        };
+        self.cpu.cp0.raise(epc, in_ds, code, badvaddr);
+        self.stats.exceptions += 1;
+        match kind {
+            TrapKind::TlbRefill { .. } => self.stats.tlb_refills += 1,
+            TrapKind::CapViolation(cause) => {
+                self.stats.cap_violations += 1;
+                self.cpu.cp0.raise_cap(cause);
+            }
+            _ => {}
+        }
+        StepResult::Trap(Exception { kind, pc: self.cpu.pc })
+    }
+
+    /// Resumes past a `SYSCALL`/`BREAK` (or an instruction the kernel
+    /// chooses to skip): execution continues at the next architectural
+    /// PC, honouring any pending branch.
+    pub fn advance_past_trap(&mut self) {
+        let next = self.cpu.next_pc;
+        self.cpu.jump_to(next);
+    }
+
+    /// Executes one instruction.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MemError`] only for *simulator-level* faults (an access
+    /// to nonexistent physical memory in bare mode, or a kernel mapping
+    /// pointing outside DRAM). All architectural failures are reported
+    /// as [`StepResult::Trap`].
+    #[allow(clippy::too_many_lines, clippy::missing_panics_doc)]
+    pub fn step(&mut self) -> Result<StepResult, MemError> {
+        let pc = self.cpu.pc;
+
+        // Instruction fetch: PCC check (Execute-stage validation per
+        // Section 4.4), translation, I-cache, memory.
+        if let Err(c) = self.cpu.caps.pcc().check_execute(pc) {
+            return Ok(self.trap(
+                TrapKind::CapViolation(c.with_reg(cheri_core::exception::PCC_FAULT_REG)),
+                Some(pc),
+            ));
+        }
+        let (ppc, _) = match self.translate(pc, false, true) {
+            Ok(t) => t,
+            Err(kind) => return Ok(self.trap(kind, Some(pc))),
+        };
+        self.stats.cycles += self.hierarchy.fetch(ppc);
+        let word = self.mem.read_u32(ppc)?;
+        let inst = decode(word);
+
+        let outcome = self.execute(&inst)?;
+
+        // Retire.
+        match outcome {
+            Outcome::Trap { kind, badvaddr } => return Ok(self.trap(kind, badvaddr)),
+            Outcome::Syscall => {
+                self.stats.syscalls += 1;
+                let _ = self.trap(TrapKind::Syscall { code: 0 }, None);
+                // Keep PC at the syscall; the kernel resumes via
+                // advance_past_trap(). Reported as its own variant for
+                // ergonomic dispatch.
+                self.stats.exceptions -= 1; // not counted as an error path
+                return Ok(StepResult::Syscall);
+            }
+            Outcome::Break(code) => {
+                let _ = self.trap(TrapKind::Break { code }, None);
+                return Ok(StepResult::Break(code));
+            }
+            _ => {}
+        }
+
+        self.stats.instructions += 1;
+        self.stats.cycles += 1;
+        self.cpu.cp0.count = self.cpu.cp0.count.wrapping_add(1);
+        if matches!(inst, Inst::Cheri(_)) {
+            self.stats.cap_instructions += 1;
+        }
+
+        let fallthrough = self.cpu.next_pc;
+        match outcome {
+            Outcome::Next => {
+                self.cpu.pc = fallthrough;
+                self.cpu.next_pc = fallthrough.wrapping_add(4);
+            }
+            Outcome::Branch { target, taken, predicted } => {
+                self.stats.branches += 1;
+                if predicted != taken {
+                    self.stats.mispredicts += 1;
+                    self.stats.cycles += MISPREDICT_PENALTY;
+                }
+                self.cpu.pc = fallthrough;
+                self.cpu.next_pc = if taken { target } else { fallthrough.wrapping_add(4) };
+            }
+            Outcome::Jump { target, indirect } => {
+                if indirect {
+                    self.stats.cycles += INDIRECT_JUMP_PENALTY;
+                }
+                self.cpu.pc = fallthrough;
+                self.cpu.next_pc = target;
+            }
+            Outcome::CapJump { target, pcc } => {
+                // Capability jumps have no delay slot in this
+                // implementation: PCC changes atomically with PC.
+                self.stats.cycles += INDIRECT_JUMP_PENALTY;
+                self.cpu.caps.set_pcc(pcc);
+                self.cpu.jump_to(target);
+            }
+            Outcome::Trap { .. } | Outcome::Syscall | Outcome::Break(_) => unreachable!(),
+        }
+        Ok(StepResult::Continue)
+    }
+
+    /// Runs until a syscall, break, trap, or `max_steps` instructions.
+    ///
+    /// # Errors
+    ///
+    /// Propagates simulator-level [`MemError`]s from [`Machine::step`].
+    pub fn run(&mut self, max_steps: u64) -> Result<StepResult, MemError> {
+        for _ in 0..max_steps {
+            match self.step()? {
+                StepResult::Continue => {}
+                other => return Ok(other),
+            }
+        }
+        Ok(StepResult::Continue)
+    }
+
+    // --- data-access helpers ---------------------------------------------
+
+    /// A legacy (MIPS) data access: implicitly offset and bounded by C0.
+    fn legacy_access(
+        &mut self,
+        base: u8,
+        imm: i16,
+        width: Width,
+        write: bool,
+    ) -> Result<u64, Outcome> {
+        let addr = self.cpu.get_gpr(base).wrapping_add(imm as i64 as u64);
+        let c0 = *self.cpu.caps.c0();
+        let vaddr = c0.base().wrapping_add(addr);
+        self.checked_access(vaddr, width.bytes(), write, &c0, 0)
+    }
+
+    /// A capability-relative data access via `cb`.
+    fn cap_access(
+        &mut self,
+        cb: u8,
+        rt: u8,
+        imm: i8,
+        width: Width,
+        write: bool,
+    ) -> Result<u64, Outcome> {
+        let cap = *self.cpu.caps.get(cb);
+        let offset = self
+            .cpu
+            .get_gpr(rt)
+            .wrapping_add((i64::from(imm) * width.bytes() as i64) as u64);
+        let vaddr = cap.base().wrapping_add(offset);
+        self.checked_access(vaddr, width.bytes(), write, &cap, cb)
+    }
+
+    /// Shared tail: alignment, capability check, translation, cache
+    /// timing. Returns the physical address.
+    fn checked_access(
+        &mut self,
+        vaddr: u64,
+        size: u64,
+        write: bool,
+        cap: &Capability,
+        cap_reg: u8,
+    ) -> Result<u64, Outcome> {
+        if !vaddr.is_multiple_of(size) {
+            return Err(Outcome::Trap {
+                kind: TrapKind::AddressError { vaddr, write },
+                badvaddr: Some(vaddr),
+            });
+        }
+        let perm = if write { Perms::STORE } else { Perms::LOAD };
+        if let Err(c) = cap.check_data_access(vaddr, size, perm) {
+            return Err(Outcome::Trap {
+                kind: TrapKind::CapViolation(c.with_reg(cap_reg)),
+                badvaddr: Some(vaddr),
+            });
+        }
+        let (paddr, _) = self
+            .translate(vaddr, write, false)
+            .map_err(|kind| Outcome::Trap { kind, badvaddr: Some(vaddr) })?;
+        self.stats.cycles += self.hierarchy.data(paddr, size, write);
+        if write {
+            self.stats.stores += 1;
+            self.stats.bytes_stored += size;
+            self.cpu.ll_reservation = None;
+        } else {
+            self.stats.loads += 1;
+            self.stats.bytes_loaded += size;
+        }
+        Ok(paddr)
+    }
+
+    fn load_value(&mut self, paddr: u64, width: Width, unsigned: bool) -> Result<u64, MemError> {
+        Ok(match (width, unsigned) {
+            (Width::Byte, false) => self.mem.read_u8(paddr)? as i8 as i64 as u64,
+            (Width::Byte, true) => u64::from(self.mem.read_u8(paddr)?),
+            (Width::Half, false) => self.mem.read_u16(paddr)? as i16 as i64 as u64,
+            (Width::Half, true) => u64::from(self.mem.read_u16(paddr)?),
+            (Width::Word, false) => self.mem.read_u32(paddr)? as i32 as i64 as u64,
+            (Width::Word, true) => u64::from(self.mem.read_u32(paddr)?),
+            (Width::Double, _) => self.mem.read_u64(paddr)?,
+        })
+    }
+
+    fn store_value(&mut self, paddr: u64, width: Width, value: u64) -> Result<(), MemError> {
+        match width {
+            Width::Byte => self.mem.write_u8(paddr, value as u8),
+            Width::Half => self.mem.write_u16(paddr, value as u16),
+            Width::Word => self.mem.write_u32(paddr, value as u32),
+            Width::Double => self.mem.write_u64(paddr, value),
+        }
+    }
+
+    // --- execute -----------------------------------------------------------
+
+    #[allow(clippy::too_many_lines)]
+    fn execute(&mut self, inst: &Inst) -> Result<Outcome, MemError> {
+        let pc = self.cpu.pc;
+        let branch_target =
+            |offset: i16| pc.wrapping_add(4).wrapping_add((i64::from(offset) << 2) as u64);
+
+        Ok(match *inst {
+            Inst::Alu { op, rd, rs, rt } => {
+                let a = self.cpu.get_gpr(rs);
+                let b = self.cpu.get_gpr(rt);
+                let v = match op {
+                    AluOp::Addu => sext32((a as u32).wrapping_add(b as u32)),
+                    AluOp::Subu => sext32((a as u32).wrapping_sub(b as u32)),
+                    AluOp::Add => match (a as u32 as i32).checked_add(b as u32 as i32) {
+                        Some(v) => v as i64 as u64,
+                        None => {
+                            return Ok(Outcome::Trap {
+                                kind: TrapKind::IntegerOverflow,
+                                badvaddr: None,
+                            })
+                        }
+                    },
+                    AluOp::Sub => match (a as u32 as i32).checked_sub(b as u32 as i32) {
+                        Some(v) => v as i64 as u64,
+                        None => {
+                            return Ok(Outcome::Trap {
+                                kind: TrapKind::IntegerOverflow,
+                                badvaddr: None,
+                            })
+                        }
+                    },
+                    AluOp::Daddu => a.wrapping_add(b),
+                    AluOp::Dsubu => a.wrapping_sub(b),
+                    AluOp::Dadd => match (a as i64).checked_add(b as i64) {
+                        Some(v) => v as u64,
+                        None => {
+                            return Ok(Outcome::Trap {
+                                kind: TrapKind::IntegerOverflow,
+                                badvaddr: None,
+                            })
+                        }
+                    },
+                    AluOp::Dsub => match (a as i64).checked_sub(b as i64) {
+                        Some(v) => v as u64,
+                        None => {
+                            return Ok(Outcome::Trap {
+                                kind: TrapKind::IntegerOverflow,
+                                badvaddr: None,
+                            })
+                        }
+                    },
+                    AluOp::And => a & b,
+                    AluOp::Or => a | b,
+                    AluOp::Xor => a ^ b,
+                    AluOp::Nor => !(a | b),
+                    AluOp::Slt => u64::from((a as i64) < (b as i64)),
+                    AluOp::Sltu => u64::from(a < b),
+                    AluOp::Movz => {
+                        if b == 0 {
+                            a
+                        } else {
+                            self.cpu.get_gpr(rd)
+                        }
+                    }
+                    AluOp::Movn => {
+                        if b != 0 {
+                            a
+                        } else {
+                            self.cpu.get_gpr(rd)
+                        }
+                    }
+                };
+                self.cpu.set_gpr(rd, v);
+                Outcome::Next
+            }
+            Inst::AluImm { op, rt, rs, imm } => {
+                let a = self.cpu.get_gpr(rs);
+                let se = imm as i16 as i64 as u64;
+                let ze = u64::from(imm);
+                let v = match op {
+                    AluImmOp::Addiu => sext32((a as u32).wrapping_add(se as u32)),
+                    AluImmOp::Daddiu => a.wrapping_add(se),
+                    AluImmOp::Addi => match (a as u32 as i32).checked_add(se as u32 as i32) {
+                        Some(v) => v as i64 as u64,
+                        None => {
+                            return Ok(Outcome::Trap {
+                                kind: TrapKind::IntegerOverflow,
+                                badvaddr: None,
+                            })
+                        }
+                    },
+                    AluImmOp::Daddi => match (a as i64).checked_add(se as i64) {
+                        Some(v) => v as u64,
+                        None => {
+                            return Ok(Outcome::Trap {
+                                kind: TrapKind::IntegerOverflow,
+                                badvaddr: None,
+                            })
+                        }
+                    },
+                    AluImmOp::Slti => u64::from((a as i64) < (se as i64)),
+                    AluImmOp::Sltiu => u64::from(a < se),
+                    AluImmOp::Andi => a & ze,
+                    AluImmOp::Ori => a | ze,
+                    AluImmOp::Xori => a ^ ze,
+                };
+                self.cpu.set_gpr(rt, v);
+                Outcome::Next
+            }
+            Inst::Lui { rt, imm } => {
+                self.cpu.set_gpr(rt, sext32(u32::from(imm) << 16));
+                Outcome::Next
+            }
+            Inst::Shift { op, rd, rt, shamt } => {
+                let v = shift(op, self.cpu.get_gpr(rt), u32::from(shamt));
+                self.cpu.set_gpr(rd, v);
+                Outcome::Next
+            }
+            Inst::ShiftV { op, rd, rt, rs } => {
+                let mask = match op {
+                    ShiftOp::Sll | ShiftOp::Srl | ShiftOp::Sra => 31,
+                    _ => 63,
+                };
+                let v = shift(op, self.cpu.get_gpr(rt), (self.cpu.get_gpr(rs) as u32) & mask);
+                self.cpu.set_gpr(rd, v);
+                Outcome::Next
+            }
+            Inst::MulDiv { op, rs, rt } => {
+                let a = self.cpu.get_gpr(rs);
+                let b = self.cpu.get_gpr(rt);
+                let (hi, lo, cyc) = muldiv(op, a, b, self.cfg.mul_penalty, self.cfg.div_penalty);
+                self.cpu.hi = hi;
+                self.cpu.lo = lo;
+                self.stats.cycles += cyc;
+                Outcome::Next
+            }
+            Inst::Mfhi { rd } => {
+                let hi = self.cpu.hi;
+                self.cpu.set_gpr(rd, hi);
+                Outcome::Next
+            }
+            Inst::Mflo { rd } => {
+                let lo = self.cpu.lo;
+                self.cpu.set_gpr(rd, lo);
+                Outcome::Next
+            }
+            Inst::Mthi { rs } => {
+                self.cpu.hi = self.cpu.get_gpr(rs);
+                Outcome::Next
+            }
+            Inst::Mtlo { rs } => {
+                self.cpu.lo = self.cpu.get_gpr(rs);
+                Outcome::Next
+            }
+            Inst::Branch { cond, rs, rt, offset } => {
+                let a = self.cpu.get_gpr(rs) as i64;
+                let b = self.cpu.get_gpr(rt) as i64;
+                let taken = match cond {
+                    BranchCond::Eq => a == b,
+                    BranchCond::Ne => a != b,
+                    BranchCond::Lez => a <= 0,
+                    BranchCond::Gtz => a > 0,
+                    BranchCond::Ltz => a < 0,
+                    BranchCond::Gez => a >= 0,
+                };
+                let predicted = self.predictor.predict(pc);
+                self.predictor.update(pc, taken);
+                Outcome::Branch { target: branch_target(offset), taken, predicted }
+            }
+            Inst::BranchLink { cond, rs, offset } => {
+                let a = self.cpu.get_gpr(rs) as i64;
+                let taken = match cond {
+                    BranchCond::Ltz => a < 0,
+                    BranchCond::Gez => a >= 0,
+                    _ => unreachable!("decoder only produces Ltz/Gez links"),
+                };
+                self.cpu.set_gpr(reg::RA, pc.wrapping_add(8));
+                let predicted = self.predictor.predict(pc);
+                self.predictor.update(pc, taken);
+                Outcome::Branch { target: branch_target(offset), taken, predicted }
+            }
+            Inst::J { target } => Outcome::Jump {
+                target: (pc.wrapping_add(4) & !0x0fff_ffff) | (u64::from(target) << 2),
+                indirect: false,
+            },
+            Inst::Jal { target } => {
+                self.cpu.set_gpr(reg::RA, pc.wrapping_add(8));
+                Outcome::Jump {
+                    target: (pc.wrapping_add(4) & !0x0fff_ffff) | (u64::from(target) << 2),
+                    indirect: false,
+                }
+            }
+            Inst::Jr { rs } => Outcome::Jump { target: self.cpu.get_gpr(rs), indirect: true },
+            Inst::Jalr { rd, rs } => {
+                let target = self.cpu.get_gpr(rs);
+                self.cpu.set_gpr(rd, pc.wrapping_add(8));
+                Outcome::Jump { target, indirect: true }
+            }
+            Inst::Load { width, rt, base, imm, unsigned } => {
+                match self.legacy_access(base, imm, width, false) {
+                    Ok(paddr) => {
+                        let v = self.load_value(paddr, width, unsigned)?;
+                        self.cpu.set_gpr(rt, v);
+                        Outcome::Next
+                    }
+                    Err(o) => o,
+                }
+            }
+            Inst::Store { width, rt, base, imm } => {
+                match self.legacy_access(base, imm, width, true) {
+                    Ok(paddr) => {
+                        let v = self.cpu.get_gpr(rt);
+                        self.store_value(paddr, width, v)?;
+                        Outcome::Next
+                    }
+                    Err(o) => o,
+                }
+            }
+            Inst::LoadLinked { width, rt, base, imm } => {
+                match self.legacy_access(base, imm, width, false) {
+                    Ok(paddr) => {
+                        let v = self.load_value(paddr, width, false)?;
+                        self.cpu.set_gpr(rt, v);
+                        self.cpu.ll_reservation = Some(paddr);
+                        Outcome::Next
+                    }
+                    Err(o) => o,
+                }
+            }
+            Inst::StoreCond { width, rt, base, imm } => {
+                let reserved = self.cpu.ll_reservation;
+                match self.legacy_access(base, imm, width, true) {
+                    Ok(paddr) => {
+                        if reserved == Some(paddr) {
+                            let v = self.cpu.get_gpr(rt);
+                            self.store_value(paddr, width, v)?;
+                            self.cpu.set_gpr(rt, 1);
+                        } else {
+                            self.cpu.set_gpr(rt, 0);
+                        }
+                        self.cpu.ll_reservation = None;
+                        Outcome::Next
+                    }
+                    Err(o) => o,
+                }
+            }
+            Inst::Syscall { .. } => Outcome::Syscall,
+            Inst::Break { code } => Outcome::Break(code),
+            Inst::Mfc0 { rt, rd } => {
+                let v = self.cpu.cp0.read(rd);
+                self.cpu.set_gpr(rt, v);
+                Outcome::Next
+            }
+            Inst::Mtc0 { rt, rd } => {
+                let v = self.cpu.get_gpr(rt);
+                self.cpu.cp0.write(rd, v);
+                Outcome::Next
+            }
+            Inst::Tlbwi | Inst::Tlbwr => {
+                let entry = self.entry_from_cp0();
+                if matches!(inst, Inst::Tlbwi) {
+                    let idx = (self.cpu.cp0.index as usize) % self.tlb.len();
+                    self.tlb.write_indexed(idx, entry);
+                } else {
+                    self.tlb.write_random(entry);
+                }
+                self.invalidate_utlb();
+                Outcome::Next
+            }
+            Inst::Tlbp => {
+                let vaddr = self.cpu.cp0.entryhi;
+                self.cpu.cp0.index = match self.tlb.probe(vaddr) {
+                    Some(i) => i as u64,
+                    None => 1 << 31, // P bit: not found
+                };
+                Outcome::Next
+            }
+            Inst::Tlbr => {
+                let idx = (self.cpu.cp0.index as usize) % self.tlb.len();
+                let e = self.tlb.read_indexed(idx);
+                self.cpu.cp0.entryhi = e.vpn2 << (PAGE_SHIFT + 1);
+                self.cpu.cp0.entrylo0 = lo_from_flags(e.pfn0, e.flags0);
+                self.cpu.cp0.entrylo1 = lo_from_flags(e.pfn1, e.flags1);
+                Outcome::Next
+            }
+            Inst::Eret => {
+                let epc = self.cpu.cp0.epc;
+                self.cpu.jump_to(epc);
+                // ERET has no delay slot; model as a no-delay jump by
+                // treating it like a capability jump with unchanged PCC.
+                let pcc = *self.cpu.caps.pcc();
+                Outcome::CapJump { target: epc, pcc }
+            }
+            Inst::Cheri(c) => {
+                if !self.cfg.cheri_enabled {
+                    return Ok(Outcome::Trap {
+                        kind: TrapKind::CoprocessorUnusable,
+                        badvaddr: None,
+                    });
+                }
+                self.execute_cheri(&c)?
+            }
+            Inst::Reserved { word } => Outcome::Trap {
+                kind: TrapKind::ReservedInstruction { word },
+                badvaddr: None,
+            },
+        })
+    }
+
+    fn entry_from_cp0(&self) -> crate::tlb::TlbEntry {
+        crate::tlb::TlbEntry {
+            vpn2: self.cpu.cp0.entryhi >> (PAGE_SHIFT + 1),
+            pfn0: (self.cpu.cp0.entrylo0 >> 6) & 0xf_ffff_ffff,
+            flags0: flags_from_lo(self.cpu.cp0.entrylo0),
+            pfn1: (self.cpu.cp0.entrylo1 >> 6) & 0xf_ffff_ffff,
+            flags1: flags_from_lo(self.cpu.cp0.entrylo1),
+            present: true,
+        }
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn execute_cheri(&mut self, c: &CheriInst) -> Result<Outcome, MemError> {
+        let pc = self.cpu.pc;
+        let branch_target =
+            |offset: i16| pc.wrapping_add(4).wrapping_add((i64::from(offset) << 2) as u64);
+        let cap_trap = |cause: CapCause, reg: u8| Outcome::Trap {
+            kind: TrapKind::CapViolation(cause.with_reg(reg)),
+            badvaddr: None,
+        };
+
+        Ok(match *c {
+            CheriInst::CGetBase { rd, cb } => {
+                let v = self.cpu.caps.get(cb).base();
+                self.cpu.set_gpr(rd, v);
+                Outcome::Next
+            }
+            CheriInst::CGetLen { rd, cb } => {
+                let v = self.cpu.caps.get(cb).length();
+                self.cpu.set_gpr(rd, v);
+                Outcome::Next
+            }
+            CheriInst::CGetTag { rd, cb } => {
+                let v = u64::from(self.cpu.caps.get(cb).tag());
+                self.cpu.set_gpr(rd, v);
+                Outcome::Next
+            }
+            CheriInst::CGetPerm { rd, cb } => {
+                let v = u64::from(self.cpu.caps.get(cb).perms().bits());
+                self.cpu.set_gpr(rd, v);
+                Outcome::Next
+            }
+            CheriInst::CGetPCC { rd, cd } => {
+                self.cpu.set_gpr(rd, pc);
+                let pcc = *self.cpu.caps.pcc();
+                self.cpu.caps.set(cd, pcc);
+                Outcome::Next
+            }
+            CheriInst::CIncBase { cd, cb, rt } => {
+                let delta = self.cpu.get_gpr(rt);
+                match self.cpu.caps.get(cb).inc_base(delta) {
+                    Ok(ncap) => {
+                        self.cpu.caps.set(cd, ncap);
+                        Outcome::Next
+                    }
+                    Err(e) => cap_trap(e, cb),
+                }
+            }
+            CheriInst::CSetLen { cd, cb, rt } => {
+                let len = self.cpu.get_gpr(rt);
+                match self.cpu.caps.get(cb).set_len(len) {
+                    Ok(ncap) => {
+                        self.cpu.caps.set(cd, ncap);
+                        Outcome::Next
+                    }
+                    Err(e) => cap_trap(e, cb),
+                }
+            }
+            CheriInst::CClearTag { cd, cb } => {
+                let ncap = self.cpu.caps.get(cb).clear_tag();
+                self.cpu.caps.set(cd, ncap);
+                Outcome::Next
+            }
+            CheriInst::CAndPerm { cd, cb, rt } => {
+                let mask = Perms::from_bits_truncate(self.cpu.get_gpr(rt) as u32);
+                match self.cpu.caps.get(cb).and_perm(mask) {
+                    Ok(ncap) => {
+                        self.cpu.caps.set(cd, ncap);
+                        Outcome::Next
+                    }
+                    Err(e) => cap_trap(e, cb),
+                }
+            }
+            CheriInst::CToPtr { rd, cb, ct } => {
+                let v = self.cpu.caps.get(cb).to_ptr(self.cpu.caps.get(ct));
+                self.cpu.set_gpr(rd, v);
+                Outcome::Next
+            }
+            CheriInst::CFromPtr { cd, cb, rt } => {
+                let ptr = self.cpu.get_gpr(rt);
+                match Capability::from_ptr(self.cpu.caps.get(cb), ptr) {
+                    Ok(ncap) => {
+                        self.cpu.caps.set(cd, ncap);
+                        Outcome::Next
+                    }
+                    Err(e) => cap_trap(e, cb),
+                }
+            }
+            CheriInst::CBTU { cb, offset } | CheriInst::CBTS { cb, offset } => {
+                let tag = self.cpu.caps.get(cb).tag();
+                let taken = match c {
+                    CheriInst::CBTU { .. } => !tag,
+                    _ => tag,
+                };
+                let predicted = self.predictor.predict(pc);
+                self.predictor.update(pc, taken);
+                Outcome::Branch { target: branch_target(offset), taken, predicted }
+            }
+            CheriInst::CLC { cd, cb, rt, imm } => {
+                let csize = self.cfg.cap_format.size();
+                let cap = *self.cpu.caps.get(cb);
+                let offset = self
+                    .cpu
+                    .get_gpr(rt)
+                    .wrapping_add((i64::from(imm) * csize as i64) as u64);
+                let vaddr = cap.base().wrapping_add(offset);
+                if let Err(e) = cap.check_cap_access_g(vaddr, false, csize) {
+                    return Ok(cap_trap(e, cb));
+                }
+                let (paddr, flags) = match self.translate(vaddr, false, false) {
+                    Ok(t) => t,
+                    Err(kind) => return Ok(Outcome::Trap { kind, badvaddr: Some(vaddr) }),
+                };
+                self.stats.cycles += self.hierarchy.data(paddr, csize, false);
+                self.stats.loads += 1;
+                self.stats.bytes_loaded += csize;
+                self.stats.cap_loads += 1;
+                let before = self.mem.tag_stats().misses;
+                let mut loaded = self.load_cap_formatted(paddr)?;
+                self.charge_tag_misses(before);
+                // A page without the capability-load permission strips
+                // tags on load (Section 6.1's sharing-without-capabilities).
+                if !self.bare && !flags.cap_load {
+                    loaded = loaded.clear_tag();
+                }
+                self.cpu.caps.set(cd, loaded);
+                Outcome::Next
+            }
+            CheriInst::CSC { cs, cb, rt, imm } => {
+                let csize = self.cfg.cap_format.size();
+                let cap = *self.cpu.caps.get(cb);
+                let offset = self
+                    .cpu
+                    .get_gpr(rt)
+                    .wrapping_add((i64::from(imm) * csize as i64) as u64);
+                let vaddr = cap.base().wrapping_add(offset);
+                if let Err(e) = cap.check_cap_access_g(vaddr, true, csize) {
+                    return Ok(cap_trap(e, cb));
+                }
+                let stored = *self.cpu.caps.get(cs);
+                let (paddr, flags) = match self.translate(vaddr, true, false) {
+                    Ok(t) => t,
+                    Err(kind) => return Ok(Outcome::Trap { kind, badvaddr: Some(vaddr) }),
+                };
+                if !self.bare && stored.tag() && !flags.cap_store {
+                    return Ok(cap_trap(
+                        CapCause::new(CapExcCode::TlbProhibitStoreCap, cs),
+                        cs,
+                    ));
+                }
+                if self.cfg.cap_format == CapFormat::C128
+                    && stored.tag()
+                    && Compressed128::try_from_cap(&stored).is_err()
+                {
+                    // The 128-bit format cannot represent this region
+                    // (Low-Fat alignment rules, Section 4.1).
+                    return Ok(cap_trap(
+                        CapCause::new(CapExcCode::AlignmentViolation, cs),
+                        cs,
+                    ));
+                }
+                self.stats.cycles += self.hierarchy.data(paddr, csize, true);
+                self.stats.stores += 1;
+                self.stats.bytes_stored += csize;
+                self.stats.cap_stores += 1;
+                let before = self.mem.tag_stats().misses;
+                self.store_cap_formatted(paddr, &stored)?;
+                self.charge_tag_misses(before);
+                self.cpu.ll_reservation = None;
+                Outcome::Next
+            }
+            CheriInst::CLoad { width, rd, cb, rt, imm, unsigned } => {
+                match self.cap_access(cb, rt, imm, width, false) {
+                    Ok(paddr) => {
+                        let v = self.load_value(paddr, width, unsigned)?;
+                        self.cpu.set_gpr(rd, v);
+                        Outcome::Next
+                    }
+                    Err(o) => o,
+                }
+            }
+            CheriInst::CStore { width, rs, cb, rt, imm } => {
+                match self.cap_access(cb, rt, imm, width, true) {
+                    Ok(paddr) => {
+                        let v = self.cpu.get_gpr(rs);
+                        self.store_value(paddr, width, v)?;
+                        Outcome::Next
+                    }
+                    Err(o) => o,
+                }
+            }
+            CheriInst::CLLD { rd, cb, rt, imm } => {
+                match self.cap_access(cb, rt, imm, Width::Double, false) {
+                    Ok(paddr) => {
+                        let v = self.load_value(paddr, Width::Double, false)?;
+                        self.cpu.set_gpr(rd, v);
+                        self.cpu.ll_reservation = Some(paddr);
+                        Outcome::Next
+                    }
+                    Err(o) => o,
+                }
+            }
+            CheriInst::CSCD { rs, cb, rt, imm } => {
+                let reserved = self.cpu.ll_reservation;
+                match self.cap_access(cb, rt, imm, Width::Double, true) {
+                    Ok(paddr) => {
+                        if reserved == Some(paddr) {
+                            let v = self.cpu.get_gpr(rs);
+                            self.store_value(paddr, Width::Double, v)?;
+                            self.cpu.set_gpr(rs, 1);
+                        } else {
+                            self.cpu.set_gpr(rs, 0);
+                        }
+                        self.cpu.ll_reservation = None;
+                        Outcome::Next
+                    }
+                    Err(o) => o,
+                }
+            }
+            CheriInst::CJR { cb } => {
+                let cap = *self.cpu.caps.get(cb);
+                if let Err(e) = cap.check_execute(cap.base()) {
+                    return Ok(cap_trap(e, cb));
+                }
+                Outcome::CapJump { target: cap.base(), pcc: cap }
+            }
+            CheriInst::CJALR { cd, cb } => {
+                let cap = *self.cpu.caps.get(cb);
+                if let Err(e) = cap.check_execute(cap.base()) {
+                    return Ok(cap_trap(e, cb));
+                }
+                // Link capability: the current PCC advanced to the return
+                // point (pc + 4; capability jumps have no delay slot here).
+                let pcc = *self.cpu.caps.pcc();
+                let ret = pc.wrapping_add(4);
+                match pcc.inc_base(ret.wrapping_sub(pcc.base())) {
+                    Ok(link) => self.cpu.caps.set(cd, link),
+                    Err(e) => return Ok(cap_trap(e, cb)),
+                }
+                Outcome::CapJump { target: cap.base(), pcc: cap }
+            }
+        })
+    }
+
+    /// Reads an in-memory capability in the configured format.
+    fn load_cap_formatted(&mut self, paddr: u64) -> Result<Capability, MemError> {
+        match self.cfg.cap_format {
+            CapFormat::C256 => self.mem.read_cap(paddr),
+            CapFormat::C128 => {
+                let mut buf = [0u8; 16];
+                let tag = self.mem.read_tagged(paddr, &mut buf)?;
+                let decoded = Compressed128::from_bytes(&buf).decompress();
+                Ok(if tag { decoded } else { decoded.clear_tag() })
+            }
+        }
+    }
+
+    /// Writes a register capability in the configured format. In the
+    /// 128-bit format an untagged register stores as a zeroed granule:
+    /// the format cannot carry arbitrary data bits (representability was
+    /// checked for tagged values before calling this).
+    fn store_cap_formatted(&mut self, paddr: u64, cap: &Capability) -> Result<(), MemError> {
+        match self.cfg.cap_format {
+            CapFormat::C256 => self.mem.write_cap(paddr, cap),
+            CapFormat::C128 => {
+                let bytes = match Compressed128::try_from_cap(cap) {
+                    Ok(z) => z.to_bytes(),
+                    Err(_) => [0u8; 16], // untagged (e.g. NULL): no bits to preserve
+                };
+                self.mem.write_tagged(paddr, &bytes, cap.tag())
+            }
+        }
+    }
+
+    fn charge_tag_misses(&mut self, misses_before: u64) {
+        let delta = self.mem.tag_stats().misses - misses_before;
+        self.stats.cycles += delta * self.cfg.hierarchy.dram_latency;
+    }
+}
+
+impl core::fmt::Debug for Machine {
+    fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+        f.debug_struct("Machine")
+            .field("pc", &format_args!("{:#x}", self.cpu.pc))
+            .field("instructions", &self.stats.instructions)
+            .field("bare", &self.bare)
+            .finish()
+    }
+}
+
+#[inline]
+fn sext32(v: u32) -> u64 {
+    v as i32 as i64 as u64
+}
+
+fn shift(op: ShiftOp, v: u64, s: u32) -> u64 {
+    match op {
+        ShiftOp::Sll => sext32((v as u32) << s),
+        ShiftOp::Srl => sext32((v as u32) >> s),
+        ShiftOp::Sra => sext32((((v as u32) as i32) >> s) as u32),
+        ShiftOp::Dsll => v << s,
+        ShiftOp::Dsrl => v >> s,
+        ShiftOp::Dsra => ((v as i64) >> s) as u64,
+        ShiftOp::Dsll32 => v << (s + 32),
+        ShiftOp::Dsrl32 => v >> (s + 32),
+        ShiftOp::Dsra32 => ((v as i64) >> (s + 32)) as u64,
+    }
+}
+
+fn muldiv(op: MulDivOp, a: u64, b: u64, mul_penalty: u64, div_penalty: u64) -> (u64, u64, u64) {
+    match op {
+        MulDivOp::Mult => {
+            let p = i64::from(a as u32 as i32) * i64::from(b as u32 as i32);
+            (sext32((p >> 32) as u32), sext32(p as u32), mul_penalty)
+        }
+        MulDivOp::Multu => {
+            let p = u64::from(a as u32) * u64::from(b as u32);
+            (sext32((p >> 32) as u32), sext32(p as u32), mul_penalty)
+        }
+        MulDivOp::Dmult => {
+            let p = i128::from(a as i64) * i128::from(b as i64);
+            ((p >> 64) as u64, p as u64, mul_penalty)
+        }
+        MulDivOp::Dmultu => {
+            let p = u128::from(a) * u128::from(b);
+            ((p >> 64) as u64, p as u64, mul_penalty)
+        }
+        MulDivOp::Div => {
+            let (x, y) = (a as u32 as i32, b as u32 as i32);
+            if y == 0 {
+                (0, 0, div_penalty)
+            } else {
+                (
+                    sext32(x.wrapping_rem(y) as u32),
+                    sext32(x.wrapping_div(y) as u32),
+                    div_penalty,
+                )
+            }
+        }
+        MulDivOp::Divu => {
+            let (x, y) = (a as u32, b as u32);
+            if y == 0 {
+                (0, 0, div_penalty)
+            } else {
+                (sext32(x % y), sext32(x / y), div_penalty)
+            }
+        }
+        MulDivOp::Ddiv => {
+            let (x, y) = (a as i64, b as i64);
+            if y == 0 {
+                (0, 0, div_penalty)
+            } else {
+                (x.wrapping_rem(y) as u64, x.wrapping_div(y) as u64, div_penalty)
+            }
+        }
+        MulDivOp::Ddivu => {
+            if b == 0 {
+                (0, 0, div_penalty)
+            } else {
+                (a % b, a / b, div_penalty)
+            }
+        }
+    }
+}
+
+fn flags_from_lo(lo: u64) -> TlbFlags {
+    TlbFlags {
+        valid: lo & 0b10 != 0,
+        dirty: lo & 0b100 != 0,
+        cap_load: lo & (1 << 62) != 0,
+        cap_store: lo & (1 << 63) != 0,
+    }
+}
+
+fn lo_from_flags(pfn: u64, f: TlbFlags) -> u64 {
+    (pfn << 6)
+        | if f.valid { 0b10 } else { 0 }
+        | if f.dirty { 0b100 } else { 0 }
+        | if f.cap_load { 1 << 62 } else { 0 }
+        | if f.cap_store { 1 << 63 } else { 0 }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::decode::encode;
+
+    fn machine() -> Machine {
+        let mut m = Machine::new(MachineConfig {
+            mem_bytes: 1 << 20,
+            ..MachineConfig::default()
+        });
+        m.cpu.jump_to(0x1000);
+        m
+    }
+
+    fn load(m: &mut Machine, insts: &[Inst]) {
+        let words: Vec<u32> = insts.iter().map(encode).collect();
+        m.load_code(0x1000, &words).unwrap();
+    }
+
+    fn step_n(m: &mut Machine, n: usize) {
+        for _ in 0..n {
+            assert_eq!(m.step().unwrap(), StepResult::Continue);
+        }
+    }
+
+    #[test]
+    fn ori_lui_build_constant() {
+        let mut m = machine();
+        load(&mut m, &[
+            Inst::Lui { rt: 8, imm: 0x1234 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 0x5678 },
+        ]);
+        step_n(&mut m, 2);
+        assert_eq!(m.cpu.gpr[8], 0x1234_5678);
+    }
+
+    #[test]
+    fn lui_sign_extends() {
+        let mut m = machine();
+        load(&mut m, &[Inst::Lui { rt: 8, imm: 0x8000 }]);
+        step_n(&mut m, 1);
+        assert_eq!(m.cpu.gpr[8], 0xffff_ffff_8000_0000);
+    }
+
+    #[test]
+    fn addu_wraps_32_and_sign_extends() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 0x7fff_ffff);
+        m.cpu.set_gpr(9, 1);
+        load(&mut m, &[Inst::Alu { op: AluOp::Addu, rd: 10, rs: 8, rt: 9 }]);
+        step_n(&mut m, 1);
+        assert_eq!(m.cpu.gpr[10], 0xffff_ffff_8000_0000);
+    }
+
+    #[test]
+    fn add_overflow_traps() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 0x7fff_ffff);
+        m.cpu.set_gpr(9, 1);
+        load(&mut m, &[Inst::Alu { op: AluOp::Add, rd: 10, rs: 8, rt: 9 }]);
+        match m.step().unwrap() {
+            StepResult::Trap(e) => assert_eq!(e.kind, TrapKind::IntegerOverflow),
+            other => panic!("expected trap, got {other:?}"),
+        }
+        // Destination unmodified.
+        assert_eq!(m.cpu.gpr[10], 0);
+    }
+
+    #[test]
+    fn branch_with_delay_slot() {
+        let mut m = machine();
+        // beq $0,$0,+2 ; ori $8,$0,1 (delay slot) ; ori $9,$0,2 (skipped) ;
+        // ori $10,$0,3 (target)
+        load(&mut m, &[
+            Inst::Branch { cond: BranchCond::Eq, rs: 0, rt: 0, offset: 2 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 2 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 3 },
+        ]);
+        step_n(&mut m, 3);
+        assert_eq!(m.cpu.gpr[8], 1, "delay slot must execute");
+        assert_eq!(m.cpu.gpr[9], 0, "fall-through must be skipped");
+        assert_eq!(m.cpu.gpr[10], 3, "target must execute");
+    }
+
+    #[test]
+    fn not_taken_branch_falls_through() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 5);
+        load(&mut m, &[
+            Inst::Branch { cond: BranchCond::Eq, rs: 8, rt: 0, offset: 4 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 1 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 2 },
+        ]);
+        step_n(&mut m, 3);
+        assert_eq!(m.cpu.gpr[9], 1);
+        assert_eq!(m.cpu.gpr[10], 2);
+    }
+
+    #[test]
+    fn jal_links_and_jr_returns() {
+        let mut m = machine();
+        // 0x1000: jal 0x1010 ; nop ; ori $9,$0,7 ; (0x100c unreachable)
+        // 0x1010: ori $8,$0,5 ; jr $ra ; nop
+        load(&mut m, &[
+            Inst::Jal { target: 0x1010 >> 2 },
+            Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 7 },
+            Inst::Break { code: 9 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 5 },
+            Inst::Jr { rs: reg::RA },
+            Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 },
+        ]);
+        step_n(&mut m, 6);
+        assert_eq!(m.cpu.gpr[8], 5);
+        assert_eq!(m.cpu.gpr[9], 7);
+        assert_eq!(m.cpu.gpr[reg::RA as usize], 0x1008);
+    }
+
+    #[test]
+    fn load_store_roundtrip_with_sign_extension() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 0x2000);
+        m.cpu.set_gpr(9, 0xffff_ffff_ffff_ff80); // -128
+        load(&mut m, &[
+            Inst::Store { width: Width::Byte, rt: 9, base: 8, imm: 0 },
+            Inst::Load { width: Width::Byte, rt: 10, base: 8, imm: 0, unsigned: false },
+            Inst::Load { width: Width::Byte, rt: 11, base: 8, imm: 0, unsigned: true },
+        ]);
+        step_n(&mut m, 3);
+        assert_eq!(m.cpu.gpr[10] as i64, -128);
+        assert_eq!(m.cpu.gpr[11], 0x80);
+        assert_eq!(m.stats.loads, 2);
+        assert_eq!(m.stats.stores, 1);
+    }
+
+    #[test]
+    fn misaligned_access_is_address_error() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 0x2001);
+        load(&mut m, &[Inst::Load { width: Width::Double, rt: 9, base: 8, imm: 0, unsigned: false }]);
+        match m.step().unwrap() {
+            StepResult::Trap(e) => {
+                assert_eq!(e.kind, TrapKind::AddressError { vaddr: 0x2001, write: false });
+            }
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn legacy_access_bounded_by_c0() {
+        let mut m = machine();
+        let small = Capability::new(0, 0x2000, Perms::ALL).unwrap();
+        m.cpu.caps.set_c0(small);
+        m.cpu.set_gpr(8, 0x2000);
+        load(&mut m, &[Inst::Load { width: Width::Double, rt: 9, base: 8, imm: 0, unsigned: false }]);
+        match m.step().unwrap() {
+            StepResult::Trap(e) => match e.kind {
+                TrapKind::CapViolation(c) => {
+                    assert_eq!(c.code(), CapExcCode::LengthViolation);
+                    assert_eq!(c.reg(), 0);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn c0_offsets_legacy_addresses() {
+        // Sandbox: C0.base=0x4000; a load at "address 0" touches 0x4000.
+        let mut m = machine();
+        let sandbox = Capability::new(0x4000, 0x1000, Perms::ALL).unwrap();
+        m.cpu.caps.set_c0(sandbox);
+        m.mem.write_u64(0x4000, 0xabcd).unwrap();
+        load(&mut m, &[Inst::Load { width: Width::Double, rt: 9, base: 0, imm: 0, unsigned: false }]);
+        step_n(&mut m, 1);
+        assert_eq!(m.cpu.gpr[9], 0xabcd);
+    }
+
+    #[test]
+    fn syscall_reports_and_resumes() {
+        let mut m = machine();
+        load(&mut m, &[
+            Inst::Syscall { code: 0 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+        ]);
+        assert_eq!(m.step().unwrap(), StepResult::Syscall);
+        // PC still at the syscall until the kernel resumes.
+        assert_eq!(m.cpu.pc, 0x1000);
+        m.advance_past_trap();
+        step_n(&mut m, 1);
+        assert_eq!(m.cpu.gpr[8], 1);
+    }
+
+    #[test]
+    fn cheri_disabled_raises_cp_unusable() {
+        let mut m = Machine::new(MachineConfig {
+            mem_bytes: 1 << 20,
+            cheri_enabled: false,
+            ..MachineConfig::default()
+        });
+        m.cpu.jump_to(0x1000);
+        load(&mut m, &[Inst::Cheri(CheriInst::CGetBase { rd: 8, cb: 0 })]);
+        match m.step().unwrap() {
+            StepResult::Trap(e) => assert_eq!(e.kind, TrapKind::CoprocessorUnusable),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn cincbase_csetlen_bound_loads() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 0x3000); // base delta
+        m.cpu.set_gpr(9, 64); // length
+        load(&mut m, &[
+            Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }),
+            Inst::Cheri(CheriInst::CSetLen { cd: 1, cb: 1, rt: 9 }),
+            // CLD $10, $0, 0($c1) — loads from 0x3000
+            Inst::Cheri(CheriInst::CLoad {
+                width: Width::Double,
+                rd: 10,
+                cb: 1,
+                rt: 0,
+                imm: 0,
+                unsigned: false,
+            }),
+            // CLD $11, $0, 8($c1) i.e. imm=8 scaled => offset 64: out of bounds
+            Inst::Cheri(CheriInst::CLoad {
+                width: Width::Double,
+                rd: 11,
+                cb: 1,
+                rt: 0,
+                imm: 8,
+                unsigned: false,
+            }),
+        ]);
+        m.mem.write_u64(0x3000, 777).unwrap();
+        step_n(&mut m, 3);
+        assert_eq!(m.cpu.gpr[10], 777);
+        match m.step().unwrap() {
+            StepResult::Trap(e) => match e.kind {
+                TrapKind::CapViolation(cause) => {
+                    assert_eq!(cause.code(), CapExcCode::LengthViolation);
+                    assert_eq!(cause.reg(), 1);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        assert_eq!(m.stats.cap_violations, 1);
+    }
+
+    #[test]
+    fn clc_csc_move_capabilities_with_tags() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 0x3000);
+        m.cpu.set_gpr(9, 0x100);
+        load(&mut m, &[
+            Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }),
+            Inst::Cheri(CheriInst::CSetLen { cd: 1, cb: 1, rt: 9 }),
+            // store C1 at offset 0 of C0 region address 0x2000 via C2
+            Inst::Cheri(CheriInst::CSC { cs: 1, cb: 0, rt: 10, imm: 0 }),
+            Inst::Cheri(CheriInst::CLC { cd: 3, cb: 0, rt: 10, imm: 0 }),
+            Inst::Cheri(CheriInst::CGetTag { rd: 11, cb: 3 }),
+            Inst::Cheri(CheriInst::CGetBase { rd: 12, cb: 3 }),
+        ]);
+        m.cpu.set_gpr(10, 0x2000);
+        step_n(&mut m, 6);
+        assert_eq!(m.cpu.gpr[11], 1, "tag must survive CSC/CLC");
+        assert_eq!(m.cpu.gpr[12], 0x3000);
+        assert_eq!(m.stats.cap_loads, 1);
+        assert_eq!(m.stats.cap_stores, 1);
+    }
+
+    #[test]
+    fn data_store_over_capability_clears_tag_end_to_end() {
+        let mut m = machine();
+        m.cpu.set_gpr(10, 0x2000);
+        load(&mut m, &[
+            Inst::Cheri(CheriInst::CSC { cs: 0, cb: 0, rt: 10, imm: 0 }),
+            Inst::Store { width: Width::Double, rt: 9, base: 10, imm: 8 },
+            Inst::Cheri(CheriInst::CLC { cd: 3, cb: 0, rt: 10, imm: 0 }),
+            Inst::Cheri(CheriInst::CGetTag { rd: 11, cb: 3 }),
+        ]);
+        step_n(&mut m, 4);
+        assert_eq!(m.cpu.gpr[11], 0, "data store must clear the tag");
+    }
+
+    #[test]
+    fn cbtu_cbts_branch_on_tag() {
+        let mut m = machine();
+        load(&mut m, &[
+            // C0 is tagged: CBTS taken, delay slot runs, skip one, land.
+            Inst::Cheri(CheriInst::CBTS { cb: 0, offset: 2 }),
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 1 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 1 },
+        ]);
+        step_n(&mut m, 3);
+        assert_eq!(m.cpu.gpr[8], 1);
+        assert_eq!(m.cpu.gpr[9], 0);
+        assert_eq!(m.cpu.gpr[10], 1);
+    }
+
+    #[test]
+    fn cjalr_links_and_cjr_returns() {
+        let mut m = machine();
+        // Build a capability for the callee at 0x1040 and call through it.
+        m.cpu.set_gpr(8, 0x1040);
+        load(&mut m, &[
+            Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }), // 0x1000
+            Inst::Cheri(CheriInst::CJALR { cd: 2, cb: 1 }),           // 0x1004
+            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 9 }, // 0x1008 return lands here
+        ]);
+        // callee at 0x1040: ori $10,$0,7 ; cjr $c2
+        m.load_code(
+            0x1040,
+            &[
+                encode(&Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 7 }),
+                encode(&Inst::Cheri(CheriInst::CJR { cb: 2 })),
+            ],
+        )
+        .unwrap();
+        step_n(&mut m, 5);
+        assert_eq!(m.cpu.gpr[10], 7, "callee ran");
+        assert_eq!(m.cpu.gpr[9], 9, "returned to linked address");
+    }
+
+    #[test]
+    fn pcc_bounds_instruction_fetch() {
+        let mut m = machine();
+        // Constrain PCC to [0x1000, 0x1008): the third fetch faults.
+        let pcc = Capability::new(0x1000, 8, Perms::EXECUTE | Perms::LOAD).unwrap();
+        m.cpu.caps.set_pcc(pcc);
+        load(&mut m, &[
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 2 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 4 },
+        ]);
+        step_n(&mut m, 2);
+        match m.step().unwrap() {
+            StepResult::Trap(e) => match e.kind {
+                TrapKind::CapViolation(c) => {
+                    assert_eq!(c.code(), CapExcCode::LengthViolation);
+                    assert_eq!(c.reg(), cheri_core::exception::PCC_FAULT_REG);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn ll_sc_succeeds_and_fails() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 0x2000);
+        m.cpu.set_gpr(9, 41);
+        load(&mut m, &[
+            Inst::LoadLinked { width: Width::Double, rt: 10, base: 8, imm: 0 },
+            Inst::StoreCond { width: Width::Double, rt: 9, base: 8, imm: 0 },
+            // Second SC without LL fails.
+            Inst::StoreCond { width: Width::Double, rt: 11, base: 8, imm: 0 },
+        ]);
+        step_n(&mut m, 3);
+        assert_eq!(m.cpu.gpr[9], 1, "first SC succeeds");
+        assert_eq!(m.cpu.gpr[11], 0, "second SC fails");
+        assert_eq!(m.mem.read_u64(0x2000).unwrap(), 41);
+    }
+
+    #[test]
+    fn muldiv_results() {
+        let mut m = machine();
+        m.cpu.set_gpr(8, 7);
+        m.cpu.set_gpr(9, 3);
+        load(&mut m, &[
+            Inst::MulDiv { op: MulDivOp::Dmultu, rs: 8, rt: 9 },
+            Inst::Mflo { rd: 10 },
+            Inst::MulDiv { op: MulDivOp::Ddivu, rs: 8, rt: 9 },
+            Inst::Mflo { rd: 11 },
+            Inst::Mfhi { rd: 12 },
+        ]);
+        step_n(&mut m, 5);
+        assert_eq!(m.cpu.gpr[10], 21);
+        assert_eq!(m.cpu.gpr[11], 2);
+        assert_eq!(m.cpu.gpr[12], 1);
+    }
+
+    #[test]
+    fn translation_mode_faults_then_retries() {
+        let mut m = machine();
+        m.enable_translation();
+        // A fetch immediately misses the TLB.
+        match m.step().unwrap() {
+            StepResult::Trap(e) => {
+                assert!(matches!(e.kind, TrapKind::TlbRefill { vaddr: 0x1000, .. }));
+            }
+            other => panic!("{other:?}"),
+        }
+        // Kernel installs the mapping and the retry succeeds.
+        m.tlb_install(0x1000, 0x1000, TlbFlags::rw());
+        load(&mut m, &[Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 3 }]);
+        assert_eq!(m.step().unwrap(), StepResult::Continue);
+        assert_eq!(m.cpu.gpr[8], 3);
+        assert_eq!(m.stats.tlb_refills, 1);
+    }
+
+    #[test]
+    fn cap_store_to_no_capstore_page_traps_and_load_strips() {
+        let mut m = machine();
+        m.enable_translation();
+        m.tlb_install(0x1000, 0x1000, TlbFlags::rw()); // code page
+        m.tlb_install(0x2000, 0x2000, TlbFlags::rw_no_caps()); // data page
+        m.cpu.set_gpr(10, 0x2000);
+        load(&mut m, &[
+            Inst::Cheri(CheriInst::CSC { cs: 0, cb: 0, rt: 10, imm: 0 }),
+        ]);
+        match m.step().unwrap() {
+            StepResult::Trap(e) => match e.kind {
+                TrapKind::CapViolation(c) => {
+                    assert_eq!(c.code(), CapExcCode::TlbProhibitStoreCap);
+                }
+                other => panic!("{other:?}"),
+            },
+            other => panic!("{other:?}"),
+        }
+        // Write the bytes of a valid capability there as data, then CLC:
+        // the loaded value must arrive untagged.
+        let img = Capability::max().to_bytes();
+        m.mem.write_bytes(0x2000, &img).unwrap();
+        m.cpu.jump_to(0x1100);
+        m.tlb_install(0x1000, 0x1000, TlbFlags::rw());
+        m.load_code(
+            0x1100,
+            &[
+                encode(&Inst::Cheri(CheriInst::CLC { cd: 3, cb: 0, rt: 10, imm: 0 })),
+                encode(&Inst::Cheri(CheriInst::CGetTag { rd: 11, cb: 3 })),
+            ],
+        )
+        .unwrap();
+        step_n(&mut m, 2);
+        assert_eq!(m.cpu.gpr[11], 0, "tag must be stripped on cap-load from no-cap page");
+    }
+
+    #[test]
+    fn stats_count_instructions_and_cycles() {
+        let mut m = machine();
+        load(&mut m, &[
+            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 2 },
+        ]);
+        step_n(&mut m, 2);
+        assert_eq!(m.stats.instructions, 2);
+        assert!(m.stats.cycles >= 2, "at least base CPI");
+        assert!(m.stats.cycles > 2, "cold I-cache must cost something");
+    }
+}

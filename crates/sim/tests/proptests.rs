@@ -1,0 +1,171 @@
+//! Property tests of the simulator: the decoder totality, encode/decode
+//! idempotence, and differential checks of ALU semantics against
+//! host-computed references.
+
+use beri_sim::decode::{decode, encode};
+use beri_sim::inst::{AluOp, Inst, MulDivOp, ShiftOp};
+use beri_sim::{Machine, MachineConfig, StepResult};
+use proptest::prelude::*;
+
+fn machine() -> Machine {
+    let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..MachineConfig::default() });
+    m.cpu.jump_to(0x1000);
+    m
+}
+
+/// Executes a single instruction with `a` in $8 and `b` in $9, returning
+/// the result left in $10.
+fn exec1(inst: Inst, a: u64, b: u64) -> u64 {
+    let mut m = machine();
+    m.cpu.set_gpr(8, a);
+    m.cpu.set_gpr(9, b);
+    m.load_code(0x1000, &[encode(&inst)]).unwrap();
+    assert_eq!(m.step().unwrap(), StepResult::Continue);
+    m.cpu.gpr[10]
+}
+
+proptest! {
+    /// The decoder never panics, on any 32-bit word.
+    #[test]
+    fn decode_is_total(word in any::<u32>()) {
+        let _ = decode(word);
+    }
+
+    /// Whatever `decode` produces (other than Reserved), `encode` maps
+    /// back to an instruction with identical semantics — i.e. the pair
+    /// is idempotent after one round.
+    #[test]
+    fn decode_encode_idempotent(word in any::<u32>()) {
+        let first = decode(word);
+        if !matches!(first, Inst::Reserved { .. }) {
+            let again = decode(encode(&first));
+            prop_assert_eq!(first, again);
+        }
+    }
+
+    /// 64-bit three-register ALU ops match host semantics.
+    #[test]
+    fn alu64_matches_host(a in any::<u64>(), b in any::<u64>()) {
+        let cases: [(AluOp, u64); 7] = [
+            (AluOp::Daddu, a.wrapping_add(b)),
+            (AluOp::Dsubu, a.wrapping_sub(b)),
+            (AluOp::And, a & b),
+            (AluOp::Or, a | b),
+            (AluOp::Xor, a ^ b),
+            (AluOp::Slt, u64::from((a as i64) < (b as i64))),
+            (AluOp::Sltu, u64::from(a < b)),
+        ];
+        for (op, expect) in cases {
+            let got = exec1(Inst::Alu { op, rd: 10, rs: 8, rt: 9 }, a, b);
+            prop_assert_eq!(got, expect, "{:?}", op);
+        }
+    }
+
+    /// 32-bit ops truncate and sign-extend like MIPS64.
+    #[test]
+    fn alu32_sign_extension(a in any::<u64>(), b in any::<u64>()) {
+        let addu = exec1(Inst::Alu { op: AluOp::Addu, rd: 10, rs: 8, rt: 9 }, a, b);
+        let expect = (a as u32).wrapping_add(b as u32) as i32 as i64 as u64;
+        prop_assert_eq!(addu, expect);
+    }
+
+    /// Constant shifts match host semantics (including the +32 forms).
+    #[test]
+    fn shifts_match_host(a in any::<u64>(), sh in 0u8..32) {
+        let cases: [(ShiftOp, u64); 5] = [
+            (ShiftOp::Dsll, a << sh),
+            (ShiftOp::Dsrl, a >> sh),
+            (ShiftOp::Dsra, ((a as i64) >> sh) as u64),
+            (ShiftOp::Dsll32, a << (sh + 32)),
+            (ShiftOp::Dsrl32, a >> (sh + 32)),
+        ];
+        for (op, expect) in cases {
+            let got = exec1(Inst::Shift { op, rd: 10, rt: 8, shamt: sh }, a, 0);
+            prop_assert_eq!(got, expect, "{:?} by {}", op, sh);
+        }
+        // 32-bit SLL sign-extends its 32-bit result.
+        let sll = exec1(Inst::Shift { op: ShiftOp::Sll, rd: 10, rt: 8, shamt: sh }, a, 0);
+        prop_assert_eq!(sll, ((a as u32) << sh) as i32 as i64 as u64);
+    }
+
+    /// Multiply/divide HI/LO results match 128-bit host arithmetic.
+    #[test]
+    fn muldiv_matches_host(a in any::<u64>(), b in any::<u64>()) {
+        let mut m = machine();
+        m.cpu.set_gpr(8, a);
+        m.cpu.set_gpr(9, b);
+        m.load_code(0x1000, &[
+            encode(&Inst::MulDiv { op: MulDivOp::Dmultu, rs: 8, rt: 9 }),
+            encode(&Inst::Mflo { rd: 10 }),
+            encode(&Inst::Mfhi { rd: 11 }),
+        ]).unwrap();
+        for _ in 0..3 {
+            assert_eq!(m.step().unwrap(), StepResult::Continue);
+        }
+        let p = u128::from(a) * u128::from(b);
+        prop_assert_eq!(m.cpu.gpr[10], p as u64);
+        prop_assert_eq!(m.cpu.gpr[11], (p >> 64) as u64);
+
+        if b != 0 {
+            let mut m = machine();
+            m.cpu.set_gpr(8, a);
+            m.cpu.set_gpr(9, b);
+            m.load_code(0x1000, &[
+                encode(&Inst::MulDiv { op: MulDivOp::Ddivu, rs: 8, rt: 9 }),
+                encode(&Inst::Mflo { rd: 10 }),
+                encode(&Inst::Mfhi { rd: 11 }),
+            ]).unwrap();
+            for _ in 0..3 {
+                assert_eq!(m.step().unwrap(), StepResult::Continue);
+            }
+            prop_assert_eq!(m.cpu.gpr[10], a / b);
+            prop_assert_eq!(m.cpu.gpr[11], a % b);
+        }
+    }
+
+    /// Memory round-trips through the full legacy path (C0 check, cache,
+    /// tagged memory) for every width and any aligned offset.
+    #[test]
+    fn legacy_memory_roundtrip(v in any::<u64>(), slot in 0u64..64) {
+        use beri_sim::inst::Width;
+        for (width, mask) in [
+            (Width::Byte, 0xffu64),
+            (Width::Half, 0xffff),
+            (Width::Word, 0xffff_ffff),
+            (Width::Double, u64::MAX),
+        ] {
+            let addr = 0x2000 + slot * 8;
+            let mut m = machine();
+            m.cpu.set_gpr(8, addr);
+            m.cpu.set_gpr(9, v);
+            m.load_code(0x1000, &[
+                encode(&Inst::Store { width, rt: 9, base: 8, imm: 0 }),
+                encode(&Inst::Load { width, rt: 10, base: 8, imm: 0, unsigned: true }),
+            ]).unwrap();
+            assert_eq!(m.step().unwrap(), StepResult::Continue);
+            assert_eq!(m.step().unwrap(), StepResult::Continue);
+            prop_assert_eq!(m.cpu.gpr[10], v & mask, "{:?}", width);
+        }
+    }
+
+    /// The cycle model never undercounts: cycles >= retired instructions.
+    #[test]
+    fn cycles_dominate_instructions(ops in proptest::collection::vec(any::<u64>(), 1..50)) {
+        let mut m = machine();
+        let words: Vec<u32> = ops
+            .iter()
+            .map(|v| encode(&Inst::AluImm {
+                op: beri_sim::inst::AluImmOp::Ori,
+                rt: 8,
+                rs: 8,
+                imm: *v as u16,
+            }))
+            .collect();
+        m.load_code(0x1000, &words).unwrap();
+        for _ in 0..words.len() {
+            assert_eq!(m.step().unwrap(), StepResult::Continue);
+        }
+        prop_assert!(m.stats.cycles >= m.stats.instructions);
+        prop_assert_eq!(m.stats.instructions, words.len() as u64);
+    }
+}

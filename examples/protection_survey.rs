@@ -1,0 +1,66 @@
+//! A miniature protection-model survey: records a pointer-chasing
+//! workload once and asks every published protection model (Mondrian,
+//! iMPX, software fat pointers, Hardbound, the M-Machine, and both CHERI
+//! widths) what it would have cost — the paper's Section 7 methodology
+//! on one screen.
+//!
+//! ```sh
+//! cargo run --example protection_survey
+//! ```
+
+use cheri::limit::models::{all_models, baseline};
+use cheri::limit::TracedHeap;
+
+fn main() {
+    // A little binary search tree, built and queried through the
+    // recording heap.
+    let mut h = TracedHeap::new();
+    const VAL: u64 = 0;
+    const L: u64 = 8;
+    const R: u64 = 16;
+    let root = h.alloc(24);
+    h.store_int(root, VAL, 500);
+    let mut rng = 42u64;
+    for _ in 0..400 {
+        rng = rng.wrapping_mul(6364136223846793005).wrapping_add(1);
+        let key = (rng >> 33) as i64 % 1000;
+        // insert(key)
+        let mut p = root;
+        loop {
+            h.compute(3);
+            let v = h.load_int(p, VAL);
+            let side = if key < v { L } else { R };
+            let next = h.load_ptr(p, side);
+            if next.is_null() {
+                let n = h.alloc(24);
+                h.store_int(n, VAL, key);
+                h.store_ptr(p, side, n);
+                break;
+            }
+            p = next;
+        }
+    }
+    let trace = h.finish("bst-insert");
+
+    let base = baseline(&trace);
+    println!("workload: 400 BST inserts — {} accesses, {} objects\n", trace.accesses(), trace.objects.len());
+    println!(
+        "{:<13}{:>9}{:>9}{:>9}{:>11}{:>11}",
+        "model", "pages%", "bytes%", "refs%", "instr-opt%", "instr-pess%"
+    );
+    println!("{:<13}{:>8}%{:>8}%{:>8}%{:>10}%{:>10}%", "baseline", 0, 0, 0, 0, 0);
+    for model in all_models() {
+        let o = model.simulate(&trace).percent_over(&base);
+        println!(
+            "{:<13}{:>8.1}%{:>8.1}%{:>8.1}%{:>10.1}%{:>10.1}%",
+            model.name(),
+            o.pages,
+            o.bytes,
+            o.refs,
+            o.instrs_opt,
+            o.instrs_pess
+        );
+    }
+    println!("\n(overheads vs the unprotected baseline; see `fig3_limit_study`");
+    println!(" in cheri-bench for the full Olden-suite version of this table)");
+}

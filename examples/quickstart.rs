@@ -1,0 +1,63 @@
+//! Quickstart: assemble a small CHERI program, run it under the
+//! simulated OS, and watch the hardware enforce bounds.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use cheri::asm::{reg, Asm};
+use cheri::os::{abi, boot, ExitReason, KernelConfig};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Boot the machine: BERI + CHERI coprocessor + tagged memory, with
+    // the host-level kernel providing paging and syscalls.
+    let mut kernel = boot(KernelConfig::default());
+    let layout = kernel.layout();
+
+    // A program that derives a 64-byte capability from C0 (the
+    // address-space capability the OS delegated at exec), writes through
+    // it, reads back, and exits with the value.
+    let mut a = Asm::new(layout.text_base);
+    a.li64(reg::T0, layout.heap_base as i64);
+    a.cincbase(1, 0, reg::T0); // C1 = C0 rebased to the heap
+    a.li64(reg::T1, 64);
+    a.csetlen(1, 1, reg::T1); // ... 64 bytes long
+    a.li64(reg::T2, 1234);
+    a.csd(reg::T2, reg::ZERO, 0, 1); // *(u64*)C1 = 1234
+    a.cld(reg::A0, reg::ZERO, 0, 1); // read it back
+    a.li64(reg::V0, abi::SYS_EXIT as i64);
+    a.syscall(0);
+    let program = a.finalize()?;
+
+    let outcome = kernel.exec_and_run(&program)?;
+    println!("program exited with: {:?}", outcome.exit);
+    println!(
+        "executed {} instructions in {} simulated cycles (IPC {:.2})",
+        outcome.stats.instructions,
+        outcome.stats.cycles,
+        outcome.stats.ipc()
+    );
+    assert_eq!(outcome.exit_value(), Some(1234));
+
+    // Now the same program but reading one double past the end: the
+    // capability coprocessor traps before memory is touched.
+    let mut a = Asm::new(layout.text_base);
+    a.li64(reg::T0, layout.heap_base as i64);
+    a.cincbase(1, 0, reg::T0);
+    a.li64(reg::T1, 64);
+    a.csetlen(1, 1, reg::T1);
+    a.li64(reg::T3, 64); // first out-of-bounds byte
+    a.cld(reg::A0, reg::T3, 0, 1);
+    a.li64(reg::V0, abi::SYS_EXIT as i64);
+    a.syscall(0);
+    let overflowing = a.finalize()?;
+
+    let outcome = kernel.exec_and_run(&overflowing)?;
+    match outcome.exit {
+        ExitReason::CapFault { cause, pc } => {
+            println!("\noverflow caught by hardware at pc {pc:#x}: {cause}");
+        }
+        other => panic!("expected a capability fault, got {other:?}"),
+    }
+    Ok(())
+}

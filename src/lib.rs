@@ -1,0 +1,55 @@
+//! # cheri — a Rust reproduction of the CHERI capability model
+//!
+//! This is the umbrella crate of a from-scratch reproduction of
+//! *"The CHERI capability model: Revisiting RISC in an age of risk"*
+//! (Woodruff et al., ISCA 2014). It re-exports the workspace's member
+//! crates under one roof so examples, integration tests, and downstream
+//! users can depend on a single crate:
+//!
+//! * [`core`] (`cheri-core`) — the capability model: 256-bit and
+//!   compressed 128-bit formats, permissions, monotonic manipulation,
+//!   capability exceptions, the register file.
+//! * [`mem`] (`cheri-mem`) — tagged physical memory: the 1-bit-per-256-bit
+//!   tag table and the tag controller with its 8 KB tag cache.
+//! * [`sim`] (`beri-sim`) — the BERI CPU: a 64-bit MIPS IV interpreter
+//!   with CP0, software-managed TLB, the CP2 capability coprocessor, and
+//!   a cycle-approximate cache/branch model.
+//! * [`asm`] (`cheri-asm`) — a MIPS64+CHERI macro-assembler.
+//! * [`cc`] (`cheri-cc`) — a tiny compiler parameterised by pointer
+//!   strategy: legacy MIPS, CCured-style software fat pointers, or CHERI
+//!   capabilities.
+//! * [`os`] (`cheri-os`) — the minimal OS substrate: exec with
+//!   capability delegation, demand paging, syscalls, contexts.
+//! * [`olden`] (`cheri-olden`) — the Olden benchmarks, in both compiled
+//!   (DSL) and native-traced form.
+//! * [`limit`] (`cheri-limit`) — the Figure 3 limit study: traces plus
+//!   eight protection-model overhead simulators and Table 2.
+//! * [`area`] (`cheri-area`) — the Figure 6 / §9 area and frequency
+//!   model.
+//!
+//! ## Quick start
+//!
+//! Catch a heap overflow in hardware:
+//!
+//! ```
+//! use cheri::core::{Capability, Perms};
+//!
+//! let almighty = Capability::max();
+//! let obj = almighty.inc_base(0x1000)?.set_len(16)?;
+//! assert!(obj.check_data_access(0x1000 + 16, 1, Perms::LOAD).is_err());
+//! # Ok::<(), cheri::core::CapCause>(())
+//! ```
+//!
+//! Run the `examples/` binaries for end-to-end scenarios (assembled
+//! programs under the simulated OS), and the `cheri-bench` harnesses to
+//! regenerate every table and figure of the paper.
+
+pub use beri_sim as sim;
+pub use cheri_area as area;
+pub use cheri_asm as asm;
+pub use cheri_cc as cc;
+pub use cheri_core as core;
+pub use cheri_limit as limit;
+pub use cheri_mem as mem;
+pub use cheri_olden as olden;
+pub use cheri_os as os;

@@ -1,0 +1,169 @@
+//! The compressed 128-bit capability configuration (Section 4.1's
+//! proposed production format) exercised at machine level.
+
+use cheri::sim::machine::CapFormat;
+use cheri::sim::{Machine, MachineConfig, StepResult};
+use cheri::asm::{reg, Asm};
+use cheri::core::CapExcCode;
+
+fn machine128() -> Machine {
+    let mut m = Machine::new(MachineConfig {
+        mem_bytes: 1 << 20,
+        cap_format: CapFormat::C128,
+        ..MachineConfig::default()
+    });
+    m.cpu.jump_to(0x1000);
+    m
+}
+
+fn run_to_syscall(m: &mut Machine) -> Result<(), cheri::sim::Exception> {
+    loop {
+        match m.step().unwrap() {
+            StepResult::Continue => {}
+            StepResult::Syscall => return Ok(()),
+            StepResult::Trap(e) => return Err(e),
+            other => panic!("{other:?}"),
+        }
+    }
+}
+
+#[test]
+fn csc_clc_roundtrip_in_16_bytes() {
+    let mut m = machine128();
+    let mut a = Asm::new(0x1000);
+    // Build C1 over [0x4000, 0x4000+0x100), store it at 0x2000, reload
+    // into C3, compare fields.
+    a.li64(reg::T0, 0x4000);
+    a.cincbase(1, 0, reg::T0);
+    a.li64(reg::T1, 0x100);
+    a.csetlen(1, 1, reg::T1);
+    a.li64(reg::T2, 0x2000);
+    a.csc(1, reg::T2, 0, 0);
+    a.clc(3, reg::T2, 0, 0);
+    a.cgettag(reg::T3, 3);
+    a.cgetbase(reg::T8, 3);
+    a.cgetlen(reg::T9, 3);
+    a.syscall(0);
+    let prog = a.finalize().unwrap();
+    m.load_code(prog.base, &prog.words).unwrap();
+    run_to_syscall(&mut m).unwrap();
+    assert_eq!(m.cpu.gpr[reg::T3 as usize], 1, "tag survives");
+    assert_eq!(m.cpu.gpr[reg::T8 as usize], 0x4000);
+    assert_eq!(m.cpu.gpr[reg::T9 as usize], 0x100);
+    // Only 16 bytes moved per capability access.
+    assert_eq!(m.stats.bytes_stored, 16);
+    assert_eq!(m.stats.bytes_loaded, 16);
+}
+
+#[test]
+fn tag_granule_is_16_bytes() {
+    let mut m = machine128();
+    assert_eq!(m.mem.granule(), 16);
+    let mut a = Asm::new(0x1000);
+    a.li64(reg::T0, 0x4000);
+    a.cincbase(1, 0, reg::T0);
+    a.li64(reg::T1, 0x100);
+    a.csetlen(1, 1, reg::T1);
+    a.li64(reg::T2, 0x2000);
+    a.csc(1, reg::T2, 0, 0);
+    // A data store 16 bytes away is in the NEXT granule: tag survives.
+    a.li64(reg::T1, 0x99);
+    a.sd(reg::T1, reg::T2, 16);
+    a.clc(3, reg::T2, 0, 0);
+    a.cgettag(reg::T3, 3);
+    // A data store inside the granule kills it.
+    a.sd(reg::T1, reg::T2, 8);
+    a.clc(4, reg::T2, 0, 0);
+    a.cgettag(reg::T8, 4);
+    a.syscall(0);
+    let prog = a.finalize().unwrap();
+    m.load_code(prog.base, &prog.words).unwrap();
+    run_to_syscall(&mut m).unwrap();
+    assert_eq!(m.cpu.gpr[reg::T3 as usize], 1, "adjacent-granule store preserves tag");
+    assert_eq!(m.cpu.gpr[reg::T8 as usize], 0, "in-granule store clears tag");
+}
+
+#[test]
+fn sixteen_byte_alignment_suffices_and_is_required() {
+    let mut m = machine128();
+    let mut a = Asm::new(0x1000);
+    a.cfromptr(5, 0, reg::ZERO); // NULL: trivially representable
+    a.li64(reg::T2, 0x2010); // 16-aligned but not 32-aligned
+    a.csc(5, reg::T2, 0, 0);
+    a.li64(reg::T2, 0x2008); // 8-aligned only: must trap
+    a.csc(5, reg::T2, 0, 0);
+    a.syscall(0);
+    let prog = a.finalize().unwrap();
+    m.load_code(prog.base, &prog.words).unwrap();
+    let err = run_to_syscall(&mut m).unwrap_err();
+    match err.kind {
+        cheri::sim::TrapKind::CapViolation(c) => {
+            assert_eq!(c.code(), CapExcCode::AlignmentViolation);
+        }
+        other => panic!("{other:?}"),
+    }
+    assert_eq!(m.stats.cap_stores, 1, "the 16-aligned store succeeded first");
+}
+
+#[test]
+fn unrepresentable_capability_store_traps() {
+    // A byte-granular region too large for the 18-bit mantissa at a
+    // misaligned base cannot be stored in 128 bits.
+    let mut m = machine128();
+    let mut a = Asm::new(0x1000);
+    a.li64(reg::T0, 3); // misaligned base
+    a.cincbase(1, 0, reg::T0);
+    a.li64(reg::T1, (1 << 20) + 5); // needs alignment 8
+    a.csetlen(1, 1, reg::T1);
+    a.li64(reg::T2, 0x2000);
+    a.csc(1, reg::T2, 0, 0);
+    a.syscall(0);
+    let prog = a.finalize().unwrap();
+    m.load_code(prog.base, &prog.words).unwrap();
+    let err = run_to_syscall(&mut m).unwrap_err();
+    assert!(
+        matches!(err.kind, cheri::sim::TrapKind::CapViolation(c)
+            if c.code() == CapExcCode::AlignmentViolation),
+        "{err:?}"
+    );
+}
+
+#[test]
+fn null_roundtrips_through_memory() {
+    let mut m = machine128();
+    let mut a = Asm::new(0x1000);
+    a.cfromptr(5, 0, reg::ZERO); // C5 = NULL
+    a.li64(reg::T2, 0x2000);
+    a.csc(5, reg::T2, 0, 0);
+    a.clc(6, reg::T2, 0, 0);
+    a.cgettag(reg::T3, 6);
+    a.cgetbase(reg::T8, 6);
+    a.syscall(0);
+    let prog = a.finalize().unwrap();
+    m.load_code(prog.base, &prog.words).unwrap();
+    run_to_syscall(&mut m).unwrap();
+    assert_eq!(m.cpu.gpr[reg::T3 as usize], 0);
+    assert_eq!(m.cpu.gpr[reg::T8 as usize], 0);
+}
+
+#[test]
+fn clc_imm_scales_by_16() {
+    let mut m = machine128();
+    let mut a = Asm::new(0x1000);
+    a.li64(reg::T0, 0x4000);
+    a.cincbase(1, 0, reg::T0);
+    a.li64(reg::T1, 0x100);
+    a.csetlen(1, 1, reg::T1);
+    a.li64(reg::T2, 0x2000);
+    a.csc(1, reg::T2, 1, 0); // imm 1 => byte offset 16
+    a.clc(3, reg::T2, 1, 0);
+    a.cgetbase(reg::T8, 3);
+    a.syscall(0);
+    let prog = a.finalize().unwrap();
+    m.load_code(prog.base, &prog.words).unwrap();
+    run_to_syscall(&mut m).unwrap();
+    assert_eq!(m.cpu.gpr[reg::T8 as usize], 0x4000);
+    // The image landed at 0x2010, not 0x2020.
+    assert!(m.mem.read_u64(0x2010).unwrap() != 0);
+    assert_eq!(m.mem.read_u64(0x2020).unwrap(), 0);
+}

@@ -1,0 +1,108 @@
+//! System-level unforgeability: property tests that *executed guest
+//! code* — not just the pure model — can never escalate its authority
+//! beyond what the OS delegated (Section 4.2: "a protection domain is
+//! defined by the transitive closure of memory capabilities reachable
+//! from its capability register set").
+
+use cheri::asm::Asm;
+use cheri::core::Capability;
+use cheri::core::Perms;
+use cheri::sim::inst::{CheriInst, Inst};
+use cheri::sim::{Machine, MachineConfig, StepResult};
+use proptest::prelude::*;
+
+/// A random CHERI manipulation instruction over registers 0..8 and GPRs
+/// t0..t3 (which hold arbitrary values).
+fn arb_cap_inst() -> impl Strategy<Value = CheriInst> {
+    let r = 0u8..8;
+    let g = 12u8..16; // $t0..$t3
+    prop_oneof![
+        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CIncBase { cd, cb, rt }),
+        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CSetLen { cd, cb, rt }),
+        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CAndPerm { cd, cb, rt }),
+        (r.clone(), r.clone()).prop_map(|(cd, cb)| CheriInst::CClearTag { cd, cb }),
+        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CFromPtr { cd, cb, rt }),
+        (g.clone(), r.clone(), r.clone()).prop_map(|(rd, cb, ct)| CheriInst::CToPtr { rd, cb, ct }),
+        (r.clone(), r.clone()).prop_map(|(rd, cd)| CheriInst::CGetPCC { rd, cd }),
+        // Capability stores/loads through C0 at a fixed aligned slot.
+        (r.clone(), 0u8..4).prop_map(|(cs, slot)| CheriInst::CSC { cs, cb: 0, rt: 0, imm: slot as i8 }),
+        (r, 0u8..4).prop_map(|(cd, slot)| CheriInst::CLC { cd, cb: 0, rt: 0, imm: slot as i8 }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Whatever sequence of capability instructions runs, every
+    /// capability register stays dominated by the initially delegated
+    /// authority — including values that round-trip through memory.
+    #[test]
+    fn guest_code_cannot_escalate(
+        instrs in proptest::collection::vec(arb_cap_inst(), 1..40),
+        seeds in proptest::collection::vec(any::<u64>(), 4),
+    ) {
+        let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..MachineConfig::default() });
+        // Delegate a bounded domain, as exec() does.
+        let domain = Capability::new(0, 0x10000, Perms::ALL).unwrap();
+        m.cpu.caps = cheri::core::CapRegFile::empty();
+        m.cpu.caps.set_c0(domain);
+        m.cpu.caps.set_pcc(domain);
+        // Arbitrary integer state.
+        for (i, s) in seeds.iter().enumerate() {
+            m.cpu.set_gpr(12 + i as u8, *s);
+        }
+        // Assemble the fuzz program at 0x1000 (inside the domain).
+        let mut a = Asm::new(0x1000);
+        for c in &instrs {
+            a.emit(Inst::Cheri(*c));
+        }
+        a.syscall(0);
+        let prog = a.finalize().unwrap();
+        m.load_code(prog.base, &prog.words).unwrap();
+        m.cpu.jump_to(prog.entry);
+
+        // Run; traps simply skip the faulting instruction (a lenient
+        // kernel maximises the attack surface explored).
+        for _ in 0..10_000 {
+            match m.step().unwrap() {
+                StepResult::Continue => {}
+                StepResult::Syscall => break,
+                StepResult::Trap(_) => m.advance_past_trap(),
+                other => panic!("{other:?}"),
+            }
+        }
+
+        // No register — and no capability parked in memory — exceeds the
+        // delegated domain.
+        prop_assert!(
+            m.cpu.caps.within(&domain),
+            "register file escaped the domain: {:?}",
+            m.cpu.caps
+        );
+        for slot in 0..4u64 {
+            let cap = m.mem.read_cap(slot * 32).unwrap();
+            prop_assert!(
+                domain.dominates(&cap),
+                "memory slot {slot} holds escalated capability {cap}"
+            );
+        }
+    }
+
+    /// Data writes over capability slots always destroy the tag, no
+    /// matter the write width or offset.
+    #[test]
+    fn any_data_store_clears_tags(off in 0u64..32, width_sel in 0u8..4) {
+        let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..MachineConfig::default() });
+        let cap = Capability::new(0x4000, 64, Perms::ALL).unwrap();
+        m.mem.write_cap(0x2000, &cap).unwrap();
+        let width = 1u64 << width_sel;
+        let addr = 0x2000 + (off & !(width - 1));
+        match width {
+            1 => m.mem.write_u8(addr, 0).unwrap(),
+            2 => m.mem.write_u16(addr, 0).unwrap(),
+            4 => m.mem.write_u32(addr, 0).unwrap(),
+            _ => m.mem.write_u64(addr, 0).unwrap(),
+        }
+        prop_assert!(!m.mem.read_cap(0x2000).unwrap().tag());
+    }
+}
