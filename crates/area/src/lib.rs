@@ -53,10 +53,7 @@ pub const CHERI_TOTAL_LES: f64 = 100_000.0;
 /// Logic elements attributable to the capability extensions.
 #[must_use]
 pub fn cheri_only_les() -> f64 {
-    COMPONENTS
-        .iter()
-        .map(|c| c.share / 100.0 * CHERI_TOTAL_LES * c.cheri_fraction)
-        .sum()
+    COMPONENTS.iter().map(|c| c.share / 100.0 * CHERI_TOTAL_LES * c.cheri_fraction).sum()
 }
 
 /// Logic elements of the plain BERI core (CHERI minus the attributable
@@ -122,13 +119,8 @@ pub fn render() -> String {
     let _ = writeln!(out, "== Figure 6: CHERI layout on FPGA ==");
     let _ = writeln!(out, "{:<22}{:>8}  {:>14}", "module", "share", "CHERI-specific");
     for c in COMPONENTS {
-        let _ = writeln!(
-            out,
-            "{:<22}{:>7.1}%  {:>13.1}%",
-            c.name,
-            c.share,
-            c.share * c.cheri_fraction
-        );
+        let _ =
+            writeln!(out, "{:<22}{:>7.1}%  {:>13.1}%", c.name, c.share, c.share * c.cheri_fraction);
     }
     let _ = writeln!(out, "\n== Section 9 ==");
     let _ = writeln!(
@@ -142,11 +134,8 @@ pub fn render() -> String {
         fmax_beri_mhz(),
         fmax_cheri_mhz()
     );
-    let _ = writeln!(
-        out,
-        "frequency penalty: {:>4.1}%   (paper: 8.1%)",
-        frequency_penalty() * 100.0
-    );
+    let _ =
+        writeln!(out, "frequency penalty: {:>4.1}%   (paper: 8.1%)", frequency_penalty() * 100.0);
     out
 }
 

@@ -107,8 +107,8 @@ impl Asm {
     /// [`AsmError::JumpOutOfRegion`].
     pub fn finalize(mut self) -> Result<Program, AsmError> {
         for fix in &self.fixups {
-            let target = self.labels[fix.label.0]
-                .ok_or(AsmError::UnboundLabel { label: fix.label.0 })?;
+            let target =
+                self.labels[fix.label.0].ok_or(AsmError::UnboundLabel { label: fix.label.0 })?;
             let at = self.base + 4 * fix.word_index as u64;
             match fix.kind {
                 FixupKind::Branch => {

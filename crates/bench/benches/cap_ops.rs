@@ -10,12 +10,8 @@ use cheri_core::{CapRegFile, Capability, Compressed128, Perms};
 fn bench_manipulation(c: &mut Criterion) {
     let mut g = c.benchmark_group("cap_manipulation");
     let cap = Capability::new(0x1000, 1 << 20, Perms::ALL).unwrap();
-    g.bench_function("inc_base", |b| {
-        b.iter(|| black_box(cap).inc_base(black_box(64)).unwrap())
-    });
-    g.bench_function("set_len", |b| {
-        b.iter(|| black_box(cap).set_len(black_box(128)).unwrap())
-    });
+    g.bench_function("inc_base", |b| b.iter(|| black_box(cap).inc_base(black_box(64)).unwrap()));
+    g.bench_function("set_len", |b| b.iter(|| black_box(cap).set_len(black_box(128)).unwrap()));
     g.bench_function("and_perm", |b| {
         b.iter(|| black_box(cap).and_perm(black_box(Perms::LOAD)).unwrap())
     });
@@ -46,9 +42,7 @@ fn bench_formats(c: &mut Criterion) {
     let cap = Capability::new(0x1000, 1 << 16, Perms::ALL).unwrap();
     g.bench_function("encode_256", |b| b.iter(|| black_box(cap).to_bytes()));
     let bytes = cap.to_bytes();
-    g.bench_function("decode_256", |b| {
-        b.iter(|| Capability::from_bytes(black_box(&bytes), true))
-    });
+    g.bench_function("decode_256", |b| b.iter(|| Capability::from_bytes(black_box(&bytes), true)));
     g.bench_function("compress_128", |b| {
         b.iter(|| Compressed128::try_from_cap(black_box(&cap)).unwrap())
     });

@@ -54,10 +54,9 @@ fn run_to_syscall(m: &mut Machine) {
 fn bench_interp(c: &mut Criterion) {
     const ITERS: i64 = 20_000;
     let mut g = c.benchmark_group("interpreter");
-    for (name, prog, per_iter) in [
-        ("alu_loop", alu_loop(ITERS), 5u64),
-        ("cap_loop", cap_loop(ITERS), 5u64),
-    ] {
+    for (name, prog, per_iter) in
+        [("alu_loop", alu_loop(ITERS), 5u64), ("cap_loop", cap_loop(ITERS), 5u64)]
+    {
         g.throughput(Throughput::Elements(ITERS as u64 * per_iter));
         g.bench_function(name, |b| {
             b.iter(|| {

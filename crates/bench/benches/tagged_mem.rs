@@ -25,9 +25,7 @@ fn bench_cap_path(c: &mut Criterion) {
     let mut g = c.benchmark_group("tagged_mem_caps");
     let mut m = TaggedMem::new(1 << 20);
     let cap = Capability::new(0x4000, 0x100, Perms::ALL).unwrap();
-    g.bench_function("write_cap_hot", |b| {
-        b.iter(|| m.write_cap(black_box(0x800), &cap).unwrap())
-    });
+    g.bench_function("write_cap_hot", |b| b.iter(|| m.write_cap(black_box(0x800), &cap).unwrap()));
     g.bench_function("read_cap_hot", |b| b.iter(|| m.read_cap(black_box(0x800)).unwrap()));
     g.bench_function("write_cap_streaming", |b| {
         // Strides through 1 MB: every tag-cache line gets touched.

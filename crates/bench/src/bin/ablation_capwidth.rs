@@ -13,13 +13,9 @@ use cheri_olden::dsl::{machine_config, run_bench, DslBench};
 fn main() {
     let params = params_for(parse_scale());
     println!("== Capability width ablation: 256-bit vs 128-bit CHERI (execution) ==\n");
-    println!(
-        "{:<11}{:>14}{:>14}{:>14}",
-        "benchmark", "cheri-256", "cheri-128", "recovered"
-    );
+    println!("{:<11}{:>14}{:>14}{:>14}", "benchmark", "cheri-256", "cheri-128", "recovered");
     for bench in DslBench::ALL {
-        let strategies: [&dyn PtrStrategy; 3] =
-            [&LegacyPtr, &CapPtr::c256(), &CapPtr::c128()];
+        let strategies: [&dyn PtrStrategy; 3] = [&LegacyPtr, &CapPtr::c256(), &CapPtr::c128()];
         let mut totals = Vec::new();
         let mut sums: Vec<Vec<u64>> = Vec::new();
         for s in strategies {
@@ -39,13 +35,7 @@ fn main() {
         assert_eq!(sums[1], sums[2], "{}: formats disagree", bench.name());
         let c256 = overhead_pct(totals[1], totals[0]);
         let c128 = overhead_pct(totals[2], totals[0]);
-        println!(
-            "{:<11}{:>13.1}%{:>13.1}%{:>13.1}pp",
-            bench.name(),
-            c256,
-            c128,
-            c256 - c128
-        );
+        println!("{:<11}{:>13.1}%{:>13.1}%{:>13.1}pp", bench.name(), c256, c128, c256 - c128);
     }
     println!("\n(overhead vs unsafe MIPS; 'recovered' is what compression buys —");
     println!(" the paper's 'CHERI will benefit from capability compression')");

@@ -12,10 +12,7 @@ use cheri_olden::dsl::{run_bench, DslBench};
 fn main() {
     let params = params_for(parse_scale());
     println!("== Software bounds-check elision ablation ==\n");
-    println!(
-        "{:<11}{:>14}{:>14}{:>14}",
-        "benchmark", "checked", "eliding", "saved"
-    );
+    println!("{:<11}{:>14}{:>14}{:>14}", "benchmark", "checked", "eliding", "saved");
     for bench in DslBench::ALL {
         let strategies: [&dyn PtrStrategy; 3] =
             [&LegacyPtr, &SoftFatPtr::checked(), &SoftFatPtr::eliding()];

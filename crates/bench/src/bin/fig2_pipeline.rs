@@ -1,7 +1,7 @@
 //! Figure 2 reproduction: the BERI 6-stage pipeline and its capability
 //! coprocessor couplings, printed from the simulator's own stage model.
 
-use beri_sim::pipeline::{STAGES, INDIRECT_JUMP_PENALTY, MISPREDICT_PENALTY};
+use beri_sim::pipeline::{INDIRECT_JUMP_PENALTY, MISPREDICT_PENALTY, STAGES};
 
 fn main() {
     println!("== Figure 2: BERI pipeline with capability coprocessor ==\n");

@@ -15,12 +15,7 @@ fn main() {
     eprintln!("recording traces ({scale:?} parameters)...");
     let traces = all_traces(&params);
     for t in &traces {
-        eprintln!(
-            "  {:<10} {:>9} events, {:>7} objects",
-            t.name,
-            t.events.len(),
-            t.objects.len()
-        );
+        eprintln!("  {:<10} {:>9} events, {:>7} objects", t.name, t.events.len(), t.objects.len());
     }
     let result = run_study(&traces);
     print!("{}", result.render());
@@ -30,9 +25,17 @@ fn main() {
     let checks: [(&str, bool); 6] = [
         (
             "iMPX table walk needs the most memory traffic",
-            ["Mondrian", "MPX (FP)", "Software FP", "Hardbound", "M-Machine", "CHERI", "128b CHERI"]
-                .iter()
-                .all(|m| get("MPX").bytes >= get(m).bytes),
+            [
+                "Mondrian",
+                "MPX (FP)",
+                "Software FP",
+                "Hardbound",
+                "M-Machine",
+                "CHERI",
+                "128b CHERI",
+            ]
+            .iter()
+            .all(|m| get("MPX").bytes >= get(m).bytes),
         ),
         ("Mondrian uses the least memory traffic", {
             ["MPX", "MPX (FP)", "Software FP", "CHERI", "128b CHERI"]

@@ -4,12 +4,18 @@
 //! mst, treeadd and perimeter.
 
 use beri_sim::MachineConfig;
-use cheri_bench::{bar, figure4_strategies, overhead_pct, params_for, parse_scale};
-use cheri_olden::dsl::{run_bench, BenchRun, DslBench};
+use cheri_bench::{
+    bar, figure4_strategies, overhead_pct, params_for, parse_scale, parse_trace_out,
+};
+use cheri_olden::dsl::{run_bench_with_sink, BenchRun, DslBench};
+use cheri_trace::{marker, Sink};
 
 fn main() {
     let scale = parse_scale();
     let params = params_for(scale);
+    // `--trace-out <path>`: stream every event of every run as JSON
+    // lines, with a marker line delimiting each benchmark/mode pair.
+    let sink = parse_trace_out();
     println!("== Figure 4: execution-time overhead vs unsafe MIPS ({scale:?} sizes) ==\n");
     println!(
         "{:<11}{:<14}{:>9}{:>10}{:>9}   total",
@@ -23,7 +29,8 @@ fn main() {
                 mem_bytes: bench.mem_needed(&params, strategy.as_ref()),
                 ..MachineConfig::default()
             };
-            let run = run_bench(bench, &params, strategy.as_ref(), cfg)
+            marker(&sink, &format!("run start: {}/{}", bench.name(), strategy.name()));
+            let run = run_bench_with_sink(bench, &params, strategy.as_ref(), cfg, sink.clone())
                 .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), strategy.name()));
             runs.push(run);
         }
@@ -63,4 +70,7 @@ fn main() {
         println!();
     }
     println!("(paper: 'CHERI outperforms CCured substantially in all configurations')");
+    if let Some(s) = &sink {
+        s.borrow_mut().flush();
+    }
 }

@@ -3,10 +3,11 @@
 //! 64 KB L2, and the 1 MB TLB coverage overflow.
 
 use beri_sim::MachineConfig;
-use cheri_bench::{bar, overhead_pct};
+use cheri_bench::{bar, overhead_pct, parse_trace_out};
 use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy};
-use cheri_olden::dsl::{run_bench, DslBench};
+use cheri_olden::dsl::{run_bench_with_sink, DslBench};
 use cheri_olden::OldenParams;
+use cheri_trace::{marker, Sink};
 
 /// Sweep points per benchmark: the parameter values whose *baseline*
 /// heaps span roughly 4 KB .. 1024 KB, like the Figure 5 x-axis.
@@ -14,12 +15,10 @@ fn sweep(bench: DslBench) -> Vec<(u32, OldenParams)> {
     let base = OldenParams::scaled();
     match bench {
         DslBench::Treeadd => (8..=16).map(|d| (d, base.with_treeadd_depth(d))).collect(),
-        DslBench::Bisort => (7..=14)
-            .map(|d| (d, OldenParams { bisort_log2: d, ..base }))
-            .collect(),
-        DslBench::Perimeter => (7..=12)
-            .map(|d| (d, OldenParams { perimeter_levels: d, ..base }))
-            .collect(),
+        DslBench::Bisort => (7..=14).map(|d| (d, OldenParams { bisort_log2: d, ..base })).collect(),
+        DslBench::Perimeter => {
+            (7..=12).map(|d| (d, OldenParams { perimeter_levels: d, ..base })).collect()
+        }
         DslBench::Mst => [16u32, 32, 64, 128, 256, 512, 1024]
             .iter()
             .map(|&n| (n, OldenParams { mst_vertices: n, ..base }))
@@ -30,6 +29,8 @@ fn sweep(bench: DslBench) -> Vec<(u32, OldenParams)> {
 fn main() {
     println!("== Figure 5: CHERI slowdown at different heap sizes ==");
     println!("(cache geometry: 16KB L1 / 64KB L2 / TLB covering 1MB)\n");
+    // `--trace-out <path>`: stream every event of every sweep point.
+    let sink = parse_trace_out();
     for bench in DslBench::ALL {
         println!("{}:", bench.name());
         println!("{:>10} {:>12} {:>10}", "param", "heap (KB)", "slowdown");
@@ -42,7 +43,8 @@ fn main() {
                     mem_bytes: bench.mem_needed(&p, *s),
                     ..MachineConfig::default()
                 };
-                let run = run_bench(bench, &p, *s, cfg)
+                marker(&sink, &format!("run start: {}/{}/{}", bench.name(), s.name(), param));
+                let run = run_bench_with_sink(bench, &p, *s, cfg, sink.clone())
                     .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), s.name()));
                 cycles[i] = run.total_cycles();
                 if i == 0 {
@@ -57,4 +59,7 @@ fn main() {
     println!("(paper: 'For very small sets, overhead is negligible. As working");
     println!(" set-size increases, capability cache pressure grows faster than");
     println!(" for unprotected code', with steps at the L1/L2/TLB capacities.)");
+    if let Some(s) = &sink {
+        s.borrow_mut().flush();
+    }
 }

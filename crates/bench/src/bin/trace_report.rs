@@ -1,0 +1,158 @@
+//! `trace_report` — runs one Olden workload under any pointer strategy
+//! with the cheri-trace subsystem attached, prints the aggregated
+//! counter/histogram table, and cross-checks the event stream against
+//! the legacy per-struct counters (they must agree exactly).
+//!
+//! ```text
+//! trace_report <bench> [--strategy <name>] [--scaled|--paper]
+//!              [--jsonl <path>] [--out <snapshot.json>]
+//! trace_report --diff <a.json> <b.json>
+//! ```
+//!
+//! `--jsonl` additionally streams every event as a JSON line;
+//! `--out` saves the aggregate snapshot for later comparison with
+//! `--diff`, which prints per-counter deltas between two saved runs.
+
+use cheri_bench::{params_for, parse_bench_name, parse_scale, parse_strategy};
+use cheri_olden::dsl::{machine_config, run_bench_with_sink};
+use cheri_trace::{marker, names, shared, AggregateSink, AnySink, JsonlSink, Sink, Snapshot};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: trace_report <bisort|mst|treeadd|perimeter> [--strategy <name>]\n\
+         \u{20}                   [--scaled|--paper] [--jsonl <path>] [--out <path>]\n\
+         \u{20}      trace_report --diff <a.json> <b.json>\n\
+         strategies: mips, ccured, ccured-elide, cheri (aka cap), cheri128"
+    );
+    std::process::exit(2);
+}
+
+fn load_snapshot(path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
+        eprintln!("cannot read {path}: {e}");
+        std::process::exit(2);
+    });
+    Snapshot::from_json(&text).unwrap_or_else(|e| {
+        eprintln!("{path}: not a snapshot: {e}");
+        std::process::exit(2);
+    })
+}
+
+/// Counter families where the aggregated event stream must reproduce
+/// the legacy per-struct counters bit-for-bit.
+const PARITY: &[&str] = &[
+    names::INSTRUCTIONS,
+    names::CAP_INSTRUCTIONS,
+    names::L1I_HITS,
+    names::L1I_MISSES,
+    names::L1I_WRITEBACKS,
+    names::L1D_HITS,
+    names::L1D_MISSES,
+    names::L1D_WRITEBACKS,
+    names::L2_HITS,
+    names::L2_MISSES,
+    names::L2_WRITEBACKS,
+    names::TLB_REFILLS,
+    names::TAG_TABLE_READS,
+    names::TAG_TABLE_WRITES,
+    names::TAG_CACHE_HITS,
+    names::TAG_CACHE_MISSES,
+    names::TAG_CACHE_WRITEBACKS,
+    names::LOADS,
+    names::STORES,
+    names::CAP_EXCEPTIONS,
+    names::SYSCALLS,
+    names::CONTEXT_SWITCHES,
+    names::DOMAIN_CALLS,
+    names::DOMAIN_RETURNS,
+];
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+
+    if args.iter().any(|a| a == "--diff") {
+        let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
+        if paths.len() != 2 {
+            usage();
+        }
+        let (a, b) = (load_snapshot(paths[0]), load_snapshot(paths[1]));
+        let diff = a.diff(&b);
+        println!("== snapshot diff: {} vs {} ==\n", paths[0], paths[1]);
+        print!("{diff}");
+        let changed = diff.changed().count();
+        println!("\n{changed} counter(s) changed, {} total", diff.entries().len());
+        return;
+    }
+
+    let flag_value = |name: &str| -> Option<String> {
+        args.iter().position(|a| a == name).map(|i| {
+            args.get(i + 1).cloned().unwrap_or_else(|| {
+                eprintln!("{name} requires an argument");
+                std::process::exit(2);
+            })
+        })
+    };
+
+    let Some(bench) = args.iter().find(|a| !a.starts_with("--")).and_then(|n| parse_bench_name(n))
+    else {
+        usage();
+    };
+    let strategy_name = flag_value("--strategy").unwrap_or_else(|| "cheri".into());
+    let Some(strategy) = parse_strategy(&strategy_name) else {
+        eprintln!("unknown strategy {strategy_name:?}");
+        usage();
+    };
+    let params = params_for(parse_scale());
+
+    // Aggregate always; tee into a JSONL stream when asked.
+    let mut sinks = vec![AnySink::Aggregate(AggregateSink::new())];
+    if let Some(path) = flag_value("--jsonl") {
+        let jsonl = JsonlSink::create(std::path::Path::new(&path)).unwrap_or_else(|e| {
+            eprintln!("cannot create {path}: {e}");
+            std::process::exit(2);
+        });
+        sinks.push(AnySink::Jsonl(jsonl));
+    }
+    let sink = shared(AnySink::Multi(sinks));
+
+    marker(&Some(sink.clone()), &format!("run start: {}/{}", bench.name(), strategy.name()));
+    let cfg = machine_config(bench, &params, strategy.as_ref());
+    let run = run_bench_with_sink(bench, &params, strategy.as_ref(), cfg, Some(sink.clone()))
+        .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), strategy.name()));
+    marker(&Some(sink.clone()), "run end");
+    sink.borrow_mut().flush();
+
+    let aggregated = match &*sink.borrow() {
+        AnySink::Multi(sinks) => match &sinks[0] {
+            AnySink::Aggregate(a) => a.snapshot(),
+            _ => unreachable!("aggregate is always the first sink"),
+        },
+        _ => unreachable!("sink is always a Multi"),
+    };
+
+    println!("== trace_report: {} [{}] ==", bench.name(), strategy.name());
+    println!("exit: {:?}   cycles: {}\n", run.outcome.exit, run.outcome.stats.cycles);
+    print!("{}", aggregated.render_table());
+
+    // The acceptance property: the event stream, aggregated, equals the
+    // legacy per-struct counters the kernel exported into the outcome.
+    let legacy = &run.outcome.metrics;
+    let mut mismatches = 0;
+    for name in PARITY {
+        let (ev, lg) = (aggregated.counter(name), legacy.counter(name));
+        if ev != lg {
+            eprintln!("PARITY MISMATCH {name}: events={ev} legacy={lg}");
+            mismatches += 1;
+        }
+    }
+    assert_eq!(mismatches, 0, "event stream disagrees with legacy counters");
+    println!("\nparity: all {} shared counters match the legacy statistics", PARITY.len());
+
+    if let Some(path) = flag_value("--out") {
+        std::fs::write(&path, aggregated.to_json()).unwrap_or_else(|e| {
+            eprintln!("cannot write {path}: {e}");
+            std::process::exit(2);
+        });
+        println!("snapshot written to {path}");
+    }
+}

@@ -21,7 +21,9 @@
 //! This library holds the small amount of shared harness plumbing.
 
 use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy, SoftFatPtr};
+use cheri_olden::dsl::DslBench;
 use cheri_olden::OldenParams;
+use cheri_trace::{shared, AnySink, JsonlSink, SharedSink};
 
 /// Which problem-size preset a harness should use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -61,6 +63,50 @@ pub fn params_for(scale: Scale) -> OldenParams {
 #[must_use]
 pub fn figure4_strategies() -> Vec<Box<dyn PtrStrategy>> {
     vec![Box::new(LegacyPtr), Box::new(SoftFatPtr::checked()), Box::new(CapPtr::c256())]
+}
+
+/// Resolves a benchmark by its canonical name (`bisort`, `mst`,
+/// `treeadd`, `perimeter`).
+#[must_use]
+pub fn parse_bench_name(name: &str) -> Option<DslBench> {
+    DslBench::ALL.into_iter().find(|b| b.name() == name)
+}
+
+/// Resolves a pointer strategy by name, accepting the common aliases
+/// used across the harnesses (`mips`/`legacy`, `ccured`/`soft`,
+/// `ccured-elide`/`elide`, `cheri`/`cap`/`c256`, `cheri128`/`c128`).
+#[must_use]
+pub fn parse_strategy(name: &str) -> Option<Box<dyn PtrStrategy>> {
+    Some(match name {
+        "mips" | "legacy" => Box::new(LegacyPtr),
+        "ccured" | "soft" => Box::new(SoftFatPtr::checked()),
+        "ccured-elide" | "elide" => Box::new(SoftFatPtr::eliding()),
+        "cheri" | "cap" | "c256" => Box::new(CapPtr::c256()),
+        "cheri128" | "c128" => Box::new(CapPtr::c128()),
+        _ => return None,
+    })
+}
+
+/// Parses the `--trace-out <path>` flag shared by the figure harnesses:
+/// when present, returns a JSONL sink streaming to that path which the
+/// harness threads through every run (with one marker line per run).
+///
+/// # Panics
+///
+/// Exits with a message if the path cannot be created.
+#[must_use]
+pub fn parse_trace_out() -> Option<SharedSink> {
+    let args: Vec<String> = std::env::args().collect();
+    let i = args.iter().position(|a| a == "--trace-out")?;
+    let path = args.get(i + 1).unwrap_or_else(|| {
+        eprintln!("--trace-out requires a path argument");
+        std::process::exit(2);
+    });
+    let jsonl = JsonlSink::create(std::path::Path::new(path)).unwrap_or_else(|e| {
+        eprintln!("cannot create trace file {path}: {e}");
+        std::process::exit(2);
+    });
+    Some(shared(AnySink::Jsonl(jsonl)))
 }
 
 /// Percentage overhead of `x` over `base`.

@@ -74,9 +74,9 @@ pub fn expr_ty(module: &Module, f: &FuncDef, e: &Expr) -> Ty {
         Expr::Local(l) => f.locals[*l],
         Expr::Null(s) => Ty::Ptr(*s),
         Expr::LoadPtr { strukt, field, .. } => module.structs[*strukt].fields[*field],
-        Expr::Call { func, .. } => module.funcs[*func]
-            .ret
-            .expect("checked call to void function in value position"),
+        Expr::Call { func, .. } => {
+            module.funcs[*func].ret.expect("checked call to void function in value position")
+        }
         Expr::Alloc { strukt, .. } | Expr::Index { strukt, .. } => Ty::Ptr(*strukt),
     }
 }
@@ -94,10 +94,9 @@ impl<'m> Checker<'m> {
     fn ty(&self, f: &FuncDef, e: &Expr) -> Result<Ty, CompileError> {
         Ok(match e {
             Expr::Const(_) => Ty::I64,
-            Expr::Local(l) => *f
-                .locals
-                .get(*l)
-                .ok_or_else(|| self.err(f, format!("local {l} out of range")))?,
+            Expr::Local(l) => {
+                *f.locals.get(*l).ok_or_else(|| self.err(f, format!("local {l} out of range")))?
+            }
             Expr::Null(s) => {
                 self.strukt(f, *s)?;
                 Ty::Ptr(*s)
@@ -111,18 +110,14 @@ impl<'m> Checker<'m> {
                 self.expect_ptr_to(f, ptr, *strukt)?;
                 match self.field(f, *strukt, *field)? {
                     Ty::I64 => Ty::I64,
-                    Ty::Ptr(_) => {
-                        return Err(self.err(f, format!("Load of pointer field {field}")))
-                    }
+                    Ty::Ptr(_) => return Err(self.err(f, format!("Load of pointer field {field}"))),
                 }
             }
             Expr::LoadPtr { ptr, strukt, field } => {
                 self.expect_ptr_to(f, ptr, *strukt)?;
                 match self.field(f, *strukt, *field)? {
                     Ty::Ptr(s) => Ty::Ptr(s),
-                    Ty::I64 => {
-                        return Err(self.err(f, format!("LoadPtr of integer field {field}")))
-                    }
+                    Ty::I64 => return Err(self.err(f, format!("LoadPtr of integer field {field}"))),
                 }
             }
             Expr::IsNull(p) | Expr::PtrToInt(p) => {
@@ -145,7 +140,12 @@ impl<'m> Checker<'m> {
                 if args.len() != callee.params {
                     return Err(self.err(
                         f,
-                        format!("{} expects {} args, got {}", callee.name, callee.params, args.len()),
+                        format!(
+                            "{} expects {} args, got {}",
+                            callee.name,
+                            callee.params,
+                            args.len()
+                        ),
                     ));
                 }
                 for (i, a) in args.iter().enumerate() {
@@ -153,14 +153,15 @@ impl<'m> Checker<'m> {
                     if got != callee.locals[i] {
                         return Err(self.err(
                             f,
-                            format!("arg {i} of {}: expected {:?}, got {got:?}", callee.name, callee.locals[i]),
+                            format!(
+                                "arg {i} of {}: expected {:?}, got {got:?}",
+                                callee.name, callee.locals[i]
+                            ),
                         ));
                     }
                     self.no_calls(f, a)?;
                 }
-                callee
-                    .ret
-                    .ok_or_else(|| self.err(f, format!("{} returns nothing", callee.name)))?
+                callee.ret.ok_or_else(|| self.err(f, format!("{} returns nothing", callee.name)))?
             }
             Expr::Alloc { strukt, count } => {
                 self.strukt(f, *strukt)?;
@@ -180,11 +181,9 @@ impl<'m> Checker<'m> {
 
     fn field(&self, f: &FuncDef, s: usize, field: usize) -> Result<Ty, CompileError> {
         self.strukt(f, s)?;
-        self.module.structs[s]
-            .fields
-            .get(field)
-            .copied()
-            .ok_or_else(|| self.err(f, format!("field {field} of {} out of range", self.module.structs[s].name)))
+        self.module.structs[s].fields.get(field).copied().ok_or_else(|| {
+            self.err(f, format!("field {field} of {} out of range", self.module.structs[s].name))
+        })
     }
 
     fn expect_int(&self, f: &FuncDef, e: &Expr) -> Result<(), CompileError> {
@@ -437,10 +436,7 @@ mod tests {
     fn rejects_type_confusion() {
         // Load of a pointer field as integer.
         let m = module_with_main(
-            vec![
-                Stmt::Let(0, alloc(0, c(1))),
-                Stmt::Return(Some(load(l(0), 0, 1))),
-            ],
+            vec![Stmt::Let(0, alloc(0, c(1))), Stmt::Return(Some(load(l(0), 0, 1)))],
             vec![Ty::ptr(0)],
         );
         assert!(matches!(check(&m, limits()), Err(CompileError::Type { .. })));
@@ -448,10 +444,7 @@ mod tests {
 
     #[test]
     fn rejects_nested_call() {
-        let m = module_with_main(
-            vec![Stmt::Return(Some(add(call(0, vec![]), c(1))))],
-            vec![],
-        );
+        let m = module_with_main(vec![Stmt::Return(Some(add(call(0, vec![]), c(1))))], vec![]);
         assert!(matches!(check(&m, limits()), Err(CompileError::CallPosition { .. })));
     }
 
@@ -463,7 +456,10 @@ mod tests {
             e = add(c(1), e);
         }
         let m = module_with_main(vec![Stmt::Return(Some(e))], vec![]);
-        assert!(matches!(check(&m, limits()), Err(CompileError::DepthExceeded { pool: "integer", .. })));
+        assert!(matches!(
+            check(&m, limits()),
+            Err(CompileError::DepthExceeded { pool: "integer", .. })
+        ));
     }
 
     #[test]
@@ -486,10 +482,7 @@ mod tests {
     #[test]
     fn expr_ty_after_check() {
         let m = module_with_main(
-            vec![
-                Stmt::Let(0, alloc(0, c(1))),
-                Stmt::Return(Some(load(l(0), 0, 0))),
-            ],
+            vec![Stmt::Let(0, alloc(0, c(1))), Stmt::Return(Some(load(l(0), 0, 0)))],
             vec![Ty::ptr(0)],
         );
         check(&m, limits()).unwrap();

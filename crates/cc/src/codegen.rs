@@ -33,13 +33,11 @@ use crate::strategy::{emit_trap_stub, Emit, PtrLoc, PtrStrategy, CAP_ARG_BASE};
 const INT_POOL: [u8; 6] = [reg::T0, reg::T1, reg::T2, reg::T3, reg::T8, reg::T9];
 
 /// Compilation options.
-#[derive(Clone, Copy, Debug)]
-#[derive(Default)]
+#[derive(Clone, Copy, Debug, Default)]
 pub struct CompileOpts {
     /// Process layout (text base, heap-pointer cell) to target.
     pub layout: ProcessLayout,
 }
-
 
 /// Where an argument travels.
 #[derive(Clone, Copy, Debug)]
@@ -60,11 +58,8 @@ pub fn compile(
     opts: CompileOpts,
 ) -> Result<Program, CompileError> {
     check(module, Limits { max_int: INT_POOL.len(), max_ptr: strategy.num_scratch() })?;
-    let layouts: Vec<StructLayout> = module
-        .structs
-        .iter()
-        .map(|s| StructLayout::compute(&s.fields, strategy))
-        .collect();
+    let layouts: Vec<StructLayout> =
+        module.structs.iter().map(|s| StructLayout::compute(&s.fields, strategy)).collect();
     for (s, l) in module.structs.iter().zip(&layouts) {
         if l.size > 30_000 {
             return Err(CompileError::OffsetTooLarge { func: s.name, offset: l.size });
@@ -261,13 +256,7 @@ impl<'m> Codegen<'m> {
     /// Decides whether a dereference of `[off, off+size)` through a
     /// pointer with provenance `prov` needs an emitted check, updating
     /// the elision state.
-    fn need_check(
-        &self,
-        ctx: &mut FuncCtx,
-        prov: Option<LocalId>,
-        off: u64,
-        size: u64,
-    ) -> bool {
+    fn need_check(&self, ctx: &mut FuncCtx, prov: Option<LocalId>, off: u64, size: u64) -> bool {
         if !self.strategy.wants_check() {
             return false;
         }
@@ -282,7 +271,6 @@ impl<'m> Codegen<'m> {
         intervals.push((off, off + size));
         true
     }
-
 
     // --- expressions -----------------------------------------------------
 
@@ -718,20 +706,13 @@ mod tests {
             max_instructions: 50_000_000,
             ..KernelConfig::default()
         });
-        k.exec_and_run(&prog)
-            .unwrap_or_else(|e| panic!("[{}] run failed: {e}", strategy.name()))
+        k.exec_and_run(&prog).unwrap_or_else(|e| panic!("[{}] run failed: {e}", strategy.name()))
     }
 
     fn assert_all_modes(module: &Module, expect: u64) {
         for s in strategies() {
             let out = run(module, s.as_ref());
-            assert_eq!(
-                out.exit_value(),
-                Some(expect),
-                "[{}] exit {:?}",
-                s.name(),
-                out.exit
-            );
+            assert_eq!(out.exit_value(), Some(expect), "[{}] exit {:?}", s.name(), out.exit);
         }
     }
 
@@ -739,7 +720,10 @@ mod tests {
     fn tree_module() -> (Module, usize) {
         let node = 0usize;
         let module = Module {
-            structs: vec![StructDef { name: "node", fields: vec![Ty::I64, Ty::ptr(0), Ty::ptr(0)] }],
+            structs: vec![StructDef {
+                name: "node",
+                fields: vec![Ty::I64, Ty::ptr(0), Ty::ptr(0)],
+            }],
             funcs: vec![],
             entry: 0,
         };
@@ -760,10 +744,7 @@ mod tests {
                     Stmt::Let(1, c(1)),
                     Stmt::While {
                         cond: cmp(CmpOp::Le, l(1), c(10)),
-                        body: vec![
-                            Stmt::Let(0, add(l(0), l(1))),
-                            Stmt::Let(1, add(l(1), c(1))),
-                        ],
+                        body: vec![Stmt::Let(0, add(l(0), l(1))), Stmt::Let(1, add(l(1), c(1)))],
                     },
                     Stmt::Return(Some(l(0))),
                 ],
@@ -788,10 +769,7 @@ mod tests {
                 Stmt::Store { ptr: l(1), strukt: node, field: 0, value: c(1) },
                 Stmt::StorePtr { ptr: l(0), strukt: node, field: 1, value: l(1) },
                 // return p->val + p->left->val
-                Stmt::Return(Some(add(
-                    load(l(0), node, 0),
-                    load(loadp(l(0), node, 1), node, 0),
-                ))),
+                Stmt::Return(Some(add(load(l(0), node, 0), load(loadp(l(0), node, 1), node, 0)))),
             ],
         });
         assert_all_modes(&m, 42);

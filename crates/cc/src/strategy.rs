@@ -126,14 +126,7 @@ pub trait PtrStrategy {
     fn emit_load_ptr_field(&self, e: &mut Emit<'_>, dst: PtrLoc, p: PtrLoc, off: i16, check: bool);
 
     /// `*(ptr*)(p + off) = src`.
-    fn emit_store_ptr_field(
-        &self,
-        e: &mut Emit<'_>,
-        src: PtrLoc,
-        p: PtrLoc,
-        off: i16,
-        check: bool,
-    );
+    fn emit_store_ptr_field(&self, e: &mut Emit<'_>, src: PtrLoc, p: PtrLoc, off: i16, check: bool);
 
     /// `dst = p advanced by byte_off_gpr bytes` (array indexing).
     fn emit_index(&self, e: &mut Emit<'_>, dst: PtrLoc, p: PtrLoc, byte_off_gpr: u8);
@@ -433,14 +426,7 @@ impl PtrStrategy for SoftFatPtr {
         e.asm.sd(src_gpr, a, off);
     }
 
-    fn emit_load_ptr_field(
-        &self,
-        e: &mut Emit<'_>,
-        dst: PtrLoc,
-        p: PtrLoc,
-        off: i16,
-        check: bool,
-    ) {
+    fn emit_load_ptr_field(&self, e: &mut Emit<'_>, dst: PtrLoc, p: PtrLoc, off: i16, check: bool) {
         if check {
             Self::emit_check(e, p, off, 24);
         }
@@ -711,11 +697,7 @@ mod tests {
 
     #[test]
     fn scratch_slots_are_distinct() {
-        for s in [
-            &LegacyPtr as &dyn PtrStrategy,
-            &SoftFatPtr::checked(),
-            &CapPtr::c256(),
-        ] {
+        for s in [&LegacyPtr as &dyn PtrStrategy, &SoftFatPtr::checked(), &CapPtr::c256()] {
             let slots: Vec<PtrLoc> = (0..s.num_scratch()).map(|i| s.scratch(i)).collect();
             for (i, a) in slots.iter().enumerate() {
                 for b in &slots[i + 1..] {

@@ -21,7 +21,7 @@ enum Op {
     AllocInto { p: usize },
     StoreField { p: usize, field: usize, src: usize },
     LoadField { dst: usize, p: usize, field: usize },
-    LinkPtrs,           // p1.next = p0
+    LinkPtrs,                  // p1.next = p0
     FollowLink { dst: usize }, // p<dst> = p1.next
     IfPositive { cond: usize, then_local: usize, v: i16 },
     LoopAccumulate { times: u8 },
@@ -30,17 +30,30 @@ enum Op {
 fn arb_op() -> impl Strategy<Value = Op> {
     prop_oneof![
         (2usize..4, any::<i16>()).prop_map(|(local, v)| Op::SetConst { local, v }),
-        (2usize..4, 2usize..4, 2usize..4, 0u8..5)
-            .prop_map(|(dst, a, b, kind)| Op::Arith { dst, a, b, kind }),
+        (2usize..4, 2usize..4, 2usize..4, 0u8..5).prop_map(|(dst, a, b, kind)| Op::Arith {
+            dst,
+            a,
+            b,
+            kind
+        }),
         (0usize..2).prop_map(|p| Op::AllocInto { p }),
-        (0usize..2, 0usize..2, 2usize..4)
-            .prop_map(|(p, field, src)| Op::StoreField { p, field, src }),
-        (2usize..4, 0usize..2, 0usize..2)
-            .prop_map(|(dst, p, field)| Op::LoadField { dst, p, field }),
+        (0usize..2, 0usize..2, 2usize..4).prop_map(|(p, field, src)| Op::StoreField {
+            p,
+            field,
+            src
+        }),
+        (2usize..4, 0usize..2, 0usize..2).prop_map(|(dst, p, field)| Op::LoadField {
+            dst,
+            p,
+            field
+        }),
         Just(Op::LinkPtrs),
         (0usize..2).prop_map(|dst| Op::FollowLink { dst }),
-        (2usize..4, 2usize..4, any::<i16>())
-            .prop_map(|(cond, then_local, v)| Op::IfPositive { cond, then_local, v }),
+        (2usize..4, 2usize..4, any::<i16>()).prop_map(|(cond, then_local, v)| Op::IfPositive {
+            cond,
+            then_local,
+            v
+        }),
         (1u8..6).prop_map(|times| Op::LoopAccumulate { times }),
     ]
 }
@@ -112,10 +125,7 @@ fn lower(ops: &[Op]) -> Module {
                 body.push(Stmt::Let(4, c(0)));
                 body.push(Stmt::While {
                     cond: cmp(CmpOp::Lt, l(4), c(i64::from(times))),
-                    body: vec![
-                        Stmt::Let(2, add(l(2), l(3))),
-                        Stmt::Let(4, add(l(4), c(1))),
-                    ],
+                    body: vec![Stmt::Let(2, add(l(2), l(3))), Stmt::Let(4, add(l(4), c(1)))],
                 });
             }
         }
@@ -127,10 +137,7 @@ fn lower(ops: &[Op]) -> Module {
     }
     body.push(Stmt::Return(Some(band(result, c(0xfff_ffff)))));
     Module {
-        structs: vec![StructDef {
-            name: "cell",
-            fields: vec![Ty::I64, Ty::I64, Ty::ptr(cell)],
-        }],
+        structs: vec![StructDef { name: "cell", fields: vec![Ty::I64, Ty::I64, Ty::ptr(cell)] }],
         funcs: vec![FuncDef {
             name: "main",
             params: 0,

@@ -60,13 +60,7 @@ impl Capability {
     /// permissions, tagged valid.
     #[must_use]
     pub const fn max() -> Capability {
-        Capability {
-            tag: true,
-            perms: Perms::ALL,
-            reserved: 0,
-            base: 0,
-            length: u64::MAX,
-        }
+        Capability { tag: true, perms: Perms::ALL, reserved: 0, base: 0, length: u64::MAX }
     }
 
     /// The null capability: untagged, no permissions, empty region.
@@ -74,13 +68,7 @@ impl Capability {
     /// for a NULL pointer.
     #[must_use]
     pub const fn null() -> Capability {
-        Capability {
-            tag: false,
-            perms: Perms::NONE,
-            reserved: 0,
-            base: 0,
-            length: 0,
-        }
+        Capability { tag: false, perms: Perms::NONE, reserved: 0, base: 0, length: 0 }
     }
 
     /// Builds a tagged capability over `[base, base+length)` with `perms`.
@@ -100,13 +88,7 @@ impl Capability {
             // 2^64-1; anything else that wraps is rejected.
             return Err(CapExcCode::AddressOverflow.into());
         }
-        Ok(Capability {
-            tag: true,
-            perms,
-            reserved: 0,
-            base,
-            length,
-        })
+        Ok(Capability { tag: true, perms, reserved: 0, base, length })
     }
 
     /// Whether the tag is set (the register holds a valid capability
@@ -188,11 +170,7 @@ impl Capability {
         }
         // delta <= length <= top - base, so base + delta cannot overflow
         // past 2^64 - that would require top > 2^64.
-        Ok(Capability {
-            base: self.base.wrapping_add(delta),
-            length: self.length - delta,
-            ..*self
-        })
+        Ok(Capability { base: self.base.wrapping_add(delta), length: self.length - delta, ..*self })
     }
 
     /// `CSetLen`: "Set (reduce) length".
@@ -208,10 +186,7 @@ impl Capability {
         if new_len > self.length {
             return Err(CapExcCode::MonotonicityViolation.into());
         }
-        Ok(Capability {
-            length: new_len,
-            ..*self
-        })
+        Ok(Capability { length: new_len, ..*self })
     }
 
     /// `CAndPerm`: "Restrict permissions" — intersects the permission
@@ -224,10 +199,7 @@ impl Capability {
         if !self.tag {
             return Err(CapExcCode::TagViolation.into());
         }
-        Ok(Capability {
-            perms: self.perms.intersect(mask),
-            ..*self
-        })
+        Ok(Capability { perms: self.perms.intersect(mask), ..*self })
     }
 
     /// `CClearTag`: "Invalidate a capability register". Always succeeds;
@@ -319,12 +291,7 @@ impl Capability {
     /// # Errors
     ///
     /// As [`Capability::check_cap_access`].
-    pub fn check_cap_access_g(
-        &self,
-        addr: u64,
-        store: bool,
-        granule: u64,
-    ) -> Result<(), CapCause> {
+    pub fn check_cap_access_g(&self, addr: u64, store: bool, granule: u64) -> Result<(), CapCause> {
         debug_assert!(granule == TAG_GRANULE || granule == CAP_SIZE_BYTES as u64 / 2);
         if !self.tag {
             return Err(CapExcCode::TagViolation.into());
@@ -383,9 +350,7 @@ impl Capability {
         if !self.tag {
             return false;
         }
-        other.base >= self.base
-            && other.top() <= self.top()
-            && other.perms.is_subset_of(self.perms)
+        other.base >= self.base && other.top() <= self.top() && other.perms.is_subset_of(self.perms)
     }
 
     // --- Memory representation (Figure 1) --------------------------------
@@ -415,13 +380,7 @@ impl Capability {
         let length = u64::from_be_bytes(bytes[24..32].try_into().expect("8-byte slice"));
         let perms = Perms::from_bits_truncate((w0 >> 33) as u32);
         let reserved = ((w0 & 0xffff_ffff) << 32) | (w1 & 0xffff_ffff);
-        Capability {
-            tag,
-            perms,
-            reserved,
-            base,
-            length,
-        }
+        Capability { tag, perms, reserved, base, length }
     }
 
     /// Reinterprets 32 bytes of *untagged* memory as the register contents
@@ -477,9 +436,7 @@ mod tests {
         assert_eq!(c.base(), 0);
         assert_eq!(c.top(), u128::from(u64::MAX));
         assert!(c.check_data_access(0, 8, Perms::LOAD).is_ok());
-        assert!(c
-            .check_data_access(u64::MAX - 8, 7, Perms::STORE)
-            .is_ok());
+        assert!(c.check_data_access(u64::MAX - 8, 7, Perms::STORE).is_ok());
     }
 
     #[test]
@@ -532,10 +489,7 @@ mod tests {
         let c = Capability::new(0x1000, 0x100, Perms::ALL).unwrap();
         assert!(c.set_len(0x100).is_ok());
         assert!(c.set_len(0).is_ok());
-        assert_eq!(
-            c.set_len(0x101).unwrap_err().code(),
-            CapExcCode::MonotonicityViolation
-        );
+        assert_eq!(c.set_len(0x101).unwrap_err().code(), CapExcCode::MonotonicityViolation);
     }
 
     #[test]
@@ -553,10 +507,7 @@ mod tests {
         // ... but the zero-delta move idiom copies untagged values.
         assert_eq!(c.inc_base(0).unwrap(), c);
         assert_eq!(c.set_len(1).unwrap_err().code(), CapExcCode::TagViolation);
-        assert_eq!(
-            c.and_perm(Perms::LOAD).unwrap_err().code(),
-            CapExcCode::TagViolation
-        );
+        assert_eq!(c.and_perm(Perms::LOAD).unwrap_err().code(), CapExcCode::TagViolation);
     }
 
     #[test]
@@ -599,10 +550,7 @@ mod tests {
         let pcc = Capability::new(0x1000, 0x100, Perms::EXECUTE | Perms::LOAD).unwrap();
         assert!(pcc.check_execute(0x1000).is_ok());
         assert!(pcc.check_execute(0x10fc).is_ok());
-        assert_eq!(
-            pcc.check_execute(0x1100).unwrap_err().code(),
-            CapExcCode::LengthViolation
-        );
+        assert_eq!(pcc.check_execute(0x1100).unwrap_err().code(), CapExcCode::LengthViolation);
         let data = pcc.and_perm(Perms::LOAD).unwrap();
         assert_eq!(
             data.check_execute(0x1000).unwrap_err().code(),
@@ -640,8 +588,8 @@ mod tests {
 
     #[test]
     fn byte_roundtrip_preserves_fields() {
-        let c = Capability::new(0xdead_beef_0000, 0x1234_5678, Perms::LOAD | Perms::STORE_CAP)
-            .unwrap();
+        let c =
+            Capability::new(0xdead_beef_0000, 0x1234_5678, Perms::LOAD | Perms::STORE_CAP).unwrap();
         let bytes = c.to_bytes();
         let d = Capability::from_bytes(&bytes, true);
         assert_eq!(c, d);
@@ -649,8 +597,7 @@ mod tests {
 
     #[test]
     fn byte_layout_matches_figure_1() {
-        let c = Capability::new(0x1122_3344_5566_7788, 0x99aa_bbcc_ddee_ff00, Perms::ALL)
-            .unwrap();
+        let c = Capability::new(0x1122_3344_5566_7788, 0x99aa_bbcc_ddee_ff00, Perms::ALL).unwrap();
         let b = c.to_bytes();
         // Permissions live in the top 31 bits of word 0.
         let w0 = u64::from_be_bytes(b[0..8].try_into().unwrap());

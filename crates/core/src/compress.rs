@@ -117,12 +117,7 @@ impl Compressed128 {
         let exponent = align.trailing_zeros() as u8;
         let mantissa = (length >> exponent) as u32;
         debug_assert!(mantissa < (1 << LEN_MANTISSA_BITS));
-        Ok(Compressed128 {
-            perms: (cap.perms().bits() & 0xffff) as u16,
-            exponent,
-            mantissa,
-            base,
-        })
+        Ok(Compressed128 { perms: (cap.perms().bits() & 0xffff) as u16, exponent, mantissa, base })
     }
 
     /// The power-of-two alignment that `base` and `length` must honour for
@@ -218,13 +213,7 @@ impl fmt::Debug for Compressed128 {
 
 impl fmt::Display for Compressed128 {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(
-            f,
-            "cap128[base={:#x} len={:#x} e={}]",
-            self.base,
-            self.length(),
-            self.exponent
-        )
+        write!(f, "cap128[base={:#x} len={:#x} e={}]", self.base, self.length(), self.exponent)
     }
 }
 
@@ -275,10 +264,7 @@ mod tests {
     #[test]
     fn forty_bit_limit() {
         let wide = cap(1 << 40, 16);
-        assert_eq!(
-            Compressed128::try_from_cap(&wide).unwrap_err(),
-            CompressError::AddressTooWide
-        );
+        assert_eq!(Compressed128::try_from_cap(&wide).unwrap_err(), CompressError::AddressTooWide);
         let top = cap((1 << 40) - 32, 32);
         assert!(Compressed128::try_from_cap(&top).is_ok());
     }
@@ -286,10 +272,7 @@ mod tests {
     #[test]
     fn untagged_is_rejected() {
         let c = cap(0, 16).clear_tag();
-        assert_eq!(
-            Compressed128::try_from_cap(&c).unwrap_err(),
-            CompressError::Untagged
-        );
+        assert_eq!(Compressed128::try_from_cap(&c).unwrap_err(), CompressError::Untagged);
     }
 
     #[test]

@@ -312,10 +312,8 @@ mod tests {
 
     #[test]
     fn every_group_is_populated() {
-        let groups: HashSet<_> = CapInstrKind::ALL
-            .iter()
-            .map(|k| format!("{}", k.group()))
-            .collect();
+        let groups: HashSet<_> =
+            CapInstrKind::ALL.iter().map(|k| format!("{}", k.group())).collect();
         assert_eq!(groups.len(), 7);
     }
 

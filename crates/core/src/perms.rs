@@ -253,13 +253,7 @@ mod tests {
 
     #[test]
     fn named_bits_are_distinct() {
-        let all = [
-            Perms::LOAD,
-            Perms::STORE,
-            Perms::EXECUTE,
-            Perms::LOAD_CAP,
-            Perms::STORE_CAP,
-        ];
+        let all = [Perms::LOAD, Perms::STORE, Perms::EXECUTE, Perms::LOAD_CAP, Perms::STORE_CAP];
         for (i, a) in all.iter().enumerate() {
             for (j, b) in all.iter().enumerate() {
                 if i != j {

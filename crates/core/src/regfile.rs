@@ -45,10 +45,7 @@ impl CapRegFile {
     /// [`Capability::max`].
     #[must_use]
     pub fn new() -> CapRegFile {
-        CapRegFile {
-            regs: [Capability::max(); NUM_CAP_REGS],
-            pcc: Capability::max(),
-        }
+        CapRegFile { regs: [Capability::max(); NUM_CAP_REGS], pcc: Capability::max() }
     }
 
     /// A register file with *no* authority anywhere — the starting point
@@ -56,10 +53,7 @@ impl CapRegFile {
     /// must be delegated explicitly.
     #[must_use]
     pub fn empty() -> CapRegFile {
-        CapRegFile {
-            regs: [Capability::null(); NUM_CAP_REGS],
-            pcc: Capability::null(),
-        }
+        CapRegFile { regs: [Capability::null(); NUM_CAP_REGS], pcc: Capability::null() }
     }
 
     /// Reads register `index` (0–31) or `PCC` via [`PCC_INDEX`].

@@ -3,7 +3,9 @@
 
 use cheri_core::Compressed128;
 
-use crate::models::{baseline, no_pad, relayout_pages, Criteria, Mark, Overheads, ProtModel, Tally};
+use crate::models::{
+    baseline, no_pad, relayout_pages, Criteria, Mark, Overheads, ProtModel, Tally,
+};
 use crate::trace::Trace;
 
 /// iMPX with compiler-managed fat pointers (Section 6.4): "Each 64-bit

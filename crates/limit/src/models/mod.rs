@@ -257,9 +257,7 @@ impl Tally {
                         } else {
                             t.ptr_loads += 1;
                         }
-                        if target != u32::MAX
-                            && trace.objects[target as usize].size > 1024
-                        {
+                        if target != u32::MAX && trace.objects[target as usize].size > 1024 {
                             t.incompressible_ptr_accesses += 1;
                         }
                     }
@@ -311,11 +309,7 @@ pub fn baseline(trace: &Trace) -> Overheads {
 /// returns `(padded_size, base_alignment)` — the fat-pointer relayout
 /// shared by the iMPX-FP, software-FP, M-Machine, and CHERI models.
 #[must_use]
-pub fn relayout_pages(
-    trace: &Trace,
-    extra_per_ptr: u64,
-    pad: &dyn Fn(u64) -> (u64, u64),
-) -> u64 {
+pub fn relayout_pages(trace: &Trace, extra_per_ptr: u64, pad: &dyn Fn(u64) -> (u64, u64)) -> u64 {
     // New object bases under a bump allocator.
     let mut bases = Vec::with_capacity(trace.objects.len());
     let mut next = 0x4_0000u64;

@@ -1,9 +1,7 @@
 //! Table-based protection models: Mondrian, iMPX (look-aside table
 //! mode), and Hardbound.
 
-use crate::models::{
-    baseline, Criteria, Mark, Overheads, ProtModel, Tally, SYSCALL_INSTRS,
-};
+use crate::models::{baseline, Criteria, Mark, Overheads, ProtModel, Tally, SYSCALL_INSTRS};
 use crate::trace::Trace;
 use crate::PAGE;
 
@@ -46,14 +44,11 @@ impl ProtModel for Mondrian {
         let base = baseline(trace);
         // Table writes: one 64-bit record per 128 bytes of every
         // (de)allocated region, written by the software fill handler.
-        let table_writes: u64 = trace
-            .objects
-            .iter()
-            .map(|o| o.size.div_ceil(MONDRIAN_RECORD_COVERS))
-            .sum::<u64>()
-            + t.frees; // clearing on free, one record minimum
-        // PLB miss walks: a 3-level read per table-covered region
-        // entering the PLB; approximated as 4 walks per data page.
+        let table_writes: u64 =
+            trace.objects.iter().map(|o| o.size.div_ceil(MONDRIAN_RECORD_COVERS)).sum::<u64>()
+                + t.frees; // clearing on free, one record minimum
+                           // PLB miss walks: a 3-level read per table-covered region
+                           // entering the PLB; approximated as 4 walks per data page.
         let plb_walk_reads = 3 * 4 * t.data_pages;
         let extra_refs = table_writes + plb_walk_reads;
         let table_bytes = t.alloc_bytes / 16; // 64 bits per 128 bytes

@@ -23,10 +23,7 @@ impl StudyResult {
     /// The mean overhead row for a model by name.
     #[must_use]
     pub fn mean_for(&self, model: &str) -> Option<OverheadPct> {
-        self.models
-            .iter()
-            .position(|m| *m == model)
-            .map(|i| self.mean[i])
+        self.models.iter().position(|m| *m == model).map(|i| self.mean[i])
     }
 
     /// Renders the five Figure 3 panels as text tables.
@@ -69,11 +66,8 @@ pub fn run_study(traces: &[Trace]) -> StudyResult {
     let mut per_bench = Vec::with_capacity(models.len());
     let mut mean = Vec::with_capacity(models.len());
     for m in &models {
-        let rows: Vec<OverheadPct> = traces
-            .iter()
-            .zip(&bases)
-            .map(|(t, b)| m.simulate(t).percent_over(b))
-            .collect();
+        let rows: Vec<OverheadPct> =
+            traces.iter().zip(&bases).map(|(t, b)| m.simulate(t).percent_over(b)).collect();
         let n = rows.len().max(1) as f64;
         let avg = OverheadPct {
             pages: rows.iter().map(|r| r.pages).sum::<f64>() / n,
@@ -98,10 +92,8 @@ pub fn run_study(traces: &[Trace]) -> StudyResult {
 pub fn render_table2() -> String {
     use core::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(
-        out,
-        "== Table 2: Comparison of address-validity and pointer-validity models =="
-    );
+    let _ =
+        writeln!(out, "== Table 2: Comparison of address-validity and pointer-validity models ==");
     let headers = [
         "Unpriv use",
         "Fine-grain",
@@ -117,7 +109,8 @@ pub fn render_table2() -> String {
         let _ = write!(out, "{h:>12}");
     }
     let _ = writeln!(out);
-    let mut rows: Vec<(&str, crate::models::Criteria)> = vec![("MMU", crate::models::mmu_criteria())];
+    let mut rows: Vec<(&str, crate::models::Criteria)> =
+        vec![("MMU", crate::models::mmu_criteria())];
     // Table 2 lists one iMPX-table row labelled "iMPX" plus the FP
     // variant; reuse the Figure 3 models' criteria.
     for m in all_models() {
@@ -189,10 +182,7 @@ mod tests {
         // [references] metric"
         for good in ["CHERI", "Hardbound", "M-Machine"] {
             for bad in ["MPX", "Software FP"] {
-                assert!(
-                    get(good).refs < get(bad).refs,
-                    "{good} should beat {bad} on references"
-                );
+                assert!(get(good).refs < get(bad).refs, "{good} should beat {bad} on references");
             }
         }
         // "CHERI and Hardbound require a single instruction" per alloc:

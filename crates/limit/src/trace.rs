@@ -106,10 +106,7 @@ impl Trace {
     /// Number of memory-access events.
     #[must_use]
     pub fn accesses(&self) -> u64 {
-        self.events
-            .iter()
-            .filter(|e| matches!(e, Event::Access { .. }))
-            .count() as u64
+        self.events.iter().filter(|e| matches!(e, Event::Access { .. })).count() as u64
     }
 }
 

@@ -14,7 +14,7 @@
 
 use crate::tags::TagTable;
 use crate::{DEFAULT_TAG_CACHE_BYTES, TAG_GRANULE, TAG_LINE_BYTES};
-
+use cheri_trace::{emit, SharedSink, TraceEvent};
 
 /// Statistics maintained by the tag controller.
 #[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
@@ -76,6 +76,10 @@ pub struct TagController {
     table: TagTable,
     lines: Vec<TagCacheLine>,
     stats: TagCacheStats,
+    // Trace sink shared with the rest of the machine (cloning the
+    // controller shares the sink handle, which is what snapshot-style
+    // clones want).
+    sink: Option<SharedSink>,
 }
 
 impl TagController {
@@ -102,7 +106,16 @@ impl TagController {
             table: TagTable::with_granule(mem_size, granule),
             lines: vec![TagCacheLine::default(); nlines],
             stats: TagCacheStats::default(),
+            sink: None,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a trace sink. Every
+    /// tag-cache probe and tag-table read/write is mirrored into the
+    /// sink adjacent to the corresponding [`TagCacheStats`] increment,
+    /// so aggregated event counts equal the legacy statistics exactly.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
     }
 
     /// Physical bytes of memory covered by one tag-cache line.
@@ -135,6 +148,7 @@ impl TagController {
             if make_dirty {
                 self.stats.writebacks += 1; // write-through when uncached
             }
+            emit(&self.sink, || TraceEvent::TagCache { hit: false, writeback: make_dirty });
             return;
         }
         let line_index = paddr / self.bytes_per_line();
@@ -142,14 +156,17 @@ impl TagController {
         let line = &mut self.lines[slot];
         if line.valid && line.line_index == line_index {
             self.stats.hits += 1;
+            emit(&self.sink, || TraceEvent::TagCache { hit: true, writeback: false });
         } else {
             self.stats.misses += 1;
-            if line.valid && line.dirty {
+            let writeback = line.valid && line.dirty;
+            if writeback {
                 self.stats.writebacks += 1;
             }
             line.valid = true;
             line.dirty = false;
             line.line_index = line_index;
+            emit(&self.sink, || TraceEvent::TagCache { hit: false, writeback });
         }
         if make_dirty {
             self.lines[slot].dirty = true;
@@ -161,7 +178,9 @@ impl TagController {
     pub fn read_tag(&mut self, paddr: u64) -> bool {
         self.stats.lookups += 1;
         self.touch_line(paddr, false);
-        self.table.get(paddr)
+        let tag = self.table.get(paddr);
+        emit(&self.sink, || TraceEvent::TagTableRead { addr: paddr, tag });
+        tag
     }
 
     /// Writes the tag for the granule covering `paddr`, through the cache.
@@ -169,6 +188,7 @@ impl TagController {
         self.stats.updates += 1;
         self.touch_line(paddr, true);
         self.table.set(paddr, tag);
+        emit(&self.sink, || TraceEvent::TagTableWrite { addr: paddr, tag });
     }
 
     /// Clears all tags overlapped by a data store of `len` bytes at
@@ -184,6 +204,7 @@ impl TagController {
         self.stats.updates += 1;
         self.touch_line(paddr, true);
         self.table.clear_range(paddr, len);
+        emit(&self.sink, || TraceEvent::TagTableWrite { addr: paddr, tag: false });
         // A store crossing a line boundary touches the second line too.
         let last = paddr + len - 1;
         if last / self.bytes_per_line() != paddr / self.bytes_per_line() {

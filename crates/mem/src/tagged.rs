@@ -45,10 +45,7 @@ impl TaggedMem {
     /// cache.
     #[must_use]
     pub fn new(size: usize) -> TaggedMem {
-        TaggedMem {
-            phys: PhysMem::new(size),
-            tags: TagController::new(size as u64),
-        }
+        TaggedMem { phys: PhysMem::new(size), tags: TagController::new(size as u64) }
     }
 
     /// As [`TaggedMem::new`] with a custom tag-cache size (ablation).
@@ -130,6 +127,12 @@ impl TaggedMem {
     /// Resets tag-controller statistics.
     pub fn reset_tag_stats(&mut self) {
         self.tags.reset_stats();
+    }
+
+    /// Attaches (or detaches, with `None`) a trace sink on the tag
+    /// controller; see [`TagController::set_trace_sink`].
+    pub fn set_trace_sink(&mut self, sink: Option<cheri_trace::SharedSink>) {
+        self.tags.set_trace_sink(sink);
     }
 
     /// The underlying tag controller (for inspection, e.g. the GC sketch).

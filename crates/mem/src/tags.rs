@@ -49,11 +49,7 @@ impl TagTable {
     pub fn with_granule(mem_size: u64, granule_size: u64) -> TagTable {
         assert!(granule_size.is_power_of_two() && granule_size >= 8, "bad tag granule");
         let granules = mem_size.div_ceil(granule_size);
-        TagTable {
-            bits: vec![0; granules.div_ceil(64) as usize],
-            granules,
-            granule_size,
-        }
+        TagTable { bits: vec![0; granules.div_ceil(64) as usize], granules, granule_size }
     }
 
     /// Bytes covered by one tag bit.

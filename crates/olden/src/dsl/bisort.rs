@@ -66,10 +66,7 @@ pub fn module(log2_leaves: u32) -> Module {
                 els: vec![
                     Stmt::Let(3, call(build, vec![sub(l(0), c(1)), mul(l(1), c(2))])),
                     Stmt::StorePtr { ptr: l(2), strukt: node, field: LEFT, value: l(3) },
-                    Stmt::Let(
-                        3,
-                        call(build, vec![sub(l(0), c(1)), add(mul(l(1), c(2)), c(1))]),
-                    ),
+                    Stmt::Let(3, call(build, vec![sub(l(0), c(1)), add(mul(l(1), c(2)), c(1))])),
                     Stmt::StorePtr { ptr: l(2), strukt: node, field: RIGHT, value: l(3) },
                 ],
             },

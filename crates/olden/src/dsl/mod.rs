@@ -168,6 +168,24 @@ pub fn run_bench(
     strategy: &dyn PtrStrategy,
     machine: MachineConfig,
 ) -> Result<BenchRun, Box<dyn std::error::Error>> {
+    run_bench_with_sink(bench, params, strategy, machine, None)
+}
+
+/// [`run_bench`] with a trace sink attached to the whole stack (kernel,
+/// pipeline, caches, tag controller) for the duration of the run. The
+/// sink is attached after boot and before `exec`, so the event stream
+/// covers exactly the instructions the legacy counters cover.
+///
+/// # Errors
+///
+/// As [`run_bench`].
+pub fn run_bench_with_sink(
+    bench: DslBench,
+    params: &OldenParams,
+    strategy: &dyn PtrStrategy,
+    machine: MachineConfig,
+    sink: Option<cheri_trace::SharedSink>,
+) -> Result<BenchRun, Box<dyn std::error::Error>> {
     let program = compile_bench(bench, params, strategy)?;
     let user_top = (machine.mem_bytes as u64).max(16 << 20) + (16 << 20);
     let layout = cheri_os::ProcessLayout {
@@ -183,6 +201,7 @@ pub fn run_bench(
         max_instructions: 200_000_000_000,
         ..KernelConfig::default()
     });
+    kernel.set_trace_sink(sink);
     let outcome = kernel.exec_and_run(&program)?;
     let heap_used = kernel.heap_used().unwrap_or(0);
     Ok(finish_run(strategy.name(), outcome, heap_used))
@@ -245,8 +264,9 @@ mod tests {
     #[test]
     fn bisort_sorts() {
         let p = OldenParams::scaled();
-        let run = run_bench(DslBench::Bisort, &p, &LegacyPtr, cfg(DslBench::Bisort, &p, &LegacyPtr))
-            .unwrap();
+        let run =
+            run_bench(DslBench::Bisort, &p, &LegacyPtr, cfg(DslBench::Bisort, &p, &LegacyPtr))
+                .unwrap();
         // First print: violation count (0 = sorted); then the leaf sums
         // before/after, which must match.
         let sums = run.checksums();
@@ -257,13 +277,9 @@ mod tests {
     #[test]
     fn phases_are_recorded() {
         let p = OldenParams::scaled();
-        let run = run_bench(
-            DslBench::Treeadd,
-            &p,
-            &LegacyPtr,
-            cfg(DslBench::Treeadd, &p, &LegacyPtr),
-        )
-        .unwrap();
+        let run =
+            run_bench(DslBench::Treeadd, &p, &LegacyPtr, cfg(DslBench::Treeadd, &p, &LegacyPtr))
+                .unwrap();
         assert!(run.alloc.instructions > 0, "allocation phase missing");
         assert!(run.compute.instructions > 0, "computation phase missing");
         assert!(run.total_cycles() > 0);

@@ -118,14 +118,7 @@ pub fn module(n: u32, degree: u32) -> Module {
         params: 3,
         ret: None,
         // locals: varr i j | v w wt
-        locals: vec![
-            Ty::ptr(VREF),
-            Ty::I64,
-            Ty::I64,
-            Ty::ptr(VERTEX),
-            Ty::ptr(VERTEX),
-            Ty::I64,
-        ],
+        locals: vec![Ty::ptr(VREF), Ty::I64, Ty::I64, Ty::ptr(VERTEX), Ty::ptr(VERTEX), Ty::I64],
         body: vec![
             Stmt::Let(3, loadp(index(l(0), VREF, l(1)), VREF, V)),
             Stmt::Let(4, loadp(index(l(0), VREF, l(2)), VREF, V)),
@@ -215,17 +208,17 @@ pub fn module(n: u32, degree: u32) -> Module {
         ret: Some(Ty::I64),
         // locals: varr | step i cost best bv v bi e nv wt
         locals: vec![
-            Ty::ptr(VREF),    // 0
-            Ty::I64,          // 1 step
-            Ty::I64,          // 2 i
-            Ty::I64,          // 3 cost
-            Ty::I64,          // 4 best
-            Ty::ptr(VERTEX),  // 5 bv
-            Ty::ptr(VERTEX),  // 6 v
-            Ty::I64,          // 7 bi
-            Ty::ptr(ENTRY),   // 8 e
-            Ty::ptr(VERTEX),  // 9 nv
-            Ty::I64,          // 10 wt
+            Ty::ptr(VREF),   // 0
+            Ty::I64,         // 1 step
+            Ty::I64,         // 2 i
+            Ty::I64,         // 3 cost
+            Ty::I64,         // 4 best
+            Ty::ptr(VERTEX), // 5 bv
+            Ty::ptr(VERTEX), // 6 v
+            Ty::I64,         // 7 bi
+            Ty::ptr(ENTRY),  // 8 e
+            Ty::ptr(VERTEX), // 9 nv
+            Ty::I64,         // 10 wt
         ],
         body: vec![
             // varr[0].mindist = 0
@@ -268,11 +261,7 @@ pub fn module(n: u32, degree: u32) -> Module {
                         body: vec![
                             Stmt::Let(
                                 8,
-                                loadp(
-                                    index(loadp(l(5), VERTEX, HASH), BUCKET, l(7)),
-                                    BUCKET,
-                                    HEAD,
-                                ),
+                                loadp(index(loadp(l(5), VERTEX, HASH), BUCKET, l(7)), BUCKET, HEAD),
                             ),
                             Stmt::While {
                                 cond: cmp(CmpOp::Eq, is_null(l(8)), c(0)),
@@ -332,10 +321,7 @@ pub fn module(n: u32, degree: u32) -> Module {
 
     Module {
         structs: vec![
-            StructDef {
-                name: "vertex",
-                fields: vec![Ty::I64, Ty::I64, Ty::ptr(BUCKET)],
-            },
+            StructDef { name: "vertex", fields: vec![Ty::I64, Ty::I64, Ty::ptr(BUCKET)] },
             StructDef { name: "bucket", fields: vec![Ty::ptr(ENTRY)] },
             StructDef {
                 name: "entry",

@@ -163,22 +163,13 @@ pub fn module(levels: u32) -> Module {
                     Stmt::Let(9, shr(l(2), c(1))),
                     Stmt::Let(8, call(build, vec![l(0), l(1), l(9), l(3), l(4), l(5)])),
                     Stmt::StorePtr { ptr: l(7), strukt: qt, field: NW, value: l(8) },
-                    Stmt::Let(
-                        8,
-                        call(build, vec![add(l(0), l(9)), l(1), l(9), l(3), l(4), l(5)]),
-                    ),
+                    Stmt::Let(8, call(build, vec![add(l(0), l(9)), l(1), l(9), l(3), l(4), l(5)])),
                     Stmt::StorePtr { ptr: l(7), strukt: qt, field: NE, value: l(8) },
-                    Stmt::Let(
-                        8,
-                        call(build, vec![l(0), add(l(1), l(9)), l(9), l(3), l(4), l(5)]),
-                    ),
+                    Stmt::Let(8, call(build, vec![l(0), add(l(1), l(9)), l(9), l(3), l(4), l(5)])),
                     Stmt::StorePtr { ptr: l(7), strukt: qt, field: SW, value: l(8) },
                     Stmt::Let(
                         8,
-                        call(
-                            build,
-                            vec![add(l(0), l(9)), add(l(1), l(9)), l(9), l(3), l(4), l(5)],
-                        ),
+                        call(build, vec![add(l(0), l(9)), add(l(1), l(9)), l(9), l(3), l(4), l(5)]),
                     ),
                     Stmt::StorePtr { ptr: l(7), strukt: qt, field: SE, value: l(8) },
                 ],
@@ -324,10 +315,7 @@ pub fn module(levels: u32) -> Module {
             Stmt::Phase(1),
             Stmt::Let(
                 0,
-                call(
-                    build,
-                    vec![c(0), c(0), c(size), c(centre), c(centre), c(radius * radius)],
-                ),
+                call(build, vec![c(0), c(0), c(size), c(centre), c(centre), c(radius * radius)]),
             ),
             Stmt::Phase(2),
             Stmt::Let(1, call(perim, vec![l(0), c(size)])),

@@ -51,11 +51,7 @@ pub fn module(depth: u32) -> Module {
         // locals: p, a, b
         locals: vec![Ty::ptr(node), Ty::I64, Ty::I64],
         body: vec![
-            Stmt::If {
-                cond: is_null(l(0)),
-                then: vec![Stmt::Return(Some(c(0)))],
-                els: vec![],
-            },
+            Stmt::If { cond: is_null(l(0)), then: vec![Stmt::Return(Some(c(0)))], els: vec![] },
             Stmt::Let(1, call(sum, vec![loadp(l(0), node, LEFT)])),
             Stmt::Let(2, call(sum, vec![loadp(l(0), node, RIGHT)])),
             Stmt::Return(Some(add(load(l(0), node, VAL), add(l(1), l(2))))),

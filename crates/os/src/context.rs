@@ -70,8 +70,7 @@ mod tests {
         cpu.set_gpr(5, 1234);
         cpu.hi = 7;
         cpu.jump_to(0x4000);
-        cpu.caps
-            .set(3, Capability::new(0x100, 0x10, Perms::LOAD).unwrap());
+        cpu.caps.set(3, Capability::new(0x100, 0x10, Perms::LOAD).unwrap());
         let ctx = Context::save(&cpu);
 
         let mut other = Cpu::new();

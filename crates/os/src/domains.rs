@@ -18,6 +18,7 @@
 //! caller's data — it traps.
 
 use cheri_core::{CapRegFile, Capability, Perms};
+use cheri_trace::{emit, TraceEvent};
 
 use crate::context::Context;
 use crate::kernel::Kernel;
@@ -51,10 +52,13 @@ impl Kernel {
         base: u64,
         len: u64,
     ) -> Result<usize, cheri_core::CapCause> {
-        let c0 = Capability::new(base, len, Perms::LOAD | Perms::STORE | Perms::LOAD_CAP | Perms::STORE_CAP)?;
+        let c0 = Capability::new(
+            base,
+            len,
+            Perms::LOAD | Perms::STORE | Perms::LOAD_CAP | Perms::STORE_CAP,
+        )?;
         let pcc = Capability::new(base, len, Perms::EXECUTE | Perms::LOAD)?;
-        let spec =
-            DomainSpec { name, entry, c0, pcc, stack_top: (base + len) & !31 };
+        let spec = DomainSpec { name, entry, c0, pcc, stack_top: (base + len) & !31 };
         self.domains.push(spec);
         Ok(self.domains.len() - 1)
     }
@@ -76,6 +80,13 @@ impl Kernel {
         self.machine_mut().advance_past_trap();
         let saved = Context::save(&self.machine().cpu);
         self.domain_stack.push(saved);
+        // Domain numbering for trace attribution: 0 is the root
+        // process, registered domain `i` is `i + 1`.
+        let from = self.domain_id_stack.last().copied().unwrap_or(0);
+        let to = id + 1;
+        self.domain_id_stack.push(to);
+        self.domain_calls += 1;
+        emit(&self.sink, || TraceEvent::DomainCross { from, to, enter: true });
 
         let cpu = &mut self.machine_mut().cpu;
         // Mutual distrust: no caller registers leak into the callee.
@@ -100,6 +111,10 @@ impl Kernel {
         let Some(saved) = self.domain_stack.pop() else {
             return false;
         };
+        let from = self.domain_id_stack.pop().unwrap_or(0);
+        let to = self.domain_id_stack.last().copied().unwrap_or(0);
+        self.domain_returns += 1;
+        emit(&self.sink, || TraceEvent::DomainCross { from, to, enter: false });
         let cpu = &mut self.machine_mut().cpu;
         saved.restore(cpu);
         cpu.set_gpr(beri_sim::reg::V0, value);

@@ -136,10 +136,7 @@ mod tests {
 
     #[test]
     fn merge_combines_overlaps() {
-        assert_eq!(
-            merge(vec![(10, 20), (15, 30), (40, 50), (50, 60)]),
-            vec![(10, 30), (40, 60)]
-        );
+        assert_eq!(merge(vec![(10, 20), (15, 30), (40, 50), (50, 60)]), vec![(10, 30), (40, 60)]);
         assert_eq!(merge(vec![]), vec![]);
     }
 }

@@ -4,10 +4,11 @@
 use std::collections::HashMap;
 
 use beri_sim::tlb::{TlbFlags, PAGE_SIZE};
-use beri_sim::{Exception, Machine, MachineConfig, StepResult, Stats, TrapKind};
+use beri_sim::{Exception, Machine, MachineConfig, Stats, StepResult, TrapKind};
 use cheri_asm::Program;
 use cheri_core::{CapCause, Capability, Perms};
 use cheri_mem::MemError;
+use cheri_trace::{emit, names, SharedSink, Snapshot, TraceEvent};
 
 use crate::abi;
 use crate::layout::ProcessLayout;
@@ -95,6 +96,10 @@ pub struct RunOutcome {
     pub pages_touched: u64,
     /// Tag-controller statistics (capability tag traffic, Section 4.2).
     pub tag_stats: cheri_mem::TagCacheStats,
+    /// A unified metrics snapshot: every machine, cache, tag, and OS
+    /// counter under its canonical [`cheri_trace::names`] key. The
+    /// legacy fields above are thin views onto the same quantities.
+    pub metrics: Snapshot,
 }
 
 impl RunOutcome {
@@ -156,6 +161,12 @@ pub struct Kernel {
     brk: u64,
     pub(crate) domains: Vec<crate::domains::DomainSpec>,
     pub(crate) domain_stack: Vec<crate::context::Context>,
+    // Domain ids mirroring `domain_stack` (for DomainCross attribution).
+    pub(crate) domain_id_stack: Vec<u64>,
+    pub(crate) execs: u64,
+    pub(crate) domain_calls: u64,
+    pub(crate) domain_returns: u64,
+    pub(crate) sink: Option<SharedSink>,
 }
 
 impl Kernel {
@@ -175,7 +186,28 @@ impl Kernel {
             brk: 0,
             domains: Vec::new(),
             domain_stack: Vec::new(),
+            domain_id_stack: Vec::new(),
+            execs: 0,
+            domain_calls: 0,
+            domain_returns: 0,
+            sink: None,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a trace sink to the kernel
+    /// and the whole machine beneath it: the pipeline, the cache
+    /// hierarchy, and the tag controller all share the handle, so one
+    /// call instruments every layer.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        let sink = cheri_trace::active(sink);
+        self.machine.set_trace_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// The kernel's trace sink handle, if one is attached.
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<SharedSink> {
+        self.sink.clone()
     }
 
     /// The underlying machine (e.g. for statistics or capability
@@ -245,6 +277,10 @@ impl Kernel {
         self.brk = layout.heap_base;
         self.domains.clear();
         self.domain_stack.clear();
+        self.domain_id_stack.clear();
+        self.execs += 1;
+        let pid = self.execs;
+        emit(&self.sink, || TraceEvent::ContextSwitch { pid });
 
         // Copy text through the page tables.
         for (i, w) in program.words.iter().enumerate() {
@@ -270,8 +306,8 @@ impl Kernel {
         // Capability delegation: C0 and PCC span the user space; every
         // other capability register is nulled so the process's initial
         // authority is exactly its address space.
-        let user = Capability::new(0, layout.user_top, Perms::ALL)
-            .expect("user_top is far below 2^64");
+        let user =
+            Capability::new(0, layout.user_top, Perms::ALL).expect("user_top is far below 2^64");
         cpu.caps = cheri_core::CapRegFile::empty();
         cpu.caps.set_c0(user);
         cpu.caps.set_pcc(user);
@@ -296,6 +332,8 @@ impl Kernel {
         self.machine.charge_cycles(self.cfg.syscall_cycles);
         let num = self.machine.cpu.gpr[usize::from(beri_sim::reg::V0)];
         let a0 = self.machine.cpu.gpr[usize::from(beri_sim::reg::A0)];
+        let tariff = self.cfg.syscall_cycles;
+        emit(&self.sink, || TraceEvent::Syscall { nr: num, cycles: tariff });
         let result = match num {
             abi::SYS_EXIT => return Some(ExitReason::Exit(a0)),
             abi::SYS_PHASE => {
@@ -378,7 +416,19 @@ impl Kernel {
                 }
                 #[allow(unreachable_patterns)]
                 StepResult::Trap(e) => match e.kind {
-                    TrapKind::TlbRefill { vaddr, .. } | TrapKind::TlbInvalid { vaddr, .. } => {
+                    TrapKind::TlbRefill { vaddr, .. } => {
+                        // Emit only for true refill misses — TlbInvalid
+                        // and TlbModified are serviced by the same
+                        // handler but are not counted as refills by
+                        // `Stats::tlb_refills`, and the event stream
+                        // must aggregate to the same totals.
+                        let tariff = self.cfg.tlb_refill_cycles;
+                        emit(&self.sink, || TraceEvent::TlbRefill { vaddr, cycles: tariff });
+                        if let Some(reason) = self.handle_refill(vaddr)? {
+                            break reason;
+                        }
+                    }
+                    TrapKind::TlbInvalid { vaddr, .. } => {
                         if let Some(reason) = self.handle_refill(vaddr)? {
                             break reason;
                         }
@@ -412,7 +462,23 @@ impl Kernel {
             console: self.console.clone(),
             pages_touched: self.page_table.len() as u64,
             tag_stats: self.machine.mem.tag_stats(),
+            metrics: self.metrics(),
         })
+    }
+
+    /// A unified snapshot of every counter the kernel and the machine
+    /// beneath it maintain, keyed by the canonical
+    /// [`cheri_trace::names`] constants. This is the same data an
+    /// attached [`cheri_trace::AggregateSink`] accumulates from the
+    /// event stream, read directly from the legacy per-struct counters.
+    #[must_use]
+    pub fn metrics(&self) -> Snapshot {
+        let mut snap = self.machine.metrics();
+        snap.set_counter(names::CONTEXT_SWITCHES, self.execs);
+        snap.set_counter(names::DOMAIN_CALLS, self.domain_calls);
+        snap.set_counter(names::DOMAIN_RETURNS, self.domain_returns);
+        snap.set_counter("os.pages_touched", self.page_table.len() as u64);
+        snap
     }
 
     /// Loads an additional code image into the current address space
@@ -446,7 +512,10 @@ impl Kernel {
     }
 
     /// Reads a capability image without touching the tag cache.
-    pub(crate) fn read_cap_raw_for_gc(&self, paddr: u64) -> Result<cheri_core::Capability, MemError> {
+    pub(crate) fn read_cap_raw_for_gc(
+        &self,
+        paddr: u64,
+    ) -> Result<cheri_core::Capability, MemError> {
         let mut bytes = [0u8; cheri_core::CAP_SIZE_BYTES];
         self.machine.mem.read_bytes(paddr, &mut bytes)?;
         Ok(cheri_core::Capability::from_bytes(&bytes, self.tag_at(paddr)))
@@ -459,10 +528,7 @@ impl Kernel {
     #[must_use]
     pub fn read_user_u64(&self, vaddr: u64) -> Option<u64> {
         let frame = self.page_table.get(&(vaddr / PAGE_SIZE))?;
-        self.machine
-            .mem
-            .read_u64(frame * PAGE_SIZE + (vaddr & (PAGE_SIZE - 1)))
-            .ok()
+        self.machine.mem.read_u64(frame * PAGE_SIZE + (vaddr & (PAGE_SIZE - 1))).ok()
     }
 
     /// Bytes of heap the current process has bump-allocated (the

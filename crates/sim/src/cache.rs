@@ -10,6 +10,8 @@
 //! base CPI and counts DRAM traffic, which together drive the Figure 4
 //! execution-time decomposition and the Figure 5 heap-size steps.
 
+use cheri_trace::{emit, CacheLevel, SharedSink, TraceEvent};
+
 /// Geometry of one cache.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct CacheParams {
@@ -124,10 +126,8 @@ impl Cache {
 
         // Miss: fill over the LRU way.
         self.misses += 1;
-        let victim = ways
-            .iter_mut()
-            .min_by_key(|l| if l.valid { l.lru } else { 0 })
-            .expect("ways > 0");
+        let victim =
+            ways.iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 }).expect("ways > 0");
         let writeback = victim.valid && victim.dirty;
         if writeback {
             self.writebacks += 1;
@@ -188,6 +188,9 @@ pub struct Hierarchy {
     pub dram_bytes: u64,
     /// Individual DRAM transactions.
     pub dram_accesses: u64,
+    // Trace sink shared with the rest of the machine; events mirror the
+    // per-cache hit/miss counters exactly.
+    sink: Option<SharedSink>,
 }
 
 impl Hierarchy {
@@ -201,7 +204,17 @@ impl Hierarchy {
             params,
             dram_bytes: 0,
             dram_accesses: 0,
+            sink: None,
         }
+    }
+
+    /// Attaches (or with `None`, detaches) a trace sink. One
+    /// `CacheAccess` event is emitted per [`Cache::access`] call —
+    /// including the L2 probe behind an L1 miss and the L2 update
+    /// absorbing a dirty L1 victim — so aggregated event counts equal
+    /// the per-cache hit/miss/writeback counters exactly.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        self.sink = sink;
     }
 
     /// The latency/geometry parameters.
@@ -211,7 +224,9 @@ impl Hierarchy {
     }
 
     fn through_l2(&mut self, paddr: u64, write_into_l2: bool) -> u64 {
-        match self.l2.access(paddr, write_into_l2) {
+        let lookup = self.l2.access(paddr, write_into_l2);
+        self.emit_access(CacheLevel::L2, write_into_l2, lookup);
+        match lookup {
             Lookup::Hit => self.params.l2_latency,
             Lookup::Miss { writeback } => {
                 self.dram_accesses += 1;
@@ -225,10 +240,21 @@ impl Hierarchy {
         }
     }
 
+    fn emit_access(&mut self, level: CacheLevel, write: bool, lookup: Lookup) {
+        emit(&self.sink, || match lookup {
+            Lookup::Hit => TraceEvent::CacheAccess { level, write, hit: true, writeback: false },
+            Lookup::Miss { writeback } => {
+                TraceEvent::CacheAccess { level, write, hit: false, writeback }
+            }
+        });
+    }
+
     /// One instruction fetch at physical address `paddr`; returns penalty
     /// cycles.
     pub fn fetch(&mut self, paddr: u64) -> u64 {
-        match self.l1i.access(paddr, false) {
+        let lookup = self.l1i.access(paddr, false);
+        self.emit_access(CacheLevel::L1I, false, lookup);
+        match lookup {
             Lookup::Hit => 0,
             Lookup::Miss { .. } => self.through_l2(paddr, false),
         }
@@ -244,13 +270,16 @@ impl Hierarchy {
         let mut penalty = 0;
         for blk in first..=last {
             let addr = blk * line;
-            match self.l1d.access(addr, write) {
+            let lookup = self.l1d.access(addr, write);
+            self.emit_access(CacheLevel::L1D, write, lookup);
+            match lookup {
                 Lookup::Hit => {}
                 Lookup::Miss { writeback } => {
                     penalty += self.through_l2(addr, false);
                     if writeback {
                         // Dirty L1 victim lands in L2.
-                        let _ = self.l2.access(addr, true);
+                        let victim = self.l2.access(addr, true);
+                        self.emit_access(CacheLevel::L2, true, victim);
                     }
                 }
             }

@@ -167,7 +167,11 @@ fn decode_cheri(word: u32) -> Inst {
     let r3 = bits(word, 10, 6) as u8;
     let imm6 = {
         let raw = bits(word, 5, 0) as i8;
-        if raw >= 32 { raw - 64 } else { raw }
+        if raw >= 32 {
+            raw - 64
+        } else {
+            raw
+        }
     };
     let offset = bits(word, 15, 0) as u16 as i16;
 
@@ -187,13 +191,62 @@ fn decode_cheri(word: u32) -> Inst {
         12 => CheriInst::CBTS { cb: r1, offset },
         13 => CheriInst::CLC { cd: r1, cb: r2, rt: r3, imm: imm6 },
         14 => CheriInst::CSC { cs: r1, cb: r2, rt: r3, imm: imm6 },
-        15 => CheriInst::CLoad { width: Width::Byte, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: false },
-        16 => CheriInst::CLoad { width: Width::Byte, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: true },
-        17 => CheriInst::CLoad { width: Width::Half, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: false },
-        18 => CheriInst::CLoad { width: Width::Half, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: true },
-        19 => CheriInst::CLoad { width: Width::Word, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: false },
-        20 => CheriInst::CLoad { width: Width::Word, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: true },
-        21 => CheriInst::CLoad { width: Width::Double, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned: false },
+        15 => CheriInst::CLoad {
+            width: Width::Byte,
+            rd: r1,
+            cb: r2,
+            rt: r3,
+            imm: imm6,
+            unsigned: false,
+        },
+        16 => CheriInst::CLoad {
+            width: Width::Byte,
+            rd: r1,
+            cb: r2,
+            rt: r3,
+            imm: imm6,
+            unsigned: true,
+        },
+        17 => CheriInst::CLoad {
+            width: Width::Half,
+            rd: r1,
+            cb: r2,
+            rt: r3,
+            imm: imm6,
+            unsigned: false,
+        },
+        18 => CheriInst::CLoad {
+            width: Width::Half,
+            rd: r1,
+            cb: r2,
+            rt: r3,
+            imm: imm6,
+            unsigned: true,
+        },
+        19 => CheriInst::CLoad {
+            width: Width::Word,
+            rd: r1,
+            cb: r2,
+            rt: r3,
+            imm: imm6,
+            unsigned: false,
+        },
+        20 => CheriInst::CLoad {
+            width: Width::Word,
+            rd: r1,
+            cb: r2,
+            rt: r3,
+            imm: imm6,
+            unsigned: true,
+        },
+        21 => CheriInst::CLoad {
+            width: Width::Double,
+            rd: r1,
+            cb: r2,
+            rt: r3,
+            imm: imm6,
+            unsigned: false,
+        },
         22 => CheriInst::CStore { width: Width::Byte, rs: r1, cb: r2, rt: r3, imm: imm6 },
         23 => CheriInst::CStore { width: Width::Half, rs: r1, cb: r2, rt: r3, imm: imm6 },
         24 => CheriInst::CStore { width: Width::Word, rs: r1, cb: r2, rt: r3, imm: imm6 },
@@ -509,7 +562,9 @@ mod tests {
         ] {
             roundtrip(Inst::Shift { op, rd: 1, rt: 2, shamt: 31 });
         }
-        for op in [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra, ShiftOp::Dsll, ShiftOp::Dsrl, ShiftOp::Dsra] {
+        for op in
+            [ShiftOp::Sll, ShiftOp::Srl, ShiftOp::Sra, ShiftOp::Dsll, ShiftOp::Dsrl, ShiftOp::Dsra]
+        {
             roundtrip(Inst::ShiftV { op, rd: 1, rt: 2, rs: 3 });
         }
     }
@@ -606,11 +661,25 @@ mod tests {
             roundtrip(Inst::Cheri(c));
         }
         for width in [Width::Byte, Width::Half, Width::Word, Width::Double] {
-            roundtrip(Inst::Cheri(C::CLoad { width, rd: 9, cb: 10, rt: 11, imm: -32, unsigned: false }));
+            roundtrip(Inst::Cheri(C::CLoad {
+                width,
+                rd: 9,
+                cb: 10,
+                rt: 11,
+                imm: -32,
+                unsigned: false,
+            }));
             roundtrip(Inst::Cheri(C::CStore { width, rs: 9, cb: 10, rt: 11, imm: 31 }));
         }
         for width in [Width::Byte, Width::Half, Width::Word] {
-            roundtrip(Inst::Cheri(C::CLoad { width, rd: 9, cb: 10, rt: 11, imm: 5, unsigned: true }));
+            roundtrip(Inst::Cheri(C::CLoad {
+                width,
+                rd: 9,
+                cb: 10,
+                rt: 11,
+                imm: 5,
+                unsigned: true,
+            }));
         }
     }
 
@@ -626,10 +695,7 @@ mod tests {
 
     #[test]
     fn nop_is_sll_zero() {
-        assert_eq!(
-            decode(0),
-            Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 }
-        );
+        assert_eq!(decode(0), Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 });
     }
 
     #[test]

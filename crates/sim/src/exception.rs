@@ -122,10 +122,7 @@ mod tests {
 
     #[test]
     fn display_formats() {
-        let e = Exception {
-            kind: TrapKind::TlbRefill { vaddr: 0x4000, write: true },
-            pc: 0x1000,
-        };
+        let e = Exception { kind: TrapKind::TlbRefill { vaddr: 0x4000, write: true }, pc: 0x1000 };
         let s = e.to_string();
         assert!(s.contains("0x4000"));
         assert!(s.contains("store"));

@@ -413,7 +413,8 @@ mod tests {
 
     #[test]
     fn cheri_inst_maps_to_table1_kind() {
-        let i = CheriInst::CLoad { width: Width::Word, rd: 1, cb: 2, rt: 0, imm: 0, unsigned: true };
+        let i =
+            CheriInst::CLoad { width: Width::Word, rd: 1, cb: 2, rt: 0, imm: 0, unsigned: true };
         assert_eq!(i.kind(), CapInstrKind::CLWU);
         let s = CheriInst::CStore { width: Width::Byte, rs: 1, cb: 2, rt: 0, imm: 0 };
         assert_eq!(s.kind(), CapInstrKind::CSB);

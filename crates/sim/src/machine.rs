@@ -11,6 +11,7 @@
 
 use cheri_core::{CapCause, CapExcCode, Capability, Compressed128, Perms};
 use cheri_mem::{MemError, TaggedMem};
+use cheri_trace::{emit, names, SharedSink, Snapshot, TraceEvent};
 
 use crate::cache::{Hierarchy, HierarchyParams};
 use crate::cpu::Cpu;
@@ -112,12 +113,25 @@ pub enum StepResult {
 enum Outcome {
     Next,
     /// A conditional branch or branch-likely: `(target, taken)`.
-    Branch { target: u64, taken: bool, predicted: bool },
+    Branch {
+        target: u64,
+        taken: bool,
+        predicted: bool,
+    },
     /// An unconditional jump with a delay slot.
-    Jump { target: u64, indirect: bool },
+    Jump {
+        target: u64,
+        indirect: bool,
+    },
     /// A capability jump: no delay slot; installs a new PCC.
-    CapJump { target: u64, pcc: Capability },
-    Trap { kind: TrapKind, badvaddr: Option<u64> },
+    CapJump {
+        target: u64,
+        pcc: Capability,
+    },
+    Trap {
+        kind: TrapKind,
+        badvaddr: Option<u64>,
+    },
     Syscall,
     Break(u32),
 }
@@ -142,6 +156,9 @@ pub struct Machine {
     utlb_fetch: Option<(u64, u64, TlbFlags)>,
     utlb_load: Option<(u64, u64, TlbFlags)>,
     utlb_store: Option<(u64, u64, TlbFlags)>,
+    // Optional trace sink; the same handle is cloned into the cache
+    // hierarchy and the tag controller by set_trace_sink.
+    sink: Option<SharedSink>,
 }
 
 impl Machine {
@@ -153,11 +170,7 @@ impl Machine {
     pub fn new(cfg: MachineConfig) -> Machine {
         Machine {
             cpu: Cpu::new(),
-            mem: TaggedMem::with_config(
-                cfg.mem_bytes,
-                cfg.tag_cache_bytes,
-                cfg.cap_format.size(),
-            ),
+            mem: TaggedMem::with_config(cfg.mem_bytes, cfg.tag_cache_bytes, cfg.cap_format.size()),
             hierarchy: Hierarchy::new(cfg.hierarchy),
             predictor: BranchPredictor::new(cfg.bht_entries),
             stats: Stats::default(),
@@ -167,7 +180,29 @@ impl Machine {
             utlb_fetch: None,
             utlb_load: None,
             utlb_store: None,
+            sink: None,
         }
+    }
+
+    /// Attaches a trace sink (or detaches, with `None`), wiring the same
+    /// shared handle through the cache hierarchy and the tag controller
+    /// so the whole machine feeds one event stream. Instrumentation is
+    /// observational only: attaching any sink never changes
+    /// architectural state or cycle accounting.
+    pub fn set_trace_sink(&mut self, sink: Option<SharedSink>) {
+        // A disabled sink (NullSink) is stored as `None`, so "tracing
+        // off" runs the exact un-instrumented code path.
+        let sink = cheri_trace::active(sink);
+        self.hierarchy.set_trace_sink(sink.clone());
+        self.mem.set_trace_sink(sink.clone());
+        self.sink = sink;
+    }
+
+    /// The currently attached trace sink handle, if any (the kernel
+    /// clones this so OS-level events join the same stream).
+    #[must_use]
+    pub fn trace_sink(&self) -> Option<SharedSink> {
+        self.sink.clone()
     }
 
     /// The configuration this machine was built with.
@@ -311,6 +346,11 @@ impl Machine {
             TrapKind::CapViolation(cause) => {
                 self.stats.cap_violations += 1;
                 self.cpu.cp0.raise_cap(cause);
+                emit(&self.sink, || TraceEvent::CapException {
+                    code: cause.code().code(),
+                    reg: cause.reg(),
+                    pc: epc,
+                });
             }
             _ => {}
         }
@@ -377,9 +417,11 @@ impl Machine {
         self.stats.instructions += 1;
         self.stats.cycles += 1;
         self.cpu.cp0.count = self.cpu.cp0.count.wrapping_add(1);
-        if matches!(inst, Inst::Cheri(_)) {
+        let cap_inst = matches!(inst, Inst::Cheri(_));
+        if cap_inst {
             self.stats.cap_instructions += 1;
         }
+        emit(&self.sink, || TraceEvent::Retire { pc, cap: cap_inst });
 
         let fallthrough = self.cpu.next_pc;
         match outcome {
@@ -456,10 +498,8 @@ impl Machine {
         write: bool,
     ) -> Result<u64, Outcome> {
         let cap = *self.cpu.caps.get(cb);
-        let offset = self
-            .cpu
-            .get_gpr(rt)
-            .wrapping_add((i64::from(imm) * width.bytes() as i64) as u64);
+        let offset =
+            self.cpu.get_gpr(rt).wrapping_add((i64::from(imm) * width.bytes() as i64) as u64);
         let vaddr = cap.base().wrapping_add(offset);
         self.checked_access(vaddr, width.bytes(), write, &cap, cb)
     }
@@ -490,7 +530,8 @@ impl Machine {
         let (paddr, _) = self
             .translate(vaddr, write, false)
             .map_err(|kind| Outcome::Trap { kind, badvaddr: Some(vaddr) })?;
-        self.stats.cycles += self.hierarchy.data(paddr, size, write);
+        let penalty = self.hierarchy.data(paddr, size, write);
+        self.stats.cycles += penalty;
         if write {
             self.stats.stores += 1;
             self.stats.bytes_stored += size;
@@ -499,6 +540,7 @@ impl Machine {
             self.stats.loads += 1;
             self.stats.bytes_loaded += size;
         }
+        emit(&self.sink, || TraceEvent::DataAccess { write, bytes: size, cycles: penalty });
         Ok(paddr)
     }
 
@@ -827,10 +869,9 @@ impl Machine {
                 }
                 self.execute_cheri(&c)?
             }
-            Inst::Reserved { word } => Outcome::Trap {
-                kind: TrapKind::ReservedInstruction { word },
-                badvaddr: None,
-            },
+            Inst::Reserved { word } => {
+                Outcome::Trap { kind: TrapKind::ReservedInstruction { word }, badvaddr: None }
+            }
         })
     }
 
@@ -945,10 +986,8 @@ impl Machine {
             CheriInst::CLC { cd, cb, rt, imm } => {
                 let csize = self.cfg.cap_format.size();
                 let cap = *self.cpu.caps.get(cb);
-                let offset = self
-                    .cpu
-                    .get_gpr(rt)
-                    .wrapping_add((i64::from(imm) * csize as i64) as u64);
+                let offset =
+                    self.cpu.get_gpr(rt).wrapping_add((i64::from(imm) * csize as i64) as u64);
                 let vaddr = cap.base().wrapping_add(offset);
                 if let Err(e) = cap.check_cap_access_g(vaddr, false, csize) {
                     return Ok(cap_trap(e, cb));
@@ -957,10 +996,16 @@ impl Machine {
                     Ok(t) => t,
                     Err(kind) => return Ok(Outcome::Trap { kind, badvaddr: Some(vaddr) }),
                 };
-                self.stats.cycles += self.hierarchy.data(paddr, csize, false);
+                let penalty = self.hierarchy.data(paddr, csize, false);
+                self.stats.cycles += penalty;
                 self.stats.loads += 1;
                 self.stats.bytes_loaded += csize;
                 self.stats.cap_loads += 1;
+                emit(&self.sink, || TraceEvent::DataAccess {
+                    write: false,
+                    bytes: csize,
+                    cycles: penalty,
+                });
                 let before = self.mem.tag_stats().misses;
                 let mut loaded = self.load_cap_formatted(paddr)?;
                 self.charge_tag_misses(before);
@@ -975,10 +1020,8 @@ impl Machine {
             CheriInst::CSC { cs, cb, rt, imm } => {
                 let csize = self.cfg.cap_format.size();
                 let cap = *self.cpu.caps.get(cb);
-                let offset = self
-                    .cpu
-                    .get_gpr(rt)
-                    .wrapping_add((i64::from(imm) * csize as i64) as u64);
+                let offset =
+                    self.cpu.get_gpr(rt).wrapping_add((i64::from(imm) * csize as i64) as u64);
                 let vaddr = cap.base().wrapping_add(offset);
                 if let Err(e) = cap.check_cap_access_g(vaddr, true, csize) {
                     return Ok(cap_trap(e, cb));
@@ -989,10 +1032,7 @@ impl Machine {
                     Err(kind) => return Ok(Outcome::Trap { kind, badvaddr: Some(vaddr) }),
                 };
                 if !self.bare && stored.tag() && !flags.cap_store {
-                    return Ok(cap_trap(
-                        CapCause::new(CapExcCode::TlbProhibitStoreCap, cs),
-                        cs,
-                    ));
+                    return Ok(cap_trap(CapCause::new(CapExcCode::TlbProhibitStoreCap, cs), cs));
                 }
                 if self.cfg.cap_format == CapFormat::C128
                     && stored.tag()
@@ -1000,15 +1040,18 @@ impl Machine {
                 {
                     // The 128-bit format cannot represent this region
                     // (Low-Fat alignment rules, Section 4.1).
-                    return Ok(cap_trap(
-                        CapCause::new(CapExcCode::AlignmentViolation, cs),
-                        cs,
-                    ));
+                    return Ok(cap_trap(CapCause::new(CapExcCode::AlignmentViolation, cs), cs));
                 }
-                self.stats.cycles += self.hierarchy.data(paddr, csize, true);
+                let penalty = self.hierarchy.data(paddr, csize, true);
+                self.stats.cycles += penalty;
                 self.stats.stores += 1;
                 self.stats.bytes_stored += csize;
                 self.stats.cap_stores += 1;
+                emit(&self.sink, || TraceEvent::DataAccess {
+                    write: true,
+                    bytes: csize,
+                    cycles: penalty,
+                });
                 let before = self.mem.tag_stats().misses;
                 self.store_cap_formatted(paddr, &stored)?;
                 self.charge_tag_misses(before);
@@ -1122,6 +1165,52 @@ impl Machine {
         let delta = self.mem.tag_stats().misses - misses_before;
         self.stats.cycles += delta * self.cfg.hierarchy.dram_latency;
     }
+
+    /// Exports every legacy counter — [`Stats`], the per-cache hit/miss
+    /// fields, DRAM traffic, and the tag-controller statistics — into
+    /// one [`Snapshot`] under the canonical `cheri_trace::names`. The
+    /// legacy structs stay authoritative (their public accessors are
+    /// unchanged); this is the common export used for run-to-run diffs
+    /// and for cross-checking an event-driven `AggregateSink`.
+    #[must_use]
+    pub fn metrics(&self) -> Snapshot {
+        let mut snap = Snapshot::default();
+        let s = &self.stats;
+        snap.set_counter(names::INSTRUCTIONS, s.instructions);
+        snap.set_counter("sim.cycles", s.cycles);
+        snap.set_counter(names::CAP_INSTRUCTIONS, s.cap_instructions);
+        snap.set_counter("sim.branches", s.branches);
+        snap.set_counter("sim.mispredicts", s.mispredicts);
+        snap.set_counter("sim.exceptions", s.exceptions);
+        snap.set_counter(names::LOADS, s.loads);
+        snap.set_counter(names::STORES, s.stores);
+        snap.set_counter("mem.bytes_loaded", s.bytes_loaded);
+        snap.set_counter("mem.bytes_stored", s.bytes_stored);
+        snap.set_counter("mem.cap_loads", s.cap_loads);
+        snap.set_counter("mem.cap_stores", s.cap_stores);
+        snap.set_counter(names::SYSCALLS, s.syscalls);
+        snap.set_counter(names::TLB_REFILLS, s.tlb_refills);
+        snap.set_counter(names::CAP_EXCEPTIONS, s.cap_violations);
+        let h = &self.hierarchy;
+        snap.set_counter(names::L1I_HITS, h.l1i.hits);
+        snap.set_counter(names::L1I_MISSES, h.l1i.misses);
+        snap.set_counter(names::L1I_WRITEBACKS, h.l1i.writebacks);
+        snap.set_counter(names::L1D_HITS, h.l1d.hits);
+        snap.set_counter(names::L1D_MISSES, h.l1d.misses);
+        snap.set_counter(names::L1D_WRITEBACKS, h.l1d.writebacks);
+        snap.set_counter(names::L2_HITS, h.l2.hits);
+        snap.set_counter(names::L2_MISSES, h.l2.misses);
+        snap.set_counter(names::L2_WRITEBACKS, h.l2.writebacks);
+        snap.set_counter("dram.accesses", h.dram_accesses);
+        snap.set_counter("dram.bytes", h.dram_bytes);
+        let t = self.mem.tag_stats();
+        snap.set_counter(names::TAG_TABLE_READS, t.lookups);
+        snap.set_counter(names::TAG_TABLE_WRITES, t.updates);
+        snap.set_counter(names::TAG_CACHE_HITS, t.hits);
+        snap.set_counter(names::TAG_CACHE_MISSES, t.misses);
+        snap.set_counter(names::TAG_CACHE_WRITEBACKS, t.writebacks);
+        snap
+    }
 }
 
 impl core::fmt::Debug for Machine {
@@ -1176,11 +1265,7 @@ fn muldiv(op: MulDivOp, a: u64, b: u64, mul_penalty: u64, div_penalty: u64) -> (
             if y == 0 {
                 (0, 0, div_penalty)
             } else {
-                (
-                    sext32(x.wrapping_rem(y) as u32),
-                    sext32(x.wrapping_div(y) as u32),
-                    div_penalty,
-                )
+                (sext32(x.wrapping_rem(y) as u32), sext32(x.wrapping_div(y) as u32), div_penalty)
             }
         }
         MulDivOp::Divu => {
@@ -1232,10 +1317,7 @@ mod tests {
     use crate::decode::encode;
 
     fn machine() -> Machine {
-        let mut m = Machine::new(MachineConfig {
-            mem_bytes: 1 << 20,
-            ..MachineConfig::default()
-        });
+        let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..MachineConfig::default() });
         m.cpu.jump_to(0x1000);
         m
     }
@@ -1254,10 +1336,13 @@ mod tests {
     #[test]
     fn ori_lui_build_constant() {
         let mut m = machine();
-        load(&mut m, &[
-            Inst::Lui { rt: 8, imm: 0x1234 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 0x5678 },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Lui { rt: 8, imm: 0x1234 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 0x5678 },
+            ],
+        );
         step_n(&mut m, 2);
         assert_eq!(m.cpu.gpr[8], 0x1234_5678);
     }
@@ -1299,12 +1384,15 @@ mod tests {
         let mut m = machine();
         // beq $0,$0,+2 ; ori $8,$0,1 (delay slot) ; ori $9,$0,2 (skipped) ;
         // ori $10,$0,3 (target)
-        load(&mut m, &[
-            Inst::Branch { cond: BranchCond::Eq, rs: 0, rt: 0, offset: 2 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 2 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 3 },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Branch { cond: BranchCond::Eq, rs: 0, rt: 0, offset: 2 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 2 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 3 },
+            ],
+        );
         step_n(&mut m, 3);
         assert_eq!(m.cpu.gpr[8], 1, "delay slot must execute");
         assert_eq!(m.cpu.gpr[9], 0, "fall-through must be skipped");
@@ -1315,11 +1403,14 @@ mod tests {
     fn not_taken_branch_falls_through() {
         let mut m = machine();
         m.cpu.set_gpr(8, 5);
-        load(&mut m, &[
-            Inst::Branch { cond: BranchCond::Eq, rs: 8, rt: 0, offset: 4 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 1 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 2 },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Branch { cond: BranchCond::Eq, rs: 8, rt: 0, offset: 4 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 1 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 2 },
+            ],
+        );
         step_n(&mut m, 3);
         assert_eq!(m.cpu.gpr[9], 1);
         assert_eq!(m.cpu.gpr[10], 2);
@@ -1330,15 +1421,18 @@ mod tests {
         let mut m = machine();
         // 0x1000: jal 0x1010 ; nop ; ori $9,$0,7 ; (0x100c unreachable)
         // 0x1010: ori $8,$0,5 ; jr $ra ; nop
-        load(&mut m, &[
-            Inst::Jal { target: 0x1010 >> 2 },
-            Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 7 },
-            Inst::Break { code: 9 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 5 },
-            Inst::Jr { rs: reg::RA },
-            Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Jal { target: 0x1010 >> 2 },
+                Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 7 },
+                Inst::Break { code: 9 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 5 },
+                Inst::Jr { rs: reg::RA },
+                Inst::Shift { op: ShiftOp::Sll, rd: 0, rt: 0, shamt: 0 },
+            ],
+        );
         step_n(&mut m, 6);
         assert_eq!(m.cpu.gpr[8], 5);
         assert_eq!(m.cpu.gpr[9], 7);
@@ -1350,11 +1444,14 @@ mod tests {
         let mut m = machine();
         m.cpu.set_gpr(8, 0x2000);
         m.cpu.set_gpr(9, 0xffff_ffff_ffff_ff80); // -128
-        load(&mut m, &[
-            Inst::Store { width: Width::Byte, rt: 9, base: 8, imm: 0 },
-            Inst::Load { width: Width::Byte, rt: 10, base: 8, imm: 0, unsigned: false },
-            Inst::Load { width: Width::Byte, rt: 11, base: 8, imm: 0, unsigned: true },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Store { width: Width::Byte, rt: 9, base: 8, imm: 0 },
+                Inst::Load { width: Width::Byte, rt: 10, base: 8, imm: 0, unsigned: false },
+                Inst::Load { width: Width::Byte, rt: 11, base: 8, imm: 0, unsigned: true },
+            ],
+        );
         step_n(&mut m, 3);
         assert_eq!(m.cpu.gpr[10] as i64, -128);
         assert_eq!(m.cpu.gpr[11], 0x80);
@@ -1366,7 +1463,10 @@ mod tests {
     fn misaligned_access_is_address_error() {
         let mut m = machine();
         m.cpu.set_gpr(8, 0x2001);
-        load(&mut m, &[Inst::Load { width: Width::Double, rt: 9, base: 8, imm: 0, unsigned: false }]);
+        load(
+            &mut m,
+            &[Inst::Load { width: Width::Double, rt: 9, base: 8, imm: 0, unsigned: false }],
+        );
         match m.step().unwrap() {
             StepResult::Trap(e) => {
                 assert_eq!(e.kind, TrapKind::AddressError { vaddr: 0x2001, write: false });
@@ -1381,7 +1481,10 @@ mod tests {
         let small = Capability::new(0, 0x2000, Perms::ALL).unwrap();
         m.cpu.caps.set_c0(small);
         m.cpu.set_gpr(8, 0x2000);
-        load(&mut m, &[Inst::Load { width: Width::Double, rt: 9, base: 8, imm: 0, unsigned: false }]);
+        load(
+            &mut m,
+            &[Inst::Load { width: Width::Double, rt: 9, base: 8, imm: 0, unsigned: false }],
+        );
         match m.step().unwrap() {
             StepResult::Trap(e) => match e.kind {
                 TrapKind::CapViolation(c) => {
@@ -1401,7 +1504,10 @@ mod tests {
         let sandbox = Capability::new(0x4000, 0x1000, Perms::ALL).unwrap();
         m.cpu.caps.set_c0(sandbox);
         m.mem.write_u64(0x4000, 0xabcd).unwrap();
-        load(&mut m, &[Inst::Load { width: Width::Double, rt: 9, base: 0, imm: 0, unsigned: false }]);
+        load(
+            &mut m,
+            &[Inst::Load { width: Width::Double, rt: 9, base: 0, imm: 0, unsigned: false }],
+        );
         step_n(&mut m, 1);
         assert_eq!(m.cpu.gpr[9], 0xabcd);
     }
@@ -1409,10 +1515,10 @@ mod tests {
     #[test]
     fn syscall_reports_and_resumes() {
         let mut m = machine();
-        load(&mut m, &[
-            Inst::Syscall { code: 0 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
-        ]);
+        load(
+            &mut m,
+            &[Inst::Syscall { code: 0 }, Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 }],
+        );
         assert_eq!(m.step().unwrap(), StepResult::Syscall);
         // PC still at the syscall until the kernel resumes.
         assert_eq!(m.cpu.pc, 0x1000);
@@ -1441,28 +1547,31 @@ mod tests {
         let mut m = machine();
         m.cpu.set_gpr(8, 0x3000); // base delta
         m.cpu.set_gpr(9, 64); // length
-        load(&mut m, &[
-            Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }),
-            Inst::Cheri(CheriInst::CSetLen { cd: 1, cb: 1, rt: 9 }),
-            // CLD $10, $0, 0($c1) — loads from 0x3000
-            Inst::Cheri(CheriInst::CLoad {
-                width: Width::Double,
-                rd: 10,
-                cb: 1,
-                rt: 0,
-                imm: 0,
-                unsigned: false,
-            }),
-            // CLD $11, $0, 8($c1) i.e. imm=8 scaled => offset 64: out of bounds
-            Inst::Cheri(CheriInst::CLoad {
-                width: Width::Double,
-                rd: 11,
-                cb: 1,
-                rt: 0,
-                imm: 8,
-                unsigned: false,
-            }),
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }),
+                Inst::Cheri(CheriInst::CSetLen { cd: 1, cb: 1, rt: 9 }),
+                // CLD $10, $0, 0($c1) — loads from 0x3000
+                Inst::Cheri(CheriInst::CLoad {
+                    width: Width::Double,
+                    rd: 10,
+                    cb: 1,
+                    rt: 0,
+                    imm: 0,
+                    unsigned: false,
+                }),
+                // CLD $11, $0, 8($c1) i.e. imm=8 scaled => offset 64: out of bounds
+                Inst::Cheri(CheriInst::CLoad {
+                    width: Width::Double,
+                    rd: 11,
+                    cb: 1,
+                    rt: 0,
+                    imm: 8,
+                    unsigned: false,
+                }),
+            ],
+        );
         m.mem.write_u64(0x3000, 777).unwrap();
         step_n(&mut m, 3);
         assert_eq!(m.cpu.gpr[10], 777);
@@ -1484,15 +1593,18 @@ mod tests {
         let mut m = machine();
         m.cpu.set_gpr(8, 0x3000);
         m.cpu.set_gpr(9, 0x100);
-        load(&mut m, &[
-            Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }),
-            Inst::Cheri(CheriInst::CSetLen { cd: 1, cb: 1, rt: 9 }),
-            // store C1 at offset 0 of C0 region address 0x2000 via C2
-            Inst::Cheri(CheriInst::CSC { cs: 1, cb: 0, rt: 10, imm: 0 }),
-            Inst::Cheri(CheriInst::CLC { cd: 3, cb: 0, rt: 10, imm: 0 }),
-            Inst::Cheri(CheriInst::CGetTag { rd: 11, cb: 3 }),
-            Inst::Cheri(CheriInst::CGetBase { rd: 12, cb: 3 }),
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }),
+                Inst::Cheri(CheriInst::CSetLen { cd: 1, cb: 1, rt: 9 }),
+                // store C1 at offset 0 of C0 region address 0x2000 via C2
+                Inst::Cheri(CheriInst::CSC { cs: 1, cb: 0, rt: 10, imm: 0 }),
+                Inst::Cheri(CheriInst::CLC { cd: 3, cb: 0, rt: 10, imm: 0 }),
+                Inst::Cheri(CheriInst::CGetTag { rd: 11, cb: 3 }),
+                Inst::Cheri(CheriInst::CGetBase { rd: 12, cb: 3 }),
+            ],
+        );
         m.cpu.set_gpr(10, 0x2000);
         step_n(&mut m, 6);
         assert_eq!(m.cpu.gpr[11], 1, "tag must survive CSC/CLC");
@@ -1505,12 +1617,15 @@ mod tests {
     fn data_store_over_capability_clears_tag_end_to_end() {
         let mut m = machine();
         m.cpu.set_gpr(10, 0x2000);
-        load(&mut m, &[
-            Inst::Cheri(CheriInst::CSC { cs: 0, cb: 0, rt: 10, imm: 0 }),
-            Inst::Store { width: Width::Double, rt: 9, base: 10, imm: 8 },
-            Inst::Cheri(CheriInst::CLC { cd: 3, cb: 0, rt: 10, imm: 0 }),
-            Inst::Cheri(CheriInst::CGetTag { rd: 11, cb: 3 }),
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Cheri(CheriInst::CSC { cs: 0, cb: 0, rt: 10, imm: 0 }),
+                Inst::Store { width: Width::Double, rt: 9, base: 10, imm: 8 },
+                Inst::Cheri(CheriInst::CLC { cd: 3, cb: 0, rt: 10, imm: 0 }),
+                Inst::Cheri(CheriInst::CGetTag { rd: 11, cb: 3 }),
+            ],
+        );
         step_n(&mut m, 4);
         assert_eq!(m.cpu.gpr[11], 0, "data store must clear the tag");
     }
@@ -1518,13 +1633,16 @@ mod tests {
     #[test]
     fn cbtu_cbts_branch_on_tag() {
         let mut m = machine();
-        load(&mut m, &[
-            // C0 is tagged: CBTS taken, delay slot runs, skip one, land.
-            Inst::Cheri(CheriInst::CBTS { cb: 0, offset: 2 }),
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 1 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 1 },
-        ]);
+        load(
+            &mut m,
+            &[
+                // C0 is tagged: CBTS taken, delay slot runs, skip one, land.
+                Inst::Cheri(CheriInst::CBTS { cb: 0, offset: 2 }),
+                Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 1 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 10, rs: 0, imm: 1 },
+            ],
+        );
         step_n(&mut m, 3);
         assert_eq!(m.cpu.gpr[8], 1);
         assert_eq!(m.cpu.gpr[9], 0);
@@ -1536,11 +1654,14 @@ mod tests {
         let mut m = machine();
         // Build a capability for the callee at 0x1040 and call through it.
         m.cpu.set_gpr(8, 0x1040);
-        load(&mut m, &[
-            Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }), // 0x1000
-            Inst::Cheri(CheriInst::CJALR { cd: 2, cb: 1 }),           // 0x1004
-            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 9 }, // 0x1008 return lands here
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::Cheri(CheriInst::CIncBase { cd: 1, cb: 0, rt: 8 }), // 0x1000
+                Inst::Cheri(CheriInst::CJALR { cd: 2, cb: 1 }),           // 0x1004
+                Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 9 }, // 0x1008 return lands here
+            ],
+        );
         // callee at 0x1040: ori $10,$0,7 ; cjr $c2
         m.load_code(
             0x1040,
@@ -1561,11 +1682,14 @@ mod tests {
         // Constrain PCC to [0x1000, 0x1008): the third fetch faults.
         let pcc = Capability::new(0x1000, 8, Perms::EXECUTE | Perms::LOAD).unwrap();
         m.cpu.caps.set_pcc(pcc);
-        load(&mut m, &[
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 2 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 4 },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 2 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 4 },
+            ],
+        );
         step_n(&mut m, 2);
         match m.step().unwrap() {
             StepResult::Trap(e) => match e.kind {
@@ -1584,12 +1708,15 @@ mod tests {
         let mut m = machine();
         m.cpu.set_gpr(8, 0x2000);
         m.cpu.set_gpr(9, 41);
-        load(&mut m, &[
-            Inst::LoadLinked { width: Width::Double, rt: 10, base: 8, imm: 0 },
-            Inst::StoreCond { width: Width::Double, rt: 9, base: 8, imm: 0 },
-            // Second SC without LL fails.
-            Inst::StoreCond { width: Width::Double, rt: 11, base: 8, imm: 0 },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::LoadLinked { width: Width::Double, rt: 10, base: 8, imm: 0 },
+                Inst::StoreCond { width: Width::Double, rt: 9, base: 8, imm: 0 },
+                // Second SC without LL fails.
+                Inst::StoreCond { width: Width::Double, rt: 11, base: 8, imm: 0 },
+            ],
+        );
         step_n(&mut m, 3);
         assert_eq!(m.cpu.gpr[9], 1, "first SC succeeds");
         assert_eq!(m.cpu.gpr[11], 0, "second SC fails");
@@ -1601,13 +1728,16 @@ mod tests {
         let mut m = machine();
         m.cpu.set_gpr(8, 7);
         m.cpu.set_gpr(9, 3);
-        load(&mut m, &[
-            Inst::MulDiv { op: MulDivOp::Dmultu, rs: 8, rt: 9 },
-            Inst::Mflo { rd: 10 },
-            Inst::MulDiv { op: MulDivOp::Ddivu, rs: 8, rt: 9 },
-            Inst::Mflo { rd: 11 },
-            Inst::Mfhi { rd: 12 },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::MulDiv { op: MulDivOp::Dmultu, rs: 8, rt: 9 },
+                Inst::Mflo { rd: 10 },
+                Inst::MulDiv { op: MulDivOp::Ddivu, rs: 8, rt: 9 },
+                Inst::Mflo { rd: 11 },
+                Inst::Mfhi { rd: 12 },
+            ],
+        );
         step_n(&mut m, 5);
         assert_eq!(m.cpu.gpr[10], 21);
         assert_eq!(m.cpu.gpr[11], 2);
@@ -1640,9 +1770,7 @@ mod tests {
         m.tlb_install(0x1000, 0x1000, TlbFlags::rw()); // code page
         m.tlb_install(0x2000, 0x2000, TlbFlags::rw_no_caps()); // data page
         m.cpu.set_gpr(10, 0x2000);
-        load(&mut m, &[
-            Inst::Cheri(CheriInst::CSC { cs: 0, cb: 0, rt: 10, imm: 0 }),
-        ]);
+        load(&mut m, &[Inst::Cheri(CheriInst::CSC { cs: 0, cb: 0, rt: 10, imm: 0 })]);
         match m.step().unwrap() {
             StepResult::Trap(e) => match e.kind {
                 TrapKind::CapViolation(c) => {
@@ -1673,10 +1801,13 @@ mod tests {
     #[test]
     fn stats_count_instructions_and_cycles() {
         let mut m = machine();
-        load(&mut m, &[
-            Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
-            Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 2 },
-        ]);
+        load(
+            &mut m,
+            &[
+                Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 1 },
+                Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 0, imm: 2 },
+            ],
+        );
         step_n(&mut m, 2);
         assert_eq!(m.stats.instructions, 2);
         assert!(m.stats.cycles >= 2, "at least base CPI");

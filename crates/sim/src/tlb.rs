@@ -99,11 +99,7 @@ impl Tlb {
     /// Creates an empty TLB with `entries` paired entries.
     #[must_use]
     pub fn new(entries: usize) -> Tlb {
-        Tlb {
-            entries: vec![TlbEntry::default(); entries],
-            next_random: 0,
-            misses: 0,
-        }
+        Tlb { entries: vec![TlbEntry::default(); entries], next_random: 0, misses: 0 }
     }
 
     /// Number of paired entries.
@@ -217,10 +213,8 @@ impl Tlb {
         let odd = (vaddr >> PAGE_SHIFT) & 1 == 1;
         // Merge with an existing entry for the pair if present.
         let existing = self.entries.iter().position(|e| e.present && e.vpn2 == vpn2);
-        let mut entry = existing.map_or(
-            TlbEntry { vpn2, present: true, ..TlbEntry::default() },
-            |i| self.entries[i],
-        );
+        let mut entry = existing
+            .map_or(TlbEntry { vpn2, present: true, ..TlbEntry::default() }, |i| self.entries[i]);
         if odd {
             entry.pfn1 = paddr >> PAGE_SHIFT;
             entry.flags1 = flags;
@@ -303,10 +297,7 @@ mod tests {
         let mut tlb = Tlb::new(2);
         let inv = TlbFlags { valid: false, ..TlbFlags::rw() };
         tlb.install(0x1000, 0x8000, inv);
-        assert!(matches!(
-            tlb.translate(0x1000, false),
-            Err(TrapKind::TlbInvalid { .. })
-        ));
+        assert!(matches!(tlb.translate(0x1000, false), Err(TrapKind::TlbInvalid { .. })));
     }
 
     #[test]
@@ -360,14 +351,8 @@ mod tests {
         let mut tlb = Tlb::new(4);
         tlb.install(0x1000, 0x8000, TlbFlags::rw());
         tlb.invalidate_page(0x1000);
-        assert!(matches!(
-            tlb.translate(0x1000, false),
-            Err(TrapKind::TlbInvalid { .. })
-        ));
+        assert!(matches!(tlb.translate(0x1000, false), Err(TrapKind::TlbInvalid { .. })));
         tlb.flush();
-        assert!(matches!(
-            tlb.translate(0x1000, false),
-            Err(TrapKind::TlbRefill { .. })
-        ));
+        assert!(matches!(tlb.translate(0x1000, false), Err(TrapKind::TlbRefill { .. })));
     }
 }

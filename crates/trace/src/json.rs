@@ -1,0 +1,339 @@
+//! Hand-rolled JSON support — the workspace builds offline, so there is
+//! no serde. The writer emits compact objects field-by-field; the
+//! parser is a small recursive-descent reader for the snapshot files
+//! this crate itself produces (objects, arrays, strings, unsigned
+//! integers, booleans, null). It is not a general-purpose validator —
+//! it accepts exactly the JSON this crate writes, plus whitespace.
+
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Incremental writer for one compact JSON object.
+pub struct JsonWriter {
+    buf: String,
+    first: bool,
+}
+
+impl JsonWriter {
+    /// Starts an object (`{`).
+    #[must_use]
+    pub fn object() -> JsonWriter {
+        JsonWriter { buf: String::from("{"), first: true }
+    }
+
+    fn key(&mut self, name: &str) {
+        if !self.first {
+            self.buf.push(',');
+        }
+        self.first = false;
+        self.buf.push('"');
+        escape_into(&mut self.buf, name);
+        self.buf.push_str("\":");
+    }
+
+    /// Appends `"name":"value"` with escaping.
+    pub fn str_field(&mut self, name: &str, value: &str) {
+        self.key(name);
+        self.buf.push('"');
+        escape_into(&mut self.buf, value);
+        self.buf.push('"');
+    }
+
+    /// Appends `"name":123`.
+    pub fn u64_field(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Appends `"name":-123`.
+    pub fn i64_field(&mut self, name: &str, value: i64) {
+        self.key(name);
+        let _ = write!(self.buf, "{value}");
+    }
+
+    /// Appends `"name":"0x1f"` — addresses read better in hex, and the
+    /// string form keeps the parser integer-only.
+    pub fn hex_field(&mut self, name: &str, value: u64) {
+        self.key(name);
+        let _ = write!(self.buf, "\"{value:#x}\"");
+    }
+
+    /// Appends `"name":true|false`.
+    pub fn bool_field(&mut self, name: &str, value: bool) {
+        self.key(name);
+        self.buf.push_str(if value { "true" } else { "false" });
+    }
+
+    /// Appends `"name":<raw>` where `raw` is already-valid JSON.
+    pub fn raw_field(&mut self, name: &str, raw: &str) {
+        self.key(name);
+        self.buf.push_str(raw);
+    }
+
+    /// Closes the object and returns the string.
+    #[must_use]
+    pub fn close(mut self) -> String {
+        self.buf.push('}');
+        self.buf
+    }
+}
+
+/// Escapes `s` into `out` per JSON string rules.
+pub fn escape_into(out: &mut String, s: &str) {
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+}
+
+/// A parsed JSON value (unsigned-integer numbers only — all quantities
+/// in this crate are event counts and cycle totals).
+#[derive(Clone, Debug, PartialEq)]
+pub enum Json {
+    Null,
+    Bool(bool),
+    Num(u64),
+    Str(String),
+    Arr(Vec<Json>),
+    Obj(BTreeMap<String, Json>),
+}
+
+impl Json {
+    /// The value as an object, if it is one.
+    #[must_use]
+    pub fn as_obj(&self) -> Option<&BTreeMap<String, Json>> {
+        match self {
+            Json::Obj(m) => Some(m),
+            _ => None,
+        }
+    }
+
+    /// The value as an array, if it is one.
+    #[must_use]
+    pub fn as_arr(&self) -> Option<&[Json]> {
+        match self {
+            Json::Arr(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// The value as an unsigned integer, if it is one.
+    #[must_use]
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Num(n) => Some(*n),
+            _ => None,
+        }
+    }
+
+    /// The value as a string, if it is one.
+    #[must_use]
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::Str(s) => Some(s),
+            _ => None,
+        }
+    }
+}
+
+/// Parses one JSON document, requiring it to span the whole input.
+pub fn parse(text: &str) -> Result<Json, String> {
+    let bytes = text.as_bytes();
+    let mut pos = 0usize;
+    let v = parse_value(bytes, &mut pos)?;
+    skip_ws(bytes, &mut pos);
+    if pos != bytes.len() {
+        return Err(format!("trailing garbage at byte {pos}"));
+    }
+    Ok(v)
+}
+
+fn skip_ws(b: &[u8], pos: &mut usize) {
+    while *pos < b.len() && matches!(b[*pos], b' ' | b'\t' | b'\n' | b'\r') {
+        *pos += 1;
+    }
+}
+
+fn expect(b: &[u8], pos: &mut usize, c: u8) -> Result<(), String> {
+    skip_ws(b, pos);
+    if *pos < b.len() && b[*pos] == c {
+        *pos += 1;
+        Ok(())
+    } else {
+        Err(format!("expected '{}' at byte {}", c as char, *pos))
+    }
+}
+
+fn parse_value(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    skip_ws(b, pos);
+    match b.get(*pos) {
+        Some(b'{') => parse_obj(b, pos),
+        Some(b'[') => parse_arr(b, pos),
+        Some(b'"') => Ok(Json::Str(parse_string(b, pos)?)),
+        Some(b't') => parse_lit(b, pos, "true", Json::Bool(true)),
+        Some(b'f') => parse_lit(b, pos, "false", Json::Bool(false)),
+        Some(b'n') => parse_lit(b, pos, "null", Json::Null),
+        Some(c) if c.is_ascii_digit() => parse_num(b, pos),
+        _ => Err(format!("unexpected input at byte {}", *pos)),
+    }
+}
+
+fn parse_lit(b: &[u8], pos: &mut usize, lit: &str, v: Json) -> Result<Json, String> {
+    if b[*pos..].starts_with(lit.as_bytes()) {
+        *pos += lit.len();
+        Ok(v)
+    } else {
+        Err(format!("bad literal at byte {}", *pos))
+    }
+}
+
+fn parse_num(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    let start = *pos;
+    while *pos < b.len() && b[*pos].is_ascii_digit() {
+        *pos += 1;
+    }
+    std::str::from_utf8(&b[start..*pos])
+        .ok()
+        .and_then(|s| s.parse::<u64>().ok())
+        .map(Json::Num)
+        .ok_or_else(|| format!("bad number at byte {start}"))
+}
+
+fn parse_string(b: &[u8], pos: &mut usize) -> Result<String, String> {
+    expect(b, pos, b'"')?;
+    let mut out = String::new();
+    loop {
+        match b.get(*pos) {
+            None => return Err("unterminated string".into()),
+            Some(b'"') => {
+                *pos += 1;
+                return Ok(out);
+            }
+            Some(b'\\') => {
+                *pos += 1;
+                match b.get(*pos) {
+                    Some(b'"') => out.push('"'),
+                    Some(b'\\') => out.push('\\'),
+                    Some(b'/') => out.push('/'),
+                    Some(b'n') => out.push('\n'),
+                    Some(b'r') => out.push('\r'),
+                    Some(b't') => out.push('\t'),
+                    Some(b'u') => {
+                        let hex = b
+                            .get(*pos + 1..*pos + 5)
+                            .and_then(|h| std::str::from_utf8(h).ok())
+                            .and_then(|h| u32::from_str_radix(h, 16).ok())
+                            .ok_or_else(|| format!("bad \\u escape at byte {}", *pos))?;
+                        out.push(char::from_u32(hex).unwrap_or('\u{fffd}'));
+                        *pos += 4;
+                    }
+                    _ => return Err(format!("bad escape at byte {}", *pos)),
+                }
+                *pos += 1;
+            }
+            Some(&c) => {
+                // Multi-byte UTF-8 sequences pass through unmodified.
+                let len = utf8_len(c);
+                let chunk = b
+                    .get(*pos..*pos + len)
+                    .and_then(|s| std::str::from_utf8(s).ok())
+                    .ok_or_else(|| format!("bad utf-8 at byte {}", *pos))?;
+                out.push_str(chunk);
+                *pos += len;
+            }
+        }
+    }
+}
+
+fn utf8_len(first: u8) -> usize {
+    match first {
+        0x00..=0x7f => 1,
+        0xc0..=0xdf => 2,
+        0xe0..=0xef => 3,
+        _ => 4,
+    }
+}
+
+fn parse_arr(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'[')?;
+    let mut items = Vec::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b']') {
+        *pos += 1;
+        return Ok(Json::Arr(items));
+    }
+    loop {
+        items.push(parse_value(b, pos)?);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b']') => {
+                *pos += 1;
+                return Ok(Json::Arr(items));
+            }
+            _ => return Err(format!("expected ',' or ']' at byte {}", *pos)),
+        }
+    }
+}
+
+fn parse_obj(b: &[u8], pos: &mut usize) -> Result<Json, String> {
+    expect(b, pos, b'{')?;
+    let mut map = BTreeMap::new();
+    skip_ws(b, pos);
+    if b.get(*pos) == Some(&b'}') {
+        *pos += 1;
+        return Ok(Json::Obj(map));
+    }
+    loop {
+        skip_ws(b, pos);
+        let key = parse_string(b, pos)?;
+        expect(b, pos, b':')?;
+        let value = parse_value(b, pos)?;
+        map.insert(key, value);
+        skip_ws(b, pos);
+        match b.get(*pos) {
+            Some(b',') => *pos += 1,
+            Some(b'}') => {
+                *pos += 1;
+                return Ok(Json::Obj(map));
+            }
+            _ => return Err(format!("expected ',' or '}}' at byte {}", *pos)),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn writer_then_parser_roundtrip() {
+        let mut w = JsonWriter::object();
+        w.str_field("name", "tree\"add\n");
+        w.u64_field("count", 42);
+        w.bool_field("ok", true);
+        w.raw_field("list", "[1,2,3]");
+        let text = w.close();
+        let v = parse(&text).unwrap();
+        let obj = v.as_obj().unwrap();
+        assert_eq!(obj["name"].as_str(), Some("tree\"add\n"));
+        assert_eq!(obj["count"].as_u64(), Some(42));
+        assert_eq!(obj["ok"], Json::Bool(true));
+        assert_eq!(obj["list"].as_arr().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn rejects_trailing_garbage() {
+        assert!(parse("{} x").is_err());
+        assert!(parse("[1,]").is_err());
+    }
+}

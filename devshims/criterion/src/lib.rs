@@ -1,0 +1,264 @@
+//! A small, dependency-free, offline stand-in for the `criterion` crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the `[[bench]]` targets are driven by this shim instead of the
+//! real criterion. It covers exactly the subset the workspace uses:
+//!
+//! * `Criterion::default().warm_up_time(..).measurement_time(..).sample_size(..)`
+//! * `c.benchmark_group(name)` / `c.bench_function(name, ..)`
+//! * `group.throughput(Throughput::Elements(n))`
+//! * `group.bench_function(name, |b| b.iter(|| ..))` / `group.finish()`
+//! * `criterion_group! { name = ..; config = ..; targets = .. }` (and the
+//!   positional form), `criterion_main!`
+//!
+//! Measurement model: each benchmark warms up for `warm_up_time`, then
+//! collects `sample_size` samples; each sample runs the closure in a
+//! batch sized so one batch takes roughly `measurement_time /
+//! sample_size`. The median per-iteration time is reported, with the
+//! min/max sample range and (when a throughput was declared) the
+//! derived elements/second. Results go to stdout, one line per
+//! benchmark — there is no HTML report, statistics engine, or
+//! comparison with saved baselines.
+
+use std::hint::black_box as std_black_box;
+use std::time::{Duration, Instant};
+
+/// Re-export so `criterion::black_box` callers keep working.
+pub fn black_box<T>(x: T) -> T {
+    std_black_box(x)
+}
+
+/// Declared units of work per iteration, for derived rates.
+#[derive(Clone, Copy, Debug)]
+pub enum Throughput {
+    /// The iteration processes this many logical elements.
+    Elements(u64),
+    /// The iteration processes this many bytes.
+    Bytes(u64),
+}
+
+/// Top-level benchmark harness handle.
+#[derive(Clone, Debug)]
+pub struct Criterion {
+    warm_up: Duration,
+    measurement: Duration,
+    samples: usize,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(1200),
+            samples: 20,
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the warm-up duration per benchmark.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the total measurement duration per benchmark.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement = d;
+        self
+    }
+
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.samples = n.max(2);
+        self
+    }
+
+    /// Opens a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: &str) -> BenchmarkGroup<'_> {
+        BenchmarkGroup { criterion: self, name: name.to_string(), throughput: None }
+    }
+
+    /// Runs a single ungrouped benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Criterion {
+        let cfg = self.clone();
+        run_one(&cfg, name, None, f);
+        self
+    }
+}
+
+/// A named group of benchmarks sharing a throughput declaration.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a Criterion,
+    name: String,
+    throughput: Option<Throughput>,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Declares work-per-iteration for subsequent benchmarks in the group.
+    pub fn throughput(&mut self, t: Throughput) -> &mut Self {
+        self.throughput = Some(t);
+        self
+    }
+
+    /// Runs one benchmark in this group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, f: F) -> &mut Self {
+        let id = format!("{}/{}", self.name, name);
+        run_one(self.criterion, &id, self.throughput, f);
+        self
+    }
+
+    /// Ends the group (accepted for API compatibility; prints nothing).
+    pub fn finish(self) {}
+}
+
+/// Passed to the benchmark closure; call [`Bencher::iter`] with the code
+/// under test.
+pub struct Bencher {
+    iters: u64,
+    elapsed: Duration,
+}
+
+impl Bencher {
+    /// Times `iters` invocations of `f`, discarding each return value
+    /// through a black box.
+    pub fn iter<T, F: FnMut() -> T>(&mut self, mut f: F) {
+        let start = Instant::now();
+        for _ in 0..self.iters {
+            std_black_box(f());
+        }
+        self.elapsed = start.elapsed();
+    }
+}
+
+fn run_one<F: FnMut(&mut Bencher)>(
+    cfg: &Criterion,
+    id: &str,
+    throughput: Option<Throughput>,
+    mut f: F,
+) {
+    // Calibrate: how many iterations fit in one sample slot?
+    let mut b = Bencher { iters: 1, elapsed: Duration::ZERO };
+    f(&mut b);
+    let mut per_iter = b.elapsed.max(Duration::from_nanos(1));
+
+    // Warm-up, re-estimating the per-iteration cost as we go.
+    let warm_start = Instant::now();
+    while warm_start.elapsed() < cfg.warm_up {
+        let budget = cfg.warm_up.saturating_sub(warm_start.elapsed());
+        b.iters = iters_for(budget.min(cfg.warm_up / 4), per_iter);
+        f(&mut b);
+        per_iter = b.elapsed / u32::try_from(b.iters).unwrap_or(u32::MAX);
+        per_iter = per_iter.max(Duration::from_nanos(1));
+    }
+
+    // Measurement: fixed-size samples.
+    let slot = cfg.measurement / u32::try_from(cfg.samples).unwrap_or(u32::MAX);
+    let iters = iters_for(slot, per_iter);
+    let mut samples: Vec<f64> = Vec::with_capacity(cfg.samples);
+    for _ in 0..cfg.samples {
+        b.iters = iters;
+        f(&mut b);
+        samples.push(b.elapsed.as_secs_f64() / iters as f64);
+    }
+    samples.sort_by(|a, b| a.partial_cmp(b).unwrap());
+    let median = samples[samples.len() / 2];
+    let (lo, hi) = (samples[0], samples[samples.len() - 1]);
+
+    let mut line =
+        format!("{id:<40} time: [{} {} {}]", fmt_time(lo), fmt_time(median), fmt_time(hi));
+    match throughput {
+        Some(Throughput::Elements(n)) if median > 0.0 => {
+            line.push_str(&format!("  thrpt: {} elem/s", fmt_count(n as f64 / median)));
+        }
+        Some(Throughput::Bytes(n)) if median > 0.0 => {
+            line.push_str(&format!("  thrpt: {} B/s", fmt_count(n as f64 / median)));
+        }
+        _ => {}
+    }
+    println!("{line}");
+}
+
+fn iters_for(slot: Duration, per_iter: Duration) -> u64 {
+    (slot.as_nanos() / per_iter.as_nanos().max(1)).clamp(1, 1 << 32) as u64
+}
+
+fn fmt_time(secs: f64) -> String {
+    if secs >= 1.0 {
+        format!("{secs:.3} s")
+    } else if secs >= 1e-3 {
+        format!("{:.3} ms", secs * 1e3)
+    } else if secs >= 1e-6 {
+        format!("{:.3} µs", secs * 1e6)
+    } else {
+        format!("{:.2} ns", secs * 1e9)
+    }
+}
+
+fn fmt_count(v: f64) -> String {
+    if v >= 1e9 {
+        format!("{:.3} G", v / 1e9)
+    } else if v >= 1e6 {
+        format!("{:.3} M", v / 1e6)
+    } else if v >= 1e3 {
+        format!("{:.3} K", v / 1e3)
+    } else {
+        format!("{v:.1}")
+    }
+}
+
+/// Declares a benchmark group: both the `name/config/targets` form and
+/// the positional `criterion_group!(benches, f1, f2)` form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion: $crate::Criterion = $config;
+            $($target(&mut criterion);)+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Generates `main` running the listed groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_reports() {
+        let mut c = Criterion::default()
+            .warm_up_time(Duration::from_millis(5))
+            .measurement_time(Duration::from_millis(20))
+            .sample_size(3);
+        let mut g = c.benchmark_group("smoke");
+        g.throughput(Throughput::Elements(4));
+        let mut ran = 0u64;
+        g.bench_function("add", |b| {
+            b.iter(|| {
+                ran += 1;
+                black_box(ran) + 1
+            })
+        });
+        g.finish();
+        assert!(ran > 0);
+    }
+}

@@ -1,0 +1,540 @@
+//! A small, dependency-free, offline stand-in for the `proptest` crate.
+//!
+//! The build environment for this workspace has no access to crates.io,
+//! so the property tests are driven by this shim instead of the real
+//! proptest. It implements exactly the subset the workspace uses:
+//!
+//! * `proptest! { #![proptest_config(..)] #[test] fn f(x in strategy, ..) { .. } }`
+//! * `any::<T>()` for the integer primitives and `bool`
+//! * integer `Range` / `RangeInclusive` strategies (`0u64..1 << 40`)
+//! * tuple strategies up to arity 6
+//! * `Just`, `Strategy::prop_map`, `prop_oneof!`
+//! * `proptest::collection::vec`, `proptest::sample::subsequence`
+//! * `prop_assert!`, `prop_assert_eq!`, `ProptestConfig::with_cases`
+//!
+//! Differences from the real crate, by design:
+//!
+//! * cases are generated from a fixed per-test seed (derived from the
+//!   test's name), so runs are fully deterministic and reproducible;
+//! * there is no shrinking — the failing case's inputs are reported via
+//!   the panic message of the assertion that fired;
+//! * the default case count is 64 (proptest's is 256) to keep the
+//!   simulator-heavy property tests fast in CI.
+//!
+//! Integer generation is edge-biased: roughly one case in four draws
+//! from {min, max, 0, 1, small} instead of uniformly, which is where
+//! most arithmetic/bounds bugs live.
+
+use std::marker::PhantomData;
+use std::ops::{Range, RangeInclusive};
+
+/// Everything the workspace's `use proptest::prelude::*;` needs.
+pub mod prelude {
+    pub use crate::{
+        any, prop_assert, prop_assert_eq, prop_oneof, proptest, Just, ProptestConfig, Strategy,
+        TestCaseError,
+    };
+}
+
+// ---------------------------------------------------------------------------
+// RNG: SplitMix64 — tiny, seedable, good enough for test-case generation.
+// ---------------------------------------------------------------------------
+
+/// Deterministic test-case generator state.
+#[derive(Clone, Debug)]
+pub struct TestRng(u64);
+
+impl TestRng {
+    /// Seeds the generator from a test name, so each test gets a stable,
+    /// distinct stream.
+    #[must_use]
+    pub fn from_name(name: &str) -> TestRng {
+        let mut h = 0xcbf2_9ce4_8422_2325u64; // FNV-1a
+        for b in name.bytes() {
+            h ^= u64::from(b);
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        TestRng(h | 1)
+    }
+
+    /// The next 64 uniformly distributed bits.
+    pub fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// Uniform in `[0, n)`; `n` must be nonzero.
+    pub fn below(&mut self, n: u64) -> u64 {
+        // Multiply-shift; bias is irrelevant for test-case generation.
+        ((u128::from(self.next_u64()) * u128::from(n)) >> 64) as u64
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Strategy
+// ---------------------------------------------------------------------------
+
+/// A generator of values of one type.
+pub trait Strategy {
+    /// The generated type.
+    type Value;
+
+    /// Produces one value.
+    fn generate(&self, rng: &mut TestRng) -> Self::Value;
+
+    /// Maps the generated value through `f`.
+    fn prop_map<T, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> T,
+    {
+        Map { inner: self, f }
+    }
+
+    /// Type-erases the strategy (used by [`prop_oneof!`]).
+    fn boxed(self) -> BoxedStrategy<Self::Value>
+    where
+        Self: Sized + 'static,
+    {
+        BoxedStrategy(Box::new(self))
+    }
+}
+
+trait StrategyObj<V> {
+    fn generate_obj(&self, rng: &mut TestRng) -> V;
+}
+
+impl<S: Strategy> StrategyObj<S::Value> for S {
+    fn generate_obj(&self, rng: &mut TestRng) -> S::Value {
+        self.generate(rng)
+    }
+}
+
+/// A type-erased strategy.
+pub struct BoxedStrategy<V>(Box<dyn StrategyObj<V>>);
+
+impl<V> Strategy for BoxedStrategy<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        self.0.generate_obj(rng)
+    }
+}
+
+/// The result of [`Strategy::prop_map`].
+pub struct Map<S, F> {
+    inner: S,
+    f: F,
+}
+
+impl<S: Strategy, T, F: Fn(S::Value) -> T> Strategy for Map<S, F> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        (self.f)(self.inner.generate(rng))
+    }
+}
+
+/// Always generates a clone of the given value.
+#[derive(Clone, Debug)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+    fn generate(&self, _rng: &mut TestRng) -> T {
+        self.0.clone()
+    }
+}
+
+/// Uniform choice among type-erased alternatives (see [`prop_oneof!`]).
+pub struct Union<V>(pub Vec<BoxedStrategy<V>>);
+
+impl<V> Strategy for Union<V> {
+    type Value = V;
+    fn generate(&self, rng: &mut TestRng) -> V {
+        assert!(!self.0.is_empty(), "prop_oneof! of zero strategies");
+        let i = rng.below(self.0.len() as u64) as usize;
+        self.0[i].generate(rng)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// any::<T>() and integer ranges
+// ---------------------------------------------------------------------------
+
+/// Types with a full-domain default strategy.
+pub trait Arbitrary: Sized {
+    /// One arbitrary value (edge-biased).
+    fn arbitrary(rng: &mut TestRng) -> Self;
+}
+
+/// The strategy returned by [`any`].
+pub struct Any<T>(PhantomData<T>);
+
+/// The full-domain strategy for `T`.
+#[must_use]
+pub fn any<T: Arbitrary>() -> Any<T> {
+    Any(PhantomData)
+}
+
+impl<T: Arbitrary> Strategy for Any<T> {
+    type Value = T;
+    fn generate(&self, rng: &mut TestRng) -> T {
+        T::arbitrary(rng)
+    }
+}
+
+macro_rules! arbitrary_int {
+    ($($t:ty),*) => {$(
+        impl Arbitrary for $t {
+            fn arbitrary(rng: &mut TestRng) -> $t {
+                // 1 in 4: an edge value; otherwise uniform bits.
+                if rng.below(4) == 0 {
+                    match rng.below(5) {
+                        0 => <$t>::MIN,
+                        1 => <$t>::MAX,
+                        2 => 0 as $t,
+                        3 => 1 as $t,
+                        _ => rng.below(256) as $t,
+                    }
+                } else {
+                    rng.next_u64() as $t
+                }
+            }
+        }
+    )*};
+}
+
+arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+impl Arbitrary for bool {
+    fn arbitrary(rng: &mut TestRng) -> bool {
+        rng.next_u64() & 1 == 1
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                assert!(self.start < self.end, "empty range strategy");
+                let span = (self.end as i128 - self.start as i128) as u128;
+                let off = if span > u128::from(u64::MAX) {
+                    rng.next_u64() as u128
+                } else {
+                    u128::from(rng.below(span as u64))
+                };
+                (self.start as i128 + off as i128) as $t
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+            fn generate(&self, rng: &mut TestRng) -> $t {
+                let (lo, hi) = (*self.start(), *self.end());
+                assert!(lo <= hi, "empty range strategy");
+                let span = (hi as i128 - lo as i128) as u128 + 1;
+                let off = if span > u128::from(u64::MAX) {
+                    rng.next_u64() as u128
+                } else {
+                    u128::from(rng.below(span as u64))
+                };
+                (lo as i128 + off as i128) as $t
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+macro_rules! tuple_strategy {
+    ($($name:ident),+) => {
+        impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+            type Value = ($($name::Value,)+);
+            #[allow(non_snake_case)]
+            fn generate(&self, rng: &mut TestRng) -> Self::Value {
+                let ($($name,)+) = self;
+                ($($name.generate(rng),)+)
+            }
+        }
+    };
+}
+
+tuple_strategy!(A);
+tuple_strategy!(A, B);
+tuple_strategy!(A, B, C);
+tuple_strategy!(A, B, C, D);
+tuple_strategy!(A, B, C, D, E);
+tuple_strategy!(A, B, C, D, E, F);
+
+// ---------------------------------------------------------------------------
+// collection / sample
+// ---------------------------------------------------------------------------
+
+/// Anything that can describe a collection size: an exact `usize`, a
+/// half-open `Range`, or an inclusive `RangeInclusive` (mirroring
+/// proptest's `SizeRange` conversions).
+pub trait IntoSizeRange {
+    /// The half-open `[start, end)` size range.
+    fn into_size_range(self) -> std::ops::Range<usize>;
+}
+
+impl IntoSizeRange for usize {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        self..self + 1
+    }
+}
+
+impl IntoSizeRange for std::ops::Range<usize> {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        self
+    }
+}
+
+impl IntoSizeRange for std::ops::RangeInclusive<usize> {
+    fn into_size_range(self) -> std::ops::Range<usize> {
+        *self.start()..*self.end() + 1
+    }
+}
+
+/// `proptest::collection` — collection strategies.
+pub mod collection {
+    use super::{IntoSizeRange, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// A `Vec` of `len in range` elements drawn from `elem`.
+    pub fn vec<S: Strategy>(elem: S, range: impl IntoSizeRange) -> VecStrategy<S> {
+        VecStrategy { elem, range: range.into_size_range() }
+    }
+
+    /// The strategy returned by [`vec`].
+    pub struct VecStrategy<S> {
+        elem: S,
+        range: Range<usize>,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<S::Value> {
+            let span = (self.range.end - self.range.start).max(1);
+            let len = self.range.start + rng.below(span as u64) as usize;
+            (0..len).map(|_| self.elem.generate(rng)).collect()
+        }
+    }
+}
+
+/// `proptest::sample` — sampling strategies.
+pub mod sample {
+    use super::{IntoSizeRange, Strategy, TestRng};
+    use std::ops::Range;
+
+    /// An order-preserving random subsequence of `values` whose length
+    /// lies in `count` (clamped to the available length).
+    pub fn subsequence<T: Clone>(values: Vec<T>, count: impl IntoSizeRange) -> Subsequence<T> {
+        Subsequence { values, count: count.into_size_range() }
+    }
+
+    /// The strategy returned by [`subsequence`].
+    pub struct Subsequence<T> {
+        values: Vec<T>,
+        count: Range<usize>,
+    }
+
+    impl<T: Clone> Strategy for Subsequence<T> {
+        type Value = Vec<T>;
+        fn generate(&self, rng: &mut TestRng) -> Vec<T> {
+            let n = self.values.len();
+            let lo = self.count.start.min(n);
+            let hi = self.count.end.min(n + 1).max(lo + 1);
+            let want = lo + rng.below((hi - lo) as u64) as usize;
+            // Partial Fisher–Yates over the index set, then restore order.
+            let mut idx: Vec<usize> = (0..n).collect();
+            for i in 0..want.min(n) {
+                let j = i + rng.below((n - i) as u64) as usize;
+                idx.swap(i, j);
+            }
+            let mut picked: Vec<usize> = idx[..want.min(n)].to_vec();
+            picked.sort_unstable();
+            picked.into_iter().map(|i| self.values[i].clone()).collect()
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Config, errors, macros
+// ---------------------------------------------------------------------------
+
+/// Per-test configuration (only `cases` is honoured).
+#[derive(Clone, Debug)]
+pub struct ProptestConfig {
+    /// Number of generated cases per test.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// A config running `cases` cases.
+    #[must_use]
+    pub fn with_cases(cases: u32) -> ProptestConfig {
+        ProptestConfig { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> ProptestConfig {
+        ProptestConfig { cases: 64 }
+    }
+}
+
+/// A failed `prop_assert!` in a generated case.
+#[derive(Debug)]
+pub struct TestCaseError(pub String);
+
+impl std::fmt::Display for TestCaseError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(&self.0)
+    }
+}
+
+/// Defines deterministic property tests. See the crate docs for the
+/// supported grammar.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { $cfg; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    ($cfg:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($arg:ident in $strat:expr),+ $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let cfg: $crate::ProptestConfig = $cfg;
+            let mut rng = $crate::TestRng::from_name(concat!(module_path!(), "::", stringify!($name)));
+            for case in 0..cfg.cases {
+                $(let $arg = $crate::Strategy::generate(&($strat), &mut rng);)+
+                let dbg = format!(concat!($(stringify!($arg), " = {:?}  "),+), $(&$arg),+);
+                let run = || -> ::std::result::Result<(), $crate::TestCaseError> {
+                    $body
+                    #[allow(unreachable_code)]
+                    Ok(())
+                };
+                if let Err(e) = run() {
+                    panic!(
+                        "proptest case {}/{} failed: {}\n  inputs: {}",
+                        case + 1, cfg.cases, e, dbg
+                    );
+                }
+            }
+        }
+    )*};
+}
+
+/// Uniform choice among strategies producing the same type.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($s:expr),+ $(,)?) => {
+        $crate::Union(vec![$($crate::Strategy::boxed($s)),+])
+    };
+}
+
+/// Asserts inside a property test (reports the failing case's inputs).
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}", stringify!($cond)
+            )));
+        }
+    };
+    ($cond:expr, $($fmt:tt)+) => {
+        if !$cond {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {}: {}", stringify!($cond), format!($($fmt)+)
+            )));
+        }
+    };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($a:expr, $b:expr) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}",
+                stringify!($a), stringify!($b), a, b
+            )));
+        }
+    }};
+    ($a:expr, $b:expr, $($fmt:tt)+) => {{
+        let (a, b) = (&$a, &$b);
+        if !(*a == *b) {
+            return Err($crate::TestCaseError(format!(
+                "assertion failed: {} == {}\n  left: {:?}\n right: {:?}\n  {}",
+                stringify!($a), stringify!($b), a, b, format!($($fmt)+)
+            )));
+        }
+    }};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+    use super::*;
+
+    #[test]
+    fn rng_is_deterministic() {
+        let mut a = TestRng::from_name("x");
+        let mut b = TestRng::from_name("x");
+        assert_eq!(a.next_u64(), b.next_u64());
+        let mut c = TestRng::from_name("y");
+        assert_ne!(a.next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = TestRng::from_name("ranges");
+        for _ in 0..1000 {
+            let v = (3u64..17).generate(&mut rng);
+            assert!((3..17).contains(&v));
+            let s = (-5i64..=5).generate(&mut rng);
+            assert!((-5..=5).contains(&s));
+        }
+    }
+
+    #[test]
+    fn subsequence_preserves_order() {
+        let mut rng = TestRng::from_name("subseq");
+        let s = sample::subsequence((0usize..12).collect::<Vec<_>>(), 3..12);
+        for _ in 0..200 {
+            let v = s.generate(&mut rng);
+            assert!(v.len() >= 3 && v.len() < 12);
+            assert!(v.windows(2).all(|w| w[0] < w[1]), "{v:?}");
+        }
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        /// The macro itself: generated tuples/maps/oneofs compose.
+        #[test]
+        fn macro_smoke(x in any::<u32>(), v in collection::vec(0u8..10, 1..5)) {
+            prop_assert!(v.len() < 5);
+            prop_assert_eq!(u64::from(x) * 2, u64::from(x) + u64::from(x));
+            let y = prop_oneof![Just(1u8), Just(2u8)].generate(&mut TestRng::from_name("inner"));
+            prop_assert!(y == 1 || y == 2);
+        }
+    }
+}

@@ -43,7 +43,11 @@ fn main() {
     let trace = h.finish("bst-insert");
 
     let base = baseline(&trace);
-    println!("workload: 400 BST inserts — {} accesses, {} objects\n", trace.accesses(), trace.objects.len());
+    println!(
+        "workload: 400 BST inserts — {} accesses, {} objects\n",
+        trace.accesses(),
+        trace.objects.len()
+    );
     println!(
         "{:<13}{:>9}{:>9}{:>9}{:>11}{:>11}",
         "model", "pages%", "bytes%", "refs%", "instr-opt%", "instr-pess%"

@@ -48,7 +48,9 @@ fn legacy_nosy() -> cheri::asm::Program {
     a.finalize().unwrap()
 }
 
-fn run_sandboxed(prog: &cheri::asm::Program) -> Result<Result<u64, TrapKind>, Box<dyn std::error::Error>> {
+fn run_sandboxed(
+    prog: &cheri::asm::Program,
+) -> Result<Result<u64, TrapKind>, Box<dyn std::error::Error>> {
     let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..MachineConfig::default() });
     // Parent data: a secret outside the sandbox, inputs inside it.
     m.mem.write_u64(SECRET_ADDR, 0xdead_beef)?;

@@ -76,11 +76,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Forgery attempt: write the same 32 bytes with ordinary stores.
     let image = heap_obj.to_bytes();
     for (i, chunk) in image.chunks(8).enumerate() {
-        m.mem
-            .write_u64(DST + 128 + 8 * i as u64, u64::from_be_bytes(chunk.try_into()?))?;
+        m.mem.write_u64(DST + 128 + 8 * i as u64, u64::from_be_bytes(chunk.try_into()?))?;
     }
     let forged = m.mem.read_cap(DST + 128)?;
-    println!("forged bits: base={:#x} len={:#x} tag={}", forged.base(), forged.length(), u8::from(forged.tag()));
+    println!(
+        "forged bits: base={:#x} len={:#x} tag={}",
+        forged.base(),
+        forged.length(),
+        u8::from(forged.tag())
+    );
     assert!(!forged.tag(), "data stores must never create a tag");
     assert!(forged.check_data_access(0x9000, 8, Perms::LOAD).is_err());
     println!("identical bits, but no tag: the forgery is unusable.");

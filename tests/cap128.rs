@@ -1,10 +1,10 @@
 //! The compressed 128-bit capability configuration (Section 4.1's
 //! proposed production format) exercised at machine level.
 
-use cheri::sim::machine::CapFormat;
-use cheri::sim::{Machine, MachineConfig, StepResult};
 use cheri::asm::{reg, Asm};
 use cheri::core::CapExcCode;
+use cheri::sim::machine::CapFormat;
+use cheri::sim::{Machine, MachineConfig, StepResult};
 
 fn machine128() -> Machine {
     let mut m = Machine::new(MachineConfig {

@@ -52,9 +52,7 @@ fn protected_domain_call_round_trip() {
 
     kernel.exec(&caller).unwrap();
     kernel.load_image(&double_server(dom_base)).unwrap();
-    kernel
-        .register_domain("doubler", dom_base, dom_base, dom_len)
-        .unwrap();
+    kernel.register_domain("doubler", dom_base, dom_base, dom_len).unwrap();
     let out = kernel.run().unwrap();
     assert_eq!(out.exit_value(), Some(1042), "{:?}", out.exit);
     assert_eq!(kernel.domain_call_depth(), 0, "call stack balanced");

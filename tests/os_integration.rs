@@ -25,9 +25,7 @@ fn context_switch_preserves_capability_state() {
     // back and forth must round-trip the full 33-capability state.
     let mut m = Machine::new(MachineConfig::default());
     m.cpu.set_gpr(5, 111);
-    m.cpu
-        .caps
-        .set(7, Capability::new(0x1000, 0x100, Perms::LOAD).unwrap());
+    m.cpu.caps.set(7, Capability::new(0x1000, 0x100, Perms::LOAD).unwrap());
     let thread_a = Context::save(&m.cpu);
 
     // Thread B: different registers and authority.
@@ -173,11 +171,16 @@ fn malloc_without_system_calls() {
         entry: 0,
     };
     let program =
-        cheri::cc::compile(&module, &cheri::cc::strategy::CapPtr::c256(), Default::default()).unwrap();
+        cheri::cc::compile(&module, &cheri::cc::strategy::CapPtr::c256(), Default::default())
+            .unwrap();
     let mut kernel = boot(KernelConfig::default());
     let out = kernel.exec_and_run(&program).unwrap();
     assert_eq!(out.exit_value(), Some(999));
     // 1000 bounded allocations, two syscalls total (phaseless program:
     // just the exit) — user-mode capability management at work.
-    assert!(out.stats.syscalls <= 2, "allocations must not enter the kernel: {}", out.stats.syscalls);
+    assert!(
+        out.stats.syscalls <= 2,
+        "allocations must not enter the kernel: {}",
+        out.stats.syscalls
+    );
 }

@@ -17,15 +17,36 @@ fn arb_cap_inst() -> impl Strategy<Value = CheriInst> {
     let r = 0u8..8;
     let g = 12u8..16; // $t0..$t3
     prop_oneof![
-        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CIncBase { cd, cb, rt }),
-        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CSetLen { cd, cb, rt }),
-        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CAndPerm { cd, cb, rt }),
+        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CIncBase {
+            cd,
+            cb,
+            rt
+        }),
+        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CSetLen {
+            cd,
+            cb,
+            rt
+        }),
+        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CAndPerm {
+            cd,
+            cb,
+            rt
+        }),
         (r.clone(), r.clone()).prop_map(|(cd, cb)| CheriInst::CClearTag { cd, cb }),
-        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CFromPtr { cd, cb, rt }),
+        (r.clone(), r.clone(), g.clone()).prop_map(|(cd, cb, rt)| CheriInst::CFromPtr {
+            cd,
+            cb,
+            rt
+        }),
         (g.clone(), r.clone(), r.clone()).prop_map(|(rd, cb, ct)| CheriInst::CToPtr { rd, cb, ct }),
         (r.clone(), r.clone()).prop_map(|(rd, cd)| CheriInst::CGetPCC { rd, cd }),
         // Capability stores/loads through C0 at a fixed aligned slot.
-        (r.clone(), 0u8..4).prop_map(|(cs, slot)| CheriInst::CSC { cs, cb: 0, rt: 0, imm: slot as i8 }),
+        (r.clone(), 0u8..4).prop_map(|(cs, slot)| CheriInst::CSC {
+            cs,
+            cb: 0,
+            rt: 0,
+            imm: slot as i8
+        }),
         (r, 0u8..4).prop_map(|(cd, slot)| CheriInst::CLC { cd, cb: 0, rt: 0, imm: slot as i8 }),
     ]
 }
