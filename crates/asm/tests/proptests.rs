@@ -53,8 +53,8 @@ proptest! {
             }
         }
         let mut expect = 0u64;
-        for pos in 0..order.len() {
-            expect = expect.wrapping_mul(13).wrapping_add(position[pos] as u64 + 1);
+        for &p in position.iter().take(order.len()) {
+            expect = expect.wrapping_mul(13).wrapping_add(p as u64 + 1);
         }
         prop_assert_eq!(m.cpu.gpr[reg::V0 as usize], expect);
     }

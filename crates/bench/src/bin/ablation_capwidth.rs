@@ -5,34 +5,43 @@
 //! 128-bit production format (16-byte in-memory capabilities, 16-byte
 //! tag granule) and reports how much of the CHERI overhead compression
 //! recovers.
+//!
+//! The strategy triple is the canonical [`CAPWIDTH_STRATEGIES`] from
+//! `cheri-sweep`, executed on the parallel sweep engine (`--jobs N`).
 
-use cheri_bench::{overhead_pct, params_for, parse_scale};
-use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy};
-use cheri_olden::dsl::{machine_config, run_bench, DslBench};
+use cheri_bench::{overhead_pct, params_for, parse_jobs, parse_scale};
+use cheri_olden::dsl::DslBench;
+use cheri_sweep::{run_specs, JobSpec, CAPWIDTH_STRATEGIES};
 
 fn main() {
     let params = params_for(parse_scale());
+    let specs: Vec<JobSpec> = DslBench::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            CAPWIDTH_STRATEGIES.into_iter().map(move |s| JobSpec::new(bench, s, params))
+        })
+        .collect();
+    let results = run_specs(&specs, parse_jobs());
+
     println!("== Capability width ablation: 256-bit vs 128-bit CHERI (execution) ==\n");
     println!("{:<11}{:>14}{:>14}{:>14}", "benchmark", "cheri-256", "cheri-128", "recovered");
-    for bench in DslBench::ALL {
-        let strategies: [&dyn PtrStrategy; 3] = [&LegacyPtr, &CapPtr::c256(), &CapPtr::c128()];
-        let mut totals = Vec::new();
-        let mut sums: Vec<Vec<u64>> = Vec::new();
-        for s in strategies {
-            let cfg = machine_config(bench, &params, s);
-            let run = run_bench(bench, &params, s, cfg)
-                .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), s.name()));
+    for (bench, group) in DslBench::ALL.iter().zip(results.chunks(CAPWIDTH_STRATEGIES.len())) {
+        for r in group {
             assert!(
-                run.outcome.exit_value().is_some(),
+                r.run.outcome.exit_value().is_some(),
                 "{} [{}] exited {:?}",
                 bench.name(),
-                s.name(),
-                run.outcome.exit
+                r.spec.strategy.name(),
+                r.run.outcome.exit
             );
-            totals.push(run.total_cycles());
-            sums.push(run.checksums().to_vec());
         }
-        assert_eq!(sums[1], sums[2], "{}: formats disagree", bench.name());
+        let totals: Vec<u64> = group.iter().map(|r| r.run.total_cycles()).collect();
+        assert_eq!(
+            group[1].run.checksums(),
+            group[2].run.checksums(),
+            "{}: formats disagree",
+            bench.name()
+        );
         let c256 = overhead_pct(totals[1], totals[0]);
         let c128 = overhead_pct(totals[2], totals[0]);
         println!("{:<11}{:>13.1}%{:>13.1}%{:>13.1}pp", bench.name(), c256, c128, c256 - c128);

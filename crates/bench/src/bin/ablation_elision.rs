@@ -3,32 +3,34 @@
 //! CHERI to selectively utilize capabilities." This harness compares the
 //! checked and eliding software-fat-pointer binaries on all four
 //! benchmarks.
+//!
+//! The strategy triple is the canonical [`ELISION_STRATEGIES`] from
+//! `cheri-sweep`, executed on the parallel sweep engine (`--jobs N`).
 
-use beri_sim::MachineConfig;
-use cheri_bench::{overhead_pct, params_for, parse_scale};
-use cheri_cc::strategy::{LegacyPtr, PtrStrategy, SoftFatPtr};
-use cheri_olden::dsl::{run_bench, DslBench};
+use cheri_bench::{overhead_pct, params_for, parse_jobs, parse_scale};
+use cheri_olden::dsl::DslBench;
+use cheri_sweep::{run_specs, JobSpec, ELISION_STRATEGIES};
 
 fn main() {
     let params = params_for(parse_scale());
+    let specs: Vec<JobSpec> = DslBench::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            ELISION_STRATEGIES.into_iter().map(move |s| JobSpec::new(bench, s, params))
+        })
+        .collect();
+    let results = run_specs(&specs, parse_jobs());
+
     println!("== Software bounds-check elision ablation ==\n");
     println!("{:<11}{:>14}{:>14}{:>14}", "benchmark", "checked", "eliding", "saved");
-    for bench in DslBench::ALL {
-        let strategies: [&dyn PtrStrategy; 3] =
-            [&LegacyPtr, &SoftFatPtr::checked(), &SoftFatPtr::eliding()];
-        let mut totals = Vec::new();
-        let mut sums: Vec<Vec<u64>> = Vec::new();
-        for s in strategies {
-            let cfg = MachineConfig {
-                mem_bytes: bench.mem_needed(&params, s),
-                ..MachineConfig::default()
-            };
-            let run = run_bench(bench, &params, s, cfg)
-                .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), s.name()));
-            totals.push(run.total_cycles());
-            sums.push(run.checksums().to_vec());
-        }
-        assert_eq!(sums[1], sums[2], "{}: elision changed the result", bench.name());
+    for (bench, group) in DslBench::ALL.iter().zip(results.chunks(ELISION_STRATEGIES.len())) {
+        let totals: Vec<u64> = group.iter().map(|r| r.run.total_cycles()).collect();
+        assert_eq!(
+            group[1].run.checksums(),
+            group[2].run.checksums(),
+            "{}: elision changed the result",
+            bench.name()
+        );
         let checked = overhead_pct(totals[1], totals[0]);
         let eliding = overhead_pct(totals[2], totals[0]);
         println!(

@@ -2,14 +2,26 @@
 //! "does not noticeably degrade performance". This harness sweeps the
 //! tag-cache size on a capability-heavy workload and reports the
 //! tag-table traffic and total cycles at each size.
+//!
+//! The size axis is the canonical [`TAG_ABLATION_KB`] from
+//! `cheri-sweep`, executed on the parallel sweep engine (`--jobs N`).
 
-use beri_sim::MachineConfig;
-use cheri_cc::strategy::CapPtr;
-use cheri_olden::dsl::{run_bench, DslBench};
+use cheri_bench::parse_jobs;
+use cheri_olden::dsl::DslBench;
 use cheri_olden::OldenParams;
+use cheri_sweep::{run_specs, JobSpec, StrategyKind, TAG_ABLATION_KB};
 
 fn main() {
     let params = OldenParams::scaled().with_treeadd_depth(15);
+    let specs: Vec<JobSpec> = TAG_ABLATION_KB
+        .into_iter()
+        .map(|kb| JobSpec {
+            tag_cache_kb: kb,
+            ..JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, params)
+        })
+        .collect();
+    let results = run_specs(&specs, parse_jobs());
+
     println!("== Tag-cache size ablation (treeadd depth 15, CHERI mode) ==\n");
     println!(
         "{:>10} {:>12} {:>12} {:>10} {:>12} {:>12}",
@@ -17,22 +29,16 @@ fn main() {
     );
     let mut big_cache_cycles = 0u64;
     let mut at_8kb = 0u64;
-    for kb in [0usize, 1, 2, 4, 8, 16, 64] {
-        let cfg = MachineConfig {
-            mem_bytes: DslBench::Treeadd.mem_needed(&params, &CapPtr::c256()),
-            tag_cache_bytes: kb * 1024,
-            ..MachineConfig::default()
-        };
-        let run = run_bench(DslBench::Treeadd, &params, &CapPtr::c256(), cfg).expect("run");
-        let t = run.outcome.tag_stats;
-        let cycles = run.total_cycles();
-        if kb == 8 {
+    for r in &results {
+        let t = r.run.outcome.tag_stats;
+        let cycles = r.run.total_cycles();
+        if r.spec.tag_cache_kb == 8 {
             at_8kb = cycles;
         }
         big_cache_cycles = cycles; // last row is the largest cache
         println!(
             "{:>7} KB {:>12} {:>12} {:>9.1}% {:>12} {:>12}",
-            kb,
+            r.spec.tag_cache_kb,
             t.lookups,
             t.misses,
             t.hit_rate() * 100.0,

@@ -5,15 +5,19 @@
 //! panels (pages, bytes, references, optimistic and pessimistic
 //! instructions) normalised to the unprotected baseline.
 
-use cheri_bench::{params_for, parse_scale};
+use cheri_bench::{params_for, parse_jobs, parse_scale};
 use cheri_limit::run_study;
-use cheri_olden::native::all_traces;
+use cheri_olden::native::WORKLOADS;
+use cheri_sweep::run_indexed;
 
 fn main() {
     let scale = parse_scale();
     let params = params_for(scale);
     eprintln!("recording traces ({scale:?} parameters)...");
-    let traces = all_traces(&params);
+    // Record the native workload traces in parallel on the sweep
+    // engine; `run_indexed` returns them in workload order, so the
+    // study's inputs are identical at any `--jobs` count.
+    let traces = run_indexed(WORKLOADS.len(), parse_jobs(), |i| WORKLOADS[i].1(&params).trace);
     for t in &traces {
         eprintln!("  {:<10} {:>9} events, {:>7} objects", t.name, t.events.len(), t.objects.len());
     }

@@ -2,13 +2,16 @@
 //! style) and hardware (CHERI) memory safety relative to unmodified MIPS
 //! code, decomposed into allocation and computation phases, for bisort,
 //! mst, treeadd and perimeter.
+//!
+//! A thin text view over the canonical `cheri-sweep` matrix: the job
+//! list comes from [`FIGURE4_STRATEGIES`] and executes on the parallel
+//! sweep engine (`--jobs N`; with `--trace-out` the jobs run serially
+//! so the event stream stays one ordered file).
 
-use beri_sim::MachineConfig;
-use cheri_bench::{
-    bar, figure4_strategies, overhead_pct, params_for, parse_scale, parse_trace_out,
-};
-use cheri_olden::dsl::{run_bench_with_sink, BenchRun, DslBench};
-use cheri_trace::{marker, Sink};
+use cheri_bench::{bar, overhead_pct, params_for, parse_jobs, parse_scale, parse_trace_out};
+use cheri_olden::dsl::{BenchRun, DslBench};
+use cheri_sweep::{run_specs, run_specs_traced, JobSpec, FIGURE4_STRATEGIES};
+use cheri_trace::Sink;
 
 fn main() {
     let scale = parse_scale();
@@ -16,36 +19,37 @@ fn main() {
     // `--trace-out <path>`: stream every event of every run as JSON
     // lines, with a marker line delimiting each benchmark/mode pair.
     let sink = parse_trace_out();
+    let specs: Vec<JobSpec> = DslBench::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            FIGURE4_STRATEGIES.into_iter().map(move |s| JobSpec::new(bench, s, params))
+        })
+        .collect();
+    let results = match &sink {
+        Some(s) => run_specs_traced(&specs, s),
+        None => run_specs(&specs, parse_jobs()),
+    };
+
     println!("== Figure 4: execution-time overhead vs unsafe MIPS ({scale:?} sizes) ==\n");
     println!(
         "{:<11}{:<14}{:>9}{:>10}{:>9}   total",
         "benchmark", "mode", "alloc%", "compute%", "total%"
     );
 
-    for bench in DslBench::ALL {
-        let mut runs: Vec<BenchRun> = Vec::new();
-        for strategy in figure4_strategies() {
-            let cfg = MachineConfig {
-                mem_bytes: bench.mem_needed(&params, strategy.as_ref()),
-                ..MachineConfig::default()
-            };
-            marker(&sink, &format!("run start: {}/{}", bench.name(), strategy.name()));
-            let run = run_bench_with_sink(bench, &params, strategy.as_ref(), cfg, sink.clone())
-                .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), strategy.name()));
-            runs.push(run);
-        }
+    for (bench, group) in DslBench::ALL.iter().zip(results.chunks(FIGURE4_STRATEGIES.len())) {
+        let runs: Vec<&BenchRun> = group.iter().map(|r| &r.run).collect();
         // All three binaries must compute the same result.
-        let base_sums = runs[0].checksums().to_vec();
+        let base_sums = runs[0].checksums();
         for r in &runs[1..] {
             assert_eq!(
                 r.checksums(),
-                &base_sums[..],
+                base_sums,
                 "{} checksum mismatch in mode {}",
                 bench.name(),
                 r.mode
             );
         }
-        let base = &runs[0];
+        let base = runs[0];
         for r in &runs {
             let alloc = overhead_pct(r.alloc.cycles, base.alloc.cycles);
             let compute = overhead_pct(r.compute.cycles, base.compute.cycles);

@@ -1,57 +1,47 @@
 //! Figure 5 reproduction: percentage slowdown of CHERI relative to MIPS
 //! code as the data set grows, showing the steps where the 16 KB L1, the
 //! 64 KB L2, and the 1 MB TLB coverage overflow.
+//!
+//! A thin text view over the canonical `cheri-sweep` matrix: the sweep
+//! points come from [`heapsize_sweep`] and execute on the parallel
+//! sweep engine (`--jobs N`; `--trace-out` forces the serial traced
+//! path).
 
-use beri_sim::MachineConfig;
-use cheri_bench::{bar, overhead_pct, parse_trace_out};
-use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy};
-use cheri_olden::dsl::{run_bench_with_sink, DslBench};
-use cheri_olden::OldenParams;
-use cheri_trace::{marker, Sink};
-
-/// Sweep points per benchmark: the parameter values whose *baseline*
-/// heaps span roughly 4 KB .. 1024 KB, like the Figure 5 x-axis.
-fn sweep(bench: DslBench) -> Vec<(u32, OldenParams)> {
-    let base = OldenParams::scaled();
-    match bench {
-        DslBench::Treeadd => (8..=16).map(|d| (d, base.with_treeadd_depth(d))).collect(),
-        DslBench::Bisort => (7..=14).map(|d| (d, OldenParams { bisort_log2: d, ..base })).collect(),
-        DslBench::Perimeter => {
-            (7..=12).map(|d| (d, OldenParams { perimeter_levels: d, ..base })).collect()
-        }
-        DslBench::Mst => [16u32, 32, 64, 128, 256, 512, 1024]
-            .iter()
-            .map(|&n| (n, OldenParams { mst_vertices: n, ..base }))
-            .collect(),
-    }
-}
+use cheri_bench::{bar, overhead_pct, parse_jobs, parse_trace_out};
+use cheri_olden::dsl::DslBench;
+use cheri_sweep::{heapsize_sweep, run_specs, run_specs_traced, JobSpec, HEAPSIZE_STRATEGIES};
+use cheri_trace::Sink;
 
 fn main() {
     println!("== Figure 5: CHERI slowdown at different heap sizes ==");
     println!("(cache geometry: 16KB L1 / 64KB L2 / TLB covering 1MB)\n");
     // `--trace-out <path>`: stream every event of every sweep point.
     let sink = parse_trace_out();
+    let specs: Vec<JobSpec> = DslBench::ALL
+        .into_iter()
+        .flat_map(|bench| {
+            heapsize_sweep(bench).into_iter().flat_map(move |(param, p)| {
+                HEAPSIZE_STRATEGIES
+                    .into_iter()
+                    .map(move |s| JobSpec { variant: Some(param), ..JobSpec::new(bench, s, p) })
+            })
+        })
+        .collect();
+    let results = match &sink {
+        Some(s) => run_specs_traced(&specs, s),
+        None => run_specs(&specs, parse_jobs()),
+    };
+
+    let mut rows = results.chunks(HEAPSIZE_STRATEGIES.len());
     for bench in DslBench::ALL {
         println!("{}:", bench.name());
         println!("{:>10} {:>12} {:>10}", "param", "heap (KB)", "slowdown");
-        for (param, p) in sweep(bench) {
-            let mut cycles = [0u64; 2];
-            let mut heap_kb = 0u64;
-            let strategies: [&dyn PtrStrategy; 2] = [&LegacyPtr, &CapPtr::c256()];
-            for (i, s) in strategies.iter().enumerate() {
-                let cfg = MachineConfig {
-                    mem_bytes: bench.mem_needed(&p, *s),
-                    ..MachineConfig::default()
-                };
-                marker(&sink, &format!("run start: {}/{}/{}", bench.name(), s.name(), param));
-                let run = run_bench_with_sink(bench, &p, *s, cfg, sink.clone())
-                    .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), s.name()));
-                cycles[i] = run.total_cycles();
-                if i == 0 {
-                    heap_kb = run.heap_used / 1024;
-                }
-            }
-            let slow = overhead_pct(cycles[1], cycles[0]);
+        for _ in heapsize_sweep(bench) {
+            let pair = rows.next().expect("one row per sweep point");
+            let (base, cheri) = (&pair[0], &pair[1]);
+            let param = base.spec.variant.expect("sweep point labelled");
+            let heap_kb = base.run.heap_used / 1024;
+            let slow = overhead_pct(cheri.run.total_cycles(), base.run.total_cycles());
             println!("{param:>10} {heap_kb:>12} {slow:>9.1}%  {}", bar(slow, 2.0));
         }
         println!();

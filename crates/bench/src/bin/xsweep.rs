@@ -1,0 +1,178 @@
+//! `xsweep` — the parallel experiment-sweep runner and CI regression
+//! gate.
+//!
+//! Expands the full experiment matrix (workload × pointer strategy ×
+//! capability width × tag-cache config) into independent jobs, shards
+//! them across `--jobs N` worker threads (each job owns its own
+//! machine), and writes a deterministic JSON report of every job's
+//! architectural counters. The report is bit-identical regardless of
+//! thread count.
+//!
+//! ```text
+//! xsweep [--profile smoke|full|paper]   matrix preset (default: full)
+//!        [--jobs N]                     worker threads (default: host)
+//!        [--out PATH]                   report path (default: results/sweep.json)
+//!        [--check PATH]                 gate against a baseline; nonzero exit on drift
+//!        [--bless [PATH]]               (re)write the golden baseline
+//! ```
+
+use cheri_sweep::{
+    check_reports, comparisons, profile_matrix, render_drifts, run_specs, Profile, SweepReport,
+};
+use std::path::{Path, PathBuf};
+use std::time::Instant;
+
+struct Args {
+    profile: Profile,
+    jobs: usize,
+    out: PathBuf,
+    check: Option<PathBuf>,
+    bless: Option<PathBuf>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("xsweep: {msg}");
+    eprintln!(
+        "usage: xsweep [--profile smoke|full|paper] [--jobs N] [--out PATH] \
+         [--check BASELINE] [--bless [PATH]]"
+    );
+    std::process::exit(2);
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        profile: Profile::Full,
+        jobs: cheri_sweep::default_threads(),
+        out: PathBuf::from("results/sweep.json"),
+        check: None,
+        bless: None,
+    };
+    let mut i = 0;
+    let mut blessed = false;
+    while i < argv.len() {
+        let value = |i: usize| -> &str {
+            argv.get(i + 1).unwrap_or_else(|| usage(&format!("{} requires a value", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--profile" => {
+                args.profile = Profile::parse(value(i))
+                    .unwrap_or_else(|| usage(&format!("unknown profile '{}'", value(i))));
+                i += 2;
+            }
+            "--jobs" => {
+                args.jobs = match value(i).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => usage("--jobs requires a positive integer"),
+                };
+                i += 2;
+            }
+            "--out" => {
+                args.out = PathBuf::from(value(i));
+                i += 2;
+            }
+            "--check" => {
+                args.check = Some(PathBuf::from(value(i)));
+                i += 2;
+            }
+            "--bless" => {
+                blessed = true;
+                // Optional path operand.
+                if let Some(v) = argv.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    args.bless = Some(PathBuf::from(v));
+                    i += 2;
+                } else {
+                    i += 1;
+                }
+            }
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+    }
+    if blessed && args.bless.is_none() {
+        args.bless = Some(PathBuf::from(format!("baselines/sweep-{}.json", args.profile.name())));
+    }
+    args
+}
+
+fn write_report(path: &Path, text: &str) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| usage(&format!("cannot create {}: {e}", dir.display())));
+    }
+    std::fs::write(path, text)
+        .unwrap_or_else(|e| usage(&format!("cannot write {}: {e}", path.display())));
+}
+
+fn main() {
+    let args = parse_args();
+    let specs = profile_matrix(args.profile);
+    println!(
+        "== xsweep: {} jobs ({} profile) on {} thread{} ==\n",
+        specs.len(),
+        args.profile.name(),
+        args.jobs,
+        if args.jobs == 1 { "" } else { "s" }
+    );
+    let t0 = Instant::now();
+    let results = run_specs(&specs, args.jobs);
+    let wall = t0.elapsed();
+    let report = SweepReport::from_results(args.profile.name(), &results);
+
+    println!("{:<28} {:>14} {:>14} {:>9} {:>9}", "job", "instructions", "cycles", "l1d%", "tag%");
+    for job in &report.jobs {
+        let bp = |name: &str| job.counters.get(name).copied().unwrap_or(0) as f64 / 100.0;
+        println!(
+            "{:<28} {:>14} {:>14} {:>8.2}% {:>8.2}%",
+            job.key,
+            job.counters.get("sim.instructions").copied().unwrap_or(0),
+            job.counters.get("cycles.total").copied().unwrap_or(0),
+            bp("cache.l1d.hit_rate_bp"),
+            bp("tag.cache.hit_rate_bp"),
+        );
+    }
+    let total_instr: u64 =
+        report.jobs.iter().filter_map(|j| j.counters.get("sim.instructions")).sum();
+    println!(
+        "\n{} jobs, {total_instr} guest instructions in {:.2}s wall ({:.1} M instr/s aggregate)",
+        report.jobs.len(),
+        wall.as_secs_f64(),
+        total_instr as f64 / wall.as_secs_f64() / 1e6,
+    );
+
+    let text = report.to_json();
+    write_report(&args.out, &text);
+    println!("report: {}", args.out.display());
+
+    if let Some(path) = &args.bless {
+        write_report(path, &text);
+        println!("blessed baseline: {}", path.display());
+    }
+
+    if let Some(path) = &args.check {
+        let baseline_text = std::fs::read_to_string(path)
+            .unwrap_or_else(|e| usage(&format!("cannot read baseline {}: {e}", path.display())));
+        let baseline = SweepReport::from_json(&baseline_text)
+            .unwrap_or_else(|e| usage(&format!("bad baseline {}: {e}", path.display())));
+        let drifts = check_reports(&baseline, &report);
+        if drifts.is_empty() {
+            println!(
+                "check: OK — {} comparisons against {} within tolerance",
+                comparisons(&baseline),
+                path.display()
+            );
+        } else {
+            println!(
+                "check: FAILED — {} drift{} vs {}\n",
+                drifts.len(),
+                if drifts.len() == 1 { "" } else { "s" },
+                path.display()
+            );
+            print!("{}", render_drifts(&drifts));
+            println!(
+                "\n(intentional? re-bless with: xsweep --profile {} --bless)",
+                args.profile.name()
+            );
+            std::process::exit(1);
+        }
+    }
+}

@@ -20,9 +20,10 @@
 //!
 //! This library holds the small amount of shared harness plumbing.
 
-use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy, SoftFatPtr};
+use cheri_cc::strategy::PtrStrategy;
 use cheri_olden::dsl::DslBench;
 use cheri_olden::OldenParams;
+use cheri_sweep::StrategyKind;
 use cheri_trace::{shared, AnySink, JsonlSink, SharedSink};
 
 /// Which problem-size preset a harness should use.
@@ -59,10 +60,11 @@ pub fn params_for(scale: Scale) -> OldenParams {
     }
 }
 
-/// The three Figure 4 compilation modes, baseline first.
+/// The three Figure 4 compilation modes, baseline first (a view over
+/// the canonical matrix in [`cheri_sweep`]).
 #[must_use]
 pub fn figure4_strategies() -> Vec<Box<dyn PtrStrategy>> {
-    vec![Box::new(LegacyPtr), Box::new(SoftFatPtr::checked()), Box::new(CapPtr::c256())]
+    cheri_sweep::FIGURE4_STRATEGIES.iter().map(|k| k.strategy()).collect()
 }
 
 /// Resolves a benchmark by its canonical name (`bisort`, `mst`,
@@ -77,14 +79,29 @@ pub fn parse_bench_name(name: &str) -> Option<DslBench> {
 /// `ccured-elide`/`elide`, `cheri`/`cap`/`c256`, `cheri128`/`c128`).
 #[must_use]
 pub fn parse_strategy(name: &str) -> Option<Box<dyn PtrStrategy>> {
-    Some(match name {
-        "mips" | "legacy" => Box::new(LegacyPtr),
-        "ccured" | "soft" => Box::new(SoftFatPtr::checked()),
-        "ccured-elide" | "elide" => Box::new(SoftFatPtr::eliding()),
-        "cheri" | "cap" | "c256" => Box::new(CapPtr::c256()),
-        "cheri128" | "c128" => Box::new(CapPtr::c128()),
-        _ => return None,
-    })
+    StrategyKind::parse(name).map(StrategyKind::strategy)
+}
+
+/// Parses the `--jobs N` flag shared by the matrix harnesses; defaults
+/// to the host's available parallelism.
+///
+/// # Panics
+///
+/// Exits with a message if the argument is missing or not a positive
+/// integer.
+#[must_use]
+pub fn parse_jobs() -> usize {
+    let args: Vec<String> = std::env::args().collect();
+    match args.iter().position(|a| a == "--jobs") {
+        None => cheri_sweep::default_threads(),
+        Some(i) => match args.get(i + 1).and_then(|v| v.parse::<usize>().ok()) {
+            Some(n) if n > 0 => n,
+            _ => {
+                eprintln!("--jobs requires a positive integer");
+                std::process::exit(2);
+            }
+        },
+    }
 }
 
 /// Parses the `--trace-out <path>` flag shared by the figure harnesses:

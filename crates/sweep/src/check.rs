@@ -1,0 +1,276 @@
+//! The regression gate: mechanical comparison of a sweep report
+//! against a committed golden baseline, with a per-metric tolerance
+//! policy.
+//!
+//! Tolerance policy (documented in README/DESIGN):
+//!
+//! * **Architectural event counts** (instructions, loads/stores,
+//!   syscalls, exceptions, checksums, heap bytes, pages) are facts
+//!   about the executed program — they must match **exactly**. A drift
+//!   here is a semantic change in the compiler, OS, or ISA.
+//! * **Microarchitectural outcomes** (cycles, cache/TLB/tag traffic)
+//!   may move within **0.5% relative** — a replacement-policy tweak or
+//!   latency recalibration shouldn't force a re-bless.
+//! * **Derived hit rates** (stored in basis points) may move within
+//!   **50 bp absolute**.
+//!
+//! Intentional changes are re-blessed with `xsweep --bless`, which
+//! rewrites the baseline; the diff then goes through review like any
+//! other code change.
+
+use crate::report::SweepReport;
+
+/// A per-metric allowance: `|current − baseline|` must not exceed
+/// `max(abs, baseline × rel_bp / 10⁴)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Tolerance {
+    /// Absolute allowance.
+    pub abs: u64,
+    /// Relative allowance in basis points of the baseline value.
+    pub rel_bp: u64,
+}
+
+impl Tolerance {
+    /// No drift allowed.
+    pub const EXACT: Tolerance = Tolerance { abs: 0, rel_bp: 0 };
+
+    /// The absolute allowance at a given baseline value.
+    #[must_use]
+    pub fn allowed(self, baseline: u64) -> u64 {
+        self.abs.max(baseline.saturating_mul(self.rel_bp) / 10_000)
+    }
+}
+
+/// Exact-match metrics: architectural event counts whose drift means
+/// the program itself changed.
+const EXACT_METRICS: [&str; 11] = [
+    "sim.instructions",
+    "sim.cap_instructions",
+    "sim.exceptions",
+    "cap.exceptions",
+    "mem.loads",
+    "mem.stores",
+    "mem.cap_loads",
+    "mem.cap_stores",
+    "os.syscalls",
+    "os.pages_touched",
+    "heap.bytes_used",
+];
+
+/// The tolerance for one metric, per the policy above.
+#[must_use]
+pub fn tolerance_for(metric: &str) -> Tolerance {
+    if EXACT_METRICS.contains(&metric) {
+        Tolerance::EXACT
+    } else if metric.ends_with("_rate_bp") {
+        Tolerance { abs: 50, rel_bp: 0 }
+    } else {
+        // cycles.*, cache.*, tlb.*, tag.*, dram.*: 0.5% relative.
+        Tolerance { abs: 0, rel_bp: 50 }
+    }
+}
+
+/// One gate violation, rendered into the drift table.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct Drift {
+    /// The job key, or `<report>` for report-level mismatches.
+    pub job: String,
+    /// The drifting metric (or a structural label such as
+    /// `<missing job>`).
+    pub metric: String,
+    /// Baseline-side value, rendered.
+    pub baseline: String,
+    /// Current-side value, rendered.
+    pub current: String,
+    /// The allowance that was exceeded, rendered.
+    pub allowed: String,
+}
+
+impl Drift {
+    fn structural(job: &str, metric: &str, baseline: &str, current: &str) -> Drift {
+        Drift {
+            job: job.to_string(),
+            metric: metric.to_string(),
+            baseline: baseline.to_string(),
+            current: current.to_string(),
+            allowed: "-".to_string(),
+        }
+    }
+}
+
+/// Diffs `current` against `baseline`, returning every violation of
+/// the tolerance policy (empty = gate passes). Job sets, checksum
+/// lists, and metric name sets must match structurally; matched
+/// metrics are compared per [`tolerance_for`].
+#[must_use]
+pub fn check_reports(baseline: &SweepReport, current: &SweepReport) -> Vec<Drift> {
+    let mut drifts = Vec::new();
+    if baseline.profile != current.profile {
+        drifts.push(Drift::structural("<report>", "profile", &baseline.profile, &current.profile));
+    }
+    for base_job in &baseline.jobs {
+        let Some(cur_job) = current.job(&base_job.key) else {
+            drifts.push(Drift::structural(&base_job.key, "<missing job>", "present", "absent"));
+            continue;
+        };
+        if base_job.checksums != cur_job.checksums {
+            drifts.push(Drift::structural(
+                &base_job.key,
+                "checksums",
+                &format!("{:?}", base_job.checksums),
+                &format!("{:?}", cur_job.checksums),
+            ));
+        }
+        for (metric, &base) in &base_job.counters {
+            let Some(&cur) = cur_job.counters.get(metric) else {
+                drifts.push(Drift::structural(&base_job.key, metric, &base.to_string(), "absent"));
+                continue;
+            };
+            let allowed = tolerance_for(metric).allowed(base);
+            if cur.abs_diff(base) > allowed {
+                drifts.push(Drift {
+                    job: base_job.key.clone(),
+                    metric: metric.clone(),
+                    baseline: base.to_string(),
+                    current: cur.to_string(),
+                    allowed: format!("±{allowed}"),
+                });
+            }
+        }
+        for metric in cur_job.counters.keys() {
+            if !base_job.counters.contains_key(metric) {
+                drifts.push(Drift::structural(&base_job.key, metric, "absent", "present"));
+            }
+        }
+    }
+    for cur_job in &current.jobs {
+        if baseline.job(&cur_job.key).is_none() {
+            drifts.push(Drift::structural(&cur_job.key, "<new job>", "absent", "present"));
+        }
+    }
+    drifts
+}
+
+/// Renders drifts as an aligned, readable table (the gate's failure
+/// output).
+#[must_use]
+pub fn render_drifts(drifts: &[Drift]) -> String {
+    let col = |f: fn(&Drift) -> usize, min: usize| -> usize {
+        drifts.iter().map(f).max().unwrap_or(min).max(min)
+    };
+    let jw = col(|d| d.job.len(), 3);
+    let mw = col(|d| d.metric.len(), 6);
+    let bw = col(|d| d.baseline.len(), 8);
+    let cw = col(|d| d.current.len(), 7);
+    let mut out = format!(
+        "{:<jw$}  {:<mw$}  {:>bw$}  {:>cw$}  {:>9}\n",
+        "job", "metric", "baseline", "current", "allowed"
+    );
+    out.push_str(&format!("{:-<jw$}  {:-<mw$}  {:->bw$}  {:->cw$}  {:->9}\n", "", "", "", "", ""));
+    for d in drifts {
+        out.push_str(&format!(
+            "{:<jw$}  {:<mw$}  {:>bw$}  {:>cw$}  {:>9}\n",
+            d.job, d.metric, d.baseline, d.current, d.allowed
+        ));
+    }
+    out
+}
+
+/// Total number of gated comparisons a passing check performed (for
+/// the gate's success message): one per checksum list plus one per
+/// baseline counter.
+#[must_use]
+pub fn comparisons(baseline: &SweepReport) -> usize {
+    baseline.jobs.iter().map(|j| 1 + j.counters.len()).sum()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::report::JobRecord;
+    use std::collections::BTreeMap;
+
+    fn record(key: &str, metric: &str, value: u64) -> JobRecord {
+        let mut counters = BTreeMap::new();
+        counters.insert(metric.to_string(), value);
+        JobRecord {
+            key: key.to_string(),
+            workload: "treeadd".into(),
+            strategy: "cheri".into(),
+            cap_bits: 256,
+            tag_cache_kb: 8,
+            checksums: vec![42],
+            counters,
+        }
+    }
+
+    fn report(jobs: Vec<JobRecord>) -> SweepReport {
+        SweepReport { profile: "smoke".into(), jobs }
+    }
+
+    #[test]
+    fn identical_reports_pass() {
+        let r = report(vec![record("a/cheri/tag8", "sim.instructions", 1000)]);
+        assert!(check_reports(&r, &r).is_empty());
+    }
+
+    #[test]
+    fn exact_metric_rejects_off_by_one() {
+        let base = report(vec![record("a/cheri/tag8", "sim.instructions", 1000)]);
+        let cur = report(vec![record("a/cheri/tag8", "sim.instructions", 1001)]);
+        let drifts = check_reports(&base, &cur);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].metric, "sim.instructions");
+        assert_eq!(drifts[0].allowed, "±0");
+    }
+
+    #[test]
+    fn relative_metric_allows_half_percent() {
+        let base = report(vec![record("a/cheri/tag8", "cycles.total", 100_000)]);
+        let within = report(vec![record("a/cheri/tag8", "cycles.total", 100_400)]);
+        assert!(check_reports(&base, &within).is_empty());
+        let beyond = report(vec![record("a/cheri/tag8", "cycles.total", 100_600)]);
+        let drifts = check_reports(&base, &beyond);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].allowed, "±500");
+    }
+
+    #[test]
+    fn rate_metric_allows_50bp() {
+        let base = report(vec![record("a/cheri/tag8", "tag.cache.hit_rate_bp", 9900)]);
+        let within = report(vec![record("a/cheri/tag8", "tag.cache.hit_rate_bp", 9851)]);
+        assert!(check_reports(&base, &within).is_empty());
+        let beyond = report(vec![record("a/cheri/tag8", "tag.cache.hit_rate_bp", 9849)]);
+        assert_eq!(check_reports(&base, &beyond).len(), 1);
+    }
+
+    #[test]
+    fn structural_mismatches_are_drifts() {
+        let base = report(vec![record("a/cheri/tag8", "sim.instructions", 1)]);
+        let cur = report(vec![record("b/cheri/tag8", "sim.instructions", 1)]);
+        let drifts = check_reports(&base, &cur);
+        let metrics: Vec<&str> = drifts.iter().map(|d| d.metric.as_str()).collect();
+        assert!(metrics.contains(&"<missing job>"));
+        assert!(metrics.contains(&"<new job>"));
+    }
+
+    #[test]
+    fn checksum_mismatch_is_a_drift() {
+        let base = report(vec![record("a/cheri/tag8", "sim.instructions", 1)]);
+        let mut cur = base.clone();
+        cur.jobs[0].checksums = vec![43];
+        let drifts = check_reports(&base, &cur);
+        assert_eq!(drifts.len(), 1);
+        assert_eq!(drifts[0].metric, "checksums");
+    }
+
+    #[test]
+    fn drift_table_renders_all_rows() {
+        let base = report(vec![record("a/cheri/tag8", "sim.instructions", 1000)]);
+        let cur = report(vec![record("a/cheri/tag8", "sim.instructions", 2000)]);
+        let table = render_drifts(&check_reports(&base, &cur));
+        assert!(table.contains("sim.instructions"));
+        assert!(table.contains("1000"));
+        assert!(table.contains("2000"));
+    }
+}

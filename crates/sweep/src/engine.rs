@@ -1,0 +1,95 @@
+//! A deterministic work-stealing executor for independent simulator
+//! jobs.
+//!
+//! Every job owns its own `Machine` (the simulator is single-threaded
+//! by design), so the only shared state is the job queue itself: an
+//! atomic cursor over the index space that idle workers steal the next
+//! unclaimed index from. Results travel back over a channel tagged with
+//! their index and are re-assembled in index order, so the output is
+//! identical regardless of thread count or scheduling — the property
+//! the sweep determinism test pins down.
+
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::mpsc;
+
+/// The host's available parallelism (≥ 1), the default for `--jobs`.
+#[must_use]
+pub fn default_threads() -> usize {
+    std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+}
+
+/// Runs `f(0..jobs)` across `threads` workers and returns the results
+/// in index order.
+///
+/// With `threads <= 1` the jobs run inline on the calling thread (no
+/// spawn, no channel) — the parallel and serial paths must and do
+/// produce identical output. A panicking job propagates out of the
+/// scope with its original payload.
+pub fn run_indexed<T, F>(jobs: usize, threads: usize, f: F) -> Vec<T>
+where
+    T: Send,
+    F: Fn(usize) -> T + Sync,
+{
+    let threads = threads.max(1).min(jobs.max(1));
+    if threads == 1 {
+        return (0..jobs).map(f).collect();
+    }
+    let next = AtomicUsize::new(0);
+    let (tx, rx) = mpsc::channel::<(usize, T)>();
+    let mut slots: Vec<Option<T>> = Vec::new();
+    slots.resize_with(jobs, || None);
+    std::thread::scope(|scope| {
+        for _ in 0..threads {
+            let tx = tx.clone();
+            let (next, f) = (&next, &f);
+            scope.spawn(move || loop {
+                let i = next.fetch_add(1, Ordering::Relaxed);
+                if i >= jobs || tx.send((i, f(i))).is_err() {
+                    break;
+                }
+            });
+        }
+        drop(tx);
+        for (i, value) in rx {
+            slots[i] = Some(value);
+        }
+    });
+    slots.into_iter().map(|s| s.expect("every job index completed")).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn preserves_index_order() {
+        let out = run_indexed(100, 8, |i| i * i);
+        assert_eq!(out, (0..100).map(|i| i * i).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn serial_and_parallel_agree() {
+        let f = |i: usize| (i as u64).wrapping_mul(0x9e37_79b9).rotate_left(7);
+        for threads in [1, 2, 3, 8, 64] {
+            assert_eq!(run_indexed(37, threads, f), run_indexed(37, 1, f), "threads={threads}");
+        }
+    }
+
+    #[test]
+    fn more_threads_than_jobs() {
+        assert_eq!(run_indexed(2, 16, |i| i), vec![0, 1]);
+        assert_eq!(run_indexed(0, 4, |i| i), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn workers_share_the_queue() {
+        // Every index is claimed exactly once even under contention.
+        let claims = AtomicUsize::new(0);
+        let out = run_indexed(500, 8, |i| {
+            claims.fetch_add(1, Ordering::Relaxed);
+            i
+        });
+        assert_eq!(claims.load(Ordering::Relaxed), 500);
+        assert_eq!(out.len(), 500);
+    }
+}

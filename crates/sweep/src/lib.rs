@@ -1,0 +1,46 @@
+//! # cheri-sweep — the parallel experiment-sweep engine
+//!
+//! The paper's evaluation is a matrix: workload × pointer strategy ×
+//! capability width × tag-cache configuration. This crate owns that
+//! matrix end to end:
+//!
+//! * [`matrix`] — the canonical axes ([`StrategyKind`], the per-figure
+//!   strategy lists, [`heapsize_sweep`], [`profile_matrix`]) and the
+//!   job runner ([`run_specs`]), so every harness iterates the same
+//!   lists in the same order;
+//! * [`engine`] — a deterministic work-stealing executor: each job owns
+//!   its own `Machine`, workers steal indices from an atomic cursor,
+//!   and results are reassembled in index order, so output is
+//!   bit-identical at any `--jobs` count;
+//! * [`report`] — the integer-only JSON sweep report
+//!   (`results/sweep.json`), every reproduced number as a named,
+//!   versioned datum;
+//! * [`check`] — the CI regression gate: report-vs-baseline diffing
+//!   under a per-metric absolute/relative tolerance policy.
+//!
+//! The `xsweep` binary in `cheri-bench` is the command-line front end;
+//! the figure/ablation harnesses are thin text views over the same job
+//! results.
+
+pub mod check;
+pub mod engine;
+pub mod matrix;
+pub mod report;
+
+pub use check::{check_reports, comparisons, render_drifts, tolerance_for, Drift, Tolerance};
+pub use engine::{default_threads, run_indexed};
+pub use matrix::{
+    heapsize_sweep, profile_matrix, run_spec_with_sink, run_specs, run_specs_traced, JobResult,
+    JobSpec, Profile, StrategyKind, CAPWIDTH_STRATEGIES, DEFAULT_TAG_CACHE_KB, ELISION_STRATEGIES,
+    FIGURE4_STRATEGIES, HEAPSIZE_STRATEGIES, TAG_ABLATION_KB,
+};
+pub use report::{hit_rate_bp, JobRecord, SweepReport, ARCH_COUNTERS, SCHEMA_VERSION};
+
+/// Runs a whole profile at the given thread count and returns the
+/// report (the library form of `xsweep`'s default mode).
+#[must_use]
+pub fn run_matrix(profile: Profile, threads: usize) -> SweepReport {
+    let specs = profile_matrix(profile);
+    let results = run_specs(&specs, threads);
+    SweepReport::from_results(profile.name(), &results)
+}

@@ -1,0 +1,415 @@
+//! The canonical experiment matrix.
+//!
+//! Every harness that iterates workloads × pointer strategies — the
+//! Figure 4/5 reproductions, the three ablations, and the `xsweep`
+//! runner — draws its axes from this module, so the workload lists,
+//! strategy lists, and iteration orders cannot drift apart between
+//! binaries (they used to be duplicated inline in fig4 and fig5).
+
+use beri_sim::MachineConfig;
+use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy, SoftFatPtr};
+use cheri_olden::dsl::{machine_config, run_bench_with_sink, BenchRun, DslBench};
+use cheri_olden::OldenParams;
+use cheri_trace::{marker, SharedSink};
+
+use crate::engine;
+
+/// The default tag-cache capacity in KB (Section 4.2's 8 KB).
+pub const DEFAULT_TAG_CACHE_KB: usize = 8;
+
+/// One point on the pointer-strategy axis. The capability width
+/// (256-bit research / 128-bit production format) is part of the
+/// strategy, because it changes both the compiled code and the machine
+/// configuration.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum StrategyKind {
+    /// Unmodified MIPS code (the baseline).
+    Mips,
+    /// CCured-style software fat pointers, checked everywhere.
+    Ccured,
+    /// Software fat pointers with straight-line check elision (§8).
+    CcuredElide,
+    /// CHERI capabilities, 256-bit research format.
+    Cheri256,
+    /// CHERI capabilities, 128-bit production format.
+    Cheri128,
+}
+
+impl StrategyKind {
+    /// Every strategy, in canonical report order.
+    pub const ALL: [StrategyKind; 5] = [
+        StrategyKind::Mips,
+        StrategyKind::Ccured,
+        StrategyKind::CcuredElide,
+        StrategyKind::Cheri256,
+        StrategyKind::Cheri128,
+    ];
+
+    /// The canonical name (matches `PtrStrategy::name`).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            StrategyKind::Mips => "mips",
+            StrategyKind::Ccured => "ccured",
+            StrategyKind::CcuredElide => "ccured-elide",
+            StrategyKind::Cheri256 => "cheri",
+            StrategyKind::Cheri128 => "cheri128",
+        }
+    }
+
+    /// Resolves a strategy by name, accepting the aliases the
+    /// harnesses have always taken on the command line.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<StrategyKind> {
+        Some(match name {
+            "mips" | "legacy" => StrategyKind::Mips,
+            "ccured" | "soft" => StrategyKind::Ccured,
+            "ccured-elide" | "elide" => StrategyKind::CcuredElide,
+            "cheri" | "cap" | "c256" => StrategyKind::Cheri256,
+            "cheri128" | "c128" => StrategyKind::Cheri128,
+            _ => return None,
+        })
+    }
+
+    /// Instantiates the compiler strategy.
+    #[must_use]
+    pub fn strategy(self) -> Box<dyn PtrStrategy> {
+        match self {
+            StrategyKind::Mips => Box::new(LegacyPtr),
+            StrategyKind::Ccured => Box::new(SoftFatPtr::checked()),
+            StrategyKind::CcuredElide => Box::new(SoftFatPtr::eliding()),
+            StrategyKind::Cheri256 => Box::new(CapPtr::c256()),
+            StrategyKind::Cheri128 => Box::new(CapPtr::c128()),
+        }
+    }
+
+    /// Capability width in bits (0 for non-capability code).
+    #[must_use]
+    pub fn cap_bits(self) -> u64 {
+        match self {
+            StrategyKind::Cheri256 => 256,
+            StrategyKind::Cheri128 => 128,
+            _ => 0,
+        }
+    }
+
+    /// Whether this strategy exercises the capability coprocessor (and
+    /// therefore the tag-cache axis).
+    #[must_use]
+    pub fn is_capability(self) -> bool {
+        self.cap_bits() != 0
+    }
+}
+
+/// Figure 4's three compilation modes, baseline first.
+pub const FIGURE4_STRATEGIES: [StrategyKind; 3] =
+    [StrategyKind::Mips, StrategyKind::Ccured, StrategyKind::Cheri256];
+
+/// Figure 5's heap-size sweep pair.
+pub const HEAPSIZE_STRATEGIES: [StrategyKind; 2] = [StrategyKind::Mips, StrategyKind::Cheri256];
+
+/// The capability-width ablation triple.
+pub const CAPWIDTH_STRATEGIES: [StrategyKind; 3] =
+    [StrategyKind::Mips, StrategyKind::Cheri256, StrategyKind::Cheri128];
+
+/// The check-elision ablation triple.
+pub const ELISION_STRATEGIES: [StrategyKind; 3] =
+    [StrategyKind::Mips, StrategyKind::Ccured, StrategyKind::CcuredElide];
+
+/// The §4.2 tag-cache size ablation axis, in KB (0 = no tag cache).
+pub const TAG_ABLATION_KB: [usize; 7] = [0, 1, 2, 4, 8, 16, 64];
+
+/// Figure 5's sweep points for one benchmark: the parameter values
+/// whose *baseline* heaps span roughly 4 KB .. 1024 KB.
+#[must_use]
+pub fn heapsize_sweep(bench: DslBench) -> Vec<(u32, OldenParams)> {
+    let base = OldenParams::scaled();
+    match bench {
+        DslBench::Treeadd => (8..=16).map(|d| (d, base.with_treeadd_depth(d))).collect(),
+        DslBench::Bisort => (7..=14).map(|d| (d, OldenParams { bisort_log2: d, ..base })).collect(),
+        DslBench::Perimeter => {
+            (7..=12).map(|d| (d, OldenParams { perimeter_levels: d, ..base })).collect()
+        }
+        DslBench::Mst => [16u32, 32, 64, 128, 256, 512, 1024]
+            .iter()
+            .map(|&n| (n, OldenParams { mst_vertices: n, ..base }))
+            .collect(),
+    }
+}
+
+/// One fully specified experiment: a workload at a problem size, a
+/// pointer strategy, and a machine tag-cache configuration.
+#[derive(Clone, Copy, Debug)]
+pub struct JobSpec {
+    /// The Olden workload.
+    pub workload: DslBench,
+    /// The pointer strategy (includes the capability width).
+    pub strategy: StrategyKind,
+    /// Tag-cache capacity in KB (0 = none).
+    pub tag_cache_kb: usize,
+    /// Problem sizes.
+    pub params: OldenParams,
+    /// The sweep-point label for parameterised sweeps (Figure 5's
+    /// x-axis value); `None` for single-point experiments.
+    pub variant: Option<u32>,
+}
+
+impl JobSpec {
+    /// A spec at the default tag-cache size with no variant label.
+    #[must_use]
+    pub fn new(workload: DslBench, strategy: StrategyKind, params: OldenParams) -> JobSpec {
+        JobSpec { workload, strategy, tag_cache_kb: DEFAULT_TAG_CACHE_KB, params, variant: None }
+    }
+
+    /// The unique report key: `workload/strategy/tagNN[/pVV]`.
+    #[must_use]
+    pub fn key(&self) -> String {
+        let mut k =
+            format!("{}/{}/tag{}", self.workload.name(), self.strategy.name(), self.tag_cache_kb);
+        if let Some(v) = self.variant {
+            use std::fmt::Write as _;
+            let _ = write!(k, "/p{v}");
+        }
+        k
+    }
+
+    /// The trace-marker label, matching the historical harness format:
+    /// `workload/strategy` or `workload/strategy/variant`.
+    #[must_use]
+    pub fn marker_label(&self) -> String {
+        match self.variant {
+            Some(v) => format!("{}/{}/{}", self.workload.name(), self.strategy.name(), v),
+            None => format!("{}/{}", self.workload.name(), self.strategy.name()),
+        }
+    }
+
+    /// The machine configuration for this job: sized for the workload,
+    /// capability format matching the strategy, tag cache as specified.
+    #[must_use]
+    pub fn machine_config(&self) -> MachineConfig {
+        let strategy = self.strategy.strategy();
+        MachineConfig {
+            tag_cache_bytes: self.tag_cache_kb * 1024,
+            ..machine_config(self.workload, &self.params, strategy.as_ref())
+        }
+    }
+}
+
+/// A completed job: the spec it ran plus the full measured run (phase
+/// statistics, checksums, and the unified metrics snapshot).
+#[derive(Clone, Debug)]
+pub struct JobResult {
+    /// What ran.
+    pub spec: JobSpec,
+    /// What was measured.
+    pub run: BenchRun,
+}
+
+/// Runs one job on a fresh kernel/machine, optionally streaming events
+/// into `sink` (preceded by the historical `run start:` marker).
+///
+/// # Errors
+///
+/// Returns the compile/OS error rendered as a string (job context is
+/// added by the callers).
+pub fn run_spec_with_sink(spec: &JobSpec, sink: Option<SharedSink>) -> Result<JobResult, String> {
+    if sink.is_some() {
+        marker(&sink, &format!("run start: {}", spec.marker_label()));
+    }
+    let strategy = spec.strategy.strategy();
+    let run = run_bench_with_sink(
+        spec.workload,
+        &spec.params,
+        strategy.as_ref(),
+        spec.machine_config(),
+        sink,
+    )
+    .map_err(|e| e.to_string())?;
+    Ok(JobResult { spec: *spec, run })
+}
+
+/// Runs `specs` across `threads` worker threads (each job owns its own
+/// machine) and returns results in spec order, independent of thread
+/// count and scheduling.
+///
+/// # Panics
+///
+/// Panics with the job key if any job fails — a failed run on the
+/// canonical matrix is a harness bug, not a reportable datum.
+#[must_use]
+pub fn run_specs(specs: &[JobSpec], threads: usize) -> Vec<JobResult> {
+    engine::run_indexed(specs.len(), threads, |i| {
+        let spec = &specs[i];
+        run_spec_with_sink(spec, None).unwrap_or_else(|e| panic!("{}: {e}", spec.key()))
+    })
+}
+
+/// Runs `specs` serially on the calling thread, streaming every event
+/// of every run into `sink` with one marker per job — the `--trace-out`
+/// path of the figure harnesses. Serial because the event stream is one
+/// ordered file.
+///
+/// # Panics
+///
+/// As [`run_specs`].
+#[must_use]
+pub fn run_specs_traced(specs: &[JobSpec], sink: &SharedSink) -> Vec<JobResult> {
+    specs
+        .iter()
+        .map(|spec| {
+            run_spec_with_sink(spec, Some(sink.clone()))
+                .unwrap_or_else(|e| panic!("{}: {e}", spec.key()))
+        })
+        .collect()
+}
+
+/// The `xsweep` problem-size / matrix-density presets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Profile {
+    /// CI-sized: scaled parameters, default tag cache only (the
+    /// `sweep-gate` matrix).
+    Smoke,
+    /// The default: medium parameters, tag-cache axis on capability
+    /// strategies.
+    Full,
+    /// The paper's parameters (minutes of host time per job).
+    Paper,
+}
+
+impl Profile {
+    /// The profile's name as spelled on the command line.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            Profile::Smoke => "smoke",
+            Profile::Full => "full",
+            Profile::Paper => "paper",
+        }
+    }
+
+    /// Parses a `--profile` argument.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Profile> {
+        Some(match name {
+            "smoke" => Profile::Smoke,
+            "full" => Profile::Full,
+            "paper" => Profile::Paper,
+            _ => return None,
+        })
+    }
+
+    /// The problem sizes this profile runs.
+    #[must_use]
+    pub fn params(self) -> OldenParams {
+        match self {
+            Profile::Smoke => OldenParams::scaled(),
+            Profile::Full => OldenParams::medium(),
+            Profile::Paper => OldenParams::paper(),
+        }
+    }
+
+    /// The tag-cache axis applied to capability strategies.
+    #[must_use]
+    pub fn tag_cache_axis(self) -> &'static [usize] {
+        match self {
+            Profile::Smoke => &[DEFAULT_TAG_CACHE_KB],
+            Profile::Full | Profile::Paper => &[4, DEFAULT_TAG_CACHE_KB, 16],
+        }
+    }
+}
+
+/// Expands a profile into the full experiment matrix: workload ×
+/// strategy, with the tag-cache axis applied to capability strategies
+/// (non-capability code never touches the tag controller, so extra
+/// tag-cache points would measure nothing).
+#[must_use]
+pub fn profile_matrix(profile: Profile) -> Vec<JobSpec> {
+    let params = profile.params();
+    let mut specs = Vec::new();
+    for workload in DslBench::ALL {
+        for strategy in StrategyKind::ALL {
+            let tag_axis: &[usize] = if strategy.is_capability() {
+                profile.tag_cache_axis()
+            } else {
+                &[DEFAULT_TAG_CACHE_KB]
+            };
+            for &tag_cache_kb in tag_axis {
+                specs.push(JobSpec { workload, strategy, tag_cache_kb, params, variant: None });
+            }
+        }
+    }
+    specs
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeSet;
+
+    #[test]
+    fn strategy_names_roundtrip() {
+        for s in StrategyKind::ALL {
+            assert_eq!(StrategyKind::parse(s.name()), Some(s));
+            assert_eq!(s.strategy().name(), s.name());
+        }
+        assert_eq!(StrategyKind::parse("c128"), Some(StrategyKind::Cheri128));
+        assert_eq!(StrategyKind::parse("bogus"), None);
+    }
+
+    #[test]
+    fn smoke_matrix_shape() {
+        let specs = profile_matrix(Profile::Smoke);
+        // 4 workloads × (3 non-cap + 2 cap × 1 tag size).
+        assert_eq!(specs.len(), 20);
+        let keys: BTreeSet<String> = specs.iter().map(JobSpec::key).collect();
+        assert_eq!(keys.len(), specs.len(), "job keys must be unique");
+    }
+
+    #[test]
+    fn full_matrix_shape() {
+        let specs = profile_matrix(Profile::Full);
+        // 4 workloads × (3 non-cap + 2 cap × 3 tag sizes).
+        assert_eq!(specs.len(), 36);
+        assert!(specs.iter().any(|s| s.tag_cache_kb == 4 && s.strategy.is_capability()));
+        assert!(!specs.iter().any(|s| s.tag_cache_kb != 8 && !s.strategy.is_capability()));
+    }
+
+    #[test]
+    fn spec_key_and_marker_format() {
+        let mut spec =
+            JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, OldenParams::scaled());
+        assert_eq!(spec.key(), "treeadd/cheri/tag8");
+        assert_eq!(spec.marker_label(), "treeadd/cheri");
+        spec.variant = Some(12);
+        assert_eq!(spec.key(), "treeadd/cheri/tag8/p12");
+        assert_eq!(spec.marker_label(), "treeadd/cheri/12");
+    }
+
+    #[test]
+    fn machine_config_follows_strategy() {
+        use beri_sim::machine::CapFormat;
+        let p = OldenParams::scaled();
+        let c128 = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri128, p).machine_config();
+        assert_eq!(c128.cap_format, CapFormat::C128);
+        let c256 = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, p).machine_config();
+        assert_eq!(c256.cap_format, CapFormat::C256);
+        let spec =
+            JobSpec { tag_cache_kb: 64, ..JobSpec::new(DslBench::Mst, StrategyKind::Cheri256, p) };
+        assert_eq!(spec.machine_config().tag_cache_bytes, 64 * 1024);
+    }
+
+    #[test]
+    fn figure4_order_is_baseline_first() {
+        assert_eq!(FIGURE4_STRATEGIES[0], StrategyKind::Mips);
+        assert_eq!(FIGURE4_STRATEGIES[1], StrategyKind::Ccured);
+        assert_eq!(FIGURE4_STRATEGIES[2], StrategyKind::Cheri256);
+    }
+
+    #[test]
+    fn heapsize_sweep_covers_all_benches() {
+        for bench in DslBench::ALL {
+            let points = heapsize_sweep(bench);
+            assert!(points.len() >= 6, "{}: too few sweep points", bench.name());
+        }
+    }
+}
