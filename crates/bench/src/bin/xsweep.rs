@@ -14,10 +14,15 @@
 //!        [--out PATH]                   report path (default: results/sweep.json)
 //!        [--check PATH]                 gate against a baseline; nonzero exit on drift
 //!        [--bless [PATH]]               (re)write the golden baseline
+//!        [--perf [PATH]]                time the matrix with the simulator's block
+//!                                       cache on vs off, verify the two reports are
+//!                                       identical, and write a throughput report
+//!                                       (default: results/perf.json)
 //! ```
 
 use cheri_sweep::{
-    check_reports, comparisons, profile_matrix, render_drifts, run_specs, Profile, SweepReport,
+    check_reports, comparisons, profile_matrix, render_drifts, run_specs, run_specs_block_cache,
+    Profile, SweepReport,
 };
 use std::path::{Path, PathBuf};
 use std::time::Instant;
@@ -28,13 +33,14 @@ struct Args {
     out: PathBuf,
     check: Option<PathBuf>,
     bless: Option<PathBuf>,
+    perf: Option<PathBuf>,
 }
 
 fn usage(msg: &str) -> ! {
     eprintln!("xsweep: {msg}");
     eprintln!(
         "usage: xsweep [--profile smoke|full|paper] [--jobs N] [--out PATH] \
-         [--check BASELINE] [--bless [PATH]]"
+         [--check BASELINE] [--bless [PATH]] [--perf [PATH]]"
     );
     std::process::exit(2);
 }
@@ -47,6 +53,7 @@ fn parse_args() -> Args {
         out: PathBuf::from("results/sweep.json"),
         check: None,
         bless: None,
+        perf: None,
     };
     let mut i = 0;
     let mut blessed = false;
@@ -85,6 +92,16 @@ fn parse_args() -> Args {
                     i += 1;
                 }
             }
+            "--perf" => {
+                // Optional path operand, as for --bless.
+                if let Some(v) = argv.get(i + 1).filter(|v| !v.starts_with("--")) {
+                    args.perf = Some(PathBuf::from(v));
+                    i += 2;
+                } else {
+                    args.perf = Some(PathBuf::from("results/perf.json"));
+                    i += 1;
+                }
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
@@ -103,8 +120,78 @@ fn write_report(path: &Path, text: &str) {
         .unwrap_or_else(|e| usage(&format!("cannot write {}: {e}", path.display())));
 }
 
+/// `--perf`: times the whole matrix with the predecoded block cache on
+/// and then off, insists the two reports are byte-identical (the cache
+/// is architecturally transparent, so any divergence is a simulator
+/// bug), and writes an integer-only throughput report.
+fn run_perf(args: &Args, path: &Path) -> ! {
+    let specs = profile_matrix(args.profile);
+    println!(
+        "== xsweep --perf: {} jobs ({} profile) on {} thread{}, block cache on vs off ==\n",
+        specs.len(),
+        args.profile.name(),
+        args.jobs,
+        if args.jobs == 1 { "" } else { "s" }
+    );
+    let time_matrix = |enabled: bool| {
+        let t0 = Instant::now();
+        let results = run_specs_block_cache(&specs, args.jobs, enabled);
+        let wall_ms = t0.elapsed().as_millis() as u64;
+        (SweepReport::from_results(args.profile.name(), &results), wall_ms)
+    };
+    let (report_on, wall_on_ms) = time_matrix(true);
+    println!("block cache on:  {:.2}s", wall_on_ms as f64 / 1e3);
+    let (report_off, wall_off_ms) = time_matrix(false);
+    println!("block cache off: {:.2}s", wall_off_ms as f64 / 1e3);
+    assert_eq!(
+        report_on.to_json(),
+        report_off.to_json(),
+        "block cache changed architectural results — it must be transparent"
+    );
+    println!("reports identical: yes (block cache is architecturally transparent)");
+
+    let guest_instructions: u64 =
+        report_on.jobs.iter().filter_map(|j| j.counters.get("sim.instructions")).sum();
+    let ips = |wall_ms: u64| guest_instructions.saturating_mul(1000) / wall_ms.max(1);
+    let speedup_x100 = wall_off_ms.saturating_mul(100) / wall_on_ms.max(1);
+    println!(
+        "\n{guest_instructions} guest instructions; {:.1} M instr/s with the block cache, \
+         {:.1} M instr/s without ({}.{:02}x)",
+        ips(wall_on_ms) as f64 / 1e6,
+        ips(wall_off_ms) as f64 / 1e6,
+        speedup_x100 / 100,
+        speedup_x100 % 100,
+    );
+
+    // Integer-only JSON, matching the sweep report's convention: wall
+    // times are host-dependent measurements, so this file is NOT a
+    // regression-gate baseline — it is the recorded evidence for the
+    // speedup claims in EXPERIMENTS.md.
+    let text = format!(
+        "{{\n  \"schema\": \"cheri-perf/v1\",\n  \"profile\": \"{}\",\n  \"jobs\": {},\n  \
+         \"threads\": {},\n  \"guest_instructions\": {},\n  \"block_cache\": {{\n    \
+         \"wall_ms\": {},\n    \"instr_per_sec\": {}\n  }},\n  \"interpreter\": {{\n    \
+         \"wall_ms\": {},\n    \"instr_per_sec\": {}\n  }},\n  \"speedup_x100\": {}\n}}\n",
+        args.profile.name(),
+        specs.len(),
+        args.jobs,
+        guest_instructions,
+        wall_on_ms,
+        ips(wall_on_ms),
+        wall_off_ms,
+        ips(wall_off_ms),
+        speedup_x100,
+    );
+    write_report(path, &text);
+    println!("perf report: {}", path.display());
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
+    if let Some(path) = args.perf.clone() {
+        run_perf(&args, &path);
+    }
     let specs = profile_matrix(args.profile);
     println!(
         "== xsweep: {} jobs ({} profile) on {} thread{} ==\n",

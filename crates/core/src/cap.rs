@@ -256,6 +256,7 @@ impl Capability {
     ///   missing permission.
     /// * [`CapExcCode::LengthViolation`] — any accessed byte outside
     ///   `[base, base+length)`.
+    #[inline]
     pub fn check_data_access(&self, addr: u64, size: u64, perm: Perms) -> Result<(), CapCause> {
         if !self.tag {
             return Err(CapExcCode::TagViolation.into());
@@ -304,7 +305,9 @@ impl Capability {
         if !self.perms.contains(perm) {
             return Err(code.into());
         }
-        if !addr.is_multiple_of(granule) {
+        // `granule` is a power of two (asserted above), so alignment is
+        // a mask rather than a division.
+        if addr & (granule - 1) != 0 {
             return Err(CapExcCode::AlignmentViolation.into());
         }
         self.check_bounds(addr, granule)
@@ -317,6 +320,7 @@ impl Capability {
     /// # Errors
     ///
     /// Tag, execute-permission, and bounds violations as for data access.
+    #[inline]
     pub fn check_execute(&self, pc: u64) -> Result<(), CapCause> {
         if !self.tag {
             return Err(CapExcCode::TagViolation.into());
@@ -327,9 +331,13 @@ impl Capability {
         self.check_bounds(pc, 4)
     }
 
+    #[inline]
     fn check_bounds(&self, addr: u64, size: u64) -> Result<(), CapCause> {
-        let end = u128::from(addr) + u128::from(size);
-        if addr < self.base || end > self.top() {
+        // Equivalent to `addr < base || addr + size > base + length` in
+        // 65-bit arithmetic, restated so it stays in u64: once
+        // `addr >= base` and `size <= length` hold, both subtractions
+        // are exact and the final comparison is the 65-bit one.
+        if addr < self.base || size > self.length || addr - self.base > self.length - size {
             return Err(CapExcCode::LengthViolation.into());
         }
         Ok(())

@@ -75,6 +75,9 @@ struct TagCacheLine {
 pub struct TagController {
     table: TagTable,
     lines: Vec<TagCacheLine>,
+    /// `log2(bytes_per_line())` — the line math runs on every data
+    /// store, so it shifts instead of dividing.
+    line_shift: u32,
     stats: TagCacheStats,
     // Trace sink shared with the rest of the machine (cloning the
     // controller shares the sink handle, which is what snapshot-style
@@ -102,9 +105,12 @@ impl TagController {
     #[must_use]
     pub fn with_config(mem_size: u64, cache_bytes: usize, granule: u64) -> TagController {
         let nlines = cache_bytes / TAG_LINE_BYTES as usize;
+        let bytes_per_line = TAG_LINE_BYTES * 8 * granule;
+        debug_assert!(bytes_per_line.is_power_of_two());
         TagController {
             table: TagTable::with_granule(mem_size, granule),
             lines: vec![TagCacheLine::default(); nlines],
+            line_shift: bytes_per_line.trailing_zeros(),
             stats: TagCacheStats::default(),
             sink: None,
         }
@@ -151,7 +157,7 @@ impl TagController {
             emit(&self.sink, || TraceEvent::TagCache { hit: false, writeback: make_dirty });
             return;
         }
-        let line_index = paddr / self.bytes_per_line();
+        let line_index = paddr >> self.line_shift;
         let slot = (line_index % self.lines.len() as u64) as usize;
         let line = &mut self.lines[slot];
         if line.valid && line.line_index == line_index {
@@ -207,7 +213,7 @@ impl TagController {
         emit(&self.sink, || TraceEvent::TagTableWrite { addr: paddr, tag: false });
         // A store crossing a line boundary touches the second line too.
         let last = paddr + len - 1;
-        if last / self.bytes_per_line() != paddr / self.bytes_per_line() {
+        if last >> self.line_shift != paddr >> self.line_shift {
             self.touch_line(last, true);
         }
     }

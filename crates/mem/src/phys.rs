@@ -37,10 +37,12 @@ impl PhysMem {
 
     /// Physical memory size in bytes.
     #[must_use]
+    #[inline]
     pub fn size(&self) -> u64 {
         self.data.len() as u64
     }
 
+    #[inline]
     fn check(&self, addr: u64, size: u64) -> Result<usize, MemError> {
         let end = addr.checked_add(size);
         match end {
@@ -55,6 +57,7 @@ impl PhysMem {
     ///
     /// [`MemError::OutOfRange`] if the access extends past the end of
     /// memory.
+    #[inline]
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
         let a = self.check(addr, buf.len() as u64)?;
         buf.copy_from_slice(&self.data[a..a + buf.len()]);
@@ -67,6 +70,7 @@ impl PhysMem {
     ///
     /// [`MemError::OutOfRange`] if the access extends past the end of
     /// memory.
+    #[inline]
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
         let a = self.check(addr, bytes.len() as u64)?;
         self.data[a..a + bytes.len()].copy_from_slice(bytes);
@@ -78,6 +82,7 @@ impl PhysMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> Result<u8, MemError> {
         let a = self.check(addr, 1)?;
         Ok(self.data[a])
@@ -88,6 +93,7 @@ impl PhysMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_u16(&self, addr: u64) -> Result<u16, MemError> {
         let mut b = [0u8; 2];
         self.read_bytes(addr, &mut b)?;
@@ -99,6 +105,7 @@ impl PhysMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_u32(&self, addr: u64) -> Result<u32, MemError> {
         let mut b = [0u8; 4];
         self.read_bytes(addr, &mut b)?;
@@ -110,6 +117,7 @@ impl PhysMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
         let mut b = [0u8; 8];
         self.read_bytes(addr, &mut b)?;
@@ -121,6 +129,7 @@ impl PhysMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), MemError> {
         let a = self.check(addr, 1)?;
         self.data[a] = v;
@@ -132,6 +141,7 @@ impl PhysMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_u16(&mut self, addr: u64, v: u16) -> Result<(), MemError> {
         self.write_bytes(addr, &v.to_be_bytes())
     }
@@ -141,6 +151,7 @@ impl PhysMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemError> {
         self.write_bytes(addr, &v.to_be_bytes())
     }
@@ -150,6 +161,7 @@ impl PhysMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
         self.write_bytes(addr, &v.to_be_bytes())
     }

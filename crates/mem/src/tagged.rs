@@ -148,6 +148,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_bytes(&self, addr: u64, buf: &mut [u8]) -> Result<(), MemError> {
         self.phys.read_bytes(addr, buf)
     }
@@ -157,6 +158,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_bytes(&mut self, addr: u64, bytes: &[u8]) -> Result<(), MemError> {
         self.phys.write_bytes(addr, bytes)?;
         self.tags.clear_tags_for_store(addr, bytes.len() as u64);
@@ -168,6 +170,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_u8(&self, addr: u64) -> Result<u8, MemError> {
         self.phys.read_u8(addr)
     }
@@ -177,6 +180,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_u16(&self, addr: u64) -> Result<u16, MemError> {
         self.phys.read_u16(addr)
     }
@@ -186,6 +190,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_u32(&self, addr: u64) -> Result<u32, MemError> {
         self.phys.read_u32(addr)
     }
@@ -195,6 +200,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn read_u64(&self, addr: u64) -> Result<u64, MemError> {
         self.phys.read_u64(addr)
     }
@@ -204,6 +210,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_u8(&mut self, addr: u64, v: u8) -> Result<(), MemError> {
         self.phys.write_u8(addr, v)?;
         self.tags.clear_tags_for_store(addr, 1);
@@ -215,6 +222,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_u16(&mut self, addr: u64, v: u16) -> Result<(), MemError> {
         self.write_bytes(addr, &v.to_be_bytes())
     }
@@ -224,6 +232,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_u32(&mut self, addr: u64, v: u32) -> Result<(), MemError> {
         self.write_bytes(addr, &v.to_be_bytes())
     }
@@ -233,6 +242,7 @@ impl TaggedMem {
     /// # Errors
     ///
     /// [`MemError::OutOfRange`].
+    #[inline]
     pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
         self.write_bytes(addr, &v.to_be_bytes())
     }

@@ -29,6 +29,9 @@ pub struct TagTable {
     bits: Vec<u64>,
     granules: u64,
     granule_size: u64,
+    /// `log2(granule_size)` — granule indexing runs on every store, so
+    /// it shifts instead of dividing.
+    granule_shift: u32,
 }
 
 impl TagTable {
@@ -49,7 +52,12 @@ impl TagTable {
     pub fn with_granule(mem_size: u64, granule_size: u64) -> TagTable {
         assert!(granule_size.is_power_of_two() && granule_size >= 8, "bad tag granule");
         let granules = mem_size.div_ceil(granule_size);
-        TagTable { bits: vec![0; granules.div_ceil(64) as usize], granules, granule_size }
+        TagTable {
+            bits: vec![0; granules.div_ceil(64) as usize],
+            granules,
+            granule_size,
+            granule_shift: granule_size.trailing_zeros(),
+        }
     }
 
     /// Bytes covered by one tag bit.
@@ -75,7 +83,7 @@ impl TagTable {
     #[inline]
     #[must_use]
     pub fn granule_of(&self, paddr: u64) -> u64 {
-        paddr / self.granule_size
+        paddr >> self.granule_shift
     }
 
     /// Reads the tag covering physical address `paddr`.

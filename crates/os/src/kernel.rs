@@ -282,12 +282,15 @@ impl Kernel {
         let pid = self.execs;
         emit(&self.sink, || TraceEvent::ContextSwitch { pid });
 
-        // Copy text through the page tables.
+        // Copy text through the page tables. These writes bypass the
+        // machine's store path, so drop any predecoded blocks (frames
+        // may be recycled from the previous address space).
         for (i, w) in program.words.iter().enumerate() {
             let vaddr = program.base + 4 * i as u64;
             let pbase = self.map_page(vaddr, TlbFlags::rw())?;
             self.machine.mem.write_u32(pbase + (vaddr & (PAGE_SIZE - 1)), *w)?;
         }
+        self.machine.invalidate_block_cache();
         // Initialise the heap bump pointer used by generated allocators.
         let cell = layout.heap_ptr_cell();
         let pbase = self.map_page(cell, TlbFlags::rw())?;
@@ -395,12 +398,17 @@ impl Kernel {
     pub fn run(&mut self) -> Result<RunOutcome, OsError> {
         let start_instructions = self.machine.stats.instructions;
         let exit = loop {
-            if self.machine.stats.instructions - start_instructions >= self.cfg.max_instructions {
-                return Err(OsError::Runaway {
-                    executed: self.machine.stats.instructions - start_instructions,
-                });
+            let executed = self.machine.stats.instructions - start_instructions;
+            if executed >= self.cfg.max_instructions {
+                return Err(OsError::Runaway { executed });
             }
-            match self.machine.step().map_err(OsError::Sim)? {
+            // Hand the machine the whole remaining budget: `run` takes
+            // the predecoded fast path where possible and returns on
+            // any kernel-visible event (or with `Continue` once the
+            // budget is spent, which the loop head converts to
+            // `Runaway` — the same boundary the per-step loop had).
+            let budget = self.cfg.max_instructions - executed;
+            match self.machine.run(budget).map_err(OsError::Sim)? {
                 StepResult::Continue => {}
                 StepResult::Syscall => {
                     if let Some(reason) = self.handle_syscall() {
@@ -493,6 +501,8 @@ impl Kernel {
             let pbase = self.map_page(vaddr, TlbFlags::rw())?;
             self.machine.mem.write_u32(pbase + (vaddr & (PAGE_SIZE - 1)), *w)?;
         }
+        // Direct `mem` writes are invisible to the block cache.
+        self.machine.invalidate_block_cache();
         Ok(())
     }
 

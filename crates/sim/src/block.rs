@@ -1,0 +1,185 @@
+//! The predecoded basic-block cache behind [`Machine::run`]'s fast
+//! path.
+//!
+//! `Machine::step` re-fetches and re-decodes the same instruction word
+//! on every dynamic execution. For the sweep profiles that wall-clock
+//! is dominated by decode and per-instruction bookkeeping, not by the
+//! architectural model. The block cache removes that redundancy while
+//! staying *architecturally transparent*: every counter in
+//! [`crate::stats::Stats`], every cache/TLB/tag statistic, and all
+//! architectural state evolve bit-identically to the slow path (the
+//! xsweep baseline gate and the differential tests in
+//! `tests/block_cache_diff.rs` enforce this).
+//!
+//! Blocks are keyed by **physical** PC, so TLB rewrites and context
+//! switches never require invalidation — a remap changes which block a
+//! virtual PC reaches, not the block's contents. What does invalidate:
+//!
+//! * **Stores.** Every machine-mediated store bumps a per-physical-page
+//!   generation counter ([`BlockCache::note_store`]); a block whose
+//!   recorded generation no longer matches its page is stale and is
+//!   rebuilt on next entry (and the generation is re-checked between
+//!   instructions inside a running block, so a store into the *current*
+//!   block takes effect at the very next instruction — exactly like the
+//!   slow path's per-instruction fetch).
+//! * **Direct `mem` writes.** Embedders that write text through the
+//!   public `mem` field (the `cheri-os` `exec`/`load_image` loaders)
+//!   must call `Machine::invalidate_block_cache`.
+//!
+//! [`Machine::run`]: crate::machine::Machine::run
+//! [`Machine::step`]: crate::machine::Machine::step
+
+use crate::inst::{CheriInst, Inst};
+use crate::tlb::PAGE_SHIFT;
+
+/// Longest predecoded run; also bounded by the containing 4 KB page
+/// (blocks never span pages, so one page-generation check covers a
+/// whole block).
+pub(crate) const MAX_BLOCK_INSTS: usize = 64;
+
+/// Direct-mapped block-slot count (power of two).
+const SLOT_COUNT: usize = 4096;
+
+/// Instruction flags: retires as a capability instruction
+/// (`Stats::cap_instructions`).
+pub(crate) const F_CAP: u8 = 1 << 0;
+/// Writes the TLB (`TLBWI`/`TLBWR`): the fast path must re-translate
+/// before the next instruction.
+pub(crate) const F_TLBW: u8 = 1 << 1;
+/// Never falls through in a way worth predecoding past (`SYSCALL`,
+/// `BREAK`, `ERET`, reserved words, capability jumps): ends the block
+/// at build time.
+pub(crate) const F_TERMINAL: u8 = 1 << 2;
+/// Unconditional jump with a delay slot: the block ends after the slot.
+pub(crate) const F_UNCOND_JUMP: u8 = 1 << 3;
+/// May store to memory: the only instructions that can bump a page
+/// generation mid-block, so only they need the staleness re-check.
+pub(crate) const F_STORE: u8 = 1 << 4;
+
+/// One predecoded instruction: the decoded form plus retire/termination
+/// flags computed once at build time.
+#[derive(Clone, Copy)]
+pub(crate) struct PInst {
+    pub inst: Inst,
+    pub flags: u8,
+}
+
+/// Classifies `inst` for the block builder and the block runner.
+pub(crate) fn pinst_flags(inst: &Inst) -> u8 {
+    let mut f = 0;
+    match *inst {
+        Inst::Cheri(c) => {
+            f |= F_CAP;
+            if matches!(c, CheriInst::CJR { .. } | CheriInst::CJALR { .. }) {
+                f |= F_TERMINAL;
+            }
+            if matches!(
+                c,
+                CheriInst::CSC { .. } | CheriInst::CStore { .. } | CheriInst::CSCD { .. }
+            ) {
+                f |= F_STORE;
+            }
+        }
+        Inst::Syscall { .. } | Inst::Break { .. } | Inst::Eret | Inst::Reserved { .. } => {
+            f |= F_TERMINAL;
+        }
+        Inst::Tlbwi | Inst::Tlbwr => f |= F_TLBW,
+        Inst::J { .. } | Inst::Jal { .. } | Inst::Jr { .. } | Inst::Jalr { .. } => {
+            f |= F_UNCOND_JUMP;
+        }
+        Inst::Store { .. } | Inst::StoreCond { .. } => f |= F_STORE,
+        _ => {}
+    }
+    f
+}
+
+/// A predecoded straight-line run starting at physical `ppc`, valid
+/// while its page's generation still equals `gen`.
+pub(crate) struct Block {
+    pub ppc: u64,
+    pub gen: u32,
+    pub insts: Box<[PInst]>,
+}
+
+/// Direct-mapped cache of predecoded blocks plus the per-physical-page
+/// store-generation counters that invalidate them.
+pub(crate) struct BlockCache {
+    slots: Vec<Option<Block>>,
+    page_gens: Vec<u32>,
+    /// Pages a block was ever built in; stores elsewhere skip the
+    /// generation bump so data-page traffic causes no rebuild churn.
+    code_pages: Vec<bool>,
+}
+
+impl BlockCache {
+    pub(crate) fn new(mem_bytes: usize) -> BlockCache {
+        let pages = (mem_bytes >> PAGE_SHIFT) + 1;
+        BlockCache {
+            slots: Vec::new(), // allocated lazily on first insert
+            page_gens: vec![0; pages],
+            code_pages: vec![false; pages],
+        }
+    }
+
+    #[inline]
+    fn slot_index(ppc: u64) -> usize {
+        ((ppc >> 2) as usize) & (SLOT_COUNT - 1)
+    }
+
+    #[inline]
+    pub(crate) fn page_gen(&self, page: usize) -> u32 {
+        self.page_gens[page]
+    }
+
+    /// Removes and returns the still-valid block at `ppc`, if one is
+    /// cached. The caller runs it as an owned local (so the borrow
+    /// checker knows `execute` cannot alias it) and gives it back via
+    /// [`BlockCache::insert`].
+    #[inline]
+    pub(crate) fn take_valid(&mut self, ppc: u64) -> Option<Block> {
+        let slot = self.slots.get_mut(Self::slot_index(ppc))?;
+        let b = slot.as_ref()?;
+        if b.ppc == ppc && b.gen == self.page_gens[(ppc >> PAGE_SHIFT) as usize] {
+            slot.take()
+        } else {
+            None
+        }
+    }
+
+    /// Marks `page` as containing predecoded code so stores into it
+    /// bump its generation. Done at *build* time so stores during a
+    /// block's first execution are already observed.
+    #[inline]
+    pub(crate) fn mark_code_page(&mut self, page: usize) {
+        self.code_pages[page] = true;
+    }
+
+    pub(crate) fn insert(&mut self, block: Block) {
+        if self.slots.is_empty() {
+            self.slots.resize_with(SLOT_COUNT, || None);
+        }
+        self.code_pages[(block.ppc >> PAGE_SHIFT) as usize] = true;
+        let idx = Self::slot_index(block.ppc);
+        self.slots[idx] = Some(block);
+    }
+
+    /// Records a machine-mediated store to physical `paddr` (stores
+    /// never cross a page: they are size-aligned and at most one
+    /// capability granule wide).
+    #[inline]
+    pub(crate) fn note_store(&mut self, paddr: u64) {
+        let page = (paddr >> PAGE_SHIFT) as usize;
+        if self.code_pages[page] {
+            self.page_gens[page] = self.page_gens[page].wrapping_add(1);
+        }
+    }
+
+    /// Drops every cached block (for embedders that wrote text through
+    /// `Machine::mem` directly).
+    pub(crate) fn invalidate_all(&mut self) {
+        self.slots.clear();
+        for p in &mut self.code_pages {
+            *p = false;
+        }
+    }
+}

@@ -75,6 +75,20 @@ pub struct Cache {
     pub misses: u64,
     /// Dirty evictions.
     pub writebacks: u64,
+    // Precomputed index arithmetic: line size is always a power of two
+    // (asserted in `new`), and when the set count is too, indexing is a
+    // mask/shift instead of a division. The set count itself is cached
+    // so `locate` does not re-derive it (a division) per access.
+    line_shift: u32,
+    set_shift: Option<u32>,
+    sets: usize,
+    // Most-recently-touched line. Only accesses through this cache can
+    // evict from it, so an access to the same line as the previous one
+    // is a guaranteed hit and skips the set scan; the bookkeeping it
+    // performs (tick, LRU stamp, dirty, hit count) is identical to the
+    // scan path's. `u64::MAX` = none.
+    mru_block: u64,
+    mru_index: usize,
 }
 
 impl Cache {
@@ -95,7 +109,28 @@ impl Cache {
             hits: 0,
             misses: 0,
             writebacks: 0,
+            line_shift: params.line.trailing_zeros(),
+            set_shift: if params.sets().is_power_of_two() {
+                Some(params.sets().trailing_zeros())
+            } else {
+                None
+            },
+            sets: params.sets(),
+            mru_block: u64::MAX,
+            mru_index: 0,
         }
+    }
+
+    /// `(first way index, tag)` for the set containing `paddr`.
+    #[inline]
+    fn locate(&self, paddr: u64) -> (usize, u64) {
+        let block = paddr >> self.line_shift;
+        let sets = self.sets as u64;
+        let (set, tag) = match self.set_shift {
+            Some(s) => (block & (sets - 1), block >> s),
+            None => (block % sets, block / sets),
+        };
+        (set as usize * self.params.ways, tag)
     }
 
     /// The cache geometry.
@@ -108,14 +143,8 @@ impl Cache {
     /// marking it dirty on writes.
     pub fn access(&mut self, paddr: u64, write: bool) -> Lookup {
         self.tick += 1;
-        let line_sz = self.params.line as u64;
-        let block = paddr / line_sz;
-        let set = (block % self.params.sets() as u64) as usize;
-        let tag = block / self.params.sets() as u64;
-        let base = set * self.params.ways;
-        let ways = &mut self.lines[base..base + self.params.ways];
-
-        if let Some(l) = ways.iter_mut().find(|l| l.valid && l.tag == tag) {
+        if paddr >> self.line_shift == self.mru_block {
+            let l = &mut self.lines[self.mru_index];
             l.lru = self.tick;
             if write {
                 l.dirty = true;
@@ -123,17 +152,60 @@ impl Cache {
             self.hits += 1;
             return Lookup::Hit;
         }
+        let (base, tag) = self.locate(paddr);
+        let ways = &mut self.lines[base..base + self.params.ways];
+
+        if let Some(w) = ways.iter().position(|l| l.valid && l.tag == tag) {
+            let l = &mut ways[w];
+            l.lru = self.tick;
+            if write {
+                l.dirty = true;
+            }
+            self.hits += 1;
+            self.mru_block = paddr >> self.line_shift;
+            self.mru_index = base + w;
+            return Lookup::Hit;
+        }
 
         // Miss: fill over the LRU way.
         self.misses += 1;
-        let victim =
-            ways.iter_mut().min_by_key(|l| if l.valid { l.lru } else { 0 }).expect("ways > 0");
+        let (w, victim) = ways
+            .iter_mut()
+            .enumerate()
+            .min_by_key(|(_, l)| if l.valid { l.lru } else { 0 })
+            .expect("ways > 0");
         let writeback = victim.valid && victim.dirty;
         if writeback {
             self.writebacks += 1;
         }
         *victim = Line { valid: true, dirty: write, tag, lru: self.tick };
+        self.mru_block = paddr >> self.line_shift;
+        self.mru_index = base + w;
         Lookup::Miss { writeback }
+    }
+
+    /// Records `n` consecutive read hits on the (resident) line
+    /// containing `paddr` in one batched update. Equivalent to `n`
+    /// [`Cache::access`] read calls that all hit: each such call would
+    /// advance the tick, refresh the line's LRU stamp to it, and count
+    /// a hit — so only the final LRU stamp is observable. Falls back to
+    /// per-access bookkeeping if the line is not resident (the callers'
+    /// invariant violated), keeping counters exact either way.
+    pub fn record_hits(&mut self, paddr: u64, n: u64) {
+        let (base, tag) = self.locate(paddr);
+        let ways = &mut self.lines[base..base + self.params.ways];
+        if let Some(w) = ways.iter().position(|l| l.valid && l.tag == tag) {
+            self.tick += n;
+            ways[w].lru = self.tick;
+            self.hits += n;
+            self.mru_block = paddr >> self.line_shift;
+            self.mru_index = base + w;
+        } else {
+            debug_assert!(false, "record_hits on a non-resident line");
+            for _ in 0..n {
+                self.access(paddr, false);
+            }
+        }
     }
 
     /// Invalidates everything (used on address-space teardown between
@@ -142,6 +214,7 @@ impl Cache {
         for l in &mut self.lines {
             *l = Line::default();
         }
+        self.mru_block = u64::MAX;
     }
 }
 
@@ -183,6 +256,8 @@ pub struct Hierarchy {
     /// Unified L2.
     pub l2: Cache,
     params: HierarchyParams,
+    // log2 of the L1 line size (line sizes are asserted powers of two).
+    line_shift: u32,
     /// Bytes moved between L2 and DRAM (line fills + writebacks) — the
     /// "Memory I/O (bytes)" quantity of Figure 3.
     pub dram_bytes: u64,
@@ -202,6 +277,7 @@ impl Hierarchy {
             l1d: Cache::new(params.l1),
             l2: Cache::new(params.l2),
             params,
+            line_shift: params.l1.line.trailing_zeros(),
             dram_bytes: 0,
             dram_accesses: 0,
             sink: None,
@@ -260,31 +336,53 @@ impl Hierarchy {
         }
     }
 
+    /// `n` instruction fetches that are all guaranteed L1I hits (the
+    /// line containing `paddr` was fetched and nothing else touches
+    /// L1I), batched: zero penalty cycles, one counter/LRU update, and
+    /// the same per-access trace events as [`Hierarchy::fetch`] would
+    /// emit.
+    pub fn fetch_hits(&mut self, paddr: u64, n: u64) {
+        self.l1i.record_hits(paddr, n);
+        if self.sink.is_some() {
+            for _ in 0..n {
+                self.emit_access(CacheLevel::L1I, false, Lookup::Hit);
+            }
+        }
+    }
+
     /// One data access of `size` bytes at `paddr`; returns penalty
     /// cycles. Accesses crossing a line boundary touch both lines (as the
     /// hardware would take two cache cycles).
     pub fn data(&mut self, paddr: u64, size: u64, write: bool) -> u64 {
-        let line = self.params.l1.line as u64;
-        let first = paddr / line;
-        let last = if size == 0 { first } else { (paddr + size - 1) / line };
+        let first = paddr >> self.line_shift;
+        let last = if size == 0 { first } else { (paddr + size - 1) >> self.line_shift };
+        if first == last {
+            // The overwhelmingly common case: the access fits one line.
+            return self.data_line(first << self.line_shift, write);
+        }
         let mut penalty = 0;
         for blk in first..=last {
-            let addr = blk * line;
-            let lookup = self.l1d.access(addr, write);
-            self.emit_access(CacheLevel::L1D, write, lookup);
-            match lookup {
-                Lookup::Hit => {}
-                Lookup::Miss { writeback } => {
-                    penalty += self.through_l2(addr, false);
-                    if writeback {
-                        // Dirty L1 victim lands in L2.
-                        let victim = self.l2.access(addr, true);
-                        self.emit_access(CacheLevel::L2, true, victim);
-                    }
-                }
-            }
+            penalty += self.data_line(blk << self.line_shift, write);
         }
         penalty
+    }
+
+    /// One line-sized data access; shared tail of [`Hierarchy::data`].
+    fn data_line(&mut self, addr: u64, write: bool) -> u64 {
+        let lookup = self.l1d.access(addr, write);
+        self.emit_access(CacheLevel::L1D, write, lookup);
+        match lookup {
+            Lookup::Hit => 0,
+            Lookup::Miss { writeback } => {
+                let penalty = self.through_l2(addr, false);
+                if writeback {
+                    // Dirty L1 victim lands in L2.
+                    let victim = self.l2.access(addr, true);
+                    self.emit_access(CacheLevel::L2, true, victim);
+                }
+                penalty
+            }
+        }
     }
 
     /// Flushes all levels.

@@ -50,6 +50,7 @@
 //! assert_eq!(m.cpu.gpr[2], 42); // $v0
 //! ```
 
+mod block;
 pub mod cache;
 pub mod cpu;
 pub mod decode;

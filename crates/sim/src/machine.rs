@@ -13,6 +13,10 @@ use cheri_core::{CapCause, CapExcCode, Capability, Compressed128, Perms};
 use cheri_mem::{MemError, TaggedMem};
 use cheri_trace::{emit, names, SharedSink, Snapshot, TraceEvent};
 
+use crate::block::{
+    pinst_flags, Block, BlockCache, PInst, F_CAP, F_STORE, F_TERMINAL, F_TLBW, F_UNCOND_JUMP,
+    MAX_BLOCK_INSTS,
+};
 use crate::cache::{Hierarchy, HierarchyParams};
 use crate::cpu::Cpu;
 use crate::decode::decode;
@@ -74,6 +78,13 @@ pub struct MachineConfig {
     pub mul_penalty: u64,
     /// Extra cycles for a divide.
     pub div_penalty: u64,
+    /// Enables the predecoded basic-block fast path in
+    /// [`Machine::run`] (see [`crate::block`]). Architecturally
+    /// transparent — every counter and all architectural state are
+    /// bit-identical either way — so this is an escape hatch, not a
+    /// model knob. Defaults to on unless the `CHERI_SIM_NO_BLOCK_CACHE`
+    /// environment variable is set.
+    pub block_cache: bool,
 }
 
 impl Default for MachineConfig {
@@ -88,6 +99,7 @@ impl Default for MachineConfig {
             bht_entries: 512,
             mul_penalty: 3,
             div_penalty: 16,
+            block_cache: std::env::var_os("CHERI_SIM_NO_BLOCK_CACHE").is_none(),
         }
     }
 }
@@ -156,6 +168,9 @@ pub struct Machine {
     utlb_fetch: Option<(u64, u64, TlbFlags)>,
     utlb_load: Option<(u64, u64, TlbFlags)>,
     utlb_store: Option<(u64, u64, TlbFlags)>,
+    // Predecoded basic blocks (the `run` fast path); invalidated by
+    // store-generation counters, never consulted by `step`.
+    blocks: BlockCache,
     // Optional trace sink; the same handle is cloned into the cache
     // hierarchy and the tag controller by set_trace_sink.
     sink: Option<SharedSink>,
@@ -180,6 +195,7 @@ impl Machine {
             utlb_fetch: None,
             utlb_load: None,
             utlb_store: None,
+            blocks: BlockCache::new(cfg.mem_bytes),
             sink: None,
         }
     }
@@ -274,9 +290,19 @@ impl Machine {
     /// [`MemError`] if the image does not fit.
     pub fn load_code(&mut self, paddr: u64, words: &[u32]) -> Result<(), MemError> {
         for (i, w) in words.iter().enumerate() {
-            self.mem.write_u32(paddr + 4 * i as u64, *w)?;
+            let addr = paddr + 4 * i as u64;
+            self.mem.write_u32(addr, *w)?;
+            self.blocks.note_store(addr);
         }
         Ok(())
+    }
+
+    /// Drops every predecoded block. Required after writing *code*
+    /// through the public [`Machine::mem`] field directly (the machine
+    /// cannot observe such writes); stores executed by the guest and
+    /// [`Machine::load_code`] invalidate automatically.
+    pub fn invalidate_block_cache(&mut self) {
+        self.blocks.invalidate_all();
     }
 
     fn translate(
@@ -340,7 +366,11 @@ impl Machine {
             TrapKind::CapViolation(_) => 18, // C2E, the CP2 exception code
         };
         self.cpu.cp0.raise(epc, in_ds, code, badvaddr);
-        self.stats.exceptions += 1;
+        // Syscalls take the exception vector but are the service path,
+        // not an error path: they are counted by `Stats::syscalls` only.
+        if !matches!(kind, TrapKind::Syscall { .. }) {
+            self.stats.exceptions += 1;
+        }
         match kind {
             TrapKind::TlbRefill { .. } => self.stats.tlb_refills += 1,
             TrapKind::CapViolation(cause) => {
@@ -404,7 +434,6 @@ impl Machine {
                 // Keep PC at the syscall; the kernel resumes via
                 // advance_past_trap(). Reported as its own variant for
                 // ergonomic dispatch.
-                self.stats.exceptions -= 1; // not counted as an error path
                 return Ok(StepResult::Syscall);
             }
             Outcome::Break(code) => {
@@ -459,10 +488,21 @@ impl Machine {
 
     /// Runs until a syscall, break, trap, or `max_steps` instructions.
     ///
+    /// When the block cache is enabled and no trace sink is attached,
+    /// this takes the predecoded fast path (see [`crate::block`]);
+    /// otherwise it is a plain [`Machine::step`] loop. Both paths
+    /// produce bit-identical architectural state and statistics.
+    ///
     /// # Errors
     ///
     /// Propagates simulator-level [`MemError`]s from [`Machine::step`].
     pub fn run(&mut self, max_steps: u64) -> Result<StepResult, MemError> {
+        // The slow path is the traced reference implementation, so any
+        // attached sink (which must observe per-instruction events)
+        // disables the fast path for the duration.
+        if self.cfg.block_cache && self.sink.is_none() {
+            return self.run_predecoded(max_steps);
+        }
         for _ in 0..max_steps {
             match self.step()? {
                 StepResult::Continue => {}
@@ -470,6 +510,257 @@ impl Machine {
             }
         }
         Ok(StepResult::Continue)
+    }
+
+    /// The fast `run` loop: per *block* entry it performs the PCC check
+    /// and translation that `step` performs per instruction (valid
+    /// because a block never leaves its page, PCC cannot change inside
+    /// a block — capability jumps and `ERET` end one — and nothing else
+    /// runs between the check and the block body), then executes the
+    /// predecoded instructions.
+    fn run_predecoded(&mut self, max_steps: u64) -> Result<StepResult, MemError> {
+        let mut remaining = max_steps;
+        while remaining > 0 {
+            let pc = self.cpu.pc;
+            if let Err(c) = self.cpu.caps.pcc().check_execute(pc) {
+                return Ok(self.trap(
+                    TrapKind::CapViolation(c.with_reg(cheri_core::exception::PCC_FAULT_REG)),
+                    Some(pc),
+                ));
+            }
+            let (ppc, _) = match self.translate(pc, false, true) {
+                Ok(t) => t,
+                Err(kind) => return Ok(self.trap(kind, Some(pc))),
+            };
+            let block = match self.blocks.take_valid(ppc) {
+                Some(b) => b,
+                None => match self.build_block(ppc) {
+                    Some(b) => b,
+                    None => {
+                        // The first word is not readable memory: one
+                        // slow step reproduces the exact fetch-charge-
+                        // then-`MemError` behaviour.
+                        match self.step()? {
+                            StepResult::Continue => {
+                                remaining -= 1;
+                                continue;
+                            }
+                            other => return Ok(other),
+                        }
+                    }
+                },
+            };
+            // PCC bounds are one contiguous interval, so if the first
+            // and last instruction of the block pass, all do; otherwise
+            // run only the covered prefix (at least the first, which
+            // was checked above) so the faulting instruction re-enters
+            // through the per-instruction check.
+            let len = block.insts.len();
+            let last = pc.wrapping_add(4 * (len as u64 - 1));
+            let covered = if self.cpu.caps.pcc().check_execute(last).is_ok() {
+                len
+            } else {
+                let mut n = 1;
+                while n < len
+                    && self.cpu.caps.pcc().check_execute(pc.wrapping_add(4 * n as u64)).is_ok()
+                {
+                    n += 1;
+                }
+                n
+            };
+            let limit = remaining.min(covered as u64);
+            let outcome = self.run_block(&block, limit);
+            // Give the block back (if it went stale, `take_valid`
+            // rejects it next entry and it is rebuilt).
+            self.blocks.insert(block);
+            let (used, exit) = outcome?;
+            if let Some(result) = exit {
+                return Ok(result);
+            }
+            debug_assert!(used >= 1, "run_block must make progress");
+            remaining -= used.max(1);
+        }
+        Ok(StepResult::Continue)
+    }
+
+    /// Executes up to `limit` instructions of the validated block at
+    /// physical `ppc`, batching retire counters and same-line fetch
+    /// hits; flushes them at every exit so [`Stats`] is exact whenever
+    /// control returns to the caller. Returns how many instructions
+    /// retired, plus a [`StepResult`] if the block ended in one.
+    #[allow(clippy::too_many_lines)]
+    fn run_block(
+        &mut self,
+        block: &Block,
+        limit: u64,
+    ) -> Result<(u64, Option<StepResult>), MemError> {
+        let ppc = block.ppc;
+        let insts = &block.insts;
+        let page = (ppc >> PAGE_SHIFT) as usize;
+        let len = insts.len();
+        let start_pc = self.cpu.pc;
+        let line_mask = !(self.cfg.hierarchy.l1.line as u64 - 1);
+        // Same-line fetch-hit batching: after `fetch(addr)` fills a
+        // line, further fetches to that line are guaranteed hits (only
+        // fetches touch L1I), so they are recorded in one batched
+        // counter/LRU update at flush time — cycle-free, like any L1I
+        // hit.
+        let mut cur_line = u64::MAX;
+        let mut pending_hits: u64 = 0;
+        let mut retired: u64 = 0;
+        let mut cap_retired: u64 = 0;
+        let mut i: usize = 0;
+
+        macro_rules! flush {
+            () => {
+                if pending_hits > 0 {
+                    self.hierarchy.fetch_hits(cur_line, pending_hits);
+                }
+                self.stats.instructions += retired;
+                self.stats.cycles += retired; // base CPI 1 per retire
+                self.stats.cap_instructions += cap_retired;
+            };
+        }
+
+        loop {
+            if retired >= limit || i >= len {
+                flush!();
+                return Ok((retired, None));
+            }
+            let pi = insts[i];
+            let ipaddr = ppc + 4 * i as u64;
+            let iline = ipaddr & line_mask;
+            if iline == cur_line {
+                pending_hits += 1;
+            } else {
+                if pending_hits > 0 {
+                    self.hierarchy.fetch_hits(cur_line, pending_hits);
+                    pending_hits = 0;
+                }
+                self.stats.cycles += self.hierarchy.fetch(ipaddr);
+                cur_line = iline;
+            }
+
+            let outcome = match self.execute(&pi.inst) {
+                Ok(o) => o,
+                Err(e) => {
+                    flush!();
+                    return Err(e);
+                }
+            };
+            let fallthrough = self.cpu.next_pc;
+            let mut pcc_changed = false;
+            match outcome {
+                Outcome::Next => {
+                    self.cpu.pc = fallthrough;
+                    self.cpu.next_pc = fallthrough.wrapping_add(4);
+                }
+                Outcome::Branch { target, taken, predicted } => {
+                    self.stats.branches += 1;
+                    if predicted != taken {
+                        self.stats.mispredicts += 1;
+                        self.stats.cycles += MISPREDICT_PENALTY;
+                    }
+                    self.cpu.pc = fallthrough;
+                    self.cpu.next_pc = if taken { target } else { fallthrough.wrapping_add(4) };
+                }
+                Outcome::Jump { target, indirect } => {
+                    if indirect {
+                        self.stats.cycles += INDIRECT_JUMP_PENALTY;
+                    }
+                    self.cpu.pc = fallthrough;
+                    self.cpu.next_pc = target;
+                }
+                Outcome::CapJump { target, pcc } => {
+                    self.stats.cycles += INDIRECT_JUMP_PENALTY;
+                    self.cpu.caps.set_pcc(pcc);
+                    self.cpu.jump_to(target);
+                    pcc_changed = true;
+                }
+                Outcome::Trap { kind, badvaddr } => {
+                    flush!();
+                    return Ok((retired, Some(self.trap(kind, badvaddr))));
+                }
+                Outcome::Syscall => {
+                    flush!();
+                    self.stats.syscalls += 1;
+                    let _ = self.trap(TrapKind::Syscall { code: 0 }, None);
+                    return Ok((retired, Some(StepResult::Syscall)));
+                }
+                Outcome::Break(code) => {
+                    flush!();
+                    let _ = self.trap(TrapKind::Break { code }, None);
+                    return Ok((retired, Some(StepResult::Break(code))));
+                }
+            }
+
+            // Retire (batched; `cp0.count` stays per-instruction exact
+            // because `MFC0` can read it mid-block).
+            retired += 1;
+            self.cpu.cp0.count = self.cpu.cp0.count.wrapping_add(1);
+            if pi.flags & F_CAP != 0 {
+                cap_retired += 1;
+            }
+            i += 1;
+            // Exit when control leaves the straight line (taken branch,
+            // jump landing, delay-slot entry resolving), when the PCC
+            // changed (its bounds validated this block), after a TLB
+            // write (the per-entry translation is no longer valid), or
+            // when a store dirtied this page (the remaining predecoded
+            // slice may be stale — self-modifying code takes effect at
+            // the next instruction, exactly like the slow path's
+            // per-instruction fetch).
+            if pcc_changed
+                || pi.flags & F_TLBW != 0
+                || self.cpu.pc != start_pc.wrapping_add(4 * i as u64)
+                || (pi.flags & F_STORE != 0 && self.blocks.page_gen(page) != block.gen)
+            {
+                flush!();
+                return Ok((retired, None));
+            }
+        }
+    }
+
+    /// Decodes the straight-line run starting at physical `ppc`. Stops
+    /// at terminal instructions, after an unconditional jump's delay
+    /// slot, at the page boundary, at [`MAX_BLOCK_INSTS`], or at
+    /// unreadable memory. Returns `None` if not even the first word is
+    /// readable. The caller inserts the block into the cache after
+    /// running it; the page is marked as code *here* so that stores
+    /// during the block's first execution already bump its generation.
+    fn build_block(&mut self, ppc: u64) -> Option<Block> {
+        let words_to_page_end = (((ppc | ((1 << PAGE_SHIFT) - 1)) + 1 - ppc) / 4) as usize;
+        let max_words = words_to_page_end.min(MAX_BLOCK_INSTS);
+        let mut insts: Vec<PInst> = Vec::with_capacity(max_words.min(16));
+        while insts.len() < max_words {
+            let addr = ppc + 4 * insts.len() as u64;
+            let Ok(word) = self.mem.read_u32(addr) else { break };
+            let inst = decode(word);
+            let flags = pinst_flags(&inst);
+            insts.push(PInst { inst, flags });
+            if flags & F_TERMINAL != 0 {
+                break;
+            }
+            if flags & F_UNCOND_JUMP != 0 {
+                // Include the delay slot, then stop: the instruction
+                // after it is the jump target's problem.
+                if insts.len() < max_words {
+                    if let Ok(w) = self.mem.read_u32(ppc + 4 * insts.len() as u64) {
+                        let slot_inst = decode(w);
+                        let slot_flags = pinst_flags(&slot_inst);
+                        insts.push(PInst { inst: slot_inst, flags: slot_flags });
+                    }
+                }
+                break;
+            }
+        }
+        if insts.is_empty() {
+            return None;
+        }
+        let page = (ppc >> PAGE_SHIFT) as usize;
+        self.blocks.mark_code_page(page);
+        let gen = self.blocks.page_gen(page);
+        Some(Block { ppc, gen, insts: insts.into_boxed_slice() })
     }
 
     // --- data-access helpers ---------------------------------------------
@@ -514,7 +805,9 @@ impl Machine {
         cap: &Capability,
         cap_reg: u8,
     ) -> Result<u64, Outcome> {
-        if !vaddr.is_multiple_of(size) {
+        // `size` is a power of two (`Width::bytes`), so the alignment
+        // check is a mask, not a division.
+        if vaddr & (size - 1) != 0 {
             return Err(Outcome::Trap {
                 kind: TrapKind::AddressError { vaddr, write },
                 badvaddr: Some(vaddr),
@@ -562,7 +855,9 @@ impl Machine {
             Width::Half => self.mem.write_u16(paddr, value as u16),
             Width::Word => self.mem.write_u32(paddr, value as u32),
             Width::Double => self.mem.write_u64(paddr, value),
-        }
+        }?;
+        self.blocks.note_store(paddr);
+        Ok(())
     }
 
     // --- execute -----------------------------------------------------------
@@ -1158,7 +1453,9 @@ impl Machine {
                 };
                 self.mem.write_tagged(paddr, &bytes, cap.tag())
             }
-        }
+        }?;
+        self.blocks.note_store(paddr);
+        Ok(())
     }
 
     fn charge_tag_misses(&mut self, misses_before: u64) {

@@ -213,18 +213,28 @@ pub struct JobResult {
 /// Returns the compile/OS error rendered as a string (job context is
 /// added by the callers).
 pub fn run_spec_with_sink(spec: &JobSpec, sink: Option<SharedSink>) -> Result<JobResult, String> {
+    run_spec_with_config(spec, spec.machine_config(), sink)
+}
+
+/// As [`run_spec_with_sink`] with an explicit machine configuration —
+/// the hook the throughput harnesses use to pin simulator-internal
+/// knobs (like [`MachineConfig::block_cache`]) that are not part of the
+/// experiment matrix.
+///
+/// # Errors
+///
+/// As [`run_spec_with_sink`].
+pub fn run_spec_with_config(
+    spec: &JobSpec,
+    cfg: MachineConfig,
+    sink: Option<SharedSink>,
+) -> Result<JobResult, String> {
     if sink.is_some() {
         marker(&sink, &format!("run start: {}", spec.marker_label()));
     }
     let strategy = spec.strategy.strategy();
-    let run = run_bench_with_sink(
-        spec.workload,
-        &spec.params,
-        strategy.as_ref(),
-        spec.machine_config(),
-        sink,
-    )
-    .map_err(|e| e.to_string())?;
+    let run = run_bench_with_sink(spec.workload, &spec.params, strategy.as_ref(), cfg, sink)
+        .map_err(|e| e.to_string())?;
     Ok(JobResult { spec: *spec, run })
 }
 
@@ -241,6 +251,24 @@ pub fn run_specs(specs: &[JobSpec], threads: usize) -> Vec<JobResult> {
     engine::run_indexed(specs.len(), threads, |i| {
         let spec = &specs[i];
         run_spec_with_sink(spec, None).unwrap_or_else(|e| panic!("{}: {e}", spec.key()))
+    })
+}
+
+/// As [`run_specs`], but with the simulator's predecoded block cache
+/// forced on or off (instead of [`MachineConfig::default`]'s
+/// environment-driven setting). The block cache is architecturally
+/// transparent, so results must not depend on `enabled` — `xsweep
+/// --perf` runs both and insists the reports are identical.
+///
+/// # Panics
+///
+/// As [`run_specs`].
+#[must_use]
+pub fn run_specs_block_cache(specs: &[JobSpec], threads: usize, enabled: bool) -> Vec<JobResult> {
+    engine::run_indexed(specs.len(), threads, |i| {
+        let spec = &specs[i];
+        let cfg = MachineConfig { block_cache: enabled, ..spec.machine_config() };
+        run_spec_with_config(spec, cfg, None).unwrap_or_else(|e| panic!("{}: {e}", spec.key()))
     })
 }
 

@@ -6,7 +6,10 @@
 //! 2. **The gate bites** — a seeded counter drift fails the check with
 //!    the drifting metric named; an unchanged report passes.
 
-use cheri_sweep::{check_reports, profile_matrix, run_matrix, run_specs, Profile, SweepReport};
+use cheri_sweep::{
+    check_reports, profile_matrix, run_matrix, run_specs, run_specs_block_cache, Profile,
+    SweepReport,
+};
 
 #[test]
 fn report_is_byte_identical_across_thread_counts() {
@@ -43,6 +46,21 @@ fn self_check_passes_and_seeded_drift_fails() {
     assert_eq!(drifts.len(), 1, "exactly the seeded drift: {drifts:?}");
     assert_eq!(drifts[0].metric, "sim.instructions");
     assert_eq!(drifts[0].job, job_key);
+}
+
+#[test]
+fn block_cache_is_architecturally_transparent_in_the_sweep() {
+    // The simulator's predecoded block cache is a host-side
+    // optimisation: forcing it on or off must leave every reported
+    // counter of a real matrix job byte-identical. (`xsweep --perf`
+    // asserts the same over the whole matrix; this is the tier-1 form.)
+    let specs: Vec<_> = profile_matrix(Profile::Smoke)
+        .into_iter()
+        .filter(|s| s.workload.name() == "treeadd")
+        .collect();
+    let on = SweepReport::from_results("smoke", &run_specs_block_cache(&specs, 2, true));
+    let off = SweepReport::from_results("smoke", &run_specs_block_cache(&specs, 2, false));
+    assert_eq!(on.to_json(), off.to_json(), "block cache changed architectural results");
 }
 
 #[test]
