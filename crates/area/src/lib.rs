@@ -14,6 +14,12 @@
 //! model — making explicit which modules the 32% consists of
 //! (capability unit, tag cache, and the widened pipeline/cache paths).
 
+// Library paths must report errors, not abort: every fallible path
+// returns Result or uses expect with a stated invariant. Tests may
+// unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 use core::fmt;
 
 /// One module of the Figure 6 layout.

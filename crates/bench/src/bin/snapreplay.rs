@@ -1,0 +1,331 @@
+//! `snapreplay` — record-replay divergence triage over cheri-snap
+//! snapshots.
+//!
+//! Restores a machine snapshot (as written by `xsweep` on a divergence,
+//! or by any harness via `Machine::snapshot`/`Kernel::snapshot`) and
+//! re-executes it at the machine level. Replay has no OS underneath it,
+//! so execution stops at the first syscall — which is exactly the
+//! regime the block cache and the memory hierarchy run in between
+//! kernel entries, where transparency bugs live.
+//!
+//! ```text
+//! snapreplay SNAPSHOT.json
+//!            [--steps N]           replay horizon in instructions (default 100000)
+//!            [--lockstep]          step block-cache vs reference interpreter one
+//!                                  instruction at a time, stop at first divergence
+//!            [--bisect]            binary-search the first diverging instruction
+//!                                  (re-replaying from the snapshot each probe)
+//!            [--poke-u32 PA=WORD]  corrupt the subject's physical memory before
+//!                                  replay (seeds an artificial divergence; may be
+//!                                  repeated)
+//!            [--out DIR]           where divergence state dumps go (default results)
+//! ```
+//!
+//! The *subject* runs with the predecoded block cache on (plus any
+//! `--poke-u32` corruptions); the *reference* is the plain interpreter
+//! on the pristine snapshot. Since the block cache is architecturally
+//! transparent, any divergence is a simulator bug — or the seeded poke.
+//! On divergence both machines' full states are dumped as JSON
+//! snapshots for offline diffing, and the exit status is 1.
+
+use beri_sim::{Machine, StepResult};
+use cheri_snap::{MachineState, Snapshot};
+use std::path::{Path, PathBuf};
+
+struct Args {
+    snapshot: PathBuf,
+    steps: u64,
+    lockstep: bool,
+    bisect: bool,
+    pokes: Vec<(u64, u32)>,
+    out: PathBuf,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("snapreplay: {msg}");
+    eprintln!(
+        "usage: snapreplay SNAPSHOT.json [--steps N] [--lockstep] [--bisect] \
+         [--poke-u32 PADDR=WORD] [--out DIR]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("snapreplay: {msg}");
+    std::process::exit(1);
+}
+
+/// Parses a decimal or `0x`-prefixed integer.
+fn parse_int(s: &str) -> Option<u64> {
+    if let Some(hex) = s.strip_prefix("0x").or_else(|| s.strip_prefix("0X")) {
+        u64::from_str_radix(hex, 16).ok()
+    } else {
+        s.parse().ok()
+    }
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        snapshot: PathBuf::new(),
+        steps: 100_000,
+        lockstep: false,
+        bisect: false,
+        pokes: Vec::new(),
+        out: PathBuf::from("results"),
+    };
+    let mut snapshot = None;
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> &str {
+            argv.get(i + 1).unwrap_or_else(|| usage(&format!("{} requires a value", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--steps" => {
+                args.steps = match parse_int(value(i)) {
+                    Some(n) if n > 0 => n,
+                    _ => usage("--steps requires a positive integer"),
+                };
+                i += 2;
+            }
+            "--lockstep" => {
+                args.lockstep = true;
+                i += 1;
+            }
+            "--bisect" => {
+                args.bisect = true;
+                i += 1;
+            }
+            "--poke-u32" => {
+                let spec = value(i);
+                let (pa, word) = spec
+                    .split_once('=')
+                    .and_then(|(a, w)| Some((parse_int(a)?, u32::try_from(parse_int(w)?).ok()?)))
+                    .unwrap_or_else(|| {
+                        usage("--poke-u32 requires PADDR=WORD (e.g. 0x8000=0xdead)")
+                    });
+                args.pokes.push((pa, word));
+                i += 2;
+            }
+            "--out" => {
+                args.out = PathBuf::from(value(i));
+                i += 2;
+            }
+            flag if flag.starts_with("--") => usage(&format!("unknown argument '{flag}'")),
+            path => {
+                if snapshot.replace(PathBuf::from(path)).is_some() {
+                    usage("exactly one snapshot path expected");
+                }
+                i += 1;
+            }
+        }
+    }
+    args.snapshot = snapshot.unwrap_or_else(|| usage("a snapshot path is required"));
+    if args.lockstep && args.bisect {
+        usage("--lockstep and --bisect are alternative strategies; pass one");
+    }
+    args
+}
+
+/// Loads either a full `Snapshot` (machine + kernel) or a bare
+/// `MachineState`; replay only needs the machine section.
+fn load_machine_state(path: &Path) -> MachineState {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    match Snapshot::from_json(&text) {
+        Ok(snap) => snap.machine,
+        Err(snap_err) => MachineState::from_json(&text).unwrap_or_else(|_| {
+            fail(&format!("{} is not a cheri-snap snapshot: {snap_err}", path.display()))
+        }),
+    }
+}
+
+/// Rebuilds a machine from the snapshot, optionally corrupting physical
+/// memory (the seeded-divergence hook; pokes bypass the architectural
+/// write path, exactly like a bit flip under the simulator's feet).
+fn build(base: &MachineState, block_cache: bool, pokes: &[(u64, u32)]) -> Machine {
+    let mut m = Machine::from_state(base, block_cache)
+        .unwrap_or_else(|e| fail(&format!("cannot restore snapshot: {e}")));
+    for &(pa, word) in pokes {
+        m.mem
+            .write_u32(pa, word)
+            .unwrap_or_else(|e| fail(&format!("poke at {pa:#x} failed: {e:?}")));
+    }
+    if !pokes.is_empty() {
+        m.invalidate_block_cache();
+    }
+    m
+}
+
+/// Runs up to `steps` further instructions. Returns how many actually
+/// retired: replay stops early at a syscall (no OS underneath) or on a
+/// fault the bare machine cannot absorb — both of which are themselves
+/// state the comparison sees.
+fn run_free(m: &mut Machine, steps: u64) -> u64 {
+    let start = m.stats.instructions;
+    while m.stats.instructions - start < steps {
+        let left = steps - (m.stats.instructions - start);
+        match m.run(left) {
+            Ok(StepResult::Continue) => {}
+            Ok(_) | Err(_) => break,
+        }
+    }
+    m.stats.instructions - start
+}
+
+/// A cheap per-instruction fingerprint of architectural CPU state
+/// (FNV-1a over GPRs, HI/LO, the PC pair, and the retired count). Full
+/// state hashes are only computed where the fingerprints disagree — or
+/// at the horizon, to catch memory-only divergence.
+fn cpu_fingerprint(m: &Machine) -> u64 {
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_be_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for r in 0..32 {
+        mix(m.cpu.get_gpr(r));
+    }
+    mix(m.cpu.hi);
+    mix(m.cpu.lo);
+    mix(m.cpu.pc);
+    mix(m.cpu.next_pc);
+    mix(m.stats.instructions);
+    h
+}
+
+/// Writes a machine's full state under `out` and returns the path.
+fn dump(out: &Path, name: &str, m: &Machine) -> PathBuf {
+    std::fs::create_dir_all(out)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", out.display())));
+    let path = out.join(name);
+    std::fs::write(&path, m.snapshot().to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    path
+}
+
+/// Reports a divergence at instruction `k` (counted from the snapshot)
+/// and dumps both states. Exits 1: a divergence was found.
+fn report_divergence(
+    out: &Path,
+    k: u64,
+    base: &MachineState,
+    subject: &Machine,
+    reference: &Machine,
+) -> ! {
+    println!(
+        "first diverging instruction: {k} after the snapshot ({} absolute)",
+        base.stats[0] + k
+    );
+    println!(
+        "  subject:   pc={:#x} next_pc={:#x} retired={}",
+        subject.cpu.pc, subject.cpu.next_pc, subject.stats.instructions
+    );
+    println!(
+        "  reference: pc={:#x} next_pc={:#x} retired={}",
+        reference.cpu.pc, reference.cpu.next_pc, reference.stats.instructions
+    );
+    let a = dump(out, "diverge-subject.json", subject);
+    let b = dump(out, "diverge-reference.json", reference);
+    println!("state dumps: {} / {}", a.display(), b.display());
+    std::process::exit(1);
+}
+
+/// `--bisect`: binary-search for the smallest replay length at which
+/// the two machines' CPU fingerprints differ, re-replaying from the
+/// snapshot for each probe. O(log N) probes of at most N instructions.
+fn bisect(args: &Args, base: &MachineState) -> ! {
+    let replay = |bc: bool, pokes: &[(u64, u32)], k: u64| -> Machine {
+        let mut m = build(base, bc, pokes);
+        run_free(&mut m, k);
+        m
+    };
+    let diverged = |k: u64| -> bool {
+        cpu_fingerprint(&replay(true, &args.pokes, k)) != cpu_fingerprint(&replay(false, &[], k))
+    };
+    if !diverged(args.steps) {
+        // CPU state agrees at the horizon; check for memory-only drift.
+        let subject = replay(true, &args.pokes, args.steps);
+        let reference = replay(false, &[], args.steps);
+        if subject.snapshot().state_hash() == reference.snapshot().state_hash() {
+            println!("no divergence within {} instructions", args.steps);
+            std::process::exit(0);
+        }
+        println!(
+            "CPU state agrees for {} instructions but memory/state hash differs \
+             (latent divergence; raise --steps to see it propagate)",
+            args.steps
+        );
+        report_divergence(&args.out, args.steps, base, &subject, &reference);
+    }
+    // Invariant: fingerprints agree after `lo` instructions, differ
+    // after `hi`. A poke touches only memory, so k = 0 always agrees.
+    let (mut lo, mut hi) = (0u64, args.steps);
+    while hi - lo > 1 {
+        let mid = lo + (hi - lo) / 2;
+        if diverged(mid) {
+            hi = mid;
+        } else {
+            lo = mid;
+        }
+    }
+    let subject = replay(true, &args.pokes, hi);
+    let reference = replay(false, &[], hi);
+    report_divergence(&args.out, hi, base, &subject, &reference);
+}
+
+/// `--lockstep`: run both machines one instruction at a time, comparing
+/// fingerprints after every step. O(N) but exact, and cheap per step
+/// (no state serialization until a divergence is found).
+fn lockstep(args: &Args, base: &MachineState) -> ! {
+    let mut subject = build(base, true, &args.pokes);
+    let mut reference = build(base, false, &[]);
+    for k in 1..=args.steps {
+        let a = run_free(&mut subject, 1);
+        let b = run_free(&mut reference, 1);
+        if a != b || cpu_fingerprint(&subject) != cpu_fingerprint(&reference) {
+            report_divergence(&args.out, k, base, &subject, &reference);
+        }
+        if a == 0 {
+            println!("both sides stopped (syscall or fault) after {} instructions", k - 1);
+            break;
+        }
+    }
+    if subject.snapshot().state_hash() != reference.snapshot().state_hash() {
+        println!("CPU lockstep clean but memory/state hash differs at the horizon");
+        report_divergence(&args.out, args.steps, base, &subject, &reference);
+    }
+    println!("lockstep: no divergence within {} instructions", args.steps);
+    std::process::exit(0);
+}
+
+fn main() {
+    let args = parse_args();
+    let base = load_machine_state(&args.snapshot);
+    println!(
+        "snapshot: {} ({} instructions retired, pc {:#x})",
+        args.snapshot.display(),
+        base.stats[0],
+        base.cpu.pc
+    );
+    for &(pa, word) in &args.pokes {
+        println!("poke: [{pa:#x}] = {word:#010x} (subject only)");
+    }
+    if args.bisect {
+        bisect(&args, &base);
+    }
+    if args.lockstep {
+        lockstep(&args, &base);
+    }
+    // Plain replay: run the subject and report where it ends up.
+    let mut m = build(&base, true, &args.pokes);
+    let ran = run_free(&mut m, args.steps);
+    println!(
+        "replayed {ran} instructions: pc {:#x} → {:#x}, state hash {}",
+        base.cpu.pc,
+        m.cpu.pc,
+        m.snapshot().state_hash()
+    );
+}

@@ -18,12 +18,24 @@
 //!                                       cache on vs off, verify the two reports are
 //!                                       identical, and write a throughput report
 //!                                       (default: results/perf.json)
+//!        [--warm]                       run every job cold (snapshotting at the
+//!                                       phase-2 boundary), then again warm-started
+//!                                       from the snapshot; assert the two reports
+//!                                       are byte-identical and record the speedup
 //! ```
+//!
+//! When the `--perf` transparency assert, the `--warm` equality assert,
+//! or the `--check` gate fails, the offending jobs' machine+kernel
+//! snapshots are written as `results/divergence-*.json` for offline
+//! triage with `snapreplay`.
 
+use cheri_snap::Snapshot;
 use cheri_sweep::{
-    check_reports, comparisons, profile_matrix, render_drifts, run_specs, run_specs_block_cache,
+    check_reports, comparisons, profile_matrix, render_drifts, run_indexed, run_spec_final_snap,
+    run_spec_resume, run_spec_split, run_specs, run_specs_block_cache, JobRecord, JobResult,
     Profile, SweepReport,
 };
+use cheri_trace::json::{self, Json};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
@@ -34,15 +46,26 @@ struct Args {
     check: Option<PathBuf>,
     bless: Option<PathBuf>,
     perf: Option<PathBuf>,
+    warm: bool,
 }
 
+/// Command-line misuse: print the usage synopsis and exit 2.
 fn usage(msg: &str) -> ! {
     eprintln!("xsweep: {msg}");
     eprintln!(
         "usage: xsweep [--profile smoke|full|paper] [--jobs N] [--out PATH] \
-         [--check BASELINE] [--bless [PATH]] [--perf [PATH]]"
+         [--check BASELINE] [--bless [PATH]] [--perf [PATH]] [--warm]"
     );
     std::process::exit(2);
+}
+
+/// A runtime failure on a well-formed invocation (unreadable baseline,
+/// failed gate, divergence): print the error and exit 1. Distinct from
+/// [`usage`] so scripts can tell "you called me wrong" (2) from "the
+/// run found a problem" (1).
+fn fail(msg: &str) -> ! {
+    eprintln!("xsweep: {msg}");
+    std::process::exit(1);
 }
 
 fn parse_args() -> Args {
@@ -54,6 +77,7 @@ fn parse_args() -> Args {
         check: None,
         bless: None,
         perf: None,
+        warm: false,
     };
     let mut i = 0;
     let mut blessed = false;
@@ -102,11 +126,18 @@ fn parse_args() -> Args {
                     i += 1;
                 }
             }
+            "--warm" => {
+                args.warm = true;
+                i += 1;
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
     if blessed && args.bless.is_none() {
         args.bless = Some(PathBuf::from(format!("baselines/sweep-{}.json", args.profile.name())));
+    }
+    if args.warm && args.perf.is_some() {
+        usage("--warm and --perf are separate timing modes; pass one at a time");
     }
     args
 }
@@ -114,16 +145,110 @@ fn parse_args() -> Args {
 fn write_report(path: &Path, text: &str) {
     if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
         std::fs::create_dir_all(dir)
-            .unwrap_or_else(|e| usage(&format!("cannot create {}: {e}", dir.display())));
+            .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
     }
     std::fs::write(path, text)
-        .unwrap_or_else(|e| usage(&format!("cannot write {}: {e}", path.display())));
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+}
+
+/// Writes a divergence snapshot under `results/` with the job key
+/// flattened into the file name, and returns the path.
+fn write_divergence(key: &str, suffix: &str, snap: &Snapshot) -> PathBuf {
+    let name = format!("divergence-{}{suffix}.json", key.replace('/', "-"));
+    let path = Path::new("results").join(name);
+    write_report(&path, &snap.to_json());
+    eprintln!("xsweep: divergence snapshot: {}", path.display());
+    path
+}
+
+/// The timing sections of `results/perf.json`. Each timing mode owns
+/// its own section and preserves the other's numbers when rewriting the
+/// file (as long as the profile matches — timings from a different
+/// matrix would be incomparable).
+#[derive(Default)]
+struct PerfDoc {
+    /// `--perf`: (wall_ms, instr_per_sec) with the block cache on.
+    block_cache: Option<(u64, u64)>,
+    /// `--perf`: (wall_ms, instr_per_sec) with the block cache off.
+    interpreter: Option<(u64, u64)>,
+    /// `--warm`: (cold_job_ms, warm_job_ms, speedup_x100, snapshots).
+    warm: Option<(u64, u64, u64, u64)>,
+}
+
+/// Reads the sections of an existing perf report so a `--perf` run does
+/// not clobber `--warm` numbers and vice versa. Unreadable or
+/// mismatched-profile files yield an empty doc (the new run rewrites
+/// from scratch).
+fn read_perf_doc(path: &Path, profile: &str) -> PerfDoc {
+    let Ok(text) = std::fs::read_to_string(path) else { return PerfDoc::default() };
+    let Ok(v) = json::parse(&text) else { return PerfDoc::default() };
+    let Some(obj) = v.as_obj() else { return PerfDoc::default() };
+    if obj.get("profile").and_then(Json::as_str) != Some(profile) {
+        return PerfDoc::default();
+    }
+    let pair = |name: &str, a: &str, b: &str| -> Option<(u64, u64)> {
+        let sec = obj.get(name)?.as_obj()?;
+        Some((sec.get(a)?.as_u64()?, sec.get(b)?.as_u64()?))
+    };
+    let warm = || -> Option<(u64, u64, u64, u64)> {
+        let sec = obj.get("warm")?.as_obj()?;
+        Some((
+            sec.get("cold_job_ms")?.as_u64()?,
+            sec.get("warm_job_ms")?.as_u64()?,
+            sec.get("speedup_x100")?.as_u64()?,
+            sec.get("snapshots")?.as_u64()?,
+        ))
+    };
+    PerfDoc {
+        block_cache: pair("block_cache", "wall_ms", "instr_per_sec"),
+        interpreter: pair("interpreter", "wall_ms", "instr_per_sec"),
+        warm: warm(),
+    }
+}
+
+/// Serialises the perf report. Integer-only JSON, matching the sweep
+/// report's convention: wall times are host-dependent measurements, so
+/// this file is NOT a regression-gate baseline — it is the recorded
+/// evidence for the speedup claims in EXPERIMENTS.md.
+fn write_perf_doc(
+    path: &Path,
+    profile: &str,
+    jobs: usize,
+    threads: usize,
+    guest_instructions: u64,
+    doc: &PerfDoc,
+) {
+    let mut text = format!(
+        "{{\n  \"schema\": \"cheri-perf/v1\",\n  \"profile\": \"{profile}\",\n  \
+         \"jobs\": {jobs},\n  \"threads\": {threads},\n  \
+         \"guest_instructions\": {guest_instructions}"
+    );
+    let mut pair = |name: &str, a: &str, b: &str, v: Option<(u64, u64)>| {
+        if let Some((x, y)) = v {
+            text.push_str(&format!(
+                ",\n  \"{name}\": {{\n    \"{a}\": {x},\n    \"{b}\": {y}\n  }}"
+            ));
+        }
+    };
+    pair("block_cache", "wall_ms", "instr_per_sec", doc.block_cache);
+    pair("interpreter", "wall_ms", "instr_per_sec", doc.interpreter);
+    if let Some((cold, warm, speedup, snaps)) = doc.warm {
+        text.push_str(&format!(
+            ",\n  \"warm\": {{\n    \"cold_job_ms\": {cold},\n    \"warm_job_ms\": {warm},\n    \
+             \"speedup_x100\": {speedup},\n    \"snapshots\": {snaps}\n  }}"
+        ));
+    }
+    text.push_str("\n}\n");
+    write_report(path, &text);
+    println!("perf report: {}", path.display());
 }
 
 /// `--perf`: times the whole matrix with the predecoded block cache on
 /// and then off, insists the two reports are byte-identical (the cache
 /// is architecturally transparent, so any divergence is a simulator
-/// bug), and writes an integer-only throughput report.
+/// bug), and writes an integer-only throughput report. On divergence,
+/// the first offending job is re-run under both settings and its final
+/// machine+kernel snapshots land in `results/` for `snapreplay`.
 fn run_perf(args: &Args, path: &Path) -> ! {
     let specs = profile_matrix(args.profile);
     println!(
@@ -143,11 +268,29 @@ fn run_perf(args: &Args, path: &Path) -> ! {
     println!("block cache on:  {:.2}s", wall_on_ms as f64 / 1e3);
     let (report_off, wall_off_ms) = time_matrix(false);
     println!("block cache off: {:.2}s", wall_off_ms as f64 / 1e3);
-    assert_eq!(
-        report_on.to_json(),
-        report_off.to_json(),
-        "block cache changed architectural results — it must be transparent"
-    );
+    if report_on.to_json() != report_off.to_json() {
+        let bad = report_on
+            .jobs
+            .iter()
+            .zip(&report_off.jobs)
+            .find(|(a, b)| a != b)
+            .map_or_else(|| "<report>".to_string(), |(a, _)| a.key.clone());
+        if let Some(spec) = specs.iter().find(|s| s.key() == bad) {
+            for (enabled, suffix) in [(true, "-bc-on"), (false, "-bc-off")] {
+                let cfg = beri_sim::MachineConfig { block_cache: enabled, ..spec.machine_config() };
+                match run_spec_final_snap(spec, cfg) {
+                    Ok((_, snap)) => {
+                        write_divergence(&bad, suffix, &snap);
+                    }
+                    Err(e) => eprintln!("xsweep: re-run of {bad} failed: {e}"),
+                }
+            }
+        }
+        fail(&format!(
+            "block cache changed architectural results (first diverging job: {bad}) — \
+             it must be transparent; triage with snapreplay"
+        ));
+    }
     println!("reports identical: yes (block cache is architecturally transparent)");
 
     let guest_instructions: u64 =
@@ -163,27 +306,116 @@ fn run_perf(args: &Args, path: &Path) -> ! {
         speedup_x100 % 100,
     );
 
-    // Integer-only JSON, matching the sweep report's convention: wall
-    // times are host-dependent measurements, so this file is NOT a
-    // regression-gate baseline — it is the recorded evidence for the
-    // speedup claims in EXPERIMENTS.md.
-    let text = format!(
-        "{{\n  \"schema\": \"cheri-perf/v1\",\n  \"profile\": \"{}\",\n  \"jobs\": {},\n  \
-         \"threads\": {},\n  \"guest_instructions\": {},\n  \"block_cache\": {{\n    \
-         \"wall_ms\": {},\n    \"instr_per_sec\": {}\n  }},\n  \"interpreter\": {{\n    \
-         \"wall_ms\": {},\n    \"instr_per_sec\": {}\n  }},\n  \"speedup_x100\": {}\n}}\n",
-        args.profile.name(),
+    let mut doc = read_perf_doc(path, args.profile.name());
+    doc.block_cache = Some((wall_on_ms, ips(wall_on_ms)));
+    doc.interpreter = Some((wall_off_ms, ips(wall_off_ms)));
+    write_perf_doc(path, args.profile.name(), specs.len(), args.jobs, guest_instructions, &doc);
+    std::process::exit(0);
+}
+
+/// One `--warm` cell: the cold run (which captured the warm-start
+/// snapshot at the phase-2 boundary), the warm-started rerun, and the
+/// per-job timings. The snapshot is retained only if the two runs
+/// disagreed, so peak memory stays one snapshot per worker thread.
+struct WarmCell {
+    cold: JobResult,
+    warm: JobResult,
+    cold_ns: u64,
+    warm_ns: u64,
+    evidence: Option<Box<Snapshot>>,
+}
+
+/// `--warm`: runs every job cold (snapshotting once at the allocation →
+/// computation boundary), then warm-started from its snapshot, asserts
+/// the two reports are byte-identical in-process, and records the
+/// aggregate warm-start speedup in the perf report.
+fn run_warm(args: &Args) -> ! {
+    let specs = profile_matrix(args.profile);
+    println!(
+        "== xsweep --warm: {} jobs ({} profile) on {} thread{}, cold + warm-started ==\n",
         specs.len(),
+        args.profile.name(),
         args.jobs,
-        guest_instructions,
-        wall_on_ms,
-        ips(wall_on_ms),
-        wall_off_ms,
-        ips(wall_off_ms),
-        speedup_x100,
+        if args.jobs == 1 { "" } else { "s" }
     );
-    write_report(path, &text);
-    println!("perf report: {}", path.display());
+    let cells = run_indexed(specs.len(), args.jobs, |i| {
+        let spec = &specs[i];
+        let cfg = spec.machine_config();
+        let t0 = Instant::now();
+        let (cold, snap) =
+            run_spec_split(spec, cfg.clone()).unwrap_or_else(|e| panic!("{}: {e}", spec.key()));
+        let cold_ns = t0.elapsed().as_nanos() as u64;
+        match snap {
+            // Finished before the phase boundary: nothing to warm-start.
+            None => WarmCell { warm: cold.clone(), cold, cold_ns, warm_ns: 0, evidence: None },
+            Some(snap) => {
+                let t1 = Instant::now();
+                let warm = run_spec_resume(spec, &snap, cfg.block_cache)
+                    .unwrap_or_else(|e| panic!("{} (warm): {e}", spec.key()));
+                let warm_ns = t1.elapsed().as_nanos() as u64;
+                let diverged = JobRecord::from_result(&cold) != JobRecord::from_result(&warm);
+                WarmCell {
+                    cold,
+                    warm,
+                    cold_ns,
+                    warm_ns,
+                    evidence: diverged.then(|| Box::new(snap)),
+                }
+            }
+        }
+    });
+
+    let diverged: Vec<&WarmCell> = cells.iter().filter(|c| c.evidence.is_some()).collect();
+    for cell in &diverged {
+        if let Some(snap) = &cell.evidence {
+            write_divergence(&cell.cold.spec.key(), "", snap);
+        }
+    }
+    if let Some(first) = diverged.first() {
+        fail(&format!(
+            "warm-started results diverged from cold on {} job(s), first: {} — \
+             snapshot/restore must be exact; triage with snapreplay",
+            diverged.len(),
+            first.cold.spec.key()
+        ));
+    }
+
+    let colds: Vec<JobResult> = cells.iter().map(|c| c.cold.clone()).collect();
+    let warms: Vec<JobResult> = cells.iter().map(|c| c.warm.clone()).collect();
+    let cold_report = SweepReport::from_results(args.profile.name(), &colds);
+    let warm_report = SweepReport::from_results(args.profile.name(), &warms);
+    assert_eq!(
+        cold_report.to_json(),
+        warm_report.to_json(),
+        "per-job records agree but serialised reports differ — report serialisation bug"
+    );
+    println!("reports identical: yes (warm-started runs reproduce the cold runs byte-for-byte)");
+
+    let snapshots = cells.iter().filter(|c| c.warm_ns != 0).count() as u64;
+    let cold_job_ms: u64 = cells.iter().map(|c| c.cold_ns / 1_000_000).sum();
+    let warm_job_ms: u64 =
+        cells.iter().filter(|c| c.warm_ns != 0).map(|c| c.warm_ns / 1_000_000).sum();
+    let speedup_x100 = cold_job_ms.saturating_mul(100) / warm_job_ms.max(1);
+    let guest_instructions: u64 =
+        cold_report.jobs.iter().filter_map(|j| j.counters.get("sim.instructions")).sum();
+    println!(
+        "\n{snapshots}/{} jobs warm-started; {:.2}s aggregate cold job time vs {:.2}s warm \
+         ({}.{:02}x warm-start speedup)",
+        cells.len(),
+        cold_job_ms as f64 / 1e3,
+        warm_job_ms as f64 / 1e3,
+        speedup_x100 / 100,
+        speedup_x100 % 100,
+    );
+
+    let text = cold_report.to_json();
+    write_report(&args.out, &text);
+    println!("report: {}", args.out.display());
+
+    let path = Path::new("results/perf.json");
+    let mut doc = read_perf_doc(path, args.profile.name());
+    doc.warm = Some((cold_job_ms, warm_job_ms, speedup_x100, snapshots));
+    write_perf_doc(path, args.profile.name(), specs.len(), args.jobs, guest_instructions, &doc);
     std::process::exit(0);
 }
 
@@ -191,6 +423,9 @@ fn main() {
     let args = parse_args();
     if let Some(path) = args.perf.clone() {
         run_perf(&args, &path);
+    }
+    if args.warm {
+        run_warm(&args);
     }
     let specs = profile_matrix(args.profile);
     println!(
@@ -237,9 +472,9 @@ fn main() {
 
     if let Some(path) = &args.check {
         let baseline_text = std::fs::read_to_string(path)
-            .unwrap_or_else(|e| usage(&format!("cannot read baseline {}: {e}", path.display())));
+            .unwrap_or_else(|e| fail(&format!("cannot read baseline {}: {e}", path.display())));
         let baseline = SweepReport::from_json(&baseline_text)
-            .unwrap_or_else(|e| usage(&format!("bad baseline {}: {e}", path.display())));
+            .unwrap_or_else(|e| fail(&format!("bad baseline {}: {e}", path.display())));
         let drifts = check_reports(&baseline, &report);
         if drifts.is_empty() {
             println!(
@@ -255,6 +490,22 @@ fn main() {
                 path.display()
             );
             print!("{}", render_drifts(&drifts));
+            // Snapshot the final state of the first few drifting jobs
+            // so the failure is triageable offline.
+            let mut dumped = Vec::new();
+            for drift in &drifts {
+                if dumped.len() >= 3 || dumped.contains(&drift.job) {
+                    continue;
+                }
+                let Some(spec) = specs.iter().find(|s| s.key() == drift.job) else { continue };
+                match run_spec_final_snap(spec, spec.machine_config()) {
+                    Ok((_, snap)) => {
+                        write_divergence(&drift.job, "", &snap);
+                        dumped.push(drift.job.clone());
+                    }
+                    Err(e) => eprintln!("xsweep: re-run of {} failed: {e}", drift.job),
+                }
+            }
             println!(
                 "\n(intentional? re-bless with: xsweep --profile {} --bless)",
                 args.profile.name()

@@ -1,0 +1,143 @@
+//! End-to-end tests of the `snapreplay` triage binary: a clean snapshot
+//! replays with no divergence, and a seeded corruption (`--poke-u32`)
+//! is bisected to the exact first diverging instruction — with
+//! `--bisect` and `--lockstep` agreeing on where that is.
+
+use beri_sim::decode::encode;
+use beri_sim::inst::{AluImmOp, AluOp, BranchCond, Inst, MulDivOp, Width};
+use beri_sim::{Machine, MachineConfig, StepResult};
+use cheri_snap::{MachineState, Snapshot};
+use std::path::{Path, PathBuf};
+use std::process::Command;
+
+const CODE_BASE: u64 = 0x1000;
+const DATA_BASE: u64 = 0x8000;
+
+/// The store/load/multiply loop from the simulator's own round-trip
+/// tests: ~128 dynamic instructions ending in a syscall.
+fn program() -> Vec<u32> {
+    vec![
+        encode(&Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 0, imm: 16 }),
+        encode(&Inst::AluImm { op: AluImmOp::Ori, rt: 9, rs: 7, imm: 0 }),
+        // loop:
+        encode(&Inst::Store { width: Width::Double, rt: 8, base: 9, imm: 0 }),
+        encode(&Inst::Load { width: Width::Double, rt: 11, base: 9, imm: 0, unsigned: false }),
+        encode(&Inst::Alu { op: AluOp::Daddu, rd: 10, rs: 10, rt: 11 }),
+        encode(&Inst::MulDiv { op: MulDivOp::Dmultu, rs: 10, rt: 8 }),
+        encode(&Inst::Mflo { rd: 12 }),
+        encode(&Inst::AluImm { op: AluImmOp::Daddiu, rt: 9, rs: 9, imm: 8 }),
+        encode(&Inst::AluImm { op: AluImmOp::Daddiu, rt: 8, rs: 8, imm: -1i16 as u16 }),
+        encode(&Inst::Branch { cond: BranchCond::Ne, rs: 8, rt: 0, offset: -8 }),
+        encode(&Inst::AluImm { op: AluImmOp::Ori, rt: 13, rs: 12, imm: 0 }), // delay slot
+        encode(&Inst::Syscall { code: 0 }),
+    ]
+}
+
+/// Runs the program for 10 instructions and writes the snapshot (in the
+/// full `Snapshot` wrapper, machine-only) to `dir`.
+fn snapshot_file(dir: &Path) -> PathBuf {
+    std::fs::create_dir_all(dir).unwrap();
+    let mut m = Machine::new(MachineConfig {
+        mem_bytes: 1 << 20,
+        block_cache: true,
+        ..MachineConfig::default()
+    });
+    m.load_code(CODE_BASE, &program()).unwrap();
+    m.cpu.set_gpr(7, DATA_BASE);
+    m.cpu.jump_to(CODE_BASE);
+    assert_eq!(m.run(10).unwrap(), StepResult::Continue);
+    let snap = Snapshot { machine: m.snapshot(), kernel: None };
+    let path = dir.join("snap.json");
+    std::fs::write(&path, snap.to_json()).unwrap();
+    path
+}
+
+fn run_tool(args: &[&str]) -> (i32, String) {
+    let out = Command::new(env!("CARGO_BIN_EXE_snapreplay")).args(args).output().unwrap();
+    let stdout = String::from_utf8_lossy(&out.stdout).into_owned();
+    let stderr = String::from_utf8_lossy(&out.stderr).into_owned();
+    (out.status.code().unwrap_or(-1), format!("{stdout}{stderr}"))
+}
+
+/// Extracts K from "first diverging instruction: K after the snapshot".
+fn diverging_instruction(out: &str) -> u64 {
+    out.lines()
+        .find_map(|l| l.strip_prefix("first diverging instruction: "))
+        .and_then(|rest| rest.split_whitespace().next())
+        .and_then(|k| k.parse().ok())
+        .unwrap_or_else(|| panic!("no divergence report in output:\n{out}"))
+}
+
+#[test]
+fn clean_snapshot_replays_without_divergence() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("snapreplay-clean");
+    let snap = snapshot_file(&dir);
+    let snap = snap.to_str().unwrap();
+
+    let (code, out) = run_tool(&[snap, "--steps", "500"]);
+    assert_eq!(code, 0, "plain replay failed:\n{out}");
+    assert!(out.contains("replayed"), "{out}");
+
+    let out_dir = dir.join("out");
+    let (code, out) =
+        run_tool(&[snap, "--bisect", "--steps", "500", "--out", out_dir.to_str().unwrap()]);
+    assert_eq!(code, 0, "clean bisect should find nothing:\n{out}");
+    assert!(out.contains("no divergence within 500 instructions"), "{out}");
+
+    let (code, out) =
+        run_tool(&[snap, "--lockstep", "--steps", "500", "--out", out_dir.to_str().unwrap()]);
+    assert_eq!(code, 0, "clean lockstep should find nothing:\n{out}");
+    assert!(out.contains("no divergence"), "{out}");
+}
+
+#[test]
+fn seeded_divergence_is_bisected_and_lockstep_agrees() {
+    let dir = Path::new(env!("CARGO_TARGET_TMPDIR")).join("snapreplay-seeded");
+    let snap = snapshot_file(&dir);
+    let snap = snap.to_str().unwrap();
+
+    // Overwrite the loop's MFLO (code word 6) with `ori $12, $0, 7` in
+    // the subject: its next execution is the first diverging instruction.
+    let poke_addr = CODE_BASE + 6 * 4;
+    let poke_word = encode(&Inst::AluImm { op: AluImmOp::Ori, rt: 12, rs: 0, imm: 7 });
+    let poke = format!("{poke_addr:#x}={poke_word:#x}");
+
+    let bisect_out = dir.join("bisect");
+    let (code, out) = run_tool(&[
+        snap,
+        "--bisect",
+        "--steps",
+        "500",
+        "--poke-u32",
+        &poke,
+        "--out",
+        bisect_out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "seeded bisect must report a divergence:\n{out}");
+    let k_bisect = diverging_instruction(&out);
+    assert!((1..=500).contains(&k_bisect), "implausible divergence point {k_bisect}:\n{out}");
+
+    // Both dumped states must exist, parse, and actually differ.
+    let subject = std::fs::read_to_string(bisect_out.join("diverge-subject.json")).unwrap();
+    let reference = std::fs::read_to_string(bisect_out.join("diverge-reference.json")).unwrap();
+    let subject = MachineState::from_json(&subject).unwrap();
+    let reference = MachineState::from_json(&reference).unwrap();
+    assert_ne!(subject.state_hash(), reference.state_hash());
+    assert_eq!(subject.stats[0], reference.stats[0], "both sides retired the same count");
+
+    // The exact linear search must land on the same instruction.
+    let lockstep_out = dir.join("lockstep");
+    let (code, out) = run_tool(&[
+        snap,
+        "--lockstep",
+        "--steps",
+        "500",
+        "--poke-u32",
+        &poke,
+        "--out",
+        lockstep_out.to_str().unwrap(),
+    ]);
+    assert_eq!(code, 1, "seeded lockstep must report a divergence:\n{out}");
+    let k_lockstep = diverging_instruction(&out);
+    assert_eq!(k_bisect, k_lockstep, "bisect and lockstep disagree on the divergence point");
+}

@@ -1,0 +1,144 @@
+//! Property coverage of the 128-bit compressed capability format
+//! against the 256-bit reference representation: every representable
+//! region round-trips bit-exactly (struct → 16-byte image → struct →
+//! decompressed 256-bit capability), and every unrepresentable one is
+//! rejected with an actionable error — `AddressTooWide` beyond the
+//! 40-bit space, `Unaligned` with the exact alignment an allocator must
+//! pad to.
+
+use cheri_core::compress::CompressError;
+use cheri_core::{Capability, Compressed128, Perms};
+use proptest::prelude::*;
+
+/// Snaps an arbitrary (base, length) pair onto the compressed format's
+/// representable lattice: length rounded up to a representable value,
+/// base aligned down to the block size that length requires.
+fn representable(base: u64, len: u64) -> (u64, u64) {
+    let rlen = Compressed128::round_len(len);
+    let align = Compressed128::required_alignment(rlen);
+    (base / align * align, rlen)
+}
+
+proptest! {
+    /// Representable regions survive compress → serialize → parse →
+    /// decompress with base, length, and (truncated) perms identical to
+    /// the 256-bit reference capability they came from.
+    #[test]
+    fn representable_regions_roundtrip_exactly(
+        base in 0u64..1 << 39,
+        len in 0u64..1 << 38,
+        perm_bits in any::<u32>(),
+    ) {
+        let (abase, rlen) = representable(base, len);
+        let perms = Perms::from_bits_truncate(perm_bits);
+        let reference = Capability::new(abase, rlen, perms).expect("fits in 40 bits");
+
+        let z = Compressed128::try_from_cap(&reference).expect("aligned region is exact");
+        let reparsed = Compressed128::from_bytes(&z.to_bytes());
+        prop_assert_eq!(z, reparsed, "16-byte image must be lossless");
+
+        let back = reparsed.decompress();
+        prop_assert_eq!(back.base(), reference.base());
+        prop_assert_eq!(back.length(), reference.length());
+        prop_assert!(back.tag());
+        // Compression keeps exactly the low 16 permission bits.
+        prop_assert_eq!(back.perms().bits(), perms.bits() & 0xffff);
+        prop_assert!(reference.dominates(&back), "decompression must not escalate");
+    }
+
+    /// The 256-bit reference accepts the full 64-bit space; the
+    /// compressed format must refuse anything beyond 40 bits rather
+    /// than silently truncate.
+    #[test]
+    fn regions_beyond_forty_bits_are_rejected(
+        base in (1u64 << 40)..1 << 50,
+        len in 0u64..1 << 18,
+    ) {
+        let cap = Capability::new(base, len, Perms::ALL).expect("valid 256-bit region");
+        prop_assert_eq!(
+            Compressed128::try_from_cap(&cap).unwrap_err(),
+            CompressError::AddressTooWide
+        );
+    }
+
+    /// A region whose *top* crosses the 40-bit boundary is as
+    /// unrepresentable as one whose base does.
+    #[test]
+    fn top_crossing_forty_bits_is_rejected(overhang in 1u64..1 << 18) {
+        let base = (1u64 << 40) - (1 << 18);
+        let cap = Capability::new(base, (1 << 18) + overhang, Perms::ALL).expect("valid region");
+        prop_assert_eq!(
+            Compressed128::try_from_cap(&cap).unwrap_err(),
+            CompressError::AddressTooWide
+        );
+    }
+
+    /// Unrepresentable (misaligned) large regions are rejected with the
+    /// exact alignment the allocator must pad to — and padding to it
+    /// always succeeds.
+    #[test]
+    fn unaligned_rejection_names_a_sufficient_alignment(
+        base in 0u64..1 << 38,
+        len in (1u64 << 18) + 1..1 << 30,
+    ) {
+        let align = Compressed128::required_alignment(len);
+        prop_assert!(align >= 2, "lengths above the mantissa need blocks");
+        // Force a misaligned base: any odd base misses every align >= 2.
+        let bad = Capability::new(base | 1, len, Perms::ALL).expect("valid region");
+        match Compressed128::try_from_cap(&bad) {
+            Err(CompressError::Unaligned { required }) => {
+                prop_assert_eq!(required, align, "hint must match required_alignment");
+                // Following the hint makes the region representable.
+                let (abase, rlen) = representable(base, len);
+                let padded = Capability::new(abase, rlen, Perms::ALL).expect("padded region");
+                prop_assert!(Compressed128::try_from_cap(&padded).is_ok());
+                prop_assert!(rlen >= len, "padding must cover the request");
+                prop_assert!(rlen - len < 2 * align, "padding overhead is below two blocks");
+            }
+            other => prop_assert!(false, "expected Unaligned, got {other:?}"),
+        }
+    }
+
+    /// Untagged values never compress, whatever their bounds.
+    #[test]
+    fn untagged_values_never_compress(base in 0u64..1 << 39, len in 0u64..1 << 38) {
+        let (abase, rlen) = representable(base, len);
+        let cap = Capability::new(abase, rlen, Perms::ALL).expect("valid region").clear_tag();
+        prop_assert_eq!(
+            Compressed128::try_from_cap(&cap).unwrap_err(),
+            CompressError::Untagged
+        );
+    }
+}
+
+/// The mantissa boundary (2^18) is where byte granularity ends; pin the
+/// exact edge lengths on both sides.
+#[test]
+fn mantissa_boundary_edge_lengths() {
+    for (len, align) in [
+        ((1u64 << 18) - 1, 1u64),
+        (1 << 18, 2),
+        ((1 << 18) + 2, 2),
+        ((1 << 19) + 4, 4),
+        (1 << 30, 1 << 13),
+    ] {
+        assert_eq!(Compressed128::required_alignment(len), align, "len={len:#x}");
+        let base = align * 3;
+        let rlen = Compressed128::round_len(len);
+        let cap = Capability::new(base, rlen, Perms::LOAD).unwrap();
+        let z = Compressed128::try_from_cap(&cap).unwrap();
+        let back = Compressed128::from_bytes(&z.to_bytes()).decompress();
+        assert_eq!((back.base(), back.length()), (base, rlen), "len={len:#x}");
+    }
+}
+
+/// Zero-length capabilities are representable and round-trip (they
+/// convey no access but remain distinct, tagged values).
+#[test]
+fn zero_length_roundtrips() {
+    let cap = Capability::new(0x0dea_dbee, 0, Perms::LOAD).unwrap();
+    let z = Compressed128::try_from_cap(&cap).unwrap();
+    let back = Compressed128::from_bytes(&z.to_bytes()).decompress();
+    assert_eq!(back.base(), 0x0dea_dbee);
+    assert_eq!(back.length(), 0);
+}

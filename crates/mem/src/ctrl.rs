@@ -148,6 +148,29 @@ impl TagController {
         &self.table
     }
 
+    /// Mutable table access for snapshot import (no cache modelling,
+    /// no statistics).
+    pub(crate) fn table_mut(&mut self) -> &mut TagTable {
+        &mut self.table
+    }
+
+    /// Tag-cache lines as `(valid, dirty, line_index)`, for snapshot
+    /// export.
+    pub(crate) fn export_lines(&self) -> Vec<(bool, bool, u64)> {
+        self.lines.iter().map(|l| (l.valid, l.dirty, l.line_index)).collect()
+    }
+
+    /// Restores tag-cache lines and statistics from a snapshot. The
+    /// line count must match this controller's geometry (checked by the
+    /// caller, which owns the error path).
+    pub(crate) fn import_lines(&mut self, lines: &[(bool, bool, u64)], stats: TagCacheStats) {
+        debug_assert_eq!(lines.len(), self.lines.len());
+        for (slot, &(valid, dirty, line_index)) in self.lines.iter_mut().zip(lines) {
+            *slot = TagCacheLine { valid, dirty, line_index };
+        }
+        self.stats = stats;
+    }
+
     fn touch_line(&mut self, paddr: u64, make_dirty: bool) {
         if self.lines.is_empty() {
             self.stats.misses += 1;

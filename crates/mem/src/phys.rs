@@ -165,6 +165,18 @@ impl PhysMem {
     pub fn write_u64(&mut self, addr: u64, v: u64) -> Result<(), MemError> {
         self.write_bytes(addr, &v.to_be_bytes())
     }
+
+    /// The whole DRAM image, for snapshot export.
+    pub(crate) fn image(&self) -> &[u8] {
+        &self.data
+    }
+
+    /// Mutable access to the whole DRAM image, for snapshot import
+    /// (bypasses the architectural write path on purpose: restoring a
+    /// snapshot must not perturb tag state or traffic counters).
+    pub(crate) fn image_mut(&mut self) -> &mut [u8] {
+        &mut self.data
+    }
 }
 
 impl core::fmt::Debug for PhysMem {

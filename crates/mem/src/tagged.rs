@@ -313,6 +313,108 @@ impl TaggedMem {
         self.tags.write_tag(addr, tag);
         Ok(())
     }
+
+    // --- snapshots --------------------------------------------------------
+
+    /// Exports the complete memory state — DRAM image and tag table as
+    /// run-length-encoded big-endian words, plus the tag-cache contents
+    /// and statistics — for `cheri-snap`.
+    #[must_use]
+    pub fn export_state(&self) -> cheri_snap::MemState {
+        let image = self.phys.image();
+        debug_assert!(image.len().is_multiple_of(8), "DRAM size is always 8-aligned");
+        let words = cheri_snap::rle_encode(image.chunks_exact(8).map(|c| {
+            let mut b = [0u8; 8];
+            b.copy_from_slice(c);
+            u64::from_be_bytes(b)
+        }));
+        let tags = cheri_snap::rle_encode(self.tags.table().words().iter().copied());
+        let s = self.tags.stats();
+        cheri_snap::MemState {
+            bytes: self.phys.size(),
+            granule: self.granule(),
+            words,
+            tags,
+            tag_cache: self
+                .tags
+                .export_lines()
+                .into_iter()
+                .map(|(valid, dirty, line_index)| cheri_snap::TagCacheLineState {
+                    valid,
+                    dirty,
+                    line_index,
+                })
+                .collect(),
+            tag_stats: [s.lookups, s.updates, s.hits, s.misses, s.writebacks],
+        }
+    }
+
+    /// Restores memory state exported by [`TaggedMem::export_state`].
+    ///
+    /// The import deliberately bypasses the architectural store path:
+    /// [`TaggedMem::write_bytes`] clears tags and charges tag-cache
+    /// traffic, either of which would corrupt the restored state. DRAM
+    /// bytes, tag-table words, tag-cache lines and tag statistics are
+    /// each written directly.
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] when the snapshot's geometry (memory
+    /// size, granule, tag-cache line count) does not match this
+    /// memory's configuration.
+    pub fn import_state(&mut self, s: &cheri_snap::MemState) -> Result<(), cheri_snap::SnapError> {
+        if s.bytes != self.phys.size() {
+            return Err(cheri_snap::SnapError(format!(
+                "memory size mismatch: snapshot {} bytes, machine {} bytes",
+                s.bytes,
+                self.phys.size()
+            )));
+        }
+        if s.granule != self.granule() {
+            return Err(cheri_snap::SnapError(format!(
+                "tag granule mismatch: snapshot {}, machine {}",
+                s.granule,
+                self.granule()
+            )));
+        }
+        if cheri_snap::rle_len(&s.words) * 8 != s.bytes {
+            return Err(cheri_snap::SnapError(format!(
+                "DRAM image holds {} words, want {}",
+                cheri_snap::rle_len(&s.words),
+                s.bytes / 8
+            )));
+        }
+        let tag_words = self.tags.table().words().len() as u64;
+        if cheri_snap::rle_len(&s.tags) != tag_words {
+            return Err(cheri_snap::SnapError(format!(
+                "tag table holds {} words, want {tag_words}",
+                cheri_snap::rle_len(&s.tags)
+            )));
+        }
+        if s.tag_cache.len() != self.tags.export_lines().len() {
+            return Err(cheri_snap::SnapError(format!(
+                "tag cache holds {} lines, machine has {}",
+                s.tag_cache.len(),
+                self.tags.export_lines().len()
+            )));
+        }
+        let image = self.phys.image_mut();
+        let mut at = 0usize;
+        for &(count, value) in &s.words {
+            let be = value.to_be_bytes();
+            for _ in 0..count {
+                image[at..at + 8].copy_from_slice(&be);
+                at += 8;
+            }
+        }
+        self.tags.table_mut().set_words(&cheri_snap::rle_decode(&s.tags));
+        let lines: Vec<(bool, bool, u64)> =
+            s.tag_cache.iter().map(|l| (l.valid, l.dirty, l.line_index)).collect();
+        let [lookups, updates, hits, misses, writebacks] = s.tag_stats;
+        self.tags
+            .import_lines(&lines, TagCacheStats { lookups, updates, hits, misses, writebacks });
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -139,6 +139,18 @@ impl TagTable {
         self.bits.iter().map(|w| u64::from(w.count_ones())).sum()
     }
 
+    /// The raw bitmap words, for snapshot export.
+    pub(crate) fn words(&self) -> &[u64] {
+        &self.bits
+    }
+
+    /// Overwrites the raw bitmap words, for snapshot import. The word
+    /// count must match this table's geometry.
+    pub(crate) fn set_words(&mut self, words: &[u64]) {
+        assert_eq!(words.len(), self.bits.len(), "tag table word count mismatch");
+        self.bits.copy_from_slice(words);
+    }
+
     /// Iterates over the physical base addresses of all tagged granules.
     pub fn iter_tagged(&self) -> impl Iterator<Item = u64> + '_ {
         (0..self.granules).filter_map(move |g| {

@@ -26,7 +26,7 @@ use cheri_asm::Program;
 use cheri_cc::ir::Module;
 use cheri_cc::strategy::PtrStrategy;
 use cheri_cc::{compile, CompileError};
-use cheri_os::{boot, KernelConfig, RunOutcome};
+use cheri_os::{boot, Kernel, KernelConfig, OsError, RunOutcome};
 
 use crate::params::OldenParams;
 
@@ -186,25 +186,130 @@ pub fn run_bench_with_sink(
     machine: MachineConfig,
     sink: Option<cheri_trace::SharedSink>,
 ) -> Result<BenchRun, Box<dyn std::error::Error>> {
-    let program = compile_bench(bench, params, strategy)?;
-    let user_top = (machine.mem_bytes as u64).max(16 << 20) + (16 << 20);
-    let layout = cheri_os::ProcessLayout {
-        stack_top: user_top - 4096,
-        user_top,
-        ..cheri_os::ProcessLayout::default()
-    };
-    let mut kernel = boot(KernelConfig {
-        machine,
-        layout,
-        // Paper-scale bisort retires ~10^10 instructions; the default
-        // runaway guard is sized for tests.
-        max_instructions: 200_000_000_000,
-        ..KernelConfig::default()
-    });
-    kernel.set_trace_sink(sink);
-    let outcome = kernel.exec_and_run(&program)?;
-    let heap_used = kernel.heap_used().unwrap_or(0);
-    Ok(finish_run(strategy.name(), outcome, heap_used))
+    let mut session = BenchSession::start(bench, params, strategy, machine, sink)?;
+    Ok(session.run_to_completion()?)
+}
+
+/// The runaway guard for benchmark runs: paper-scale bisort retires
+/// ~10^10 instructions, so the default [`KernelConfig`] budget (sized
+/// for tests) is far too tight.
+pub const RUNAWAY_BUDGET: u64 = 200_000_000_000;
+
+/// A benchmark run that can be paused, snapshotted, and resumed.
+///
+/// [`BenchSession::start`] compiles and execs the workload exactly as
+/// [`run_bench_with_sink`] always has (it is now implemented on top of
+/// this type); the session then runs to completion in one call, or in
+/// pieces via [`BenchSession::run_until_phase`] / [`BenchSession::run_for`]
+/// with [`BenchSession::snapshot`] at any stop. A snapshot restored via
+/// [`BenchSession::resume`] finishes with results bit-identical to the
+/// uninterrupted run — the warm-start sweep mode and the `snapreplay`
+/// triage tool are both built on this.
+pub struct BenchSession {
+    kernel: Kernel,
+    mode: &'static str,
+}
+
+impl BenchSession {
+    /// Compiles `bench` under `strategy`, boots a kernel sized by
+    /// `machine`, attaches `sink`, and execs the program — everything up
+    /// to (but not including) the first instruction.
+    ///
+    /// # Errors
+    ///
+    /// Compile errors and OS exec errors, boxed as in [`run_bench`].
+    pub fn start(
+        bench: DslBench,
+        params: &OldenParams,
+        strategy: &dyn PtrStrategy,
+        machine: MachineConfig,
+        sink: Option<cheri_trace::SharedSink>,
+    ) -> Result<BenchSession, Box<dyn std::error::Error>> {
+        let program = compile_bench(bench, params, strategy)?;
+        let user_top = (machine.mem_bytes as u64).max(16 << 20) + (16 << 20);
+        let layout = cheri_os::ProcessLayout {
+            stack_top: user_top - 4096,
+            user_top,
+            ..cheri_os::ProcessLayout::default()
+        };
+        let mut kernel = boot(KernelConfig {
+            machine,
+            layout,
+            max_instructions: RUNAWAY_BUDGET,
+            ..KernelConfig::default()
+        });
+        kernel.set_trace_sink(sink);
+        kernel.exec(&program)?;
+        Ok(BenchSession { kernel, mode: strategy.name() })
+    }
+
+    /// Resurrects a session from a snapshot alone (no recompilation —
+    /// the code image lives in the snapshotted memory). `mode` labels
+    /// the resulting [`BenchRun`] and `block_cache` picks the simulator
+    /// fast path, which is transparent to all results.
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] if the snapshot is machine-only or
+    /// malformed.
+    pub fn resume(
+        snap: &cheri_snap::Snapshot,
+        mode: &'static str,
+        block_cache: bool,
+    ) -> Result<BenchSession, cheri_snap::SnapError> {
+        let kernel = Kernel::resume(snap, block_cache, RUNAWAY_BUDGET)?;
+        Ok(BenchSession { kernel, mode })
+    }
+
+    /// Captures the complete machine + kernel state.
+    #[must_use]
+    pub fn snapshot(&self) -> cheri_snap::Snapshot {
+        self.kernel.snapshot()
+    }
+
+    /// The kernel this session runs on.
+    #[must_use]
+    pub fn kernel(&self) -> &Kernel {
+        &self.kernel
+    }
+
+    /// Runs to process exit and decomposes the outcome into phases.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::run`].
+    pub fn run_to_completion(&mut self) -> Result<BenchRun, OsError> {
+        let outcome = self.kernel.run()?;
+        Ok(self.finish(outcome))
+    }
+
+    /// Runs until the workload issues `SYS_PHASE phase_id`, the natural
+    /// warm-start snapshot boundary (`Ok(None)`, still live), or to
+    /// completion if the phase never arrives (`Ok(Some(run))`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::run_until_phase`].
+    pub fn run_until_phase(&mut self, phase_id: u64) -> Result<Option<BenchRun>, OsError> {
+        let out = self.kernel.run_until_phase(phase_id)?;
+        Ok(out.map(|o| self.finish(o)))
+    }
+
+    /// Runs for exactly `steps` retired instructions (`Ok(None)`, still
+    /// live) or to completion if it exits first (`Ok(Some(run))`).
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::run_for`].
+    pub fn run_for(&mut self, steps: u64) -> Result<Option<BenchRun>, OsError> {
+        let out = self.kernel.run_for(steps)?;
+        Ok(out.map(|o| self.finish(o)))
+    }
+
+    fn finish(&self, outcome: RunOutcome) -> BenchRun {
+        let heap_used = self.kernel.heap_used().unwrap_or(0);
+        finish_run(self.mode, outcome, heap_used)
+    }
 }
 
 /// Splits an outcome into phase statistics.

@@ -143,6 +143,18 @@ impl core::fmt::Display for OsError {
 
 impl std::error::Error for OsError {}
 
+/// When [`Kernel::run_inner`] hands control back to the caller before
+/// the process exits.
+#[derive(Clone, Copy, Debug)]
+enum StopWhen {
+    /// Run to completion.
+    Never,
+    /// Stop once the process issues `SYS_PHASE` with this id.
+    PhaseId(u64),
+    /// Stop after this many retired instructions.
+    Steps(u64),
+}
+
 impl From<MemError> for OsError {
     fn from(e: MemError) -> OsError {
         OsError::Sim(e)
@@ -151,14 +163,14 @@ impl From<MemError> for OsError {
 
 /// The kernel.
 pub struct Kernel {
-    machine: Machine,
-    cfg: KernelConfig,
-    page_table: HashMap<u64, u64>,
-    next_frame: u64,
-    phases: Vec<PhaseRecord>,
-    prints: Vec<u64>,
-    console: String,
-    brk: u64,
+    pub(crate) machine: Machine,
+    pub(crate) cfg: KernelConfig,
+    pub(crate) page_table: HashMap<u64, u64>,
+    pub(crate) next_frame: u64,
+    pub(crate) phases: Vec<PhaseRecord>,
+    pub(crate) prints: Vec<u64>,
+    pub(crate) console: String,
+    pub(crate) brk: u64,
     pub(crate) domains: Vec<crate::domains::DomainSpec>,
     pub(crate) domain_stack: Vec<crate::context::Context>,
     // Domain ids mirroring `domain_stack` (for DomainCross attribution).
@@ -396,7 +408,39 @@ impl Kernel {
     /// [`OsError::OutOfMemory`] if paging fails, or [`OsError::Sim`] for
     /// simulator-level faults.
     pub fn run(&mut self) -> Result<RunOutcome, OsError> {
+        let out = self.run_inner(StopWhen::Never)?;
+        Ok(out.expect("a run with no stop condition always ends with an outcome"))
+    }
+
+    /// Runs until the process issues `SYS_PHASE` with `phase_id`
+    /// (returning `Ok(None)` with the machine positioned just *after*
+    /// the syscall — the natural snapshot point for warm-started
+    /// sweeps), or to completion (`Ok(Some(outcome))`) if the phase
+    /// never arrives.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::run`]. The instruction budget applies per call.
+    pub fn run_until_phase(&mut self, phase_id: u64) -> Result<Option<RunOutcome>, OsError> {
+        self.run_inner(StopWhen::PhaseId(phase_id))
+    }
+
+    /// Runs for at most `steps` retired instructions, returning
+    /// `Ok(None)` if the budget elapsed with the process still live or
+    /// `Ok(Some(outcome))` if it finished first. Stopping is exact —
+    /// precisely `steps` instructions retire — which is what
+    /// `snapreplay`'s divergence bisection depends on.
+    ///
+    /// # Errors
+    ///
+    /// As [`Kernel::run`]. The instruction budget applies per call.
+    pub fn run_for(&mut self, steps: u64) -> Result<Option<RunOutcome>, OsError> {
+        self.run_inner(StopWhen::Steps(steps))
+    }
+
+    fn run_inner(&mut self, stop: StopWhen) -> Result<Option<RunOutcome>, OsError> {
         let start_instructions = self.machine.stats.instructions;
+        let mut phase_mark = self.phases.len();
         let exit = loop {
             let executed = self.machine.stats.instructions - start_instructions;
             if executed >= self.cfg.max_instructions {
@@ -407,12 +451,26 @@ impl Kernel {
             // any kernel-visible event (or with `Continue` once the
             // budget is spent, which the loop head converts to
             // `Runaway` — the same boundary the per-step loop had).
-            let budget = self.cfg.max_instructions - executed;
+            let mut budget = self.cfg.max_instructions - executed;
+            if let StopWhen::Steps(n) = stop {
+                if executed >= n {
+                    return Ok(None);
+                }
+                budget = budget.min(n - executed);
+            }
             match self.machine.run(budget).map_err(OsError::Sim)? {
                 StepResult::Continue => {}
                 StepResult::Syscall => {
                     if let Some(reason) = self.handle_syscall() {
                         break reason;
+                    }
+                    if let StopWhen::PhaseId(id) = stop {
+                        if self.phases.len() > phase_mark {
+                            phase_mark = self.phases.len();
+                            if self.phases[phase_mark - 1].id == id {
+                                return Ok(None);
+                            }
+                        }
                     }
                 }
                 StepResult::Break(code) => {
@@ -462,7 +520,7 @@ impl Kernel {
                 }
             }
         };
-        Ok(RunOutcome {
+        Ok(Some(RunOutcome {
             exit,
             stats: self.machine.stats,
             phases: self.phases.clone(),
@@ -471,7 +529,7 @@ impl Kernel {
             pages_touched: self.page_table.len() as u64,
             tag_stats: self.machine.mem.tag_stats(),
             metrics: self.metrics(),
-        })
+        }))
     }
 
     /// A unified snapshot of every counter the kernel and the machine

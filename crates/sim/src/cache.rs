@@ -216,6 +216,64 @@ impl Cache {
         }
         self.mru_block = u64::MAX;
     }
+
+    /// Exports the complete cache state for `cheri-snap`. The MRU
+    /// cursor is included: it is architecturally transparent, but
+    /// restoring it makes a restored cache bit-identical to the
+    /// original (which the snapshot equality tests assert).
+    #[must_use]
+    pub fn export_state(&self) -> cheri_snap::CacheState {
+        cheri_snap::CacheState {
+            lines: self
+                .lines
+                .iter()
+                .map(|l| cheri_snap::CacheLineState {
+                    valid: l.valid,
+                    dirty: l.dirty,
+                    tag: l.tag,
+                    lru: l.lru,
+                })
+                .collect(),
+            tick: self.tick,
+            hits: self.hits,
+            misses: self.misses,
+            writebacks: self.writebacks,
+            mru_block: self.mru_block,
+            mru_index: self.mru_index as u64,
+        }
+    }
+
+    /// Restores state exported by [`Cache::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] if the line count does not match this
+    /// cache's geometry.
+    pub fn import_state(
+        &mut self,
+        s: &cheri_snap::CacheState,
+    ) -> Result<(), cheri_snap::SnapError> {
+        if s.lines.len() != self.lines.len() {
+            return Err(cheri_snap::SnapError(format!(
+                "cache holds {} lines, snapshot has {}",
+                self.lines.len(),
+                s.lines.len()
+            )));
+        }
+        if (s.mru_index as usize) >= self.lines.len() && s.mru_block != u64::MAX {
+            return Err(cheri_snap::SnapError(format!("MRU index {} out of range", s.mru_index)));
+        }
+        for (l, sl) in self.lines.iter_mut().zip(&s.lines) {
+            *l = Line { valid: sl.valid, dirty: sl.dirty, tag: sl.tag, lru: sl.lru };
+        }
+        self.tick = s.tick;
+        self.hits = s.hits;
+        self.misses = s.misses;
+        self.writebacks = s.writebacks;
+        self.mru_block = s.mru_block;
+        self.mru_index = (s.mru_index as usize).min(self.lines.len().saturating_sub(1));
+        Ok(())
+    }
 }
 
 /// Latency parameters (penalty cycles beyond the base CPI).
@@ -390,6 +448,35 @@ impl Hierarchy {
         self.l1i.flush();
         self.l1d.flush();
         self.l2.flush();
+    }
+
+    /// Exports all three caches and the DRAM counters for `cheri-snap`.
+    #[must_use]
+    pub fn export_state(&self) -> cheri_snap::HierarchyState {
+        cheri_snap::HierarchyState {
+            l1i: self.l1i.export_state(),
+            l1d: self.l1d.export_state(),
+            l2: self.l2.export_state(),
+            dram_bytes: self.dram_bytes,
+            dram_accesses: self.dram_accesses,
+        }
+    }
+
+    /// Restores state exported by [`Hierarchy::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] if any cache's geometry differs.
+    pub fn import_state(
+        &mut self,
+        s: &cheri_snap::HierarchyState,
+    ) -> Result<(), cheri_snap::SnapError> {
+        self.l1i.import_state(&s.l1i)?;
+        self.l1d.import_state(&s.l1d)?;
+        self.l2.import_state(&s.l2)?;
+        self.dram_bytes = s.dram_bytes;
+        self.dram_accesses = s.dram_accesses;
+        Ok(())
     }
 }
 

@@ -1508,6 +1508,237 @@ impl Machine {
         snap.set_counter(names::TAG_CACHE_WRITEBACKS, t.writebacks);
         snap
     }
+
+    /// The identity half of a snapshot: everything needed to verify (or
+    /// rebuild) a compatible machine. The `block_cache` flag and trace
+    /// sinks are deliberately *not* recorded — both are architecturally
+    /// transparent, so a snapshot taken with the block cache on restores
+    /// bit-identically onto a machine running with it off (the
+    /// transparency tests rely on this).
+    fn export_config(&self) -> cheri_snap::ConfigState {
+        let h = &self.cfg.hierarchy;
+        cheri_snap::ConfigState {
+            mem_bytes: self.cfg.mem_bytes as u64,
+            tlb_entries: self.cfg.tlb_entries as u64,
+            l1: [h.l1.size as u64, h.l1.line as u64, h.l1.ways as u64],
+            l2: [h.l2.size as u64, h.l2.line as u64, h.l2.ways as u64],
+            l2_latency: h.l2_latency,
+            dram_latency: h.dram_latency,
+            cheri_enabled: self.cfg.cheri_enabled,
+            tag_cache_bytes: self.cfg.tag_cache_bytes as u64,
+            cap_size: self.cfg.cap_format.size(),
+            bht_entries: self.cfg.bht_entries as u64,
+            mul_penalty: self.cfg.mul_penalty,
+            div_penalty: self.cfg.div_penalty,
+        }
+    }
+
+    /// Reconstructs a [`MachineConfig`] from a snapshot's identity
+    /// section. `block_cache` is a caller decision (it is not part of
+    /// the snapshot).
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] if the recorded capability size names
+    /// no known format.
+    pub fn config_from_state(
+        s: &cheri_snap::ConfigState,
+        block_cache: bool,
+    ) -> Result<MachineConfig, cheri_snap::SnapError> {
+        let cap_format = match s.cap_size {
+            32 => CapFormat::C256,
+            16 => CapFormat::C128,
+            other => {
+                return Err(cheri_snap::SnapError(format!(
+                    "unknown capability size {other} (expected 16 or 32)"
+                )))
+            }
+        };
+        Ok(MachineConfig {
+            mem_bytes: s.mem_bytes as usize,
+            tlb_entries: s.tlb_entries as usize,
+            hierarchy: HierarchyParams {
+                l1: crate::cache::CacheParams {
+                    size: s.l1[0] as usize,
+                    line: s.l1[1] as usize,
+                    ways: s.l1[2] as usize,
+                },
+                l2: crate::cache::CacheParams {
+                    size: s.l2[0] as usize,
+                    line: s.l2[1] as usize,
+                    ways: s.l2[2] as usize,
+                },
+                l2_latency: s.l2_latency,
+                dram_latency: s.dram_latency,
+            },
+            cheri_enabled: s.cheri_enabled,
+            tag_cache_bytes: s.tag_cache_bytes as usize,
+            cap_format,
+            bht_entries: s.bht_entries as usize,
+            mul_penalty: s.mul_penalty,
+            div_penalty: s.div_penalty,
+            block_cache,
+        })
+    }
+
+    fn export_cpu(&self) -> cheri_snap::CpuState {
+        let cp0 = &self.cpu.cp0;
+        let mut caps = Vec::with_capacity(33);
+        for i in 0..32u8 {
+            caps.push(cap_to_state(self.cpu.caps.get(i)));
+        }
+        caps.push(cap_to_state(self.cpu.caps.pcc()));
+        cheri_snap::CpuState {
+            gpr: self.cpu.gpr,
+            hi: self.cpu.hi,
+            lo: self.cpu.lo,
+            pc: self.cpu.pc,
+            next_pc: self.cpu.next_pc,
+            cp0: [
+                cp0.index,
+                cp0.entrylo0,
+                cp0.entrylo1,
+                cp0.badvaddr,
+                cp0.count,
+                cp0.entryhi,
+                cp0.status,
+                cp0.cause,
+                cp0.epc,
+                cp0.capcause,
+            ],
+            caps,
+            ll_reservation: self.cpu.ll_reservation,
+        }
+    }
+
+    fn import_cpu(&mut self, s: &cheri_snap::CpuState) -> Result<(), cheri_snap::SnapError> {
+        if s.caps.len() != 33 {
+            return Err(cheri_snap::SnapError(format!(
+                "expected 33 capability registers (c0..c31 + PCC), snapshot has {}",
+                s.caps.len()
+            )));
+        }
+        self.cpu.gpr = s.gpr;
+        self.cpu.gpr[0] = 0;
+        self.cpu.hi = s.hi;
+        self.cpu.lo = s.lo;
+        self.cpu.pc = s.pc;
+        self.cpu.next_pc = s.next_pc;
+        let cp0 = &mut self.cpu.cp0;
+        cp0.index = s.cp0[0];
+        cp0.entrylo0 = s.cp0[1];
+        cp0.entrylo1 = s.cp0[2];
+        cp0.badvaddr = s.cp0[3];
+        cp0.count = s.cp0[4];
+        cp0.entryhi = s.cp0[5];
+        cp0.status = s.cp0[6];
+        cp0.cause = s.cp0[7];
+        cp0.epc = s.cp0[8];
+        cp0.capcause = s.cp0[9];
+        for i in 0..32u8 {
+            self.cpu.caps.set(i, cap_from_state(&s.caps[usize::from(i)]));
+        }
+        self.cpu.caps.set_pcc(cap_from_state(&s.caps[32]));
+        self.cpu.ll_reservation = s.ll_reservation;
+        Ok(())
+    }
+
+    /// Captures the complete machine state as a deterministic
+    /// [`cheri_snap::MachineState`]: architectural state (CPU, CP0, CP2,
+    /// TLB, tagged memory) *and* the timing model's microarchitectural
+    /// state (caches, tag cache, branch predictor, statistics), so a
+    /// restored run is bit-identical — same results, same cycle counts —
+    /// to one that never stopped. Reconstructible acceleration state
+    /// (micro-TLBs, the predecoded block cache) and harness attachments
+    /// (trace sinks) are excluded; they regenerate on demand and never
+    /// affect either results or timing.
+    #[must_use]
+    pub fn snapshot(&self) -> cheri_snap::MachineState {
+        cheri_snap::MachineState {
+            config: self.export_config(),
+            cpu: self.export_cpu(),
+            tlb: self.tlb.export_state(),
+            hierarchy: self.hierarchy.export_state(),
+            predictor: self.predictor.export_state(),
+            stats: self.stats.to_array(),
+            bare: self.bare,
+            mem: self.mem.export_state(),
+        }
+    }
+
+    /// Restores state captured by [`Machine::snapshot`] onto this
+    /// machine. The machine must have a compatible identity (same memory
+    /// size, cache geometry, capability format, …); the `block_cache`
+    /// setting may differ, since it is architecturally transparent.
+    /// Micro-TLBs and the predecoded block cache are invalidated — they
+    /// cache derivations of the state that was just replaced.
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] naming the first mismatch; on error the
+    /// machine may be partially restored and must not be resumed.
+    pub fn restore(&mut self, s: &cheri_snap::MachineState) -> Result<(), cheri_snap::SnapError> {
+        let mine = self.export_config();
+        if mine != s.config {
+            return Err(cheri_snap::SnapError(format!(
+                "machine identity mismatch: running {mine:?}, snapshot {:?}",
+                s.config
+            )));
+        }
+        self.import_cpu(&s.cpu)?;
+        self.tlb.import_state(&s.tlb)?;
+        self.hierarchy.import_state(&s.hierarchy)?;
+        self.predictor.import_state(&s.predictor)?;
+        self.stats = Stats::from_array(s.stats);
+        self.bare = s.bare;
+        self.mem.import_state(&s.mem)?;
+        self.invalidate_utlb();
+        self.blocks.invalidate_all();
+        Ok(())
+    }
+
+    /// Builds a fresh machine from a snapshot: reconstructs the
+    /// configuration (with the caller's `block_cache` choice) and
+    /// restores the state. This is what `snapreplay` uses to resurrect
+    /// a machine with no help from the harness that took the snapshot.
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] if the identity section is malformed or
+    /// the state fails to restore.
+    pub fn from_state(
+        s: &cheri_snap::MachineState,
+        block_cache: bool,
+    ) -> Result<Machine, cheri_snap::SnapError> {
+        let cfg = Machine::config_from_state(&s.config, block_cache)?;
+        let mut m = Machine::new(cfg);
+        m.restore(s)?;
+        Ok(m)
+    }
+}
+
+/// Converts a capability to its snapshot image: the tag plus the four
+/// big-endian words of the 256-bit memory representation (Figure 1).
+/// Shared with `cheri-os`, which snapshots saved contexts and domain
+/// capabilities in the same format.
+#[must_use]
+pub fn cap_to_state(cap: &Capability) -> cheri_snap::CapState {
+    let bytes = cap.to_bytes();
+    let mut words = [0u64; 4];
+    for (i, w) in words.iter_mut().enumerate() {
+        *w = u64::from_be_bytes(bytes[i * 8..i * 8 + 8].try_into().expect("8-byte slice"));
+    }
+    cheri_snap::CapState { tag: cap.tag(), words }
+}
+
+/// Inverse of [`cap_to_state`].
+#[must_use]
+pub fn cap_from_state(s: &cheri_snap::CapState) -> Capability {
+    let mut bytes = [0u8; 32];
+    for (i, w) in s.words.iter().enumerate() {
+        bytes[i * 8..i * 8 + 8].copy_from_slice(&w.to_be_bytes());
+    }
+    Capability::from_bytes(&bytes, s.tag)
 }
 
 impl core::fmt::Debug for Machine {

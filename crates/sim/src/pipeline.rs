@@ -127,6 +127,46 @@ impl BranchPredictor {
         }
         correct
     }
+
+    /// Exports the counter table (run-length encoded) for `cheri-snap`.
+    #[must_use]
+    pub fn export_state(&self) -> cheri_snap::PredictorState {
+        cheri_snap::PredictorState {
+            counters: cheri_snap::rle_encode(self.counters.iter().map(|&c| u64::from(c))),
+        }
+    }
+
+    /// Restores state exported by [`BranchPredictor::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] if the table size differs or a counter
+    /// exceeds the 2-bit range.
+    pub fn import_state(
+        &mut self,
+        s: &cheri_snap::PredictorState,
+    ) -> Result<(), cheri_snap::SnapError> {
+        if cheri_snap::rle_len(&s.counters) != self.counters.len() as u64 {
+            return Err(cheri_snap::SnapError(format!(
+                "predictor holds {} counters, snapshot has {}",
+                self.counters.len(),
+                cheri_snap::rle_len(&s.counters)
+            )));
+        }
+        let mut at = 0usize;
+        for &(count, value) in &s.counters {
+            if value > 3 {
+                return Err(cheri_snap::SnapError(format!(
+                    "predictor counter {value} out of 2-bit range"
+                )));
+            }
+            for _ in 0..count {
+                self.counters[at] = value as u8;
+                at += 1;
+            }
+        }
+        Ok(())
+    }
 }
 
 #[cfg(test)]

@@ -66,6 +66,51 @@ impl Stats {
         self.bytes_loaded + self.bytes_stored
     }
 
+    /// The fixed field order used by `cheri-snap` serialization. Keep in
+    /// sync with [`Stats::from_array`] and the struct declaration.
+    #[must_use]
+    pub fn to_array(&self) -> [u64; 15] {
+        [
+            self.instructions,
+            self.cycles,
+            self.loads,
+            self.stores,
+            self.bytes_loaded,
+            self.bytes_stored,
+            self.branches,
+            self.mispredicts,
+            self.cap_instructions,
+            self.cap_loads,
+            self.cap_stores,
+            self.syscalls,
+            self.exceptions,
+            self.tlb_refills,
+            self.cap_violations,
+        ]
+    }
+
+    /// Inverse of [`Stats::to_array`].
+    #[must_use]
+    pub fn from_array(a: [u64; 15]) -> Stats {
+        Stats {
+            instructions: a[0],
+            cycles: a[1],
+            loads: a[2],
+            stores: a[3],
+            bytes_loaded: a[4],
+            bytes_stored: a[5],
+            branches: a[6],
+            mispredicts: a[7],
+            cap_instructions: a[8],
+            cap_loads: a[9],
+            cap_stores: a[10],
+            syscalls: a[11],
+            exceptions: a[12],
+            tlb_refills: a[13],
+            cap_violations: a[14],
+        }
+    }
+
     /// Difference of two snapshots (`self - earlier`), for phase
     /// decomposition (Figure 4 splits allocation from computation).
     ///

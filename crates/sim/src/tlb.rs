@@ -235,6 +235,69 @@ impl Tlb {
         }
     }
 
+    /// Exports the full TLB state (entries, replacement cursor, miss
+    /// count) for `cheri-snap`.
+    #[must_use]
+    pub fn export_state(&self) -> cheri_snap::TlbState {
+        let pack = |f: TlbFlags| {
+            u64::from(f.valid)
+                | (u64::from(f.dirty) << 1)
+                | (u64::from(f.cap_load) << 2)
+                | (u64::from(f.cap_store) << 3)
+        };
+        cheri_snap::TlbState {
+            entries: self
+                .entries
+                .iter()
+                .map(|e| cheri_snap::TlbEntryState {
+                    vpn2: e.vpn2,
+                    pfn0: e.pfn0,
+                    flags0: pack(e.flags0),
+                    pfn1: e.pfn1,
+                    flags1: pack(e.flags1),
+                    present: e.present,
+                })
+                .collect(),
+            next_random: self.next_random as u64,
+            misses: self.misses,
+        }
+    }
+
+    /// Restores state exported by [`Tlb::export_state`].
+    ///
+    /// # Errors
+    ///
+    /// [`cheri_snap::SnapError`] if the snapshot's entry count differs
+    /// from this TLB's geometry.
+    pub fn import_state(&mut self, s: &cheri_snap::TlbState) -> Result<(), cheri_snap::SnapError> {
+        if s.entries.len() != self.entries.len() {
+            return Err(cheri_snap::SnapError(format!(
+                "TLB holds {} entries, snapshot has {}",
+                self.entries.len(),
+                s.entries.len()
+            )));
+        }
+        let unpack = |bits: u64| TlbFlags {
+            valid: bits & 1 != 0,
+            dirty: bits & 2 != 0,
+            cap_load: bits & 4 != 0,
+            cap_store: bits & 8 != 0,
+        };
+        for (e, se) in self.entries.iter_mut().zip(&s.entries) {
+            *e = TlbEntry {
+                vpn2: se.vpn2,
+                pfn0: se.pfn0,
+                flags0: unpack(se.flags0),
+                pfn1: se.pfn1,
+                flags1: unpack(se.flags1),
+                present: se.present,
+            };
+        }
+        self.next_random = (s.next_random as usize) % self.entries.len().max(1);
+        self.misses = s.misses;
+        Ok(())
+    }
+
     /// Invalidates any entry mapping the page containing `vaddr`
     /// (revocation via unmapping, Section 6.1).
     pub fn invalidate_page(&mut self, vaddr: u64) {

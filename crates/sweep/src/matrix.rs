@@ -8,7 +8,7 @@
 
 use beri_sim::MachineConfig;
 use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy, SoftFatPtr};
-use cheri_olden::dsl::{machine_config, run_bench_with_sink, BenchRun, DslBench};
+use cheri_olden::dsl::{machine_config, run_bench_with_sink, BenchRun, BenchSession, DslBench};
 use cheri_olden::OldenParams;
 use cheri_trace::{marker, SharedSink};
 
@@ -236,6 +236,76 @@ pub fn run_spec_with_config(
     let run = run_bench_with_sink(spec.workload, &spec.params, strategy.as_ref(), cfg, sink)
         .map_err(|e| e.to_string())?;
     Ok(JobResult { spec: *spec, run })
+}
+
+/// The phase id at which warm-start snapshots are taken. Every Olden
+/// workload issues `SYS_PHASE 2` when its computation phase begins, so
+/// a snapshot here has compilation, exec, and allocation already paid
+/// for — the warm pass replays only the computation.
+pub const WARM_SNAPSHOT_PHASE: u64 = 2;
+
+/// Cold run of one job that *also* captures the warm-start snapshot at
+/// the phase-2 (allocation → computation) boundary. Returns the full
+/// cold result plus the snapshot, or `None` if the workload exited
+/// before ever reaching the phase (the result is then complete anyway).
+///
+/// # Errors
+///
+/// As [`run_spec_with_config`].
+pub fn run_spec_split(
+    spec: &JobSpec,
+    cfg: MachineConfig,
+) -> Result<(JobResult, Option<cheri_snap::Snapshot>), String> {
+    let strategy = spec.strategy.strategy();
+    let mut session =
+        BenchSession::start(spec.workload, &spec.params, strategy.as_ref(), cfg, None)
+            .map_err(|e| e.to_string())?;
+    match session.run_until_phase(WARM_SNAPSHOT_PHASE).map_err(|e| e.to_string())? {
+        Some(run) => Ok((JobResult { spec: *spec, run }, None)),
+        None => {
+            let snap = session.snapshot();
+            let run = session.run_to_completion().map_err(|e| e.to_string())?;
+            Ok((JobResult { spec: *spec, run }, Some(snap)))
+        }
+    }
+}
+
+/// Warm run of one job: restores a [`run_spec_split`] snapshot and runs
+/// the remainder. The result must be byte-identical to the cold run the
+/// snapshot came from — `xsweep --warm` asserts this in-process.
+///
+/// # Errors
+///
+/// As [`run_spec_with_config`], plus snapshot-restore failures.
+pub fn run_spec_resume(
+    spec: &JobSpec,
+    snap: &cheri_snap::Snapshot,
+    block_cache: bool,
+) -> Result<JobResult, String> {
+    let mut session =
+        BenchSession::resume(snap, spec.strategy.name(), block_cache).map_err(|e| e.to_string())?;
+    let run = session.run_to_completion().map_err(|e| e.to_string())?;
+    Ok(JobResult { spec: *spec, run })
+}
+
+/// Runs one job to completion and returns the result together with the
+/// *final* machine+kernel snapshot — the divergence artifact written
+/// under `results/` when a sweep gate or transparency assert fails.
+///
+/// # Errors
+///
+/// As [`run_spec_with_config`].
+pub fn run_spec_final_snap(
+    spec: &JobSpec,
+    cfg: MachineConfig,
+) -> Result<(JobResult, cheri_snap::Snapshot), String> {
+    let strategy = spec.strategy.strategy();
+    let mut session =
+        BenchSession::start(spec.workload, &spec.params, strategy.as_ref(), cfg, None)
+            .map_err(|e| e.to_string())?;
+    let run = session.run_to_completion().map_err(|e| e.to_string())?;
+    let snap = session.snapshot();
+    Ok((JobResult { spec: *spec, run }, snap))
 }
 
 /// Runs `specs` across `threads` worker threads (each job owns its own

@@ -49,6 +49,12 @@
 //! assert_eq!(snap.counter("cache.l1d.hits"), 1);
 //! ```
 
+// Library paths must report errors, not abort: every fallible path
+// returns Result or uses expect with a stated invariant. Tests may
+// unwrap freely.
+#![warn(clippy::unwrap_used)]
+#![cfg_attr(test, allow(clippy::unwrap_used))]
+
 mod event;
 pub mod json;
 mod metrics;
