@@ -83,6 +83,14 @@ impl Asm {
         Ok(())
     }
 
+    /// The address `label` is bound to, or `None` if it is still
+    /// unbound. Lets callers (e.g. the compiler's symbol exporter) map
+    /// labels back to addresses before finalizing.
+    #[must_use]
+    pub fn label_addr(&self, label: Label) -> Option<u64> {
+        self.labels[label.0]
+    }
+
     /// Marks the current position as the program entry point (defaults to
     /// `base`).
     pub fn set_entry_here(&mut self) {

@@ -1,0 +1,168 @@
+//! `profbin` — guest-side profile of a single workload.
+//!
+//! Runs one workload × strategy cell of the experiment matrix with the
+//! symbolized profiler attached and prints the hottest functions with
+//! full miss attribution: retired instructions, L1/L2/tag-cache
+//! misses, TLB refills, and capability exceptions, each charged to the
+//! guest PC (and thus function) that incurred them.
+//!
+//! ```text
+//! profbin [--workload bisort|mst|treeadd|perimeter]   (default: treeadd)
+//!         [--strategy mips|ccured|ccured-elide|cheri|cheri128]
+//!                                                     (default: cheri)
+//!         [--tag-kb N]           tag-cache capacity in KB (default: 8)
+//!         [--top N]              rows in the function table (default: 10)
+//!         [--folded PATH]        write flamegraph collapsed stacks
+//!         [--prof-timeline PATH] write the Chrome trace-event /
+//!                                Perfetto timeline JSON
+//!         [--json PATH]          write the full profile report JSON
+//! ```
+//!
+//! The folded output feeds `flamegraph.pl` / speedscope directly; the
+//! timeline JSON loads in `ui.perfetto.dev` or `chrome://tracing`.
+
+use cheri_olden::dsl::DslBench;
+use cheri_olden::OldenParams;
+use cheri_sweep::{run_spec_profiled, JobSpec, StrategyKind, DEFAULT_TAG_CACHE_KB};
+use std::path::{Path, PathBuf};
+
+struct Args {
+    workload: DslBench,
+    strategy: StrategyKind,
+    tag_kb: usize,
+    top: usize,
+    folded: Option<PathBuf>,
+    timeline: Option<PathBuf>,
+    json: Option<PathBuf>,
+}
+
+fn usage(msg: &str) -> ! {
+    eprintln!("profbin: {msg}");
+    eprintln!(
+        "usage: profbin [--workload NAME] [--strategy NAME] [--tag-kb N] [--top N] \
+         [--folded PATH] [--prof-timeline PATH] [--json PATH]"
+    );
+    std::process::exit(2);
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("profbin: {msg}");
+    std::process::exit(1);
+}
+
+fn parse_workload(name: &str) -> DslBench {
+    DslBench::ALL
+        .into_iter()
+        .find(|b| b.name() == name)
+        .unwrap_or_else(|| usage(&format!("unknown workload '{name}'")))
+}
+
+fn parse_args() -> Args {
+    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut args = Args {
+        workload: DslBench::Treeadd,
+        strategy: StrategyKind::Cheri256,
+        tag_kb: DEFAULT_TAG_CACHE_KB,
+        top: 10,
+        folded: None,
+        timeline: None,
+        json: None,
+    };
+    let mut i = 0;
+    while i < argv.len() {
+        let value = |i: usize| -> &str {
+            argv.get(i + 1).unwrap_or_else(|| usage(&format!("{} requires a value", argv[i])))
+        };
+        match argv[i].as_str() {
+            "--workload" => args.workload = parse_workload(value(i)),
+            "--strategy" => {
+                args.strategy = StrategyKind::parse(value(i))
+                    .unwrap_or_else(|| usage(&format!("unknown strategy '{}'", value(i))));
+            }
+            "--tag-kb" => {
+                args.tag_kb = value(i)
+                    .parse()
+                    .unwrap_or_else(|_| usage("--tag-kb requires a non-negative integer"));
+            }
+            "--top" => {
+                args.top = match value(i).parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => usage("--top requires a positive integer"),
+                };
+            }
+            "--folded" => args.folded = Some(PathBuf::from(value(i))),
+            "--prof-timeline" => args.timeline = Some(PathBuf::from(value(i))),
+            "--json" => args.json = Some(PathBuf::from(value(i))),
+            other => usage(&format!("unknown argument '{other}'")),
+        }
+        i += 2;
+    }
+    args
+}
+
+fn write_out(path: &Path, text: &str, what: &str) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
+    }
+    std::fs::write(path, text)
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    println!("{what}: {}", path.display());
+}
+
+fn main() {
+    let args = parse_args();
+    let spec = JobSpec {
+        tag_cache_kb: args.tag_kb,
+        ..JobSpec::new(args.workload, args.strategy, OldenParams::scaled())
+    };
+    let (result, profile) = run_spec_profiled(&spec, spec.machine_config())
+        .unwrap_or_else(|e| fail(&format!("{}: {e}", spec.key())));
+
+    let stats = &result.run.outcome.stats;
+    println!("== profbin: {} ==\n", spec.key());
+    println!(
+        "{} instructions retired in {} cycles; profile attributes {} of them across {} \
+         functions\n",
+        stats.instructions,
+        stats.cycles,
+        profile.total.retired,
+        profile.functions.len()
+    );
+
+    println!(
+        "{:<16} {:>12} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}",
+        "function", "retired", "l1i", "l1d", "l2", "tag", "tlb", "capex"
+    );
+    for f in profile.functions.iter().take(args.top) {
+        println!(
+            "{:<16} {:>12} {:>8} {:>8} {:>8} {:>8} {:>6} {:>6}",
+            f.name,
+            f.counters.retired,
+            f.counters.l1i_misses,
+            f.counters.l1d_misses,
+            f.counters.l2_misses,
+            f.counters.tag_misses,
+            f.counters.tlb_refills,
+            f.counters.cap_exceptions,
+        );
+    }
+    if profile.functions.len() > args.top {
+        println!("... ({} more functions; --top to widen)", profile.functions.len() - args.top);
+    }
+    println!(
+        "\n{} unique stacks, {} timeline events",
+        profile.folded.len(),
+        profile.timeline.events().len()
+    );
+
+    if let Some(path) = &args.folded {
+        write_out(path, &profile.folded_output(), "folded stacks");
+    }
+    if let Some(path) = &args.timeline {
+        write_out(path, &profile.timeline_json(), "timeline");
+    }
+    if let Some(path) = &args.json {
+        write_out(path, &profile.to_json(), "profile report");
+    }
+}

@@ -22,6 +22,11 @@
 //!                                       phase-2 boundary), then again warm-started
 //!                                       from the snapshot; assert the two reports
 //!                                       are byte-identical and record the speedup
+//!        [--prof]                       run every job plain and then with the
+//!                                       symbolized guest profiler attached; assert
+//!                                       the two reports are byte-identical and
+//!                                       write per-job profiles (.prof.json,
+//!                                       .folded, .timeline.json) to results/prof/
 //! ```
 //!
 //! When the `--perf` transparency assert, the `--warm` equality assert,
@@ -32,8 +37,8 @@
 use cheri_snap::Snapshot;
 use cheri_sweep::{
     check_reports, comparisons, profile_matrix, render_drifts, run_indexed, run_spec_final_snap,
-    run_spec_resume, run_spec_split, run_specs, run_specs_block_cache, JobRecord, JobResult,
-    Profile, SweepReport,
+    run_spec_resume, run_spec_split, run_specs, run_specs_block_cache, run_specs_profiled,
+    JobRecord, JobResult, Profile, SweepReport,
 };
 use cheri_trace::json::{self, Json};
 use std::path::{Path, PathBuf};
@@ -47,6 +52,7 @@ struct Args {
     bless: Option<PathBuf>,
     perf: Option<PathBuf>,
     warm: bool,
+    prof: bool,
 }
 
 /// Command-line misuse: print the usage synopsis and exit 2.
@@ -54,7 +60,7 @@ fn usage(msg: &str) -> ! {
     eprintln!("xsweep: {msg}");
     eprintln!(
         "usage: xsweep [--profile smoke|full|paper] [--jobs N] [--out PATH] \
-         [--check BASELINE] [--bless [PATH]] [--perf [PATH]] [--warm]"
+         [--check BASELINE] [--bless [PATH]] [--perf [PATH]] [--warm] [--prof]"
     );
     std::process::exit(2);
 }
@@ -78,6 +84,7 @@ fn parse_args() -> Args {
         bless: None,
         perf: None,
         warm: false,
+        prof: false,
     };
     let mut i = 0;
     let mut blessed = false;
@@ -130,6 +137,10 @@ fn parse_args() -> Args {
                 args.warm = true;
                 i += 1;
             }
+            "--prof" => {
+                args.prof = true;
+                i += 1;
+            }
             other => usage(&format!("unknown argument '{other}'")),
         }
     }
@@ -138,6 +149,9 @@ fn parse_args() -> Args {
     }
     if args.warm && args.perf.is_some() {
         usage("--warm and --perf are separate timing modes; pass one at a time");
+    }
+    if args.prof && (args.warm || args.perf.is_some()) {
+        usage("--prof is its own mode; pass it without --perf/--warm");
     }
     args
 }
@@ -419,6 +433,72 @@ fn run_warm(args: &Args) -> ! {
     std::process::exit(0);
 }
 
+/// `--prof`: runs the whole matrix plain and then with a symbolized
+/// guest profiler attached to every job, insists the two sweep reports
+/// are byte-identical (profiling is observational — any divergence is
+/// a profiler bug), and writes each job's profile as
+/// `results/prof/<key>.prof.json` plus flamegraph collapsed stacks
+/// (`.folded`) and the Perfetto/Chrome trace-event timeline
+/// (`.timeline.json`). On divergence the first offending job's final
+/// machine+kernel snapshot lands in `results/` for `snapreplay`.
+fn run_prof(args: &Args) -> ! {
+    let specs = profile_matrix(args.profile);
+    println!(
+        "== xsweep --prof: {} jobs ({} profile) on {} thread{}, plain vs profiled ==\n",
+        specs.len(),
+        args.profile.name(),
+        args.jobs,
+        if args.jobs == 1 { "" } else { "s" }
+    );
+    let plain = run_specs(&specs, args.jobs);
+    let report_plain = SweepReport::from_results(args.profile.name(), &plain);
+    let profiled = run_specs_profiled(&specs, args.jobs);
+    let prof_results: Vec<JobResult> = profiled.iter().map(|(r, _)| r.clone()).collect();
+    let report_prof = SweepReport::from_results(args.profile.name(), &prof_results);
+    if report_plain.to_json() != report_prof.to_json() {
+        let bad = report_plain
+            .jobs
+            .iter()
+            .zip(&report_prof.jobs)
+            .find(|(a, b)| a != b)
+            .map_or_else(|| "<report>".to_string(), |(a, _)| a.key.clone());
+        if let Some(spec) = specs.iter().find(|s| s.key() == bad) {
+            match run_spec_final_snap(spec, spec.machine_config()) {
+                Ok((_, snap)) => {
+                    write_divergence(&bad, "-plain", &snap);
+                }
+                Err(e) => eprintln!("xsweep: re-run of {bad} failed: {e}"),
+            }
+        }
+        fail(&format!(
+            "profiling changed architectural results (first diverging job: {bad}) — \
+             it must be observational; triage with snapreplay"
+        ));
+    }
+    println!("reports identical: yes (profiling is observationally transparent)\n");
+
+    let dir = Path::new("results/prof");
+    println!("{:<28} {:>14} {:>6}  hottest function", "job", "retired", "funcs");
+    for (result, profile) in &profiled {
+        let key = result.spec.key();
+        let flat = key.replace('/', "-");
+        write_report(&dir.join(format!("{flat}.prof.json")), &profile.to_json());
+        write_report(&dir.join(format!("{flat}.folded")), &profile.folded_output());
+        write_report(&dir.join(format!("{flat}.timeline.json")), &profile.timeline_json());
+        let hottest = profile.functions.first().map_or("-", |f| f.name.as_str());
+        println!(
+            "{key:<28} {:>14} {:>6}  {hottest}",
+            profile.total.retired,
+            profile.functions.len()
+        );
+    }
+    println!("\nper-job profiles: {}", dir.display());
+
+    write_report(&args.out, &report_plain.to_json());
+    println!("report: {}", args.out.display());
+    std::process::exit(0);
+}
+
 fn main() {
     let args = parse_args();
     if let Some(path) = args.perf.clone() {
@@ -426,6 +506,9 @@ fn main() {
     }
     if args.warm {
         run_warm(&args);
+    }
+    if args.prof {
+        run_prof(&args);
     }
     let specs = profile_matrix(args.profile);
     println!(

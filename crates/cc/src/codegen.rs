@@ -46,6 +46,20 @@ enum ArgLoc {
     Ptr(PtrLoc),
 }
 
+/// One compiled function's symbol: name plus its `[start, end)` text
+/// range. Returned by [`compile_with_symbols`] for profilers and other
+/// tooling that needs to map PCs back to source functions.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct FuncSym {
+    /// The IR function name (`"_start"` for the entry/trap stub region
+    /// that precedes the first function).
+    pub name: &'static str,
+    /// Address of the function's first instruction.
+    pub start: u64,
+    /// One past the function's last instruction.
+    pub end: u64,
+}
+
 /// Compiles `module` under `strategy` into a loadable [`Program`].
 ///
 /// # Errors
@@ -57,6 +71,21 @@ pub fn compile(
     strategy: &dyn PtrStrategy,
     opts: CompileOpts,
 ) -> Result<Program, CompileError> {
+    compile_with_symbols(module, strategy, opts).map(|(program, _)| program)
+}
+
+/// Like [`compile`], but also returns the function symbol map. Symbols
+/// are contiguous and in address order: the synthetic `_start` region
+/// (entry + trap stubs) first, then every IR function.
+///
+/// # Errors
+///
+/// Same as [`compile`].
+pub fn compile_with_symbols(
+    module: &Module,
+    strategy: &dyn PtrStrategy,
+    opts: CompileOpts,
+) -> Result<(Program, Vec<FuncSym>), CompileError> {
     check(module, Limits { max_int: INT_POOL.len(), max_ptr: strategy.num_scratch() })?;
     let layouts: Vec<StructLayout> =
         module.structs.iter().map(|s| StructLayout::compute(&s.fields, strategy)).collect();
@@ -89,7 +118,28 @@ pub fn compile(
     for (id, f) in module.funcs.iter().enumerate() {
         cg.compile_func(id, f)?;
     }
-    Ok(cg.asm.finalize()?)
+
+    // Functions are emitted contiguously in id order, so each one ends
+    // where the next begins (the last at the current emission point).
+    let mut starts: Vec<(&'static str, u64)> = Vec::with_capacity(module.funcs.len() + 1);
+    starts.push(("_start", opts.layout.text_base));
+    for (id, f) in module.funcs.iter().enumerate() {
+        if let Some(addr) = cg.asm.label_addr(cg.func_labels[id]) {
+            starts.push((f.name, addr));
+        }
+    }
+    starts.sort_by_key(|(_, start)| *start);
+    let end_of_text = cg.asm.here();
+    let symbols = starts
+        .iter()
+        .enumerate()
+        .map(|(i, &(name, start))| {
+            let end = starts.get(i + 1).map_or(end_of_text, |&(_, next)| next);
+            FuncSym { name, start, end }
+        })
+        .collect();
+
+    Ok((cg.asm.finalize()?, symbols))
 }
 
 struct FuncCtx {

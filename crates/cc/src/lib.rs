@@ -43,5 +43,5 @@ pub mod ir;
 pub mod layout;
 pub mod strategy;
 
-pub use codegen::compile;
+pub use codegen::{compile, compile_with_symbols, FuncSym};
 pub use error::CompileError;

@@ -155,6 +155,29 @@ pub fn compile_bench(
     compile(&bench.module(params), strategy, cheri_cc::codegen::CompileOpts::default())
 }
 
+/// [`compile_bench`] plus the workload's symbol table (function name →
+/// PC range), for profiled runs.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`].
+pub fn compile_bench_with_symbols(
+    bench: DslBench,
+    params: &OldenParams,
+    strategy: &dyn PtrStrategy,
+) -> Result<(Program, cheri_prof::SymbolTable), CompileError> {
+    let (program, syms) = cheri_cc::compile_with_symbols(
+        &bench.module(params),
+        strategy,
+        cheri_cc::codegen::CompileOpts::default(),
+    )?;
+    let defs = syms
+        .iter()
+        .map(|s| cheri_prof::SymbolDef { name: s.name.to_string(), start: s.start, end: s.end })
+        .collect();
+    Ok((program, cheri_prof::SymbolTable::new(defs)))
+}
+
 /// Compiles and runs `bench` under `strategy` on a fresh kernel/machine,
 /// decomposing the run into allocation and computation phases.
 ///
@@ -225,7 +248,38 @@ impl BenchSession {
         machine: MachineConfig,
         sink: Option<cheri_trace::SharedSink>,
     ) -> Result<BenchSession, Box<dyn std::error::Error>> {
-        let program = compile_bench(bench, params, strategy)?;
+        BenchSession::start_inner(bench, params, strategy, machine, sink, false)
+    }
+
+    /// [`BenchSession::start`] with a [`cheri_prof::Profiler`] attached
+    /// (loaded with the workload's symbol table). The profiler goes on
+    /// before `exec` on the freshly booted machine, so its attribution
+    /// covers every counted event and the per-function sums equal the
+    /// final global counters. Collect the result with
+    /// [`BenchSession::take_profile`].
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchSession::start`].
+    pub fn start_profiled(
+        bench: DslBench,
+        params: &OldenParams,
+        strategy: &dyn PtrStrategy,
+        machine: MachineConfig,
+        sink: Option<cheri_trace::SharedSink>,
+    ) -> Result<BenchSession, Box<dyn std::error::Error>> {
+        BenchSession::start_inner(bench, params, strategy, machine, sink, true)
+    }
+
+    fn start_inner(
+        bench: DslBench,
+        params: &OldenParams,
+        strategy: &dyn PtrStrategy,
+        machine: MachineConfig,
+        sink: Option<cheri_trace::SharedSink>,
+        profiled: bool,
+    ) -> Result<BenchSession, Box<dyn std::error::Error>> {
+        let (program, symbols) = compile_bench_with_symbols(bench, params, strategy)?;
         let user_top = (machine.mem_bytes as u64).max(16 << 20) + (16 << 20);
         let layout = cheri_os::ProcessLayout {
             stack_top: user_top - 4096,
@@ -239,8 +293,19 @@ impl BenchSession {
             ..KernelConfig::default()
         });
         kernel.set_trace_sink(sink);
+        if profiled {
+            let mut prof = Box::new(cheri_prof::Profiler::new());
+            prof.set_symbols(symbols);
+            kernel.machine_mut().set_profiler(Some(prof));
+        }
         kernel.exec(&program)?;
         Ok(BenchSession { kernel, mode: strategy.name() })
+    }
+
+    /// Detaches the profiler (if [`BenchSession::start_profiled`] was
+    /// used) and finishes it into a [`cheri_prof::ProfileReport`].
+    pub fn take_profile(&mut self) -> Option<cheri_prof::ProfileReport> {
+        self.kernel.machine_mut().take_profiler().map(|p| p.into_report())
     }
 
     /// Resurrects a session from a snapshot alone (no recompilation —

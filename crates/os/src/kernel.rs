@@ -8,7 +8,7 @@ use beri_sim::{Exception, Machine, MachineConfig, Stats, StepResult, TrapKind};
 use cheri_asm::Program;
 use cheri_core::{CapCause, Capability, Perms};
 use cheri_mem::MemError;
-use cheri_trace::{emit, names, SharedSink, Snapshot, TraceEvent};
+use cheri_trace::{emit, names, SharedSink, Snapshot, SpanKind, TraceEvent};
 
 use crate::abi;
 use crate::layout::ProcessLayout;
@@ -179,6 +179,10 @@ pub struct Kernel {
     pub(crate) domain_calls: u64,
     pub(crate) domain_returns: u64,
     pub(crate) sink: Option<SharedSink>,
+    // The phase span currently open on the timeline (trace SpanBegin
+    // emitted, SpanEnd pending). Host-side observation state: reset on
+    // exec and on snapshot restore, never serialized.
+    pub(crate) open_phase: Option<u64>,
 }
 
 impl Kernel {
@@ -203,6 +207,7 @@ impl Kernel {
             domain_calls: 0,
             domain_returns: 0,
             sink: None,
+            open_phase: None,
         }
     }
 
@@ -293,6 +298,12 @@ impl Kernel {
         self.execs += 1;
         let pid = self.execs;
         emit(&self.sink, || TraceEvent::ContextSwitch { pid });
+        // The previous address space's spans die with it.
+        self.open_phase = None;
+        let ts = self.machine.stats.cycles;
+        if let Some(p) = self.machine.profiler_mut() {
+            p.on_exec(pid, ts);
+        }
 
         // Copy text through the page tables. These writes bypass the
         // machine's store path, so drop any predecoded blocks (frames
@@ -348,11 +359,39 @@ impl Kernel {
         let num = self.machine.cpu.gpr[usize::from(beri_sim::reg::V0)];
         let a0 = self.machine.cpu.gpr[usize::from(beri_sim::reg::A0)];
         let tariff = self.cfg.syscall_cycles;
+        // Timeline entries place the syscall at its pre-charge cycle
+        // count with the tariff as its duration. (The tariff is charged
+        // *before* dispatch because SYS_GETCOUNT's return value
+        // includes it — that ordering is guest-visible and must not
+        // change.)
+        let ts = self.machine.stats.cycles - tariff;
         emit(&self.sink, || TraceEvent::Syscall { nr: num, cycles: tariff });
+        if let Some(p) = self.machine.profiler_mut() {
+            p.on_syscall(num, ts, tariff);
+        }
         let result = match num {
-            abi::SYS_EXIT => return Some(ExitReason::Exit(a0)),
+            abi::SYS_EXIT => {
+                self.close_spans(ts);
+                return Some(ExitReason::Exit(a0));
+            }
             abi::SYS_PHASE => {
                 self.phases.push(PhaseRecord { id: a0, stats: self.machine.stats });
+                if let Some(prev) = self.open_phase.take() {
+                    emit(&self.sink, || TraceEvent::SpanEnd {
+                        kind: SpanKind::Phase,
+                        id: prev,
+                        cycles: ts,
+                    });
+                }
+                emit(&self.sink, || TraceEvent::SpanBegin {
+                    kind: SpanKind::Phase,
+                    id: a0,
+                    cycles: ts,
+                });
+                self.open_phase = Some(a0);
+                if let Some(p) = self.machine.profiler_mut() {
+                    p.on_phase(a0, ts);
+                }
                 None
             }
             abi::SYS_PRINT => {
@@ -373,6 +412,14 @@ impl Kernel {
             abi::SYS_DCALL => {
                 let a1 = self.machine.cpu.gpr[usize::from(beri_sim::reg::A1)];
                 if self.domain_call(a0, a1) {
+                    emit(&self.sink, || TraceEvent::SpanBegin {
+                        kind: SpanKind::Domain,
+                        id: a0,
+                        cycles: ts,
+                    });
+                    if let Some(p) = self.machine.profiler_mut() {
+                        p.on_domain_call(a0, ts);
+                    }
                     // The callee is installed; do not advance (already
                     // positioned at the entry point).
                     return None;
@@ -380,10 +427,22 @@ impl Kernel {
                 Some(u64::MAX)
             }
             abi::SYS_DRETURN => {
+                let from = self.domain_id_stack.last().copied();
                 if self.domain_return(a0) {
+                    if let Some(id) = from {
+                        emit(&self.sink, || TraceEvent::SpanEnd {
+                            kind: SpanKind::Domain,
+                            id,
+                            cycles: ts,
+                        });
+                    }
+                    if let Some(p) = self.machine.profiler_mut() {
+                        p.on_domain_return(ts);
+                    }
                     return None; // caller context restored, v0 set
                 }
                 // A return with no caller ends the process.
+                self.close_spans(ts);
                 return Some(ExitReason::Exit(a0));
             }
             unknown => {
@@ -398,6 +457,24 @@ impl Kernel {
         }
         self.machine.advance_past_trap();
         None
+    }
+
+    /// Closes every open timeline span at cycle `ts` — the process is
+    /// exiting, and a balanced timeline renders correctly in Perfetto.
+    fn close_spans(&mut self, ts: u64) {
+        if let Some(prev) = self.open_phase.take() {
+            emit(&self.sink, || TraceEvent::SpanEnd {
+                kind: SpanKind::Phase,
+                id: prev,
+                cycles: ts,
+            });
+        }
+        for &id in self.domain_id_stack.iter().rev() {
+            emit(&self.sink, || TraceEvent::SpanEnd { kind: SpanKind::Domain, id, cycles: ts });
+        }
+        if let Some(p) = self.machine.profiler_mut() {
+            p.on_exit(ts);
+        }
     }
 
     /// Runs the current process to completion.

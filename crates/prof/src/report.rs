@@ -1,0 +1,115 @@
+//! The finished profile: per-function aggregation of the per-PC
+//! histograms, folded-stack output for flamegraph tools, and the
+//! timeline — plus deterministic JSON serialisation for
+//! `results/prof/`.
+
+use cheri_trace::json::JsonWriter;
+
+use crate::timeline::Timeline;
+use crate::PcCounters;
+
+/// One function's aggregated counters.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct FuncProfile {
+    /// Function name (`<unknown>` for unsymbolized addresses).
+    pub name: String,
+    /// Summed per-PC counters over the function's range.
+    pub counters: PcCounters,
+}
+
+/// A complete, immutable profile of one run.
+#[derive(Clone, Debug, Default)]
+pub struct ProfileReport {
+    /// Totals over every profiled PC.
+    pub total: PcCounters,
+    /// Per-function aggregation, sorted by retired count (descending),
+    /// then name — a deterministic "hottest first" order.
+    pub functions: Vec<FuncProfile>,
+    /// Folded call stacks (`root;a;b` → samples), sorted by stack
+    /// string. Sample counts sum to `total.retired`.
+    pub folded: Vec<(String, u64)>,
+    /// The execution timeline (phases, syscalls, domain crossings,
+    /// context switches).
+    pub timeline: Timeline,
+}
+
+impl ProfileReport {
+    /// Renders the folded stacks in the standard flamegraph collapsed
+    /// format: one `stack count` line per unique stack.
+    #[must_use]
+    pub fn folded_output(&self) -> String {
+        let mut out = String::new();
+        for (stack, count) in &self.folded {
+            out.push_str(stack);
+            out.push(' ');
+            out.push_str(&count.to_string());
+            out.push('\n');
+        }
+        out
+    }
+
+    /// The Chrome trace-event / Perfetto timeline document.
+    #[must_use]
+    pub fn timeline_json(&self) -> String {
+        self.timeline.to_json()
+    }
+
+    /// Serialises the attribution tables (totals + per-function) as one
+    /// compact JSON object. Integer-only, deterministic field order.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let counters_json = |c: &PcCounters| {
+            let mut w = JsonWriter::object();
+            w.u64_field("retired", c.retired);
+            w.u64_field("l1i_misses", c.l1i_misses);
+            w.u64_field("l1d_misses", c.l1d_misses);
+            w.u64_field("l2_misses", c.l2_misses);
+            w.u64_field("tag_misses", c.tag_misses);
+            w.u64_field("tlb_refills", c.tlb_refills);
+            w.u64_field("cap_exceptions", c.cap_exceptions);
+            w.close()
+        };
+        let mut funcs = String::from("[");
+        for (i, f) in self.functions.iter().enumerate() {
+            if i > 0 {
+                funcs.push(',');
+            }
+            let mut w = JsonWriter::object();
+            w.str_field("name", &f.name);
+            w.raw_field("counters", &counters_json(&f.counters));
+            funcs.push_str(&w.close());
+        }
+        funcs.push(']');
+        let mut doc = JsonWriter::object();
+        doc.str_field("schema", "cheri-prof/v1");
+        doc.raw_field("total", &counters_json(&self.total));
+        doc.raw_field("functions", &funcs);
+        doc.u64_field("timeline_events", self.timeline.events().len() as u64);
+        doc.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_trace::json;
+
+    #[test]
+    fn report_json_parses_and_names_survive_escaping() {
+        let report = ProfileReport {
+            total: PcCounters { retired: 7, ..PcCounters::default() },
+            functions: vec![FuncProfile {
+                name: "weird\"name".into(),
+                counters: PcCounters { retired: 7, l1d_misses: 2, ..PcCounters::default() },
+            }],
+            folded: vec![("root;weird\"name".into(), 7)],
+            timeline: Timeline::default(),
+        };
+        let doc = json::parse(&report.to_json()).expect("valid JSON");
+        let obj = doc.as_obj().unwrap();
+        assert_eq!(obj["total"].as_obj().unwrap()["retired"].as_u64(), Some(7));
+        let funcs = obj["functions"].as_arr().unwrap();
+        assert_eq!(funcs[0].as_obj().unwrap()["name"].as_str(), Some("weird\"name"));
+        assert_eq!(report.folded_output(), "root;weird\"name 7\n");
+    }
+}

@@ -1,0 +1,107 @@
+//! Function symbolization: name → PC-range maps exported by the
+//! compiler (`cheri_cc::compile_with_symbols`) so per-PC profiles
+//! aggregate to functions and call stacks render as names.
+
+/// One function symbol: `[start, end)` in guest virtual addresses.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub struct SymbolDef {
+    /// The function name (`_start` for the entry/trap stub region).
+    pub name: String,
+    /// First instruction address.
+    pub start: u64,
+    /// One past the last instruction address.
+    pub end: u64,
+}
+
+/// The id used for addresses no symbol covers.
+pub const UNKNOWN_SYM: u32 = u32::MAX;
+
+/// An ordered, non-overlapping symbol map with binary-search lookup.
+#[derive(Clone, Debug, Default)]
+pub struct SymbolTable {
+    syms: Vec<SymbolDef>,
+}
+
+impl SymbolTable {
+    /// Builds a table, sorting the definitions by start address.
+    /// Zero-length and inverted ranges are dropped.
+    #[must_use]
+    pub fn new(mut syms: Vec<SymbolDef>) -> SymbolTable {
+        syms.retain(|s| s.start < s.end);
+        syms.sort_by_key(|s| s.start);
+        SymbolTable { syms }
+    }
+
+    /// Number of symbols.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.syms.len()
+    }
+
+    /// Whether the table is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.syms.is_empty()
+    }
+
+    /// The symbol id covering `pc`, or [`UNKNOWN_SYM`].
+    #[must_use]
+    pub fn lookup(&self, pc: u64) -> u32 {
+        let i = self.syms.partition_point(|s| s.start <= pc);
+        if i == 0 {
+            return UNKNOWN_SYM;
+        }
+        let s = &self.syms[i - 1];
+        if pc < s.end {
+            (i - 1) as u32
+        } else {
+            UNKNOWN_SYM
+        }
+    }
+
+    /// The name of symbol `id` (`<unknown>` for [`UNKNOWN_SYM`] or an
+    /// out-of-range id).
+    #[must_use]
+    pub fn name(&self, id: u32) -> &str {
+        self.syms.get(id as usize).map_or("<unknown>", |s| s.name.as_str())
+    }
+
+    /// The definitions, in address order.
+    #[must_use]
+    pub fn defs(&self) -> &[SymbolDef] {
+        &self.syms
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn table() -> SymbolTable {
+        SymbolTable::new(vec![
+            SymbolDef { name: "main".into(), start: 0x2000, end: 0x2100 },
+            SymbolDef { name: "_start".into(), start: 0x1000, end: 0x2000 },
+            SymbolDef { name: "leaf".into(), start: 0x2100, end: 0x2140 },
+        ])
+    }
+
+    #[test]
+    fn lookup_covers_ranges_and_gaps() {
+        let t = table();
+        assert_eq!(t.name(t.lookup(0x1000)), "_start");
+        assert_eq!(t.name(t.lookup(0x1ffc)), "_start");
+        assert_eq!(t.name(t.lookup(0x2000)), "main");
+        assert_eq!(t.name(t.lookup(0x20fc)), "main");
+        assert_eq!(t.name(t.lookup(0x2100)), "leaf");
+        assert_eq!(t.lookup(0x0ffc), UNKNOWN_SYM);
+        assert_eq!(t.lookup(0x2140), UNKNOWN_SYM);
+        assert_eq!(t.name(UNKNOWN_SYM), "<unknown>");
+    }
+
+    #[test]
+    fn degenerate_ranges_are_dropped() {
+        let t = SymbolTable::new(vec![SymbolDef { name: "nil".into(), start: 8, end: 8 }]);
+        assert!(t.is_empty());
+        assert_eq!(t.lookup(8), UNKNOWN_SYM);
+    }
+}

@@ -1,0 +1,137 @@
+//! Timeline export in the Chrome trace-event JSON format (the
+//! `traceEvents` array form), loadable by Perfetto and `chrome://
+//! tracing`. Timestamps are guest cycle counts — deterministic and
+//! monotone — rather than host microseconds, so two runs of the same
+//! job produce byte-identical timelines.
+
+use cheri_trace::json::JsonWriter;
+
+/// The Chrome trace-event phase of one timeline entry.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum TimelinePhase {
+    /// Span begin (`"B"`).
+    Begin,
+    /// Span end (`"E"`).
+    End,
+    /// Complete event with a duration (`"X"`).
+    Complete,
+    /// Instant event (`"i"`).
+    Instant,
+}
+
+impl TimelinePhase {
+    fn ph(self) -> &'static str {
+        match self {
+            TimelinePhase::Begin => "B",
+            TimelinePhase::End => "E",
+            TimelinePhase::Complete => "X",
+            TimelinePhase::Instant => "i",
+        }
+    }
+}
+
+/// One timeline entry.
+#[derive(Clone, Debug)]
+pub struct TimelineEvent {
+    /// Event phase.
+    pub phase: TimelinePhase,
+    /// Event name (`"phase 2"`, `"syscall 4"`, …).
+    pub name: String,
+    /// Category (`"phase"`, `"syscall"`, `"domain"`, `"os"`).
+    pub cat: &'static str,
+    /// Timestamp in guest cycles.
+    pub ts: u64,
+    /// Duration in guest cycles (complete events only).
+    pub dur: u64,
+}
+
+/// An append-only timeline; events arrive in execution order, so
+/// timestamps are monotone non-decreasing by construction.
+#[derive(Clone, Debug, Default)]
+pub struct Timeline {
+    events: Vec<TimelineEvent>,
+}
+
+impl Timeline {
+    /// Opens a span.
+    pub fn begin(&mut self, cat: &'static str, name: String, ts: u64) {
+        self.events.push(TimelineEvent { phase: TimelinePhase::Begin, name, cat, ts, dur: 0 });
+    }
+
+    /// Closes a span.
+    pub fn end(&mut self, cat: &'static str, name: String, ts: u64) {
+        self.events.push(TimelineEvent { phase: TimelinePhase::End, name, cat, ts, dur: 0 });
+    }
+
+    /// Records a complete event (begin + duration in one entry).
+    pub fn complete(&mut self, cat: &'static str, name: String, ts: u64, dur: u64) {
+        self.events.push(TimelineEvent { phase: TimelinePhase::Complete, name, cat, ts, dur });
+    }
+
+    /// Records an instant event.
+    pub fn instant(&mut self, cat: &'static str, name: String, ts: u64) {
+        self.events.push(TimelineEvent { phase: TimelinePhase::Instant, name, cat, ts, dur: 0 });
+    }
+
+    /// The recorded events, in emission order.
+    #[must_use]
+    pub fn events(&self) -> &[TimelineEvent] {
+        &self.events
+    }
+
+    /// Drops every event.
+    pub fn clear(&mut self) {
+        self.events.clear();
+    }
+
+    /// Serialises the timeline as a Chrome trace-event document:
+    /// `{"traceEvents":[...]}` with integer cycle timestamps.
+    #[must_use]
+    pub fn to_json(&self) -> String {
+        let mut items = String::from("[");
+        for (i, e) in self.events.iter().enumerate() {
+            if i > 0 {
+                items.push(',');
+            }
+            let mut w = JsonWriter::object();
+            w.str_field("name", &e.name);
+            w.str_field("cat", e.cat);
+            w.str_field("ph", e.phase.ph());
+            w.u64_field("ts", e.ts);
+            if e.phase == TimelinePhase::Complete {
+                w.u64_field("dur", e.dur);
+            }
+            w.u64_field("pid", 1);
+            w.u64_field("tid", 1);
+            items.push_str(&w.close());
+        }
+        items.push(']');
+        let mut doc = JsonWriter::object();
+        doc.raw_field("traceEvents", &items);
+        doc.str_field("displayTimeUnit", "ns");
+        doc.close()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_trace::json;
+
+    #[test]
+    fn timeline_json_parses_and_keeps_order() {
+        let mut t = Timeline::default();
+        t.instant("os", "exec".into(), 0);
+        t.begin("phase", "phase 1".into(), 10);
+        t.complete("syscall", "syscall 4".into(), 15, 120);
+        t.end("phase", "phase 1".into(), 200);
+        let doc = json::parse(&t.to_json()).expect("valid JSON");
+        let events = doc.as_obj().unwrap()["traceEvents"].as_arr().unwrap();
+        assert_eq!(events.len(), 4);
+        let ts: Vec<u64> =
+            events.iter().map(|e| e.as_obj().unwrap()["ts"].as_u64().unwrap()).collect();
+        assert!(ts.windows(2).all(|w| w[0] <= w[1]), "timestamps must be monotone");
+        assert_eq!(events[2].as_obj().unwrap()["dur"].as_u64(), Some(120));
+        assert_eq!(events[1].as_obj().unwrap()["ph"].as_str(), Some("B"));
+    }
+}

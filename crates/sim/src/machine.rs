@@ -9,8 +9,12 @@
 //! cause (e.g. installing a TLB entry) and calling `step` again retries
 //! it.
 
+use std::cell::Cell;
+use std::rc::Rc;
+
 use cheri_core::{CapCause, CapExcCode, Capability, Compressed128, Perms};
 use cheri_mem::{MemError, TaggedMem};
+use cheri_prof::{CounterSample, Profiler};
 use cheri_trace::{emit, names, SharedSink, Snapshot, TraceEvent};
 
 use crate::block::{
@@ -79,7 +83,7 @@ pub struct MachineConfig {
     /// Extra cycles for a divide.
     pub div_penalty: u64,
     /// Enables the predecoded basic-block fast path in
-    /// [`Machine::run`] (see [`crate::block`]). Architecturally
+    /// [`Machine::run`] (see the `block` module). Architecturally
     /// transparent — every counter and all architectural state are
     /// bit-identical either way — so this is an escape hatch, not a
     /// model knob. Defaults to on unless the `CHERI_SIM_NO_BLOCK_CACHE`
@@ -174,6 +178,13 @@ pub struct Machine {
     // Optional trace sink; the same handle is cloned into the cache
     // hierarchy and the tag controller by set_trace_sink.
     sink: Option<SharedSink>,
+    // Optional profiler. Unlike a sink, a profiler does NOT disable the
+    // predecoded fast path: both execution paths call the same retire
+    // hook, and the profiler never feeds back into architectural state.
+    prof: Option<Box<Profiler>>,
+    // Host-side tag-miss tick shared with the tag controller while a
+    // profiler is attached (see `TagController::set_miss_probe`).
+    tag_tick: Rc<Cell<u64>>,
 }
 
 impl Machine {
@@ -197,6 +208,8 @@ impl Machine {
             utlb_store: None,
             blocks: BlockCache::new(cfg.mem_bytes),
             sink: None,
+            prof: None,
+            tag_tick: Rc::new(Cell::new(0)),
         }
     }
 
@@ -219,6 +232,91 @@ impl Machine {
     #[must_use]
     pub fn trace_sink(&self) -> Option<SharedSink> {
         self.sink.clone()
+    }
+
+    /// Attaches a profiler (or detaches, with `None`). The profiler is
+    /// observational only — it never changes architectural state, cycle
+    /// accounting, or the trace stream — and, unlike a trace sink, it
+    /// does not disable the predecoded-block fast path: both execution
+    /// paths drive the same per-retire hook.
+    ///
+    /// On attach the delta-sampling baseline is seeded from the current
+    /// global counters, so only events from this point on are
+    /// attributed.
+    pub fn set_profiler(&mut self, prof: Option<Box<Profiler>>) {
+        match prof {
+            Some(mut p) => {
+                self.mem.set_tag_miss_probe(Some(self.tag_tick.clone()));
+                p.seed(self.prof_sample());
+                self.prof = Some(p);
+            }
+            None => {
+                self.mem.set_tag_miss_probe(None);
+                self.prof = None;
+            }
+        }
+    }
+
+    /// The attached profiler, if any.
+    #[must_use]
+    pub fn profiler(&self) -> Option<&Profiler> {
+        self.prof.as_deref()
+    }
+
+    /// Mutable access to the attached profiler (the kernel uses this to
+    /// record timeline spans).
+    pub fn profiler_mut(&mut self) -> Option<&mut Profiler> {
+        self.prof.as_deref_mut()
+    }
+
+    /// Charges any residual miss deltas (events since the last retire)
+    /// to the last retired PC, so per-PC sums equal the global counters
+    /// exactly. Call before reading attribution mid-run.
+    pub fn sync_profiler(&mut self) {
+        let now = self.prof_sample();
+        if let Some(p) = self.prof.as_mut() {
+            p.sync(now);
+        }
+    }
+
+    /// Detaches and returns the profiler, after a final
+    /// [`Machine::sync_profiler`] so its attribution is complete.
+    pub fn take_profiler(&mut self) -> Option<Box<Profiler>> {
+        self.sync_profiler();
+        self.mem.set_tag_miss_probe(None);
+        self.prof.take()
+    }
+
+    /// The current global miss counters, in the profiler's sample form.
+    #[inline]
+    fn prof_sample(&self) -> CounterSample {
+        CounterSample {
+            l1i_misses: self.hierarchy.l1i.misses,
+            l1d_misses: self.hierarchy.l1d.misses,
+            l2_misses: self.hierarchy.l2.misses,
+            tag_misses: self.tag_tick.get(),
+        }
+    }
+
+    /// The shared per-retire profiling hook: attributes miss deltas to
+    /// the retiring `pc` and maintains the synthetic call stack at
+    /// call/return-shaped control transfers. Caller checks
+    /// `self.prof.is_some()` first so the disabled cost is one branch.
+    fn prof_retire(&mut self, pc: u64, inst: &Inst, outcome: &Outcome) {
+        let now = self.prof_sample();
+        let Some(p) = self.prof.as_mut() else { return };
+        p.on_retire(pc, now);
+        match (inst, outcome) {
+            (Inst::Jal { .. } | Inst::Jalr { .. }, Outcome::Jump { target, .. }) => {
+                p.on_call(*target);
+            }
+            (Inst::Jr { rs }, _) if *rs == reg::RA => p.on_return(),
+            (Inst::Cheri(CheriInst::CJALR { .. }), Outcome::CapJump { target, .. }) => {
+                p.on_call(*target);
+            }
+            (Inst::Cheri(CheriInst::CJR { .. }), _) => p.on_return(),
+            _ => {}
+        }
     }
 
     /// The configuration this machine was built with.
@@ -372,7 +470,12 @@ impl Machine {
             self.stats.exceptions += 1;
         }
         match kind {
-            TrapKind::TlbRefill { .. } => self.stats.tlb_refills += 1,
+            TrapKind::TlbRefill { .. } => {
+                self.stats.tlb_refills += 1;
+                if let Some(p) = self.prof.as_mut() {
+                    p.on_tlb_refill(epc);
+                }
+            }
             TrapKind::CapViolation(cause) => {
                 self.stats.cap_violations += 1;
                 self.cpu.cp0.raise_cap(cause);
@@ -381,6 +484,9 @@ impl Machine {
                     reg: cause.reg(),
                     pc: epc,
                 });
+                if let Some(p) = self.prof.as_mut() {
+                    p.on_cap_exception(epc);
+                }
             }
             _ => {}
         }
@@ -451,6 +557,9 @@ impl Machine {
             self.stats.cap_instructions += 1;
         }
         emit(&self.sink, || TraceEvent::Retire { pc, cap: cap_inst });
+        if self.prof.is_some() {
+            self.prof_retire(pc, &inst, &outcome);
+        }
 
         let fallthrough = self.cpu.next_pc;
         match outcome {
@@ -489,7 +598,7 @@ impl Machine {
     /// Runs until a syscall, break, trap, or `max_steps` instructions.
     ///
     /// When the block cache is enabled and no trace sink is attached,
-    /// this takes the predecoded fast path (see [`crate::block`]);
+    /// this takes the predecoded fast path (see the `block` module);
     /// otherwise it is a plain [`Machine::step`] loop. Both paths
     /// produce bit-identical architectural state and statistics.
     ///
@@ -700,6 +809,9 @@ impl Machine {
             self.cpu.cp0.count = self.cpu.cp0.count.wrapping_add(1);
             if pi.flags & F_CAP != 0 {
                 cap_retired += 1;
+            }
+            if self.prof.is_some() {
+                self.prof_retire(start_pc.wrapping_add(4 * i as u64), &pi.inst, &outcome);
             }
             i += 1;
             // Exit when control leaves the straight line (taken branch,
@@ -1694,6 +1806,16 @@ impl Machine {
         self.mem.import_state(&s.mem)?;
         self.invalidate_utlb();
         self.blocks.invalidate_all();
+        // Profile state is host-side only and never serialized: a
+        // restored machine starts a fresh observation window, with the
+        // delta baseline reseeded from the restored counters (the tag
+        // tick is host-monotone and deliberately not reset).
+        if self.prof.is_some() {
+            let seed = self.prof_sample();
+            if let Some(p) = self.prof.as_mut() {
+                p.reset(seed);
+            }
+        }
         Ok(())
     }
 

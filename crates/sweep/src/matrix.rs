@@ -342,6 +342,46 @@ pub fn run_specs_block_cache(specs: &[JobSpec], threads: usize, enabled: bool) -
     })
 }
 
+/// Runs one job to completion with a [`cheri_prof::Profiler`] attached
+/// (symbolized, covering the whole run), returning the result plus the
+/// finished profile. Profiling is observational only, so the
+/// [`JobResult`] must be byte-identical to an unprofiled run of the
+/// same spec — `xsweep --prof` runs both and asserts exactly that.
+///
+/// # Errors
+///
+/// As [`run_spec_with_config`].
+pub fn run_spec_profiled(
+    spec: &JobSpec,
+    cfg: MachineConfig,
+) -> Result<(JobResult, cheri_prof::ProfileReport), String> {
+    let strategy = spec.strategy.strategy();
+    let mut session =
+        BenchSession::start_profiled(spec.workload, &spec.params, strategy.as_ref(), cfg, None)
+            .map_err(|e| e.to_string())?;
+    let run = session.run_to_completion().map_err(|e| e.to_string())?;
+    let profile = session.take_profile().ok_or("profiled session lost its profiler")?;
+    Ok((JobResult { spec: *spec, run }, profile))
+}
+
+/// As [`run_specs`], but every job runs with a profiler attached;
+/// returns results in spec order, each with its profile.
+///
+/// # Panics
+///
+/// As [`run_specs`].
+#[must_use]
+pub fn run_specs_profiled(
+    specs: &[JobSpec],
+    threads: usize,
+) -> Vec<(JobResult, cheri_prof::ProfileReport)> {
+    engine::run_indexed(specs.len(), threads, |i| {
+        let spec = &specs[i];
+        run_spec_profiled(spec, spec.machine_config())
+            .unwrap_or_else(|e| panic!("{}: {e}", spec.key()))
+    })
+}
+
 /// Runs `specs` serially on the calling thread, streaming every event
 /// of every run into `sink` with one marker per job — the `--trace-out`
 /// path of the figure harnesses. Serial because the event stream is one

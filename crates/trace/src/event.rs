@@ -29,6 +29,26 @@ impl CacheLevel {
     }
 }
 
+/// What a [`TraceEvent::SpanBegin`]/[`TraceEvent::SpanEnd`] pair brackets.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum SpanKind {
+    /// A benchmark phase (between `SYS_PHASE` markers).
+    Phase,
+    /// A protection-domain activation (between domain call and return).
+    Domain,
+}
+
+impl SpanKind {
+    /// Lower-case short name used in JSON.
+    #[must_use]
+    pub fn as_str(self) -> &'static str {
+        match self {
+            SpanKind::Phase => "phase",
+            SpanKind::Domain => "domain",
+        }
+    }
+}
+
 /// One architectural event, as observed by the simulator, the memory
 /// hierarchy, the tag controller, or the kernel.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -64,6 +84,12 @@ pub enum TraceEvent {
     /// A protection-domain crossing: `enter` is a domain call into
     /// `to`, `!enter` a return from `from`.
     DomainCross { from: u64, to: u64, enter: bool },
+    /// A timeline span opened (kernel phase or domain activation) at
+    /// guest cycle `cycles`. Spans are pure timeline structure: they
+    /// carry no counter and aggregation ignores them.
+    SpanBegin { kind: SpanKind, id: u64, cycles: u64 },
+    /// The matching span closed at guest cycle `cycles`.
+    SpanEnd { kind: SpanKind, id: u64, cycles: u64 },
 }
 
 impl TraceEvent {
@@ -82,6 +108,8 @@ impl TraceEvent {
             TraceEvent::Syscall { .. } => "syscall",
             TraceEvent::ContextSwitch { .. } => "ctx_switch",
             TraceEvent::DomainCross { .. } => "domain",
+            TraceEvent::SpanBegin { .. } => "span_begin",
+            TraceEvent::SpanEnd { .. } => "span_end",
         }
     }
 
@@ -138,6 +166,12 @@ impl TraceEvent {
                 w.u64_field("from", from);
                 w.u64_field("to", to);
                 w.bool_field("enter", enter);
+            }
+            TraceEvent::SpanBegin { kind, id, cycles }
+            | TraceEvent::SpanEnd { kind, id, cycles } => {
+                w.str_field("kind", kind.as_str());
+                w.u64_field("id", id);
+                w.u64_field("cycles", cycles);
             }
         }
         w.close()

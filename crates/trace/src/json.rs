@@ -336,4 +336,55 @@ mod tests {
         assert!(parse("{} x").is_err());
         assert!(parse("[1,]").is_err());
     }
+
+    /// Round-trips a string through the writer and parser and asserts
+    /// it comes back unchanged.
+    fn roundtrip(s: &str) {
+        let mut w = JsonWriter::object();
+        w.str_field("v", s);
+        let text = w.close();
+        let v = parse(&text).unwrap_or_else(|e| panic!("parse of {text:?} failed: {e}"));
+        assert_eq!(v.as_obj().unwrap()["v"].as_str(), Some(s), "round-trip of {s:?}");
+    }
+
+    #[test]
+    fn escaping_roundtrips_control_characters() {
+        roundtrip("\u{0}");
+        roundtrip("\u{1}\u{2}\u{3}");
+        roundtrip("a\nb\rc\td");
+        roundtrip("\u{8}\u{c}\u{b}"); // backspace, form feed, vertical tab
+        roundtrip("\u{1f}\u{7f}"); // unit separator; DEL is not escaped but must survive
+                                   // Every C0 control character, individually.
+        for c in 0u32..0x20 {
+            let s = char::from_u32(c).map(String::from).expect("C0 is valid char");
+            roundtrip(&s);
+        }
+    }
+
+    #[test]
+    fn escaping_roundtrips_non_ascii() {
+        roundtrip("héllo wörld");
+        roundtrip("日本語のラベル");
+        roundtrip("emoji \u{1f980} crab"); // astral plane (4-byte UTF-8)
+        roundtrip("mixed: ascii → ünïcode → 漢字");
+    }
+
+    #[test]
+    fn escaping_roundtrips_embedded_quotes_and_backslashes() {
+        roundtrip(r#"run start: "treeadd"/cheri"#);
+        roundtrip(r"back\slash");
+        roundtrip(r#"\" tricky \\" nested"#);
+        roundtrip("\"\\\"\\"); // quote, backslash, quote, backslash
+        roundtrip("already-escaped-looking: \\n \\u0041");
+    }
+
+    #[test]
+    fn escaped_control_chars_render_as_unicode_escapes() {
+        let mut w = JsonWriter::object();
+        w.str_field("v", "\u{1}\n\"x\\");
+        let text = w.close();
+        // Raw control bytes must not appear in the output.
+        assert!(text.bytes().all(|b| b >= 0x20), "output has raw control bytes: {text:?}");
+        assert_eq!(text, "{\"v\":\"\\u0001\\n\\\"x\\\\\"}");
+    }
 }

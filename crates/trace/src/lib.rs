@@ -60,7 +60,7 @@ pub mod json;
 mod metrics;
 mod sink;
 
-pub use event::{CacheLevel, TraceEvent};
+pub use event::{CacheLevel, SpanKind, TraceEvent};
 pub use metrics::{Histogram, MetricsRegistry, Snapshot, SnapshotDiff};
 pub use sink::{
     active, emit, marker, shared, AggregateSink, AnySink, JsonlSink, NullSink, RingBufferSink,
@@ -70,7 +70,7 @@ pub use sink::{
 /// Canonical metric names shared by the event aggregator and the legacy
 /// counter exporters, so the two sides can be compared for exact
 /// equality. Keep `beri_sim::Machine::metrics` and
-/// [`AggregateSink`](crate::AggregateSink) in sync with this list.
+/// [`AggregateSink`] in sync with this list.
 pub mod names {
     /// Instructions retired.
     pub const INSTRUCTIONS: &str = "sim.instructions";

@@ -212,6 +212,13 @@ impl Snapshot {
 
     /// Per-counter deltas from `self` (the "before"/"a" run) to `other`
     /// (the "after"/"b" run), covering the union of names.
+    ///
+    /// Counters are monotone, so a regression (`b < a`) means the
+    /// counter was reset between the snapshots rather than that work
+    /// was undone. Instead of reporting a nonsense negative delta (or
+    /// panicking on unsigned underflow, as a naive `b - a` would), the
+    /// delta saturates to 0 and the row is flagged in
+    /// [`SnapshotDiff::warnings`].
     #[must_use]
     pub fn diff(&self, other: &Snapshot) -> SnapshotDiff {
         let mut names: Vec<&String> = self.counters.keys().collect();
@@ -221,15 +228,25 @@ impl Snapshot {
             }
         }
         names.sort();
+        let mut warnings = Vec::new();
         let entries = names
             .into_iter()
             .map(|name| {
                 let a = self.counter(name);
                 let b = other.counter(name);
-                (name.clone(), a, b, b as i128 - i128::from(a))
+                let delta = if b >= a {
+                    i128::from(b - a)
+                } else {
+                    warnings.push(format!(
+                        "counter `{name}` regressed ({a} -> {b}); \
+                         saturating delta to 0 (reset between snapshots?)"
+                    ));
+                    0
+                };
+                (name.clone(), a, b, delta)
             })
             .collect();
-        SnapshotDiff { entries }
+        SnapshotDiff { entries, warnings }
     }
 
     /// Serialises as one JSON object:
@@ -305,10 +322,13 @@ impl Snapshot {
     }
 }
 
-/// The result of diffing two snapshots: `(name, a, b, b - a)` rows.
+/// The result of diffing two snapshots: `(name, a, b, b - a)` rows,
+/// with the delta saturated to 0 (and a warning recorded) when a
+/// counter regressed.
 #[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct SnapshotDiff {
     entries: Vec<(String, u64, u64, i128)>,
+    warnings: Vec<String>,
 }
 
 impl SnapshotDiff {
@@ -322,6 +342,13 @@ impl SnapshotDiff {
     pub fn changed(&self) -> impl Iterator<Item = &(String, u64, u64, i128)> {
         self.entries.iter().filter(|e| e.3 != 0)
     }
+
+    /// One message per counter whose value regressed between the
+    /// snapshots (delta saturated to 0).
+    #[must_use]
+    pub fn warnings(&self) -> &[String] {
+        &self.warnings
+    }
 }
 
 impl fmt::Display for SnapshotDiff {
@@ -330,6 +357,9 @@ impl fmt::Display for SnapshotDiff {
         writeln!(f, "{:<width$}  {:>16}  {:>16}  {:>17}", "counter", "a", "b", "delta")?;
         for (name, a, b, d) in &self.entries {
             writeln!(f, "{name:<width$}  {a:>16}  {b:>16}  {d:>+17}")?;
+        }
+        for w in &self.warnings {
+            writeln!(f, "warning: {w}")?;
         }
         Ok(())
     }
@@ -384,8 +414,27 @@ mod tests {
         b.set_counter("only_b", 4);
         let d = a.diff(&b);
         assert_eq!(d.entries().len(), 2);
-        assert_eq!(d.entries()[0], ("only_a".into(), 3, 0, -3));
+        // "only_a" went 3 -> 0: a regression, saturated to 0.
+        assert_eq!(d.entries()[0], ("only_a".into(), 3, 0, 0));
         assert_eq!(d.entries()[1], ("only_b".into(), 0, 4, 4));
-        assert_eq!(d.changed().count(), 2);
+        assert_eq!(d.changed().count(), 1);
+        assert_eq!(d.warnings().len(), 1);
+        assert!(d.warnings()[0].contains("only_a"), "warning names the counter");
+    }
+
+    #[test]
+    fn diff_saturates_regressed_counters_with_warning() {
+        let mut a = Snapshot::default();
+        a.set_counter("cycles", 1_000);
+        a.set_counter("instructions", 500);
+        let mut b = Snapshot::default();
+        b.set_counter("cycles", 250); // counter was reset mid-window
+        b.set_counter("instructions", 900);
+        let d = a.diff(&b);
+        assert_eq!(d.entries()[0], ("cycles".into(), 1_000, 250, 0));
+        assert_eq!(d.entries()[1], ("instructions".into(), 500, 900, 400));
+        assert_eq!(d.warnings().len(), 1);
+        assert!(d.warnings()[0].contains("cycles"));
+        assert!(format!("{d}").contains("warning:"), "Display surfaces the warning");
     }
 }

@@ -223,6 +223,11 @@ impl Sink for AggregateSink {
             TraceEvent::DomainCross { enter, .. } => {
                 r.add(if enter { names::DOMAIN_CALLS } else { names::DOMAIN_RETURNS }, 1);
             }
+            // Spans are timeline structure, not counters: every span is
+            // paired with a counted event (Syscall for phases,
+            // DomainCross for domains), so counting them here would
+            // break the aggregate-vs-legacy parity checks.
+            TraceEvent::SpanBegin { .. } | TraceEvent::SpanEnd { .. } => {}
         }
     }
 }

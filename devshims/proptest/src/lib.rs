@@ -309,7 +309,7 @@ pub mod collection {
         VecStrategy { elem, range: range.into_size_range() }
     }
 
-    /// The strategy returned by [`vec`].
+    /// The strategy returned by [`vec()`].
     pub struct VecStrategy<S> {
         elem: S,
         range: Range<usize>,
