@@ -21,14 +21,17 @@
 //! The folded output feeds `flamegraph.pl` / speedscope directly; the
 //! timeline JSON loads in `ui.perfetto.dev` or `chrome://tracing`.
 
-use cheri_olden::dsl::DslBench;
+use cheri_bench::cli::{self, Cli};
 use cheri_olden::OldenParams;
-use cheri_sweep::{run_spec_profiled, JobSpec, StrategyKind, DEFAULT_TAG_CACHE_KB};
+use cheri_sweep::{run_spec_profiled, JobSpec, DEFAULT_TAG_CACHE_KB};
 use std::path::{Path, PathBuf};
 
+const USAGE: &str = "profbin [--workload NAME] [--strategy NAME] [--tag-kb N] [--top N] \
+     [--folded PATH] [--prof-timeline PATH] [--json PATH]";
+
 struct Args {
-    workload: DslBench,
-    strategy: StrategyKind,
+    workload: String,
+    strategy: String,
     tag_kb: usize,
     top: usize,
     folded: Option<PathBuf>,
@@ -36,86 +39,54 @@ struct Args {
     json: Option<PathBuf>,
 }
 
-fn usage(msg: &str) -> ! {
-    eprintln!("profbin: {msg}");
-    eprintln!(
-        "usage: profbin [--workload NAME] [--strategy NAME] [--tag-kb N] [--top N] \
-         [--folded PATH] [--prof-timeline PATH] [--json PATH]"
-    );
-    std::process::exit(2);
-}
-
 fn fail(msg: &str) -> ! {
-    eprintln!("profbin: {msg}");
-    std::process::exit(1);
+    cli::fail("profbin", msg)
 }
 
-fn parse_workload(name: &str) -> DslBench {
-    DslBench::ALL
-        .into_iter()
-        .find(|b| b.name() == name)
-        .unwrap_or_else(|| usage(&format!("unknown workload '{name}'")))
-}
-
-fn parse_args() -> Args {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+fn parse_args() -> (Args, Cli) {
+    let mut cli = Cli::new("profbin", USAGE);
     let mut args = Args {
-        workload: DslBench::Treeadd,
-        strategy: StrategyKind::Cheri256,
+        workload: "treeadd".into(),
+        strategy: "cheri".into(),
         tag_kb: DEFAULT_TAG_CACHE_KB,
         top: 10,
         folded: None,
         timeline: None,
         json: None,
     };
-    let mut i = 0;
-    while i < argv.len() {
-        let value = |i: usize| -> &str {
-            argv.get(i + 1).unwrap_or_else(|| usage(&format!("{} requires a value", argv[i])))
-        };
-        match argv[i].as_str() {
-            "--workload" => args.workload = parse_workload(value(i)),
-            "--strategy" => {
-                args.strategy = StrategyKind::parse(value(i))
-                    .unwrap_or_else(|| usage(&format!("unknown strategy '{}'", value(i))));
-            }
-            "--tag-kb" => {
-                args.tag_kb = value(i)
-                    .parse()
-                    .unwrap_or_else(|_| usage("--tag-kb requires a non-negative integer"));
-            }
-            "--top" => {
-                args.top = match value(i).parse() {
-                    Ok(n) if n > 0 => n,
-                    _ => usage("--top requires a positive integer"),
-                };
-            }
-            "--folded" => args.folded = Some(PathBuf::from(value(i))),
-            "--prof-timeline" => args.timeline = Some(PathBuf::from(value(i))),
-            "--json" => args.json = Some(PathBuf::from(value(i))),
-            other => usage(&format!("unknown argument '{other}'")),
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--workload" => args.workload = cli.value("--workload"),
+            "--strategy" => args.strategy = cli.value("--strategy"),
+            "--tag-kb" => args.tag_kb = cli.parsed("--tag-kb", "a non-negative integer"),
+            "--top" => args.top = cli.positive("--top"),
+            "--folded" => args.folded = Some(PathBuf::from(cli.value("--folded"))),
+            "--prof-timeline" => args.timeline = Some(PathBuf::from(cli.value("--prof-timeline"))),
+            "--json" => args.json = Some(PathBuf::from(cli.value("--json"))),
+            other => cli.unknown(other),
         }
-        i += 2;
     }
-    args
+    (args, cli)
 }
 
 fn write_out(path: &Path, text: &str, what: &str) {
-    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        std::fs::create_dir_all(dir)
-            .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
-    }
-    std::fs::write(path, text)
-        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    cli::write_file("profbin", path, text);
     println!("{what}: {}", path.display());
 }
 
 fn main() {
-    let args = parse_args();
-    let spec = JobSpec {
-        tag_cache_kb: args.tag_kb,
-        ..JobSpec::new(args.workload, args.strategy, OldenParams::scaled())
-    };
+    let (args, cli) = parse_args();
+    // The same by-name constructor the cheri-serve protocol resolves
+    // jobs through, so "profbin --workload X --strategy Y" and a served
+    // profile request name exactly the same experiment.
+    let spec =
+        JobSpec::from_parts(&args.workload, &args.strategy, args.tag_kb, OldenParams::scaled())
+            .unwrap_or_else(|| {
+                cli.usage_exit(&format!(
+                    "unknown workload/strategy '{}/{}'",
+                    args.workload, args.strategy
+                ))
+            });
     let (result, profile) = run_spec_profiled(&spec, spec.machine_config())
         .unwrap_or_else(|e| fail(&format!("{}: {e}", spec.key())));
 

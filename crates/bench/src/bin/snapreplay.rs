@@ -29,8 +29,12 @@
 //! snapshots for offline diffing, and the exit status is 1.
 
 use beri_sim::{Machine, StepResult};
+use cheri_bench::cli::{self, Cli};
 use cheri_snap::{MachineState, Snapshot};
 use std::path::{Path, PathBuf};
+
+const USAGE: &str = "snapreplay SNAPSHOT.json [--steps N] [--lockstep] [--bisect] \
+     [--poke-u32 PADDR=WORD] [--out DIR]";
 
 struct Args {
     snapshot: PathBuf,
@@ -41,18 +45,8 @@ struct Args {
     out: PathBuf,
 }
 
-fn usage(msg: &str) -> ! {
-    eprintln!("snapreplay: {msg}");
-    eprintln!(
-        "usage: snapreplay SNAPSHOT.json [--steps N] [--lockstep] [--bisect] \
-         [--poke-u32 PADDR=WORD] [--out DIR]"
-    );
-    std::process::exit(2);
-}
-
 fn fail(msg: &str) -> ! {
-    eprintln!("snapreplay: {msg}");
-    std::process::exit(1);
+    cli::fail("snapreplay", msg)
 }
 
 /// Parses a decimal or `0x`-prefixed integer.
@@ -65,7 +59,7 @@ fn parse_int(s: &str) -> Option<u64> {
 }
 
 fn parse_args() -> Args {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli::new("snapreplay", USAGE);
     let mut args = Args {
         snapshot: PathBuf::new(),
         steps: 100_000,
@@ -75,54 +69,38 @@ fn parse_args() -> Args {
         out: PathBuf::from("results"),
     };
     let mut snapshot = None;
-    let mut i = 0;
-    while i < argv.len() {
-        let value = |i: usize| -> &str {
-            argv.get(i + 1).unwrap_or_else(|| usage(&format!("{} requires a value", argv[i])))
-        };
-        match argv[i].as_str() {
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
             "--steps" => {
-                args.steps = match parse_int(value(i)) {
+                args.steps = match parse_int(&cli.value("--steps")) {
                     Some(n) if n > 0 => n,
-                    _ => usage("--steps requires a positive integer"),
+                    _ => cli.usage_exit("--steps requires a positive integer"),
                 };
-                i += 2;
             }
-            "--lockstep" => {
-                args.lockstep = true;
-                i += 1;
-            }
-            "--bisect" => {
-                args.bisect = true;
-                i += 1;
-            }
+            "--lockstep" => args.lockstep = true,
+            "--bisect" => args.bisect = true,
             "--poke-u32" => {
-                let spec = value(i);
+                let spec = cli.value("--poke-u32");
                 let (pa, word) = spec
                     .split_once('=')
                     .and_then(|(a, w)| Some((parse_int(a)?, u32::try_from(parse_int(w)?).ok()?)))
                     .unwrap_or_else(|| {
-                        usage("--poke-u32 requires PADDR=WORD (e.g. 0x8000=0xdead)")
+                        cli.usage_exit("--poke-u32 requires PADDR=WORD (e.g. 0x8000=0xdead)")
                     });
                 args.pokes.push((pa, word));
-                i += 2;
             }
-            "--out" => {
-                args.out = PathBuf::from(value(i));
-                i += 2;
-            }
-            flag if flag.starts_with("--") => usage(&format!("unknown argument '{flag}'")),
+            "--out" => args.out = PathBuf::from(cli.value("--out")),
+            flag if flag.starts_with("--") => cli.unknown(flag),
             path => {
                 if snapshot.replace(PathBuf::from(path)).is_some() {
-                    usage("exactly one snapshot path expected");
+                    cli.usage_exit("exactly one snapshot path expected");
                 }
-                i += 1;
             }
         }
     }
-    args.snapshot = snapshot.unwrap_or_else(|| usage("a snapshot path is required"));
+    args.snapshot = snapshot.unwrap_or_else(|| cli.usage_exit("a snapshot path is required"));
     if args.lockstep && args.bisect {
-        usage("--lockstep and --bisect are alternative strategies; pass one");
+        cli.usage_exit("--lockstep and --bisect are alternative strategies; pass one");
     }
     args
 }

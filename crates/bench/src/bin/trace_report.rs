@@ -13,29 +13,21 @@
 //! `--out` saves the aggregate snapshot for later comparison with
 //! `--diff`, which prints per-counter deltas between two saved runs.
 
+use cheri_bench::cli::Cli;
 use cheri_bench::{params_for, parse_bench_name, parse_scale, parse_strategy};
 use cheri_olden::dsl::{machine_config, run_bench_with_sink};
 use cheri_trace::{marker, names, shared, AggregateSink, AnySink, JsonlSink, Sink, Snapshot};
 
-fn usage() -> ! {
-    eprintln!(
-        "usage: trace_report <bisort|mst|treeadd|perimeter> [--strategy <name>]\n\
-         \u{20}                   [--scaled|--paper] [--jsonl <path>] [--out <path>]\n\
-         \u{20}      trace_report --diff <a.json> <b.json>\n\
-         strategies: mips, ccured, ccured-elide, cheri (aka cap), cheri128"
-    );
-    std::process::exit(2);
-}
+const USAGE: &str = "trace_report <bisort|mst|treeadd|perimeter> [--strategy <name>]\n\
+     \u{20}                   [--scaled|--paper] [--jsonl <path>] [--out <path>]\n\
+     \u{20}      trace_report --diff <a.json> <b.json>\n\
+     strategies: mips, ccured, ccured-elide, cheri (aka cap), cheri128";
 
-fn load_snapshot(path: &str) -> Snapshot {
-    let text = std::fs::read_to_string(path).unwrap_or_else(|e| {
-        eprintln!("cannot read {path}: {e}");
-        std::process::exit(2);
-    });
-    Snapshot::from_json(&text).unwrap_or_else(|e| {
-        eprintln!("{path}: not a snapshot: {e}");
-        std::process::exit(2);
-    })
+fn load_snapshot(cli: &Cli, path: &str) -> Snapshot {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| cli.usage_exit(&format!("cannot read {path}: {e}")));
+    Snapshot::from_json(&text)
+        .unwrap_or_else(|e| cli.usage_exit(&format!("{path}: not a snapshot: {e}")))
 }
 
 /// Counter families where the aggregated event stream must reproduce
@@ -68,49 +60,52 @@ const PARITY: &[&str] = &[
 ];
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-
-    if args.iter().any(|a| a == "--diff") {
-        let paths: Vec<&String> = args.iter().filter(|a| !a.starts_with("--")).collect();
-        if paths.len() != 2 {
-            usage();
+    let mut cli = Cli::new("trace_report", USAGE);
+    let mut strategy_name = String::from("cheri");
+    let mut jsonl_path = None;
+    let mut out_path = None;
+    let mut diff_mode = false;
+    let mut positional: Vec<String> = Vec::new();
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--strategy" => strategy_name = cli.value("--strategy"),
+            "--jsonl" => jsonl_path = Some(cli.value("--jsonl")),
+            "--out" => out_path = Some(cli.value("--out")),
+            "--diff" => diff_mode = true,
+            // The scale flags are read by parse_scale (shared across
+            // the harnesses); accept them here so they aren't unknown.
+            "--scaled" | "--paper" => {}
+            flag if flag.starts_with("--") => cli.unknown(flag),
+            operand => positional.push(operand.to_string()),
         }
-        let (a, b) = (load_snapshot(paths[0]), load_snapshot(paths[1]));
+    }
+
+    if diff_mode {
+        if positional.len() != 2 {
+            cli.usage_exit("--diff requires exactly two snapshot paths");
+        }
+        let (a, b) = (load_snapshot(&cli, &positional[0]), load_snapshot(&cli, &positional[1]));
         let diff = a.diff(&b);
-        println!("== snapshot diff: {} vs {} ==\n", paths[0], paths[1]);
+        println!("== snapshot diff: {} vs {} ==\n", positional[0], positional[1]);
         print!("{diff}");
         let changed = diff.changed().count();
         println!("\n{changed} counter(s) changed, {} total", diff.entries().len());
         return;
     }
 
-    let flag_value = |name: &str| -> Option<String> {
-        args.iter().position(|a| a == name).map(|i| {
-            args.get(i + 1).cloned().unwrap_or_else(|| {
-                eprintln!("{name} requires an argument");
-                std::process::exit(2);
-            })
-        })
+    let Some(bench) = positional.first().and_then(|n| parse_bench_name(n)) else {
+        cli.usage_exit("a benchmark name is required");
     };
-
-    let Some(bench) = args.iter().find(|a| !a.starts_with("--")).and_then(|n| parse_bench_name(n))
-    else {
-        usage();
-    };
-    let strategy_name = flag_value("--strategy").unwrap_or_else(|| "cheri".into());
     let Some(strategy) = parse_strategy(&strategy_name) else {
-        eprintln!("unknown strategy {strategy_name:?}");
-        usage();
+        cli.usage_exit(&format!("unknown strategy {strategy_name:?}"));
     };
     let params = params_for(parse_scale());
 
     // Aggregate always; tee into a JSONL stream when asked.
     let mut sinks = vec![AnySink::Aggregate(AggregateSink::new())];
-    if let Some(path) = flag_value("--jsonl") {
-        let jsonl = JsonlSink::create(std::path::Path::new(&path)).unwrap_or_else(|e| {
-            eprintln!("cannot create {path}: {e}");
-            std::process::exit(2);
-        });
+    if let Some(path) = &jsonl_path {
+        let jsonl = JsonlSink::create(std::path::Path::new(path))
+            .unwrap_or_else(|e| cli.usage_exit(&format!("cannot create {path}: {e}")));
         sinks.push(AnySink::Jsonl(jsonl));
     }
     let sink = shared(AnySink::Multi(sinks));
@@ -148,11 +143,9 @@ fn main() {
     assert_eq!(mismatches, 0, "event stream disagrees with legacy counters");
     println!("\nparity: all {} shared counters match the legacy statistics", PARITY.len());
 
-    if let Some(path) = flag_value("--out") {
-        std::fs::write(&path, aggregated.to_json()).unwrap_or_else(|e| {
-            eprintln!("cannot write {path}: {e}");
-            std::process::exit(2);
-        });
+    if let Some(path) = &out_path {
+        std::fs::write(path, aggregated.to_json())
+            .unwrap_or_else(|e| cli.usage_exit(&format!("cannot write {path}: {e}")));
         println!("snapshot written to {path}");
     }
 }

@@ -34,15 +34,19 @@
 //! snapshots are written as `results/divergence-*.json` for offline
 //! triage with `snapreplay`.
 
+use cheri_bench::cli::{self, Cli};
 use cheri_snap::Snapshot;
 use cheri_sweep::{
-    check_reports, comparisons, profile_matrix, render_drifts, run_indexed, run_spec_final_snap,
-    run_spec_resume, run_spec_split, run_specs, run_specs_block_cache, run_specs_profiled,
-    JobRecord, JobResult, Profile, SweepReport,
+    check_reports, comparisons, profile_matrix, render_drifts, run_indexed, run_matrix,
+    run_spec_final_snap, run_spec_resume, run_spec_split, run_specs, run_specs_block_cache,
+    run_specs_profiled, JobRecord, JobResult, Profile, SweepReport,
 };
 use cheri_trace::json::{self, Json};
 use std::path::{Path, PathBuf};
 use std::time::Instant;
+
+const USAGE: &str = "xsweep [--profile smoke|full|paper] [--jobs N] [--out PATH] \
+     [--check BASELINE] [--bless [PATH]] [--perf [PATH]] [--warm] [--prof]";
 
 struct Args {
     profile: Profile,
@@ -55,27 +59,16 @@ struct Args {
     prof: bool,
 }
 
-/// Command-line misuse: print the usage synopsis and exit 2.
-fn usage(msg: &str) -> ! {
-    eprintln!("xsweep: {msg}");
-    eprintln!(
-        "usage: xsweep [--profile smoke|full|paper] [--jobs N] [--out PATH] \
-         [--check BASELINE] [--bless [PATH]] [--perf [PATH]] [--warm] [--prof]"
-    );
-    std::process::exit(2);
-}
-
 /// A runtime failure on a well-formed invocation (unreadable baseline,
-/// failed gate, divergence): print the error and exit 1. Distinct from
-/// [`usage`] so scripts can tell "you called me wrong" (2) from "the
-/// run found a problem" (1).
+/// failed gate, divergence): exit 1, distinct from the scanner's exit 2
+/// so scripts can tell "you called me wrong" from "the run found a
+/// problem".
 fn fail(msg: &str) -> ! {
-    eprintln!("xsweep: {msg}");
-    std::process::exit(1);
+    cli::fail("xsweep", msg)
 }
 
 fn parse_args() -> Args {
-    let argv: Vec<String> = std::env::args().skip(1).collect();
+    let mut cli = Cli::new("xsweep", USAGE);
     let mut args = Args {
         profile: Profile::Full,
         jobs: cheri_sweep::default_threads(),
@@ -86,83 +79,47 @@ fn parse_args() -> Args {
         warm: false,
         prof: false,
     };
-    let mut i = 0;
     let mut blessed = false;
-    while i < argv.len() {
-        let value = |i: usize| -> &str {
-            argv.get(i + 1).unwrap_or_else(|| usage(&format!("{} requires a value", argv[i])))
-        };
-        match argv[i].as_str() {
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
             "--profile" => {
-                args.profile = Profile::parse(value(i))
-                    .unwrap_or_else(|| usage(&format!("unknown profile '{}'", value(i))));
-                i += 2;
+                let name = cli.value("--profile");
+                args.profile = Profile::parse(&name)
+                    .unwrap_or_else(|| cli.usage_exit(&format!("unknown profile '{name}'")));
             }
-            "--jobs" => {
-                args.jobs = match value(i).parse() {
-                    Ok(n) if n > 0 => n,
-                    _ => usage("--jobs requires a positive integer"),
-                };
-                i += 2;
-            }
-            "--out" => {
-                args.out = PathBuf::from(value(i));
-                i += 2;
-            }
-            "--check" => {
-                args.check = Some(PathBuf::from(value(i)));
-                i += 2;
-            }
+            "--jobs" => args.jobs = cli.positive("--jobs"),
+            "--out" => args.out = PathBuf::from(cli.value("--out")),
+            "--check" => args.check = Some(PathBuf::from(cli.value("--check"))),
+            // --bless and --perf take an optional path operand.
             "--bless" => {
                 blessed = true;
-                // Optional path operand.
-                if let Some(v) = argv.get(i + 1).filter(|v| !v.starts_with("--")) {
-                    args.bless = Some(PathBuf::from(v));
-                    i += 2;
-                } else {
-                    i += 1;
-                }
+                args.bless = cli.opt_value().map(PathBuf::from);
             }
             "--perf" => {
-                // Optional path operand, as for --bless.
-                if let Some(v) = argv.get(i + 1).filter(|v| !v.starts_with("--")) {
-                    args.perf = Some(PathBuf::from(v));
-                    i += 2;
-                } else {
-                    args.perf = Some(PathBuf::from("results/perf.json"));
-                    i += 1;
-                }
+                args.perf = Some(
+                    cli.opt_value()
+                        .map_or_else(|| PathBuf::from("results/perf.json"), PathBuf::from),
+                );
             }
-            "--warm" => {
-                args.warm = true;
-                i += 1;
-            }
-            "--prof" => {
-                args.prof = true;
-                i += 1;
-            }
-            other => usage(&format!("unknown argument '{other}'")),
+            "--warm" => args.warm = true,
+            "--prof" => args.prof = true,
+            other => cli.unknown(other),
         }
     }
     if blessed && args.bless.is_none() {
         args.bless = Some(PathBuf::from(format!("baselines/sweep-{}.json", args.profile.name())));
     }
     if args.warm && args.perf.is_some() {
-        usage("--warm and --perf are separate timing modes; pass one at a time");
+        cli.usage_exit("--warm and --perf are separate timing modes; pass one at a time");
     }
     if args.prof && (args.warm || args.perf.is_some()) {
-        usage("--prof is its own mode; pass it without --perf/--warm");
+        cli.usage_exit("--prof is its own mode; pass it without --perf/--warm");
     }
     args
 }
 
 fn write_report(path: &Path, text: &str) {
-    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
-        std::fs::create_dir_all(dir)
-            .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", dir.display())));
-    }
-    std::fs::write(path, text)
-        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    cli::write_file("xsweep", path, text);
 }
 
 /// Writes a divergence snapshot under `results/` with the job key
@@ -519,9 +476,10 @@ fn main() {
         if args.jobs == 1 { "" } else { "s" }
     );
     let t0 = Instant::now();
-    let results = run_specs(&specs, args.jobs);
+    // The library form of this default mode — the same call the
+    // cheri-serve transparency gate compares a served sweep against.
+    let report = run_matrix(args.profile, args.jobs);
     let wall = t0.elapsed();
-    let report = SweepReport::from_results(args.profile.name(), &results);
 
     println!("{:<28} {:>14} {:>14} {:>9} {:>9}", "job", "instructions", "cycles", "l1d%", "tag%");
     for job in &report.jobs {

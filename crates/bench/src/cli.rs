@@ -1,0 +1,160 @@
+//! Shared command-line plumbing for the `cheri-bench` binaries.
+//!
+//! Every harness hand-rolls its flags (no `clap` in an offline build),
+//! and before this module each one re-implemented the same scanner:
+//! an index loop over `argv`, a `value(i)` closure for operands, a
+//! `usage()` that exits 2 and a `fail()` that exits 1. [`Cli`] is that
+//! scanner, extracted once: a cursor over the arguments with helpers
+//! for required, optional, and integer-valued operands, plus the two
+//! exit conventions the binaries share — exit 2 for "you called me
+//! wrong" (with the usage synopsis), exit 1 for "the run found a
+//! problem" — so scripts can tell misuse from failure uniformly across
+//! every tool.
+
+use std::path::Path;
+
+/// Prints `tool: msg` and exits 1 — a runtime failure on a well-formed
+/// invocation (unreadable input, failed gate, divergence).
+pub fn fail(tool: &str, msg: &str) -> ! {
+    eprintln!("{tool}: {msg}");
+    std::process::exit(1);
+}
+
+/// Writes `text` to `path`, creating parent directories, exiting 1 (via
+/// [`fail`]) if the filesystem refuses.
+pub fn write_file(tool: &str, path: &Path, text: &str) {
+    if let Some(dir) = path.parent().filter(|d| !d.as_os_str().is_empty()) {
+        std::fs::create_dir_all(dir)
+            .unwrap_or_else(|e| fail(tool, &format!("cannot create {}: {e}", dir.display())));
+    }
+    std::fs::write(path, text)
+        .unwrap_or_else(|e| fail(tool, &format!("cannot write {}: {e}", path.display())));
+}
+
+/// A cursor over the process arguments.
+pub struct Cli {
+    tool: &'static str,
+    usage: &'static str,
+    argv: Vec<String>,
+    pos: usize,
+}
+
+impl Cli {
+    /// Captures the process arguments (program name skipped). `usage`
+    /// is the synopsis printed under misuse messages.
+    #[must_use]
+    pub fn new(tool: &'static str, usage: &'static str) -> Cli {
+        Cli { tool, usage, argv: std::env::args().skip(1).collect(), pos: 0 }
+    }
+
+    /// A `Cli` over explicit arguments (tests).
+    #[must_use]
+    pub fn from_args(tool: &'static str, usage: &'static str, argv: Vec<String>) -> Cli {
+        Cli { tool, usage, argv, pos: 0 }
+    }
+
+    /// The tool name (for messages printed by the caller).
+    #[must_use]
+    pub fn tool(&self) -> &'static str {
+        self.tool
+    }
+
+    /// Consumes and returns the next argument; `None` when exhausted.
+    /// The typical driver is `while let Some(arg) = cli.next_arg()`
+    /// with a `match` on the flag.
+    pub fn next_arg(&mut self) -> Option<String> {
+        let arg = self.argv.get(self.pos).cloned();
+        if arg.is_some() {
+            self.pos += 1;
+        }
+        arg
+    }
+
+    /// Consumes the required operand of `flag` (the token the caller
+    /// just matched); exits 2 if it is missing.
+    pub fn value(&mut self, flag: &str) -> String {
+        match self.next_arg() {
+            Some(v) => v,
+            None => self.usage_exit(&format!("{flag} requires a value")),
+        }
+    }
+
+    /// Consumes the next argument only if it is present and not itself
+    /// a flag — the optional-operand convention (`--bless [PATH]`).
+    pub fn opt_value(&mut self) -> Option<String> {
+        let v = self.argv.get(self.pos).filter(|v| !v.starts_with("--")).cloned();
+        if v.is_some() {
+            self.pos += 1;
+        }
+        v
+    }
+
+    /// Consumes and parses the required operand of `flag`; exits 2
+    /// with "`flag` requires `what`" if missing or unparsable.
+    pub fn parsed<T: std::str::FromStr>(&mut self, flag: &str, what: &str) -> T {
+        let raw = self.value(flag);
+        match raw.parse() {
+            Ok(v) => v,
+            Err(_) => self.usage_exit(&format!("{flag} requires {what}")),
+        }
+    }
+
+    /// [`Cli::parsed`] specialised to the common "positive integer"
+    /// operand (`--jobs`, `--top`, `--steps`).
+    pub fn positive(&mut self, flag: &str) -> usize {
+        let n: usize = self.parsed(flag, "a positive integer");
+        if n == 0 {
+            self.usage_exit(&format!("{flag} requires a positive integer"));
+        }
+        n
+    }
+
+    /// Command-line misuse: prints the message and the usage synopsis,
+    /// exits 2.
+    pub fn usage_exit(&self, msg: &str) -> ! {
+        eprintln!("{}: {msg}", self.tool);
+        eprintln!("usage: {}", self.usage);
+        std::process::exit(2);
+    }
+
+    /// The standard rejection for an unmatched argument.
+    pub fn unknown(&self, arg: &str) -> ! {
+        self.usage_exit(&format!("unknown argument '{arg}'"))
+    }
+
+    /// Runtime failure, exit 1 (see the module docs for the 1-vs-2
+    /// convention).
+    pub fn fail(&self, msg: &str) -> ! {
+        fail(self.tool, msg)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cli(args: &[&str]) -> Cli {
+        Cli::from_args("t", "t [flags]", args.iter().map(|s| (*s).to_string()).collect())
+    }
+
+    #[test]
+    fn cursor_walks_flags_and_operands() {
+        let mut c = cli(&["--a", "1", "--b", "--c", "x"]);
+        assert_eq!(c.next_arg().as_deref(), Some("--a"));
+        assert_eq!(c.value("--a"), "1");
+        assert_eq!(c.next_arg().as_deref(), Some("--b"));
+        assert_eq!(c.opt_value(), None, "a flag is not an optional operand");
+        assert_eq!(c.next_arg().as_deref(), Some("--c"));
+        assert_eq!(c.opt_value().as_deref(), Some("x"));
+        assert_eq!(c.next_arg(), None);
+    }
+
+    #[test]
+    fn parsed_and_positive() {
+        let mut c = cli(&["--jobs", "4", "--top", "7"]);
+        let _ = c.next_arg();
+        assert_eq!(c.positive("--jobs"), 4);
+        let _ = c.next_arg();
+        assert_eq!(c.parsed::<u64>("--top", "an integer"), 7);
+    }
+}

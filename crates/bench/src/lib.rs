@@ -18,7 +18,10 @@
 //! All accept `--scaled` (CI-sized), default to medium sizes, and accept
 //! `--paper` for the paper's full parameters (minutes of host time).
 //!
-//! This library holds the small amount of shared harness plumbing.
+//! This library holds the small amount of shared harness plumbing,
+//! including the common command-line scanner ([`cli::Cli`]).
+
+pub mod cli;
 
 use cheri_cc::strategy::PtrStrategy;
 use cheri_olden::dsl::DslBench;

@@ -1,0 +1,186 @@
+//! The content-hashed result cache: identical work is executed once.
+//!
+//! A cache key binds together everything that determines a job's
+//! result: the job's complete canonical configuration
+//! ([`JobSpec::canonical_json`] — workload, strategy, tag-cache size,
+//! variant, every problem-size parameter) and the [`StateHash`] of the
+//! pooled phase-2 snapshot the job would execute from. The simulator is
+//! deterministic, so (config, start state) → result is a pure function
+//! and a hit can be served as stored bytes without re-execution.
+//!
+//! Hashing the *canonical* config — not the request's raw bytes — means
+//! two clients spelling the same job with different JSON field order,
+//! whitespace, or strategy aliases dedup onto one entry. Folding the
+//! snapshot hash in means a pool rebuilt from different state (a changed
+//! simulator, a different parameter preset) can never serve a stale
+//! result: the key changes with the state.
+
+use cheri_snap::StateHash;
+use cheri_sweep::{JobRecord, JobSpec};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// The [`StateHash`] used when a job has no pooled snapshot (the
+/// workload exits before the phase-2 boundary, so every execution is a
+/// full cold run from the same empty prefix).
+pub const NO_SNAPSHOT: StateHash = StateHash(0);
+
+/// Computes the result-cache key for a job: FNV-1a over the canonical
+/// configuration followed by the snapshot hash. The two halves are
+/// joined with a `#snap=` separator so neither can masquerade as part
+/// of the other.
+#[must_use]
+pub fn cache_key(spec: &JobSpec, snap: StateHash) -> u64 {
+    cache_key_canonical(&spec.canonical_json(), snap)
+}
+
+/// As [`cache_key`], from an already-canonicalised configuration (the
+/// engine canonicalises once per execution and reuses the string).
+#[must_use]
+pub fn cache_key_canonical(canonical_config: &str, snap: StateHash) -> u64 {
+    let mut text = String::with_capacity(canonical_config.len() + 24);
+    text.push_str(canonical_config);
+    text.push_str("#snap=");
+    text.push_str(&snap.to_string());
+    StateHash::of_bytes(text.as_bytes()).0
+}
+
+/// A thread-safe result cache with hit/miss accounting.
+///
+/// A disabled cache ([`ResultCache::new`] with `enabled = false`) never
+/// hits and never stores, so a load-generation run can force every
+/// request down the execution path while keeping the same call sites.
+pub struct ResultCache {
+    map: Mutex<HashMap<u64, JobRecord>>,
+    hits: AtomicU64,
+    misses: AtomicU64,
+    enabled: bool,
+}
+
+impl ResultCache {
+    /// An empty cache.
+    #[must_use]
+    pub fn new(enabled: bool) -> ResultCache {
+        ResultCache {
+            map: Mutex::new(HashMap::new()),
+            hits: AtomicU64::new(0),
+            misses: AtomicU64::new(0),
+            enabled,
+        }
+    }
+
+    /// Whether this cache stores anything at all.
+    #[must_use]
+    pub fn enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Looks a key up, counting the hit or miss. Always a (counted)
+    /// miss when the cache is disabled.
+    #[must_use]
+    pub fn lookup(&self, key: u64) -> Option<JobRecord> {
+        let found = if self.enabled {
+            self.map.lock().map_or(None, |m| m.get(&key).cloned())
+        } else {
+            None
+        };
+        match found {
+            Some(rec) => {
+                self.hits.fetch_add(1, Ordering::Relaxed);
+                Some(rec)
+            }
+            None => {
+                self.misses.fetch_add(1, Ordering::Relaxed);
+                None
+            }
+        }
+    }
+
+    /// Stores a record (no-op when disabled). Two workers racing on the
+    /// same key store byte-identical records — the simulator is
+    /// deterministic — so last-write-wins is harmless.
+    pub fn store(&self, key: u64, record: &JobRecord) {
+        if self.enabled {
+            if let Ok(mut m) = self.map.lock() {
+                m.insert(key, record.clone());
+            }
+        }
+    }
+
+    /// Resident entries.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.map.lock().map_or(0, |m| m.len())
+    }
+
+    /// Whether the cache is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Hits so far.
+    #[must_use]
+    pub fn hits(&self) -> u64 {
+        self.hits.load(Ordering::Relaxed)
+    }
+
+    /// Misses so far.
+    #[must_use]
+    pub fn misses(&self) -> u64 {
+        self.misses.load(Ordering::Relaxed)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_olden::dsl::DslBench;
+    use cheri_olden::OldenParams;
+    use cheri_sweep::StrategyKind;
+    use std::collections::BTreeMap;
+
+    fn record(key: &str) -> JobRecord {
+        JobRecord {
+            key: key.to_string(),
+            workload: "treeadd".into(),
+            strategy: "cheri".into(),
+            cap_bits: 256,
+            tag_cache_kb: 8,
+            checksums: vec![42],
+            counters: BTreeMap::new(),
+        }
+    }
+
+    #[test]
+    fn disabled_cache_never_hits() {
+        let cache = ResultCache::new(false);
+        cache.store(7, &record("a"));
+        assert_eq!(cache.lookup(7), None);
+        assert_eq!(cache.len(), 0);
+        assert_eq!(cache.hits(), 0);
+        assert_eq!(cache.misses(), 1);
+    }
+
+    #[test]
+    fn enabled_cache_counts_hits_and_misses() {
+        let cache = ResultCache::new(true);
+        assert_eq!(cache.lookup(1), None);
+        cache.store(1, &record("a"));
+        assert_eq!(cache.lookup(1).unwrap().key, "a");
+        assert_eq!((cache.hits(), cache.misses()), (1, 1));
+        assert!(!cache.is_empty());
+    }
+
+    #[test]
+    fn key_separates_config_from_snapshot() {
+        let spec = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, OldenParams::scaled());
+        let k1 = cache_key(&spec, NO_SNAPSHOT);
+        let k2 = cache_key(&spec, StateHash(1));
+        assert_ne!(k1, k2, "snapshot hash must contribute to the key");
+        let other = JobSpec::new(DslBench::Mst, StrategyKind::Cheri256, OldenParams::scaled());
+        assert_ne!(cache_key(&other, NO_SNAPSHOT), k1, "config must contribute to the key");
+        assert_eq!(cache_key(&spec, NO_SNAPSHOT), k1, "key must be stable");
+    }
+}

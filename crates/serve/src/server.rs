@@ -1,0 +1,348 @@
+//! The TCP server: accept loop, per-connection request handling, and
+//! graceful drain.
+//!
+//! One thread accepts connections (non-blocking, polling the [`Stop`]
+//! token); each connection gets a thread that reads request lines and
+//! writes event lines; all actual simulation is submitted to the shared
+//! [`WorkerPool`]. Shutdown — a `shutdown` request, [`Stop::request`],
+//! or (in the binary) SIGINT/SIGTERM — is cooperative: jobs already
+//! executing on workers run to completion, queued jobs bail, sweeps
+//! that lost jobs answer with an `error` event instead of a report, and
+//! nothing partial is ever written: served reports are persisted by
+//! writing to a `.tmp` sibling and renaming only after the full report
+//! is on disk, and only for sweeps that completed every job.
+
+use crate::engine::{run_profile, verify_against_batch, JobEngine, Stop, WorkerPool};
+use crate::protocol::{decode_request, encode_event, Event, Origin, Request, SCHEMA};
+use cheri_sweep::{run_matrix, Profile, SweepReport};
+use std::io::{BufRead, BufReader, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{mpsc, Arc};
+use std::time::Duration;
+
+/// How often blocked reads and the accept loop wake to poll the stop
+/// token.
+const POLL: Duration = Duration::from_millis(100);
+
+/// Server construction parameters.
+pub struct ServerConfig {
+    /// Worker threads executing jobs (default: host parallelism).
+    pub workers: usize,
+    /// Enable the content-hashed result cache.
+    pub cache: bool,
+    /// Enable warm execution from the snapshot pool.
+    pub warm: bool,
+    /// Persist every completed served sweep report under this
+    /// directory (atomically) when set.
+    pub results_dir: Option<PathBuf>,
+    /// Also trip the stop token on SIGINT/SIGTERM (the binary sets
+    /// this; tests leave it off so a ^C to the test runner cannot leak
+    /// into server state).
+    pub watch_signals: bool,
+}
+
+impl Default for ServerConfig {
+    fn default() -> ServerConfig {
+        ServerConfig {
+            workers: cheri_sweep::default_threads(),
+            cache: true,
+            warm: true,
+            results_dir: None,
+            watch_signals: false,
+        }
+    }
+}
+
+struct Shared {
+    engine: Arc<JobEngine>,
+    workers: WorkerPool,
+    stop: Stop,
+    results_dir: Option<PathBuf>,
+    requests: AtomicU64,
+}
+
+/// The listening server. [`Server::serve`] blocks until shutdown.
+pub struct Server {
+    listener: TcpListener,
+    shared: Arc<Shared>,
+}
+
+impl Server {
+    /// Binds `addr` (use port 0 for an ephemeral port; read the result
+    /// back with [`Server::local_addr`]) and builds the engine and
+    /// worker pool.
+    ///
+    /// # Errors
+    ///
+    /// Socket errors from binding.
+    pub fn bind(addr: &str, cfg: ServerConfig) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let shared = Arc::new(Shared {
+            engine: Arc::new(JobEngine::new(cfg.cache, cfg.warm)),
+            workers: WorkerPool::new(cfg.workers),
+            stop: Stop::new(cfg.watch_signals),
+            results_dir: cfg.results_dir,
+            requests: AtomicU64::new(0),
+        });
+        Ok(Server { listener, shared })
+    }
+
+    /// The bound address (resolves ephemeral ports).
+    ///
+    /// # Errors
+    ///
+    /// Socket errors.
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// A stop token sharing this server's flag — trip it to initiate a
+    /// drain from another thread (tests, embedders).
+    #[must_use]
+    pub fn stop_handle(&self) -> Stop {
+        self.shared.stop.clone()
+    }
+
+    /// The engine (for prewarming and inspection).
+    #[must_use]
+    pub fn engine(&self) -> Arc<JobEngine> {
+        self.shared.engine.clone()
+    }
+
+    /// Pre-boots the snapshot pool for `profile` before serving;
+    /// returns entries added.
+    #[must_use]
+    pub fn prewarm(&self, profile: Profile) -> usize {
+        self.shared.engine.prewarm(profile, &self.shared.workers, &self.shared.stop)
+    }
+
+    /// Accepts and serves connections until the stop token trips, then
+    /// drains: in-flight jobs finish, queued jobs bail, workers and
+    /// connection threads are joined. Returns `Ok(())` on a clean
+    /// drain — the binary turns this into exit status 0.
+    ///
+    /// # Errors
+    ///
+    /// Fatal listener errors only (per-connection errors close that
+    /// connection).
+    pub fn serve(self) -> std::io::Result<()> {
+        self.listener.set_nonblocking(true)?;
+        let mut conns: Vec<std::thread::JoinHandle<()>> = Vec::new();
+        while !self.shared.stop.stopping() {
+            match self.listener.accept() {
+                Ok((stream, _peer)) => {
+                    let shared = self.shared.clone();
+                    conns.push(std::thread::spawn(move || handle_connection(stream, &shared)));
+                    conns.retain(|h| !h.is_finished());
+                }
+                Err(e) if e.kind() == ErrorKind::WouldBlock => std::thread::sleep(POLL),
+                Err(e) => return Err(e),
+            }
+        }
+        // Drain: close the queue (queued jobs bail against the tripped
+        // stop token), join workers, then the connection threads.
+        self.shared.workers.shutdown();
+        for h in conns {
+            let _ = h.join();
+        }
+        Ok(())
+    }
+}
+
+fn send(writer: &mut TcpStream, ev: &Event) -> bool {
+    let mut line = encode_event(ev);
+    line.push('\n');
+    writer.write_all(line.as_bytes()).and_then(|()| writer.flush()).is_ok()
+}
+
+fn handle_connection(stream: TcpStream, shared: &Shared) {
+    // Accepted sockets inherit the listener's non-blocking flag on some
+    // platforms; force blocking reads with a timeout so the thread can
+    // poll the stop token while idle.
+    if stream.set_nonblocking(false).is_err() || stream.set_read_timeout(Some(POLL)).is_err() {
+        return;
+    }
+    let Ok(read_half) = stream.try_clone() else { return };
+    let mut reader = BufReader::new(read_half);
+    let mut writer = stream;
+    let mut line = String::new();
+    loop {
+        match reader.read_line(&mut line) {
+            Ok(0) => return, // client closed
+            Ok(_) => {
+                let text = std::mem::take(&mut line);
+                let text = text.trim();
+                if text.is_empty() {
+                    continue;
+                }
+                shared.requests.fetch_add(1, Ordering::Relaxed);
+                if handle_request(text, &mut writer, shared) {
+                    return;
+                }
+            }
+            // A timeout mid-line leaves the partial line in the buffer;
+            // the retry continues appending where it left off.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if shared.stop.stopping() {
+                    return;
+                }
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Handles one request; returns `true` when the connection should
+/// close (shutdown requested, or the client is unreachable).
+fn handle_request(text: &str, writer: &mut TcpStream, shared: &Shared) -> bool {
+    let req = match decode_request(text) {
+        Ok(req) => req,
+        Err(e) => return !send(writer, &Event::Error { message: format!("bad request: {e}") }),
+    };
+    if shared.stop.stopping() && !matches!(req, Request::Ping | Request::Stats) {
+        return !send(writer, &Event::Error { message: "server is shutting down".into() });
+    }
+    match req {
+        Request::Ping => !send(writer, &Event::Pong { schema: SCHEMA.into() }),
+        Request::Stats => {
+            let stats = shared.engine.stats(shared.requests.load(Ordering::Relaxed));
+            !send(writer, &Event::Stats(stats))
+        }
+        Request::Shutdown => {
+            send(writer, &Event::Ok);
+            shared.stop.request();
+            true
+        }
+        Request::Sweep { profile, cache, verify } => {
+            handle_sweep(writer, shared, profile, cache, verify)
+        }
+        Request::Job { parts, cache } => {
+            let reply = run_on_pool(shared, move |engine| {
+                let spec = parts.spec()?;
+                let (record, origin) = engine.execute(&spec, cache)?;
+                Ok(Event::Record {
+                    key: record.key.clone(),
+                    origin,
+                    snap_hash: String::new(),
+                    record: record.to_json(),
+                })
+            });
+            !send(writer, &reply)
+        }
+        Request::Profile { parts } => {
+            let reply = run_on_pool(shared, move |engine| {
+                let spec = parts.spec()?;
+                let (record, profile) = engine.execute_profiled(&spec)?;
+                Ok(Event::Profile { key: record.key.clone(), record: record.to_json(), profile })
+            });
+            !send(writer, &reply)
+        }
+        Request::Replay { parts } => {
+            let reply = run_on_pool(shared, move |engine| {
+                let spec = parts.spec()?;
+                let (record, hash) = engine.execute_replay(&spec)?;
+                Ok(Event::Record {
+                    key: record.key.clone(),
+                    origin: Origin::Warm,
+                    snap_hash: hash.to_string(),
+                    record: record.to_json(),
+                })
+            });
+            !send(writer, &reply)
+        }
+    }
+}
+
+/// Ships one closure to the worker pool and blocks this connection
+/// thread for its outcome, so single-job requests obey the same global
+/// parallelism bound as sweeps.
+fn run_on_pool<F>(shared: &Shared, work: F) -> Event
+where
+    F: FnOnce(&JobEngine) -> Result<Event, String> + Send + 'static,
+{
+    let (tx, rx) = mpsc::channel::<Result<Event, String>>();
+    let engine = shared.engine.clone();
+    let stop = shared.stop.clone();
+    let submitted = shared.workers.submit(move || {
+        let out = if stop.stopping() {
+            Err("server is shutting down".to_string())
+        } else {
+            work(&engine)
+        };
+        let _ = tx.send(out);
+    });
+    if !submitted {
+        return Event::Error { message: "server is shutting down".into() };
+    }
+    match rx.recv() {
+        Ok(Ok(ev)) => ev,
+        Ok(Err(msg)) => Event::Error { message: msg },
+        Err(_) => Event::Error { message: "job was dropped during shutdown".into() },
+    }
+}
+
+fn handle_sweep(
+    writer: &mut TcpStream,
+    shared: &Shared,
+    profile: Profile,
+    cache: bool,
+    verify: bool,
+) -> bool {
+    let outcome = run_profile(
+        &shared.engine,
+        &shared.workers,
+        profile,
+        cache,
+        &shared.stop,
+        |done, total, key, origin| {
+            // Progress is advisory; a vanished client must not stop the
+            // jobs already queued, so write errors are ignored here and
+            // surface on the terminal event instead.
+            let _ = send(writer, &Event::Progress { done, total, key: key.to_string(), origin });
+        },
+    );
+    let report = match outcome {
+        Err(message) => return !send(writer, &Event::Error { message }),
+        Ok(None) => {
+            let message = "sweep aborted by server shutdown (drained, nothing written)".into();
+            return !send(writer, &Event::Error { message });
+        }
+        Ok(Some(report)) => report,
+    };
+    if verify {
+        // The in-process transparency gate: the same matrix through the
+        // cold batch path must serialise byte-identically.
+        let batch = run_matrix(profile, shared.workers.workers());
+        if let Err(message) = verify_against_batch(&report, &batch) {
+            return !send(writer, &Event::Error { message });
+        }
+    }
+    if let Some(dir) = &shared.results_dir {
+        persist_report(dir, &report, shared.requests.load(Ordering::Relaxed));
+    }
+    let ev = Event::Report {
+        profile: report.profile.clone(),
+        verified: verify,
+        report: report.to_json(),
+    };
+    !send(writer, &ev)
+}
+
+/// Persists a *complete* report atomically: full write to a `.tmp`
+/// sibling, then rename. A crash or shutdown at any point leaves either
+/// nothing or a finished report — never a partial file.
+fn persist_report(dir: &std::path::Path, report: &SweepReport, serial: u64) {
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let name = format!("serve-{}-{serial}.json", report.profile);
+    let path = dir.join(&name);
+    let tmp = dir.join(format!("{name}.tmp"));
+    if std::fs::write(&tmp, report.to_json()).is_ok() {
+        let _ = std::fs::rename(&tmp, &path);
+    } else {
+        let _ = std::fs::remove_file(&tmp);
+    }
+}

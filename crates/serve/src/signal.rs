@@ -1,0 +1,42 @@
+//! Minimal async-signal-safe shutdown flag for SIGINT / SIGTERM.
+//!
+//! The workspace builds offline with no `libc`/`signal-hook` crates, so
+//! the handler is registered through the C `signal(2)` entry point that
+//! `std` already links on Unix. The handler does the only
+//! async-signal-safe thing possible: it stores into a static atomic,
+//! which [`crate::Stop`] tokens built with `watch_signals` poll between
+//! jobs. On non-Unix targets installation is a no-op and shutdown is
+//! driven purely by the `shutdown` protocol request.
+
+use std::sync::atomic::{AtomicBool, Ordering};
+
+static REQUESTED: AtomicBool = AtomicBool::new(false);
+
+/// Whether SIGINT/SIGTERM has been delivered since [`install`].
+#[must_use]
+pub fn requested() -> bool {
+    REQUESTED.load(Ordering::SeqCst)
+}
+
+#[cfg(unix)]
+extern "C" fn on_signal(_signum: i32) {
+    REQUESTED.store(true, Ordering::SeqCst);
+}
+
+#[cfg(unix)]
+extern "C" {
+    #[link_name = "signal"]
+    fn libc_signal(signum: i32, handler: extern "C" fn(i32)) -> usize;
+}
+
+/// Installs the flag-setting handler for SIGINT (2) and SIGTERM (15).
+/// Call once from the binary's `main`; harmless to call again.
+pub fn install() {
+    #[cfg(unix)]
+    // SAFETY: `signal` is registering an async-signal-safe handler
+    // (a single atomic store) for two standard termination signals.
+    unsafe {
+        libc_signal(2, on_signal);
+        libc_signal(15, on_signal);
+    }
+}

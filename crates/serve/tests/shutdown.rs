@@ -1,0 +1,94 @@
+//! Graceful-shutdown drain: tripping the stop token mid-sweep must
+//! leave `results/` with no partial files — either nothing new, or only
+//! complete, parseable reports.
+
+use cheri_serve::{Client, Event, Request, Server, ServerConfig};
+use cheri_sweep::{Profile, SweepReport};
+use std::path::PathBuf;
+
+/// A per-test scratch directory under the target dir (unique per test
+/// name; removed and recreated so reruns start clean).
+fn scratch(name: &str) -> PathBuf {
+    let dir = PathBuf::from(env!("CARGO_TARGET_TMPDIR")).join(name);
+    let _ = std::fs::remove_dir_all(&dir);
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
+
+#[test]
+fn mid_sweep_shutdown_leaves_no_partial_files() {
+    let dir = scratch("shutdown-drain");
+    let cfg = ServerConfig {
+        workers: 2,
+        cache: false, // force real execution so the sweep takes time
+        warm: true,
+        results_dir: Some(dir.clone()),
+        watch_signals: false,
+    };
+    let server = Server::bind("127.0.0.1:0", cfg).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let stop = server.stop_handle();
+    let handle = std::thread::spawn(move || server.serve());
+
+    let mut client = Client::connect(&addr).unwrap();
+    client.send(&Request::Sweep { profile: Profile::Smoke, cache: false, verify: false }).unwrap();
+
+    // Trip the stop token as soon as the first job lands, while the
+    // rest of the matrix is still queued or executing.
+    let mut tripped = false;
+    let terminal = loop {
+        match client.next_event().unwrap() {
+            Event::Progress { .. } => {
+                if !tripped {
+                    stop.request();
+                    tripped = true;
+                }
+            }
+            other => break other,
+        }
+    };
+    match terminal {
+        // The expected drain outcome: the sweep aborted, nothing written.
+        Event::Error { message } => {
+            assert!(message.contains("aborted") || message.contains("shutting down"), "{message}");
+        }
+        // Scheduling race: every job finished before the stop landed —
+        // then the persisted report must be complete (asserted below).
+        Event::Report { .. } => {}
+        other => panic!("unexpected terminal event: {other:?}"),
+    }
+
+    handle.join().unwrap().unwrap();
+
+    // The drain contract, on disk: no temp files, and anything that was
+    // persisted is a complete, parseable report for the full matrix.
+    for entry in std::fs::read_dir(&dir).unwrap() {
+        let path = entry.unwrap().path();
+        let name = path.file_name().unwrap().to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "partial file left behind: {name}");
+        let text = std::fs::read_to_string(&path).unwrap();
+        let report = SweepReport::from_json(&text)
+            .unwrap_or_else(|e| panic!("{name} is not a complete report: {e}"));
+        assert_eq!(report.jobs.len(), cheri_sweep::profile_matrix(Profile::Smoke).len());
+    }
+}
+
+#[test]
+fn requests_after_shutdown_are_refused() {
+    let server = Server::bind("127.0.0.1:0", ServerConfig::default()).unwrap();
+    let addr = server.local_addr().unwrap().to_string();
+    let handle = std::thread::spawn(move || server.serve());
+
+    let mut client = Client::connect(&addr).unwrap();
+    assert_eq!(client.ping().unwrap(), cheri_serve::SCHEMA);
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+
+    // A fresh connection is refused outright once the listener is gone.
+    assert!(
+        Client::connect(&addr).is_err() || {
+            let mut c = Client::connect(&addr).unwrap();
+            c.ping().is_err()
+        }
+    );
+}

@@ -161,6 +161,59 @@ impl JobSpec {
         JobSpec { workload, strategy, tag_cache_kb: DEFAULT_TAG_CACHE_KB, params, variant: None }
     }
 
+    /// Resolves a spec from its named parts — the one constructor every
+    /// by-name surface (`profbin` flags, the `cheri-serve` wire
+    /// protocol, `serveload --job`) goes through, so a job spelled the
+    /// same way always means the same experiment. Returns `None` if the
+    /// workload or strategy name is unknown.
+    #[must_use]
+    pub fn from_parts(
+        workload: &str,
+        strategy: &str,
+        tag_cache_kb: usize,
+        params: OldenParams,
+    ) -> Option<JobSpec> {
+        let workload = DslBench::ALL.into_iter().find(|b| b.name() == workload)?;
+        let strategy = StrategyKind::parse(strategy)?;
+        Some(JobSpec { workload, strategy, tag_cache_kb, params, variant: None })
+    }
+
+    /// The canonical serialization of this job's *complete*
+    /// configuration: every field that influences the result (workload,
+    /// strategy, tag-cache size, variant label, and all problem-size
+    /// parameters) in a fixed order with fixed formatting. Two specs
+    /// describe the same experiment iff their canonical forms are
+    /// byte-equal — this is the config half of the `cheri-serve`
+    /// result-cache key, so requests that spell the same job with
+    /// different JSON field order or whitespace dedup onto one entry.
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        use cheri_trace::json::JsonWriter;
+        let p = &self.params;
+        let mut w = JsonWriter::object();
+        w.str_field("workload", self.workload.name());
+        w.str_field("strategy", self.strategy.name());
+        w.u64_field("tag_cache_kb", self.tag_cache_kb as u64);
+        match self.variant {
+            Some(v) => w.u64_field("variant", u64::from(v)),
+            None => w.raw_field("variant", "null"),
+        }
+        let mut pw = JsonWriter::object();
+        pw.u64_field("treeadd_depth", u64::from(p.treeadd_depth));
+        pw.u64_field("bisort_log2", u64::from(p.bisort_log2));
+        pw.u64_field("perimeter_levels", u64::from(p.perimeter_levels));
+        pw.u64_field("mst_vertices", u64::from(p.mst_vertices));
+        pw.u64_field("mst_degree", u64::from(p.mst_degree));
+        pw.u64_field("em3d_nodes", u64::from(p.em3d_nodes));
+        pw.u64_field("em3d_degree", u64::from(p.em3d_degree));
+        pw.u64_field("em3d_iters", u64::from(p.em3d_iters));
+        pw.u64_field("health_levels", u64::from(p.health_levels));
+        pw.u64_field("health_steps", u64::from(p.health_steps));
+        pw.u64_field("power_feeders", u64::from(p.power_feeders));
+        w.raw_field("params", &pw.close());
+        w.close()
+    }
+
     /// The unique report key: `workload/strategy/tagNN[/pVV]`.
     #[must_use]
     pub fn key(&self) -> String {
@@ -521,6 +574,38 @@ mod tests {
         spec.variant = Some(12);
         assert_eq!(spec.key(), "treeadd/cheri/tag8/p12");
         assert_eq!(spec.marker_label(), "treeadd/cheri/12");
+    }
+
+    #[test]
+    fn from_parts_matches_direct_construction() {
+        let p = OldenParams::scaled();
+        let spec = JobSpec::from_parts("treeadd", "cheri", 8, p).unwrap();
+        assert_eq!(spec.key(), "treeadd/cheri/tag8");
+        // Aliases resolve to the same spec as canonical names.
+        let alias = JobSpec::from_parts("treeadd", "c256", 8, p).unwrap();
+        assert_eq!(alias.canonical_json(), spec.canonical_json());
+        assert!(JobSpec::from_parts("nosuch", "cheri", 8, p).is_none());
+        assert!(JobSpec::from_parts("treeadd", "nosuch", 8, p).is_none());
+    }
+
+    #[test]
+    fn canonical_json_covers_every_field() {
+        let p = OldenParams::scaled();
+        let base = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, p);
+        let canon = base.canonical_json();
+        // Stable under re-serialization.
+        assert_eq!(base.canonical_json(), canon);
+        // Every single-field change shows up.
+        let variants = [
+            JobSpec { workload: DslBench::Mst, ..base },
+            JobSpec { strategy: StrategyKind::Cheri128, ..base },
+            JobSpec { tag_cache_kb: 16, ..base },
+            JobSpec { variant: Some(3), ..base },
+            JobSpec { params: OldenParams { treeadd_depth: p.treeadd_depth + 1, ..p }, ..base },
+        ];
+        for v in variants {
+            assert_ne!(v.canonical_json(), canon, "{v:?} must change the canonical form");
+        }
     }
 
     #[test]

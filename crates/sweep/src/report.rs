@@ -109,7 +109,12 @@ impl JobRecord {
         }
     }
 
-    fn to_json(&self) -> String {
+    /// Serialises the record exactly as it appears on its line of a
+    /// [`SweepReport`] — also the payload of `cheri-serve`'s
+    /// single-job `record` events, so a served record is byte-identical
+    /// to the corresponding report line.
+    #[must_use]
+    pub fn to_json(&self) -> String {
         let mut w = JsonWriter::object();
         w.str_field("key", &self.key);
         w.str_field("workload", &self.workload);
@@ -126,7 +131,13 @@ impl JobRecord {
         w.close()
     }
 
-    fn from_json(v: &Json) -> Result<JobRecord, String> {
+    /// Parses one serialised record (the inverse of
+    /// [`JobRecord::to_json`]).
+    ///
+    /// # Errors
+    ///
+    /// Describes the first malformation found.
+    pub fn from_json(v: &Json) -> Result<JobRecord, String> {
         let obj = v.as_obj().ok_or("job record must be an object")?;
         let get_str = |k: &str| -> Result<String, String> {
             obj.get(k)

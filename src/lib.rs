@@ -54,6 +54,7 @@ pub use cheri_mem as mem;
 pub use cheri_olden as olden;
 pub use cheri_os as os;
 pub use cheri_prof as prof;
+pub use cheri_serve as serve;
 pub use cheri_snap as snap;
 pub use cheri_sweep as sweep;
 pub use cheri_trace as trace;
