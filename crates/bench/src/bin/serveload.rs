@@ -35,6 +35,7 @@
 //! ```
 
 use cheri_bench::cli::{self, Cli};
+use cheri_bench::triage::first_json_difference;
 use cheri_serve::protocol::JobParts;
 use cheri_serve::Client;
 use cheri_sweep::Profile;
@@ -398,9 +399,11 @@ fn main() {
         if *report == expected {
             println!("expect: OK — served report is byte-identical to {}", path.display());
         } else {
+            let where_ = first_json_difference(report, &expected)
+                .unwrap_or_else(|| "lengths differ".to_string());
             fail(&format!(
-                "served report differs from {} ({} vs {} bytes) — the service must be \
-                 transparent",
+                "served report differs from {} ({} vs {} bytes) — {where_} — the service \
+                 must be transparent",
                 path.display(),
                 report.len(),
                 expected.len()

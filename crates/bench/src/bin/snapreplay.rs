@@ -28,9 +28,10 @@
 //! On divergence both machines' full states are dumped as JSON
 //! snapshots for offline diffing, and the exit status is 1.
 
-use beri_sim::{Machine, StepResult};
+use beri_sim::Machine;
 use cheri_bench::cli::{self, Cli};
-use cheri_snap::{MachineState, Snapshot};
+use cheri_bench::triage::{cpu_fingerprint, dump_machine, load_machine_state, run_free};
+use cheri_snap::MachineState;
 use std::path::{Path, PathBuf};
 
 const USAGE: &str = "snapreplay SNAPSHOT.json [--steps N] [--lockstep] [--bisect] \
@@ -105,19 +106,6 @@ fn parse_args() -> Args {
     args
 }
 
-/// Loads either a full `Snapshot` (machine + kernel) or a bare
-/// `MachineState`; replay only needs the machine section.
-fn load_machine_state(path: &Path) -> MachineState {
-    let text = std::fs::read_to_string(path)
-        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
-    match Snapshot::from_json(&text) {
-        Ok(snap) => snap.machine,
-        Err(snap_err) => MachineState::from_json(&text).unwrap_or_else(|_| {
-            fail(&format!("{} is not a cheri-snap snapshot: {snap_err}", path.display()))
-        }),
-    }
-}
-
 /// Rebuilds a machine from the snapshot, optionally corrupting physical
 /// memory (the seeded-divergence hook; pokes bypass the architectural
 /// write path, exactly like a bit flip under the simulator's feet).
@@ -135,53 +123,9 @@ fn build(base: &MachineState, block_cache: bool, pokes: &[(u64, u32)]) -> Machin
     m
 }
 
-/// Runs up to `steps` further instructions. Returns how many actually
-/// retired: replay stops early at a syscall (no OS underneath) or on a
-/// fault the bare machine cannot absorb — both of which are themselves
-/// state the comparison sees.
-fn run_free(m: &mut Machine, steps: u64) -> u64 {
-    let start = m.stats.instructions;
-    while m.stats.instructions - start < steps {
-        let left = steps - (m.stats.instructions - start);
-        match m.run(left) {
-            Ok(StepResult::Continue) => {}
-            Ok(_) | Err(_) => break,
-        }
-    }
-    m.stats.instructions - start
-}
-
-/// A cheap per-instruction fingerprint of architectural CPU state
-/// (FNV-1a over GPRs, HI/LO, the PC pair, and the retired count). Full
-/// state hashes are only computed where the fingerprints disagree — or
-/// at the horizon, to catch memory-only divergence.
-fn cpu_fingerprint(m: &Machine) -> u64 {
-    const PRIME: u64 = 0x0100_0000_01b3;
-    let mut h = 0xcbf2_9ce4_8422_2325u64;
-    let mut mix = |v: u64| {
-        for b in v.to_be_bytes() {
-            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
-        }
-    };
-    for r in 0..32 {
-        mix(m.cpu.get_gpr(r));
-    }
-    mix(m.cpu.hi);
-    mix(m.cpu.lo);
-    mix(m.cpu.pc);
-    mix(m.cpu.next_pc);
-    mix(m.stats.instructions);
-    h
-}
-
 /// Writes a machine's full state under `out` and returns the path.
 fn dump(out: &Path, name: &str, m: &Machine) -> PathBuf {
-    std::fs::create_dir_all(out)
-        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", out.display())));
-    let path = out.join(name);
-    std::fs::write(&path, m.snapshot().to_json())
-        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
-    path
+    dump_machine(out, name, m).unwrap_or_else(|e| fail(&e))
 }
 
 /// Reports a divergence at instruction `k` (counted from the snapshot)
@@ -281,7 +225,7 @@ fn lockstep(args: &Args, base: &MachineState) -> ! {
 
 fn main() {
     let args = parse_args();
-    let base = load_machine_state(&args.snapshot);
+    let base = load_machine_state(&args.snapshot).unwrap_or_else(|e| fail(&e));
     println!(
         "snapshot: {} ({} instructions retired, pc {:#x})",
         args.snapshot.display(),

@@ -1,0 +1,193 @@
+//! `specfuzz` — lockstep differential fuzzing of the simulator against
+//! the executable specification (`cheri-spec`).
+//!
+//! ```text
+//! specfuzz [--iters N]      random programs to try (default 1000)
+//!          [--seed S]       base seed (default 1)
+//!          [--steps N]      per-program instruction budget (default 512)
+//!          [--format F]     c256 | c128 | both (default both, alternating)
+//!          [--corpus DIR]   replay every *.json corpus case in DIR first
+//!          [--replay FILE]  replay one corpus case and exit
+//!          [--out DIR]      where shrunk divergences go (default results/specfuzz)
+//! ```
+//!
+//! Each program runs under every execution tier (interpreter, block
+//! cache, snapshot restore at the midpoint) while the spec predicts
+//! every retired value and trap cause. On divergence the program is
+//! shrunk to a minimal still-diverging case, dumped as a replayable
+//! JSON corpus file under `--out`, and the exit status is 1.
+
+use beri_sim::FaultInjection;
+use cheri_bench::cli::{self, Cli};
+use cheri_bench::specfuzz::{generate, run_all_tiers, shrink, Divergence, Program, STEP_BUDGET};
+use cheri_spec::SpecFormat;
+use std::path::{Path, PathBuf};
+
+const USAGE: &str = "specfuzz [--iters N] [--seed S] [--steps N] [--format c256|c128|both] \
+     [--corpus DIR] [--replay FILE] [--out DIR] [--fault keep-tag]";
+
+struct Args {
+    iters: u64,
+    seed: u64,
+    steps: u64,
+    format: Option<SpecFormat>,
+    corpus: Option<PathBuf>,
+    replay: Option<PathBuf>,
+    out: PathBuf,
+    fault: Option<FaultInjection>,
+}
+
+fn fail(msg: &str) -> ! {
+    cli::fail("specfuzz", msg)
+}
+
+fn parse_args() -> Args {
+    let mut cli = Cli::new("specfuzz", USAGE);
+    let mut args = Args {
+        iters: 1000,
+        seed: 1,
+        steps: STEP_BUDGET,
+        format: None,
+        corpus: None,
+        replay: None,
+        out: PathBuf::from("results/specfuzz"),
+        fault: None,
+    };
+    while let Some(arg) = cli.next_arg() {
+        match arg.as_str() {
+            "--iters" => {
+                args.iters = cli
+                    .value("--iters")
+                    .parse()
+                    .unwrap_or_else(|_| cli.usage_exit("--iters requires an integer"));
+            }
+            "--seed" => {
+                args.seed = cli
+                    .value("--seed")
+                    .parse()
+                    .unwrap_or_else(|_| cli.usage_exit("--seed requires an integer"));
+            }
+            "--steps" => {
+                args.steps = match cli.value("--steps").parse() {
+                    Ok(n) if n > 0 => n,
+                    _ => cli.usage_exit("--steps requires a positive integer"),
+                };
+            }
+            "--format" => {
+                args.format = match cli.value("--format").as_str() {
+                    "c256" => Some(SpecFormat::C256),
+                    "c128" => Some(SpecFormat::C128),
+                    "both" => None,
+                    _ => cli.usage_exit("--format must be c256, c128 or both"),
+                };
+            }
+            "--fault" => {
+                args.fault = match cli.value("--fault").as_str() {
+                    "keep-tag" | "keep-tag-on-byte-store" => {
+                        Some(FaultInjection::KeepTagOnByteStore)
+                    }
+                    _ => cli.usage_exit("--fault must be keep-tag"),
+                };
+            }
+            "--corpus" => args.corpus = Some(PathBuf::from(cli.value("--corpus"))),
+            "--replay" => args.replay = Some(PathBuf::from(cli.value("--replay"))),
+            "--out" => args.out = PathBuf::from(cli.value("--out")),
+            flag => cli.unknown(flag),
+        }
+    }
+    args
+}
+
+fn load_program(path: &Path) -> Program {
+    let text = std::fs::read_to_string(path)
+        .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", path.display())));
+    Program::from_json(&text).unwrap_or_else(|e| fail(&format!("{}: {e}", path.display())))
+}
+
+/// Replays one case; returns the divergence if it still reproduces.
+fn replay_case(path: &Path, fault: Option<FaultInjection>, steps: u64) -> Option<Divergence> {
+    let p = load_program(path);
+    match run_all_tiers(&p, fault, steps) {
+        Ok(()) => {
+            println!("ok: {} ({} words, {:?})", path.display(), p.words.len(), p.format);
+            None
+        }
+        Err(d) => {
+            println!("DIVERGENCE: {}: {d}", path.display());
+            Some(d)
+        }
+    }
+}
+
+/// Shrinks a diverging program and writes it under `out`.
+fn report(
+    p: &Program,
+    d: &Divergence,
+    fault: Option<FaultInjection>,
+    steps: u64,
+    out: &Path,
+) -> PathBuf {
+    println!("divergence at seed {}: {d}", p.seed);
+    println!("shrinking ({} words)...", p.words.len());
+    let diverges = |c: &Program| run_all_tiers(c, fault, steps).is_err();
+    let mut shrunk = shrink(p, &diverges);
+    let detail =
+        run_all_tiers(&shrunk, fault, steps).err().map_or_else(|| d.to_string(), |d| d.to_string());
+    shrunk.note = format!("seed {}: {detail}", p.seed);
+    println!("shrunk to {} words: {detail}", shrunk.words.len());
+    std::fs::create_dir_all(out)
+        .unwrap_or_else(|e| fail(&format!("cannot create {}: {e}", out.display())));
+    let path = out.join(format!("diverge-{:016x}.json", p.seed));
+    std::fs::write(&path, shrunk.to_json())
+        .unwrap_or_else(|e| fail(&format!("cannot write {}: {e}", path.display())));
+    println!("replayable case: {}", path.display());
+    path
+}
+
+fn main() {
+    let args = parse_args();
+
+    if let Some(path) = &args.replay {
+        let failed = replay_case(path, args.fault, args.steps).is_some();
+        std::process::exit(i32::from(failed));
+    }
+
+    let mut corpus_failures = 0u32;
+    if let Some(dir) = &args.corpus {
+        let mut cases: Vec<PathBuf> = std::fs::read_dir(dir)
+            .unwrap_or_else(|e| fail(&format!("cannot read {}: {e}", dir.display())))
+            .filter_map(Result::ok)
+            .map(|e| e.path())
+            .filter(|p| p.extension().is_some_and(|x| x == "json"))
+            .collect();
+        cases.sort();
+        println!("corpus: {} cases from {}", cases.len(), dir.display());
+        for case in &cases {
+            if replay_case(case, args.fault, args.steps).is_some() {
+                corpus_failures += 1;
+            }
+        }
+    }
+
+    let mut divergences = 0u32;
+    for i in 0..args.iters {
+        let seed = args.seed.wrapping_mul(0x9e37_79b9_7f4a_7c15).wrapping_add(i);
+        let format =
+            args.format.unwrap_or(if i % 2 == 0 { SpecFormat::C256 } else { SpecFormat::C128 });
+        let p = generate(seed, format);
+        if let Err(d) = run_all_tiers(&p, args.fault, args.steps) {
+            report(&p, &d, args.fault, args.steps, &args.out);
+            divergences += 1;
+        }
+        if (i + 1) % 500 == 0 {
+            println!("{} / {} programs fuzzed, {divergences} divergences", i + 1, args.iters);
+        }
+    }
+    println!(
+        "specfuzz: {} programs, {divergences} divergences, {corpus_failures} corpus failures",
+        args.iters
+    );
+    if divergences > 0 || corpus_failures > 0 {
+        std::process::exit(1);
+    }
+}

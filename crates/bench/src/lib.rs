@@ -22,6 +22,8 @@
 //! including the common command-line scanner ([`cli::Cli`]).
 
 pub mod cli;
+pub mod specfuzz;
+pub mod triage;
 
 use cheri_cc::strategy::PtrStrategy;
 use cheri_olden::dsl::DslBench;

@@ -1,0 +1,226 @@
+//! Shared divergence-triage plumbing: the helpers `snapreplay` and
+//! `specfuzz` both need for replaying machines, fingerprinting state,
+//! and dumping divergences to disk.
+
+use beri_sim::{Machine, StepResult};
+use cheri_snap::{MachineState, Snapshot};
+use std::path::{Path, PathBuf};
+
+/// Loads either a full [`Snapshot`] (machine + kernel) or a bare
+/// [`MachineState`]; replay tooling only needs the machine section.
+///
+/// # Errors
+///
+/// A rendered message when the file cannot be read or is neither
+/// format.
+pub fn load_machine_state(path: &Path) -> Result<MachineState, String> {
+    let text = std::fs::read_to_string(path)
+        .map_err(|e| format!("cannot read {}: {e}", path.display()))?;
+    match Snapshot::from_json(&text) {
+        Ok(snap) => Ok(snap.machine),
+        Err(snap_err) => MachineState::from_json(&text)
+            .map_err(|_| format!("{} is not a cheri-snap snapshot: {snap_err}", path.display())),
+    }
+}
+
+/// Runs up to `steps` further instructions. Returns how many actually
+/// retired: replay stops early at a syscall (no OS underneath) or on a
+/// fault the bare machine cannot absorb — both of which are themselves
+/// state the comparison sees.
+pub fn run_free(m: &mut Machine, steps: u64) -> u64 {
+    let start = m.stats.instructions;
+    while m.stats.instructions - start < steps {
+        let left = steps - (m.stats.instructions - start);
+        match m.run(left) {
+            Ok(StepResult::Continue) => {}
+            Ok(_) | Err(_) => break,
+        }
+    }
+    m.stats.instructions - start
+}
+
+/// A cheap per-instruction fingerprint of architectural CPU state
+/// (FNV-1a over GPRs, HI/LO, the PC pair, and the retired count). Full
+/// state hashes are only computed where the fingerprints disagree — or
+/// at the horizon, to catch memory-only divergence.
+#[must_use]
+pub fn cpu_fingerprint(m: &Machine) -> u64 {
+    const PRIME: u64 = 0x0100_0000_01b3;
+    let mut h = 0xcbf2_9ce4_8422_2325u64;
+    let mut mix = |v: u64| {
+        for b in v.to_be_bytes() {
+            h = (h ^ u64::from(b)).wrapping_mul(PRIME);
+        }
+    };
+    for r in 0..32 {
+        mix(m.cpu.get_gpr(r));
+    }
+    mix(m.cpu.hi);
+    mix(m.cpu.lo);
+    mix(m.cpu.pc);
+    mix(m.cpu.next_pc);
+    mix(m.stats.instructions);
+    h
+}
+
+/// Writes a machine's full state as a JSON snapshot under `out` and
+/// returns the path.
+///
+/// # Errors
+///
+/// A rendered message when the directory or file cannot be written.
+pub fn dump_machine(out: &Path, name: &str, m: &Machine) -> Result<PathBuf, String> {
+    std::fs::create_dir_all(out).map_err(|e| format!("cannot create {}: {e}", out.display()))?;
+    let path = out.join(name);
+    std::fs::write(&path, m.snapshot().to_json())
+        .map_err(|e| format!("cannot write {}: {e}", path.display()))?;
+    Ok(path)
+}
+
+/// Locates the first byte where two JSON documents differ and renders
+/// it as a JSON path plus byte offset with a short context preview —
+/// "the reports differ" is useless on a megabyte of sweep output.
+///
+/// Returns `None` when the documents are byte-identical.
+#[must_use]
+pub fn first_json_difference(got: &str, want: &str) -> Option<String> {
+    let (g, w) = (got.as_bytes(), want.as_bytes());
+    let n = g.iter().zip(w).take_while(|(a, b)| a == b).count();
+    if n == g.len() && n == w.len() {
+        return None;
+    }
+    Some(format!(
+        "first difference at byte {n} (JSON path {}): got {}, expected {}",
+        json_path_at(got, n),
+        preview(g, n),
+        preview(w, n)
+    ))
+}
+
+/// A short printable excerpt starting at `at` (or "end of document").
+fn preview(bytes: &[u8], at: usize) -> String {
+    if at >= bytes.len() {
+        return "end of document".to_string();
+    }
+    let end = bytes.len().min(at + 24);
+    let mut s = String::from_utf8_lossy(&bytes[at..end]).into_owned();
+    s.retain(|c| !c.is_control());
+    format!("{s:?}{}", if end < bytes.len() { "…" } else { "" })
+}
+
+/// The JSON path (e.g. `$.runs[3].stats.cycles`) enclosing byte `at`,
+/// reconstructed by scanning the (well-formed) prefix before the
+/// difference. Works on a truncated suffix too: whatever containers are
+/// still open at `at` *are* the path.
+fn json_path_at(text: &str, at: usize) -> String {
+    enum Frame {
+        Object { key: Option<String>, expect_key: bool },
+        Array { index: usize },
+    }
+    let bytes = text.as_bytes();
+    let end = at.min(bytes.len());
+    let mut stack: Vec<Frame> = Vec::new();
+    let mut i = 0;
+    while i < end {
+        match bytes[i] {
+            b'{' => stack.push(Frame::Object { key: None, expect_key: true }),
+            b'[' => stack.push(Frame::Array { index: 0 }),
+            b'}' | b']' => {
+                stack.pop();
+            }
+            b',' => match stack.last_mut() {
+                Some(Frame::Array { index }) => *index += 1,
+                Some(Frame::Object { expect_key, .. }) => *expect_key = true,
+                None => {}
+            },
+            b'"' => {
+                let start = i + 1;
+                i += 1;
+                while i < end && bytes[i] != b'"' {
+                    i += if bytes[i] == b'\\' { 2 } else { 1 };
+                }
+                if i >= end {
+                    break; // the difference is inside this string
+                }
+                if let Some(Frame::Object { key, expect_key }) = stack.last_mut() {
+                    if *expect_key {
+                        *key = Some(text[start..i].to_string());
+                        *expect_key = false;
+                    }
+                }
+            }
+            _ => {}
+        }
+        i += 1;
+    }
+    let mut path = String::from("$");
+    for frame in &stack {
+        match frame {
+            Frame::Object { key: Some(k), .. } => {
+                path.push('.');
+                path.push_str(k);
+            }
+            Frame::Object { key: None, .. } => path.push_str(".{}"),
+            Frame::Array { index } => {
+                path.push_str(&format!("[{index}]"));
+            }
+        }
+    }
+    path
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use beri_sim::MachineConfig;
+
+    #[test]
+    fn fingerprint_tracks_architectural_state() {
+        let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..Default::default() });
+        let before = cpu_fingerprint(&m);
+        m.cpu.set_gpr(7, 42);
+        assert_ne!(cpu_fingerprint(&m), before, "GPR change must move the fingerprint");
+    }
+
+    #[test]
+    fn run_free_counts_retired_instructions() {
+        let mut m = Machine::new(MachineConfig { mem_bytes: 1 << 20, ..Default::default() });
+        // Zeroed memory decodes as NOPs; the machine just runs.
+        assert_eq!(run_free(&mut m, 100), 100);
+        assert_eq!(m.stats.instructions, 100);
+    }
+
+    #[test]
+    fn identical_documents_have_no_difference() {
+        let doc = r#"{"a": [1, 2, {"b": 3}]}"#;
+        assert_eq!(first_json_difference(doc, doc), None);
+    }
+
+    #[test]
+    fn difference_reports_path_and_offset() {
+        let got = r#"{"runs": [{"cycles": 100}, {"cycles": 250}]}"#;
+        let want = r#"{"runs": [{"cycles": 100}, {"cycles": 999}]}"#;
+        let msg = first_json_difference(got, want).expect("documents differ");
+        assert!(msg.contains("byte 38"), "{msg}");
+        assert!(msg.contains("$.runs[1].cycles"), "{msg}");
+        assert!(msg.contains("\"250"), "{msg}");
+        assert!(msg.contains("\"999"), "{msg}");
+    }
+
+    #[test]
+    fn difference_inside_a_string_keeps_the_enclosing_path() {
+        let got = r#"{"label": "baseline"}"#;
+        let want = r#"{"label": "contrast"}"#;
+        let msg = first_json_difference(got, want).expect("documents differ");
+        assert!(msg.contains("$.label"), "{msg}");
+    }
+
+    #[test]
+    fn truncation_reports_end_of_document() {
+        let got = r#"{"a": 1}"#;
+        let want = r#"{"a": 1, "b": 2}"#;
+        let msg = first_json_difference(got, want).expect("documents differ");
+        assert!(msg.contains("byte 7"), "{msg}");
+        assert!(msg.contains("end of document") || msg.contains('}'), "{msg}");
+    }
+}

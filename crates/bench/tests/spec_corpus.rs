@@ -1,0 +1,121 @@
+//! The committed specfuzz regression corpus, replayed as ordinary tests,
+//! plus the end-to-end demonstration that a seeded semantic bug in the
+//! simulator is caught, shrunk, and dumped as a replayable corpus case.
+
+use beri_sim::FaultInjection;
+use cheri_bench::specfuzz::{run_all_tiers, run_tier, shrink, Program, Tier, STEP_BUDGET};
+use std::path::PathBuf;
+
+fn corpus_dir() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("../../tests/corpus")
+}
+
+fn corpus_cases() -> Vec<(PathBuf, Program)> {
+    let mut cases: Vec<PathBuf> = std::fs::read_dir(corpus_dir())
+        .expect("tests/corpus must exist")
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|x| x == "json"))
+        .collect();
+    cases.sort();
+    cases
+        .into_iter()
+        .map(|path| {
+            let text = std::fs::read_to_string(&path).expect("corpus case must be readable");
+            let p = Program::from_json(&text).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+            (path, p)
+        })
+        .collect()
+}
+
+/// Every committed corpus case must replay cleanly: the simulator and
+/// the spec agree under every execution tier.
+#[test]
+fn committed_corpus_replays_clean() {
+    let cases = corpus_cases();
+    assert!(cases.len() >= 7, "the committed corpus went missing");
+    for (path, p) in &cases {
+        if let Err(d) = run_all_tiers(p, None, STEP_BUDGET) {
+            panic!("{} diverged: {d}", path.display());
+        }
+    }
+}
+
+/// The corpus stays a closed loop: every case survives a serialization
+/// round trip bit-for-bit at the program level.
+#[test]
+fn committed_corpus_round_trips() {
+    for (path, p) in corpus_cases() {
+        let again =
+            Program::from_json(&p.to_json()).unwrap_or_else(|e| panic!("{}: {e}", path.display()));
+        assert_eq!(p.words, again.words, "{}", path.display());
+        assert_eq!(p.format, again.format, "{}", path.display());
+        assert_eq!(p.seed, again.seed, "{}", path.display());
+    }
+}
+
+/// `sb $24, 0x1020($7)` — one byte into the granule at 0x9020, which
+/// the fuzzing environment seeds with a tagged capability.
+const SB_INTO_TAGGED_GRANULE: u32 = (0x28 << 26) | (7 << 21) | (24 << 16) | 0x1020;
+const NOP: u32 = 0;
+
+/// The acceptance loop for the lockstep harness itself: seed a real
+/// semantic bug in the simulator (a byte store that fails to invalidate
+/// the overlapping capability tag), and the fuzzer must catch it on
+/// every tier, shrink it to the one guilty instruction, and dump a
+/// corpus case that still reproduces after a JSON round trip.
+#[test]
+fn seeded_tag_bug_is_caught_shrunk_and_replayable() {
+    let fault = Some(FaultInjection::KeepTagOnByteStore);
+    let p = Program {
+        seed: 0,
+        format: cheri_spec::SpecFormat::C256,
+        words: vec![SB_INTO_TAGGED_GRANULE, NOP, NOP, NOP, NOP, NOP, NOP, NOP],
+        note: String::new(),
+    };
+
+    // Healthy simulator: the program is uninteresting.
+    run_all_tiers(&p, None, STEP_BUDGET).expect("clean without the seeded bug");
+
+    // Buggy simulator: every tier catches the stale tag.
+    for tier in Tier::ALL {
+        let d = run_tier(&p, tier, fault, STEP_BUDGET)
+            .expect_err("the seeded bug must diverge on every tier");
+        assert!(d.detail.contains("tag"), "unexpected divergence: {d}");
+    }
+
+    // Shrinking isolates the guilty store.
+    let diverges = |c: &Program| run_all_tiers(c, fault, STEP_BUDGET).is_err();
+    assert!(diverges(&p));
+    let shrunk = shrink(&p, &diverges);
+    assert_eq!(shrunk.words, vec![SB_INTO_TAGGED_GRANULE]);
+
+    // The dump is a replayable corpus case: still diverging under the
+    // bug after a round trip, clean on the healthy simulator.
+    let replayed = Program::from_json(&shrunk.to_json()).expect("dump must parse");
+    assert!(run_all_tiers(&replayed, fault, STEP_BUDGET).is_err());
+    run_all_tiers(&replayed, None, STEP_BUDGET).expect("regression case replays clean");
+}
+
+/// The committed fault-found corpus cases are exactly the regression
+/// the seeded bug produces: they replay clean on the healthy simulator
+/// (checked above) and still catch the bug if it is ever reintroduced.
+#[test]
+fn fault_found_corpus_cases_still_catch_the_bug() {
+    let fault = Some(FaultInjection::KeepTagOnByteStore);
+    let found: Vec<_> = corpus_cases()
+        .into_iter()
+        .filter(|(path, _)| {
+            path.file_name()
+                .is_some_and(|n| n.to_string_lossy().starts_with("tag-overlap-byte-store"))
+        })
+        .collect();
+    assert_eq!(found.len(), 2, "expected the c256 and c128 fault-found cases");
+    for (path, p) in found {
+        assert!(
+            run_all_tiers(&p, fault, STEP_BUDGET).is_err(),
+            "{} no longer catches KeepTagOnByteStore",
+            path.display()
+        );
+    }
+}

@@ -65,6 +65,8 @@ pub use cache::{Cache, CacheParams, Hierarchy, HierarchyParams};
 pub use cpu::{Cp0, Cpu};
 pub use exception::{Exception, TrapKind};
 pub use inst::{reg, Inst};
-pub use machine::{cap_from_state, cap_to_state, Machine, MachineConfig, StepResult};
+pub use machine::{
+    cap_from_state, cap_to_state, CapFormat, FaultInjection, Machine, MachineConfig, StepResult,
+};
 pub use stats::Stats;
 pub use tlb::{Tlb, TlbEntry, TlbFlags};

@@ -89,6 +89,23 @@ pub struct MachineConfig {
     /// model knob. Defaults to on unless the `CHERI_SIM_NO_BLOCK_CACHE`
     /// environment variable is set.
     pub block_cache: bool,
+    /// Verification-only fault injection: deliberately miswires one
+    /// semantic rule so the lockstep spec fuzzer can demonstrate it
+    /// catches the bug. Always `None` in production configurations and
+    /// never recorded in snapshots.
+    pub fault: Option<FaultInjection>,
+}
+
+/// Deliberate, named semantic bugs for verifying the verifier. Each
+/// variant breaks exactly one architectural rule; a differential run
+/// against `cheri-spec` must flag it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum FaultInjection {
+    /// A one-byte store skips tag invalidation, leaving the covering
+    /// capability tag intact — the overlapping-store rule of
+    /// Section 4.2 silently broken.
+    KeepTagOnByteStore,
 }
 
 impl Default for MachineConfig {
@@ -104,6 +121,7 @@ impl Default for MachineConfig {
             mul_penalty: 3,
             div_penalty: 16,
             block_cache: std::env::var_os("CHERI_SIM_NO_BLOCK_CACHE").is_none(),
+            fault: None,
         }
     }
 }
@@ -963,6 +981,16 @@ impl Machine {
 
     fn store_value(&mut self, paddr: u64, width: Width, value: u64) -> Result<(), MemError> {
         match width {
+            Width::Byte if self.cfg.fault == Some(FaultInjection::KeepTagOnByteStore) => {
+                // Injected bug: patch the byte inside its granule and
+                // write the granule back with its tag preserved.
+                let granule = self.mem.granule();
+                let base = paddr & !(granule - 1);
+                let mut buf = vec![0u8; granule as usize];
+                let tag = self.mem.read_tagged(base, &mut buf)?;
+                buf[(paddr - base) as usize] = value as u8;
+                self.mem.write_tagged(base, &buf, tag)
+            }
             Width::Byte => self.mem.write_u8(paddr, value as u8),
             Width::Half => self.mem.write_u16(paddr, value as u16),
             Width::Word => self.mem.write_u32(paddr, value as u32),
@@ -1690,6 +1718,7 @@ impl Machine {
             mul_penalty: s.mul_penalty,
             div_penalty: s.div_penalty,
             block_cache,
+            fault: None,
         })
     }
 

@@ -1,0 +1,344 @@
+//! The specification capability: Figure 1's 256-bit capability as plain
+//! data, with the monotonic manipulation and checking rules of
+//! Sections 3-4 written out in 128-bit arithmetic.
+//!
+//! Everything here is re-derived from the paper's text. In particular
+//! the bounds rule is stated exactly as the paper states it — every
+//! accessed byte must lie in `[base, base + length)`, evaluated without
+//! overflow — rather than in the simulator's restated 64-bit form.
+
+/// Permission bits (Table: "Memory capabilities"). The architectural
+/// permission field is 31 bits; only the low five are given meaning.
+pub mod perms {
+    /// Permit load of data.
+    pub const LOAD: u32 = 1 << 0;
+    /// Permit store of data.
+    pub const STORE: u32 = 1 << 1;
+    /// Permit instruction fetch.
+    pub const EXECUTE: u32 = 1 << 2;
+    /// Permit load of a tagged capability.
+    pub const LOAD_CAP: u32 = 1 << 3;
+    /// Permit store of a tagged capability.
+    pub const STORE_CAP: u32 = 1 << 4;
+    /// Permit sealing with an otype inside this capability's bounds
+    /// (Section 3.6; exercised only by the [`crate::seal`] model).
+    pub const SEAL: u32 = 1 << 5;
+    /// Every architecturally defined permission bit (31-bit field).
+    pub const ALL: u32 = (1 << 31) - 1;
+}
+
+/// Capability exception codes, numerically identical to the CP2 cause
+/// codes the simulator packs into `capcause` — the lockstep comparison
+/// compares the packed register, so the spec speaks the same numbers.
+pub mod exc {
+    /// Bounds (length) violation.
+    pub const LENGTH: u8 = 0x01;
+    /// Tag clear on an operation that requires a valid capability.
+    pub const TAG: u8 = 0x02;
+    /// Seal state violation: sealing the sealed, or unsealing the
+    /// unsealed (Section 3.6; exercised only by the [`crate::seal`]
+    /// model).
+    pub const SEAL: u8 = 0x03;
+    /// Sealing without [`crate::cap::perms::SEAL`] on the authorizer.
+    pub const PERMIT_SEAL: u8 = 0x16;
+    /// An operation that would widen rights.
+    pub const MONOTONICITY: u8 = 0x10;
+    /// Fetch without `EXECUTE`.
+    pub const PERMIT_EXECUTE: u8 = 0x11;
+    /// Load without `LOAD`.
+    pub const PERMIT_LOAD: u8 = 0x12;
+    /// Store without `STORE`.
+    pub const PERMIT_STORE: u8 = 0x13;
+    /// Capability load without `LOAD_CAP`.
+    pub const PERMIT_LOAD_CAP: u8 = 0x14;
+    /// Capability store without `STORE_CAP`.
+    pub const PERMIT_STORE_CAP: u8 = 0x15;
+    /// Capability load through a page that strips tags.
+    pub const TLB_NO_LOAD_CAP: u8 = 0x20;
+    /// Capability store to a page that forbids tagged stores.
+    pub const TLB_NO_STORE_CAP: u8 = 0x21;
+    /// Misaligned capability access / unrepresentable 128-bit store.
+    pub const ALIGNMENT: u8 = 0x22;
+    /// `base + length` would pass 2^64.
+    pub const ADDRESS_OVERFLOW: u8 = 0x23;
+    /// The register number CP2 reports for a PCC (fetch) fault.
+    pub const PCC_REG: u8 = 0xff;
+}
+
+/// Packs a capability cause the way CP2's cause register holds it:
+/// exception code in bits 15:8, faulting register in bits 7:0.
+#[must_use]
+pub fn pack_cause(code: u8, reg: u8) -> u64 {
+    (u64::from(code) << 8) | u64::from(reg)
+}
+
+/// A capability as the specification sees it: the tag plus the four
+/// named fields of Figure 1. All fields are public plain data — the
+/// spec has no invariants to hide; the *rules* live in the methods.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SpecCap {
+    /// Validity tag (held out of band, in the tag memory).
+    pub tag: bool,
+    /// 31-bit permission vector.
+    pub perms: u32,
+    /// The 97-bit reserved field of Figure 1, of which this model (like
+    /// the simulator) keeps 64 bits for experimentation.
+    pub reserved: u64,
+    /// Region base.
+    pub base: u64,
+    /// Region length in bytes.
+    pub length: u64,
+}
+
+impl SpecCap {
+    /// The almighty boot capability: every permission, the whole
+    /// address space (length 2^64 - 1, as the simulator's reset state).
+    #[must_use]
+    pub fn almighty() -> SpecCap {
+        SpecCap { tag: true, perms: perms::ALL, reserved: 0, base: 0, length: u64::MAX }
+    }
+
+    /// The null capability: all-zero, tag clear.
+    #[must_use]
+    pub fn null() -> SpecCap {
+        SpecCap { tag: false, perms: 0, reserved: 0, base: 0, length: 0 }
+    }
+
+    /// One past the last addressable byte, as a 65-bit quantity.
+    #[must_use]
+    pub fn top(&self) -> u128 {
+        u128::from(self.base) + u128::from(self.length)
+    }
+
+    // --- monotonic manipulation (Table 1) ----------------------------
+
+    /// `CIncBase cd, cb, rt`: advance `base` by `delta`, shrinking
+    /// `length` to match. A zero delta is a register copy and is
+    /// permitted even on untagged values.
+    ///
+    /// # Errors
+    ///
+    /// `TAG` if untagged with a non-zero delta; `MONOTONICITY` if the
+    /// delta passes the end of the region.
+    pub fn inc_base(&self, delta: u64) -> Result<SpecCap, u8> {
+        if !self.tag {
+            return if delta == 0 { Ok(*self) } else { Err(exc::TAG) };
+        }
+        if u128::from(delta) > u128::from(self.length) {
+            return Err(exc::MONOTONICITY);
+        }
+        Ok(SpecCap { base: self.base.wrapping_add(delta), length: self.length - delta, ..*self })
+    }
+
+    /// `CSetLen cd, cb, rt`: reduce `length`.
+    ///
+    /// # Errors
+    ///
+    /// `TAG` if untagged; `MONOTONICITY` if the new length is larger.
+    pub fn set_len(&self, new_len: u64) -> Result<SpecCap, u8> {
+        if !self.tag {
+            return Err(exc::TAG);
+        }
+        if new_len > self.length {
+            return Err(exc::MONOTONICITY);
+        }
+        Ok(SpecCap { length: new_len, ..*self })
+    }
+
+    /// `CAndPerm cd, cb, rt`: intersect the permission vector with a
+    /// mask (only the 31 architectural bits participate).
+    ///
+    /// # Errors
+    ///
+    /// `TAG` if untagged.
+    pub fn and_perm(&self, mask: u32) -> Result<SpecCap, u8> {
+        if !self.tag {
+            return Err(exc::TAG);
+        }
+        Ok(SpecCap { perms: self.perms & (mask & perms::ALL), ..*self })
+    }
+
+    /// `CClearTag cd, cb`: always succeeds; the result can be copied but
+    /// never exercised.
+    #[must_use]
+    pub fn clear_tag(&self) -> SpecCap {
+        SpecCap { tag: false, ..*self }
+    }
+
+    /// `CToPtr rd, cb, ct`: a C0-relative integer pointer; untagged
+    /// capabilities become NULL.
+    #[must_use]
+    pub fn to_ptr(&self, c0: &SpecCap) -> u64 {
+        if self.tag {
+            self.base.wrapping_sub(c0.base)
+        } else {
+            0
+        }
+    }
+
+    /// `CFromPtr cd, cb, rt`: the NULL-preserving inverse of
+    /// [`SpecCap::to_ptr`].
+    ///
+    /// # Errors
+    ///
+    /// As [`SpecCap::inc_base`] for non-NULL pointers.
+    pub fn from_ptr(c0: &SpecCap, ptr: u64) -> Result<SpecCap, u8> {
+        if ptr == 0 {
+            return Ok(SpecCap::null());
+        }
+        c0.inc_base(ptr)
+    }
+
+    // --- checks ------------------------------------------------------
+
+    /// The paper's bounds rule, verbatim: every accessed byte must lie
+    /// within `[base, base + length)`. Evaluated in 128-bit arithmetic
+    /// so no restatement is needed.
+    #[must_use]
+    pub fn in_bounds(&self, addr: u64, size: u64) -> bool {
+        let a = u128::from(addr);
+        a >= u128::from(self.base) && a + u128::from(size) <= self.top()
+    }
+
+    /// Checks a `size`-byte data access at `addr` (load or store).
+    ///
+    /// # Errors
+    ///
+    /// `TAG`, then the missing permission, then `LENGTH` — in that
+    /// priority order.
+    pub fn check_data(&self, addr: u64, size: u64, store: bool) -> Result<(), u8> {
+        if !self.tag {
+            return Err(exc::TAG);
+        }
+        let (need, code) =
+            if store { (perms::STORE, exc::PERMIT_STORE) } else { (perms::LOAD, exc::PERMIT_LOAD) };
+        if self.perms & need == 0 {
+            return Err(code);
+        }
+        if !self.in_bounds(addr, size) {
+            return Err(exc::LENGTH);
+        }
+        Ok(())
+    }
+
+    /// Checks a whole-capability access (`CLC`/`CSC`) of one
+    /// `granule`-byte in-memory capability at `addr`.
+    ///
+    /// # Errors
+    ///
+    /// `TAG`, the missing capability permission, `ALIGNMENT` (tags only
+    /// cover aligned granules), then `LENGTH` — in that priority order.
+    pub fn check_cap(&self, addr: u64, store: bool, granule: u64) -> Result<(), u8> {
+        if !self.tag {
+            return Err(exc::TAG);
+        }
+        let (need, code) = if store {
+            (perms::STORE_CAP, exc::PERMIT_STORE_CAP)
+        } else {
+            (perms::LOAD_CAP, exc::PERMIT_LOAD_CAP)
+        };
+        if self.perms & need == 0 {
+            return Err(code);
+        }
+        if !addr.is_multiple_of(granule) {
+            return Err(exc::ALIGNMENT);
+        }
+        if !self.in_bounds(addr, granule) {
+            return Err(exc::LENGTH);
+        }
+        Ok(())
+    }
+
+    /// Checks an instruction fetch at `pc` against this capability as
+    /// PCC (Section 4.4).
+    ///
+    /// # Errors
+    ///
+    /// `TAG`, `PERMIT_EXECUTE`, then `LENGTH`.
+    pub fn check_fetch(&self, pc: u64) -> Result<(), u8> {
+        if !self.tag {
+            return Err(exc::TAG);
+        }
+        if self.perms & perms::EXECUTE == 0 {
+            return Err(exc::PERMIT_EXECUTE);
+        }
+        if !self.in_bounds(pc, 4) {
+            return Err(exc::LENGTH);
+        }
+        Ok(())
+    }
+
+    // --- the 256-bit memory image (Figure 1) -------------------------
+
+    /// Serialises the 256-bit body in the Figure 1 layout: four
+    /// big-endian 64-bit words — `{perms:31, reserved[96:64]:33}`,
+    /// `{reserved[63:32] zero-extended}`, `base`, `length` — written
+    /// out byte by byte. The tag travels out of band.
+    #[must_use]
+    pub fn image256(&self) -> [u8; 32] {
+        let word0 = (u64::from(self.perms & perms::ALL) << 33) | (self.reserved >> 32);
+        let word1 = self.reserved & 0xffff_ffff;
+        let mut out = [0u8; 32];
+        for (slot, word) in [word0, word1, self.base, self.length].into_iter().enumerate() {
+            for byte in 0..8 {
+                out[slot * 8 + byte] = (word >> (56 - 8 * byte)) as u8;
+            }
+        }
+        out
+    }
+
+    /// Rebuilds a capability from its 256-bit image plus the out-of-band
+    /// tag bit.
+    #[must_use]
+    pub fn from_image256(image: &[u8; 32], tag: bool) -> SpecCap {
+        let word = |slot: usize| -> u64 {
+            image[slot * 8..slot * 8 + 8].iter().fold(0u64, |acc, b| (acc << 8) | u64::from(*b))
+        };
+        let (word0, word1) = (word(0), word(1));
+        SpecCap {
+            tag,
+            perms: ((word0 >> 33) as u32) & perms::ALL,
+            reserved: ((word0 & 0xffff_ffff) << 32) | (word1 & 0xffff_ffff),
+            base: word(2),
+            length: word(3),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn inc_base_is_monotonic() {
+        let c = SpecCap { tag: true, perms: perms::ALL, reserved: 0, base: 0x100, length: 0x80 };
+        let d = c.inc_base(0x10).unwrap();
+        assert_eq!((d.base, d.length), (0x110, 0x70));
+        assert_eq!(c.inc_base(0x81), Err(exc::MONOTONICITY));
+        assert_eq!(c.clear_tag().inc_base(1), Err(exc::TAG));
+        // Zero-delta copy of an untagged value is allowed.
+        assert_eq!(c.clear_tag().inc_base(0).unwrap(), c.clear_tag());
+    }
+
+    #[test]
+    fn bounds_at_the_very_top_of_memory() {
+        // The almighty capability has length 2^64 - 1, so the last byte
+        // of the address space is *not* covered — exactly as in the
+        // simulator's reset state.
+        let c = SpecCap::almighty();
+        assert!(c.check_data(u64::MAX - 7, 8, false).is_err());
+        assert!(c.check_data(u64::MAX - 8, 8, false).is_ok());
+    }
+
+    #[test]
+    fn image256_round_trips() {
+        let c = SpecCap {
+            tag: true,
+            perms: 0b1_0111,
+            reserved: 0xdead_beef_0123_4567,
+            base: 0x8000,
+            length: 0x4000,
+        };
+        assert_eq!(SpecCap::from_image256(&c.image256(), true), c);
+    }
+}

@@ -1,0 +1,170 @@
+//! The compressed 128-bit (Low-Fat) capability format, re-specified.
+//!
+//! Section 4.1: a production implementation "would likely use a denser
+//! representation — for example, 128-bits using 40-bit virtual
+//! addresses or the Low-Fat Pointer approach". The format trades
+//! granularity for space: the length is an 18-bit mantissa scaled by a
+//! power-of-two exponent, and `base`/`length` must be multiples of that
+//! block size.
+//!
+//! Bit layout (most significant bit first; big-endian in memory):
+//!
+//! ```text
+//! [127:112] perms (16)  [111:106] exponent (6)  [105:88] mantissa (18)
+//! [87:48]   base (40)   [47:0]    zero
+//! ```
+//!
+//! This module re-derives everything from that description — the
+//! alignment rule counts significant bits with a loop rather than
+//! `leading_zeros`, and the (un)packing is written against the bit
+//! positions above — so it shares no arithmetic with the simulator's
+//! `Compressed128`.
+
+use crate::cap::{perms, SpecCap};
+
+/// Virtual-address width of the compressed format.
+pub const VADDR_BITS: u32 = 40;
+/// Length-mantissa width.
+pub const MANTISSA_BITS: u32 = 18;
+
+/// The block size (a power of two) that `base` and `length` must both
+/// be multiples of for a region of `length` bytes to be representable:
+/// 1 while the length fits in the mantissa, doubling with each further
+/// significant bit.
+#[must_use]
+pub fn required_alignment128(length: u64) -> u64 {
+    let mut significant = 0u32;
+    let mut rest = length;
+    while rest != 0 {
+        significant += 1;
+        rest >>= 1;
+    }
+    if significant <= MANTISSA_BITS {
+        1
+    } else {
+        1u64 << (significant - MANTISSA_BITS)
+    }
+}
+
+/// Whether a *tagged* capability's region is exactly representable in
+/// the 128-bit format: it must fit under the 40-bit address ceiling and
+/// honour [`required_alignment128`]. `CSC` of a tagged, unrepresentable
+/// capability is an alignment fault (the capability-aware allocator is
+/// expected to pad; Section 4.1).
+#[must_use]
+pub fn representable128(cap: &SpecCap) -> bool {
+    let ceiling = 1u128 << VADDR_BITS;
+    if u128::from(cap.base) >= ceiling || cap.top() > ceiling {
+        return false;
+    }
+    let align = required_alignment128(cap.length);
+    cap.base.is_multiple_of(align) && cap.length.is_multiple_of(align)
+}
+
+/// Packs a representable capability into its 16-byte big-endian memory
+/// image. Permissions above bit 15 are dropped by compression; the
+/// reserved field does not survive at all.
+#[must_use]
+pub fn pack128(cap: &SpecCap) -> [u8; 16] {
+    debug_assert!(representable128(cap));
+    let align = required_alignment128(cap.length);
+    let mut exponent = 0u32;
+    while (1u64 << exponent) < align {
+        exponent += 1;
+    }
+    let mantissa = cap.length >> exponent;
+    let hi: u64 = (u64::from(cap.perms as u16) << 48)
+        | (u64::from(exponent & 0x3f) << 42)
+        | ((mantissa & 0x3ffff) << 24)
+        | (cap.base >> 16);
+    let lo: u64 = (cap.base & 0xffff) << 48;
+    let mut out = [0u8; 16];
+    for (i, byte) in out.iter_mut().enumerate() {
+        let word = if i < 8 { hi } else { lo };
+        *byte = (word >> (56 - 8 * (i % 8))) as u8;
+    }
+    out
+}
+
+/// The raw fields of a 16-byte image: `(perms16, exponent, mantissa,
+/// base)`. Any bit pattern unpacks — untagged memory holds arbitrary
+/// bytes and `CLC` must load them (copyable, not dereferenceable).
+#[must_use]
+pub fn unpack128(image: &[u8; 16]) -> (u16, u8, u32, u64) {
+    let word = |lo: usize| -> u64 {
+        image[lo..lo + 8].iter().fold(0u64, |acc, b| (acc << 8) | u64::from(*b))
+    };
+    let (hi, lo) = (word(0), word(8));
+    let perms16 = (hi >> 48) as u16;
+    let exponent = ((hi >> 42) & 0x3f) as u8;
+    let mantissa = ((hi >> 24) & 0x3ffff) as u32;
+    let base = ((hi & 0xff_ffff) << 16) | (lo >> 48);
+    (perms16, exponent, mantissa, base)
+}
+
+/// What a `CLC` materialises from a 16-byte image plus the out-of-band
+/// tag: length is `mantissa << exponent` with 64-bit truncation (the
+/// exponent is at most 63, and `base < 2^40` keeps `base + length` from
+/// wrapping for any representable pattern), permissions are the
+/// preserved low 16 bits, and the reserved field decompresses as zero.
+#[must_use]
+pub fn decompress128(image: &[u8; 16], tag: bool) -> SpecCap {
+    let (perms16, exponent, mantissa, base) = unpack128(image);
+    SpecCap {
+        tag,
+        perms: u32::from(perms16) & perms::ALL,
+        reserved: 0,
+        base,
+        length: u64::from(mantissa) << exponent,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn region(base: u64, length: u64) -> SpecCap {
+        SpecCap { tag: true, perms: perms::ALL, reserved: 0, base, length }
+    }
+
+    #[test]
+    fn alignment_rule_boundaries() {
+        assert_eq!(required_alignment128(0), 1);
+        assert_eq!(required_alignment128((1 << 18) - 1), 1);
+        assert_eq!(required_alignment128(1 << 18), 2);
+        assert_eq!(required_alignment128((1 << 19) - 1), 2);
+        assert_eq!(required_alignment128(1 << 19), 4);
+    }
+
+    #[test]
+    fn representability_edges() {
+        assert!(representable128(&region(0x8000, (1 << 18) - 1)));
+        // One byte longer needs 2-byte alignment of both fields.
+        assert!(!representable128(&region(0x8001, (1 << 18) + 2)));
+        assert!(representable128(&region(0x8002, (1 << 18) + 2)));
+        assert!(!representable128(&region(0x8002, (1 << 18) + 1)));
+        // 40-bit ceiling, inclusive at the top.
+        assert!(representable128(&region((1 << 40) - 32, 32)));
+        assert!(!representable128(&region(1 << 40, 16)));
+    }
+
+    #[test]
+    fn pack_unpack_round_trip() {
+        let c = region(0xaa_bbcc_dd00, 1 << 20);
+        let back = decompress128(&pack128(&c), true);
+        assert_eq!((back.base, back.length), (c.base, c.length));
+        assert_eq!(back.perms, c.perms & 0xffff);
+        assert_eq!(back.reserved, 0);
+    }
+
+    #[test]
+    fn junk_bytes_always_unpack() {
+        // Arbitrary memory must load without panicking; the worst case
+        // is a maximal exponent, where the length truncates to 64 bits.
+        let mut junk = [0xffu8; 16];
+        let c = decompress128(&junk, false);
+        assert!(!c.tag);
+        junk[1] = 0xfc; // exponent field = 63
+        let _ = decompress128(&junk, false);
+    }
+}

@@ -1,0 +1,446 @@
+//! The specification decoder: raw 32-bit words to [`SpecOp`].
+//!
+//! Re-derived from the documented opcode tables (MIPS64 manuals for the
+//! base ISA; the COP2 layout described in the paper's Table 1 with a
+//! 5-bit sub-opcode in bits 25:21). The simulator's decoder is *not*
+//! consulted — if the two tables disagree, the lockstep fuzzer reports
+//! it as a divergence, which is the point.
+//!
+//! Anything not in the tables decodes to [`SpecOp::Illegal`], which the
+//! machine turns into a Reserved Instruction exception.
+
+/// Three-register ALU operations (SPECIAL space).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Alu3 {
+    /// Trapping 32-bit add.
+    Add,
+    /// Wrapping 32-bit add.
+    Addu,
+    /// Trapping 32-bit subtract.
+    Sub,
+    /// Wrapping 32-bit subtract.
+    Subu,
+    /// Trapping 64-bit add.
+    Dadd,
+    /// Wrapping 64-bit add.
+    Daddu,
+    /// Trapping 64-bit subtract.
+    Dsub,
+    /// Wrapping 64-bit subtract.
+    Dsubu,
+    /// Bitwise and.
+    And,
+    /// Bitwise or.
+    Or,
+    /// Bitwise xor.
+    Xor,
+    /// Bitwise nor.
+    Nor,
+    /// Signed set-less-than.
+    Slt,
+    /// Unsigned set-less-than.
+    Sltu,
+    /// Conditional move if `rt == 0`.
+    Movz,
+    /// Conditional move if `rt != 0`.
+    Movn,
+}
+
+/// Immediate ALU operations.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum AluI {
+    /// Trapping 32-bit add-immediate.
+    Addi,
+    /// Wrapping 32-bit add-immediate.
+    Addiu,
+    /// Trapping 64-bit add-immediate.
+    Daddi,
+    /// Wrapping 64-bit add-immediate.
+    Daddiu,
+    /// Signed set-less-than immediate.
+    Slti,
+    /// Unsigned set-less-than immediate (sign-extended operand).
+    Sltiu,
+    /// And with zero-extended immediate.
+    Andi,
+    /// Or with zero-extended immediate.
+    Ori,
+    /// Xor with zero-extended immediate.
+    Xori,
+}
+
+/// Shift operations; `W` forms operate on the low 32 bits and
+/// sign-extend, `D` forms are 64-bit, `D32` forms shift by `amount+32`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Sh {
+    SllW,
+    SrlW,
+    SraW,
+    SllD,
+    SrlD,
+    SraD,
+    SllD32,
+    SrlD32,
+    SraD32,
+}
+
+/// Multiply/divide operations (results to HI/LO).
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum MulDiv {
+    Mult,
+    Multu,
+    Div,
+    Divu,
+    Dmult,
+    Dmultu,
+    Ddiv,
+    Ddivu,
+}
+
+/// Branch comparisons.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum Cond {
+    Eq,
+    Ne,
+    Lez,
+    Gtz,
+    Ltz,
+    Gez,
+}
+
+/// Data access widths.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub enum W {
+    B,
+    H,
+    Wd,
+    D,
+}
+
+impl W {
+    /// Access size in bytes.
+    #[must_use]
+    pub fn size(self) -> u64 {
+        match self {
+            W::B => 1,
+            W::H => 2,
+            W::Wd => 4,
+            W::D => 8,
+        }
+    }
+}
+
+/// One decoded instruction, as the specification machine executes it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum SpecOp {
+    /// Three-register ALU.
+    Alu { kind: Alu3, rd: u8, rs: u8, rt: u8 },
+    /// Immediate ALU.
+    AluImm { kind: AluI, rt: u8, rs: u8, imm: u16 },
+    /// Load upper immediate (sign-extended into 64 bits).
+    Lui { rt: u8, imm: u16 },
+    /// Shift by a constant amount.
+    Shift { kind: Sh, rd: u8, rt: u8, amount: u8 },
+    /// Shift by a register amount (no `D32` forms exist).
+    ShiftVar { kind: Sh, rd: u8, rt: u8, rs: u8 },
+    /// Multiply or divide into HI/LO.
+    MulDiv { kind: MulDiv, rs: u8, rt: u8 },
+    /// Move from HI.
+    Mfhi { rd: u8 },
+    /// Move to HI.
+    Mthi { rs: u8 },
+    /// Move from LO.
+    Mflo { rd: u8 },
+    /// Move to LO.
+    Mtlo { rs: u8 },
+    /// Conditional branch (delay slot).
+    Branch { cond: Cond, rs: u8, rt: u8, offset: i16 },
+    /// Branch-and-link (`BLTZAL`/`BGEZAL`); writes `$31 = pc + 8`.
+    BranchLink { cond: Cond, rs: u8, offset: i16 },
+    /// Absolute-region jump.
+    J { target: u32 },
+    /// Absolute-region jump-and-link (`$31 = pc + 8`).
+    Jal { target: u32 },
+    /// Register jump.
+    Jr { rs: u8 },
+    /// Register jump-and-link.
+    Jalr { rd: u8, rs: u8 },
+    /// Legacy load through C0.
+    Load { width: W, rt: u8, base: u8, imm: i16, unsigned: bool },
+    /// Legacy store through C0.
+    Store { width: W, rt: u8, base: u8, imm: i16 },
+    /// Load-linked (arms the reservation).
+    LoadLinked { width: W, rt: u8, base: u8, imm: i16 },
+    /// Store-conditional (succeeds only on an intact reservation).
+    StoreCond { width: W, rt: u8, base: u8, imm: i16 },
+    /// System call.
+    Syscall,
+    /// Breakpoint with its 20-bit code.
+    Break { code: u32 },
+    /// CP0 register read.
+    Mfc0 { rt: u8, rd: u8 },
+    /// CP0 register write.
+    Mtc0 { rt: u8, rd: u8 },
+    /// TLB write, indexed.
+    Tlbwi,
+    /// TLB write, "random" (round-robin in this model).
+    Tlbwr,
+    /// TLB probe.
+    Tlbp,
+    /// TLB read, indexed.
+    Tlbr,
+    /// Exception return (no delay slot).
+    Eret,
+    /// Capability field read into a GPR: 0 = base, 1 = length, 2 = tag,
+    /// 3 = perms (Table 1's query instructions share a shape).
+    CGet { field: u8, rd: u8, cb: u8 },
+    /// `CGetPCC`: PC to `rd`, PCC to `cd`.
+    CGetPcc { rd: u8, cd: u8 },
+    /// `CIncBase`.
+    CIncBase { cd: u8, cb: u8, rt: u8 },
+    /// `CSetLen`.
+    CSetLen { cd: u8, cb: u8, rt: u8 },
+    /// `CClearTag`.
+    CClearTag { cd: u8, cb: u8 },
+    /// `CAndPerm`.
+    CAndPerm { cd: u8, cb: u8, rt: u8 },
+    /// `CToPtr`.
+    CToPtr { rd: u8, cb: u8, ct: u8 },
+    /// `CFromPtr`.
+    CFromPtr { cd: u8, cb: u8, rt: u8 },
+    /// Branch if tag clear (`CBTU`) / set (`CBTS`).
+    CBranchTag { on_set: bool, cb: u8, offset: i16 },
+    /// Capability load.
+    Clc { cd: u8, cb: u8, rt: u8, imm: i8 },
+    /// Capability store.
+    Csc { cs: u8, cb: u8, rt: u8, imm: i8 },
+    /// Capability-relative scalar load.
+    CLoad { width: W, rd: u8, cb: u8, rt: u8, imm: i8, unsigned: bool },
+    /// Capability-relative scalar store.
+    CStore { width: W, rs: u8, cb: u8, rt: u8, imm: i8 },
+    /// Capability-relative load-linked doubleword.
+    Clld { rd: u8, cb: u8, rt: u8, imm: i8 },
+    /// Capability-relative store-conditional doubleword.
+    Cscd { rs: u8, cb: u8, rt: u8, imm: i8 },
+    /// Capability jump.
+    Cjr { cb: u8 },
+    /// Capability jump-and-link.
+    Cjalr { cd: u8, cb: u8 },
+    /// Unallocated encoding: Reserved Instruction exception, carrying
+    /// the raw word.
+    Illegal { word: u32 },
+}
+
+/// Decodes one instruction word against the specification's own tables.
+#[must_use]
+#[allow(clippy::too_many_lines)]
+pub fn decode(word: u32) -> SpecOp {
+    let field = |hi: u32, lo: u32| (word >> lo) & ((1u32 << (hi - lo + 1)) - 1);
+    let rs = field(25, 21) as u8;
+    let rt = field(20, 16) as u8;
+    let rd = field(15, 11) as u8;
+    let sa = field(10, 6) as u8;
+    let funct = field(5, 0);
+    let imm = field(15, 0) as u16;
+    let simm = imm as i16;
+    let illegal = SpecOp::Illegal { word };
+
+    let alu3 = |kind| SpecOp::Alu { kind, rd, rs, rt };
+    let alui = |kind| SpecOp::AluImm { kind, rt, rs, imm };
+    let shift = |kind| SpecOp::Shift { kind, rd, rt, amount: sa };
+    let shiftv = |kind| SpecOp::ShiftVar { kind, rd, rt, rs };
+    let muldiv = |kind| SpecOp::MulDiv { kind, rs, rt };
+    let load = |width, unsigned| SpecOp::Load { width, rt, base: rs, imm: simm, unsigned };
+    let store = |width| SpecOp::Store { width, rt, base: rs, imm: simm };
+
+    match field(31, 26) {
+        // --- SPECIAL -------------------------------------------------
+        0x00 => match funct {
+            0x00 => shift(Sh::SllW),
+            0x02 => shift(Sh::SrlW),
+            0x03 => shift(Sh::SraW),
+            0x04 => shiftv(Sh::SllW),
+            0x06 => shiftv(Sh::SrlW),
+            0x07 => shiftv(Sh::SraW),
+            0x08 => SpecOp::Jr { rs },
+            0x09 => SpecOp::Jalr { rd, rs },
+            0x0a => alu3(Alu3::Movz),
+            0x0b => alu3(Alu3::Movn),
+            0x0c => SpecOp::Syscall,
+            0x0d => SpecOp::Break { code: field(25, 6) },
+            0x10 => SpecOp::Mfhi { rd },
+            0x11 => SpecOp::Mthi { rs },
+            0x12 => SpecOp::Mflo { rd },
+            0x13 => SpecOp::Mtlo { rs },
+            0x14 => shiftv(Sh::SllD),
+            0x16 => shiftv(Sh::SrlD),
+            0x17 => shiftv(Sh::SraD),
+            0x18 => muldiv(MulDiv::Mult),
+            0x19 => muldiv(MulDiv::Multu),
+            0x1a => muldiv(MulDiv::Div),
+            0x1b => muldiv(MulDiv::Divu),
+            0x1c => muldiv(MulDiv::Dmult),
+            0x1d => muldiv(MulDiv::Dmultu),
+            0x1e => muldiv(MulDiv::Ddiv),
+            0x1f => muldiv(MulDiv::Ddivu),
+            0x20 => alu3(Alu3::Add),
+            0x21 => alu3(Alu3::Addu),
+            0x22 => alu3(Alu3::Sub),
+            0x23 => alu3(Alu3::Subu),
+            0x24 => alu3(Alu3::And),
+            0x25 => alu3(Alu3::Or),
+            0x26 => alu3(Alu3::Xor),
+            0x27 => alu3(Alu3::Nor),
+            0x2a => alu3(Alu3::Slt),
+            0x2b => alu3(Alu3::Sltu),
+            0x2c => alu3(Alu3::Dadd),
+            0x2d => alu3(Alu3::Daddu),
+            0x2e => alu3(Alu3::Dsub),
+            0x2f => alu3(Alu3::Dsubu),
+            0x38 => shift(Sh::SllD),
+            0x3a => shift(Sh::SrlD),
+            0x3b => shift(Sh::SraD),
+            0x3c => shift(Sh::SllD32),
+            0x3e => shift(Sh::SrlD32),
+            0x3f => shift(Sh::SraD32),
+            _ => illegal,
+        },
+        // --- REGIMM --------------------------------------------------
+        0x01 => match rt {
+            0x00 => SpecOp::Branch { cond: Cond::Ltz, rs, rt: 0, offset: simm },
+            0x01 => SpecOp::Branch { cond: Cond::Gez, rs, rt: 0, offset: simm },
+            0x10 => SpecOp::BranchLink { cond: Cond::Ltz, rs, offset: simm },
+            0x11 => SpecOp::BranchLink { cond: Cond::Gez, rs, offset: simm },
+            _ => illegal,
+        },
+        0x02 => SpecOp::J { target: field(25, 0) },
+        0x03 => SpecOp::Jal { target: field(25, 0) },
+        0x04 => SpecOp::Branch { cond: Cond::Eq, rs, rt, offset: simm },
+        0x05 => SpecOp::Branch { cond: Cond::Ne, rs, rt, offset: simm },
+        0x06 => SpecOp::Branch { cond: Cond::Lez, rs, rt: 0, offset: simm },
+        0x07 => SpecOp::Branch { cond: Cond::Gtz, rs, rt: 0, offset: simm },
+        0x08 => alui(AluI::Addi),
+        0x09 => alui(AluI::Addiu),
+        0x0a => alui(AluI::Slti),
+        0x0b => alui(AluI::Sltiu),
+        0x0c => alui(AluI::Andi),
+        0x0d => alui(AluI::Ori),
+        0x0e => alui(AluI::Xori),
+        0x0f => SpecOp::Lui { rt, imm },
+        // --- COP0 ----------------------------------------------------
+        0x10 => {
+            if field(25, 25) == 1 {
+                match funct {
+                    0x01 => SpecOp::Tlbr,
+                    0x02 => SpecOp::Tlbwi,
+                    0x06 => SpecOp::Tlbwr,
+                    0x08 => SpecOp::Tlbp,
+                    0x18 => SpecOp::Eret,
+                    _ => illegal,
+                }
+            } else {
+                match rs {
+                    0x00 | 0x01 => SpecOp::Mfc0 { rt, rd },
+                    0x04 | 0x05 => SpecOp::Mtc0 { rt, rd },
+                    _ => illegal,
+                }
+            }
+        }
+        // --- COP2 (CHERI, Table 1) -----------------------------------
+        0x12 => decode_cop2(word),
+        0x18 => alui(AluI::Daddi),
+        0x19 => alui(AluI::Daddiu),
+        0x20 => load(W::B, false),
+        0x21 => load(W::H, false),
+        0x23 => load(W::Wd, false),
+        0x24 => load(W::B, true),
+        0x25 => load(W::H, true),
+        0x27 => load(W::Wd, true),
+        0x28 => store(W::B),
+        0x29 => store(W::H),
+        0x2b => store(W::Wd),
+        0x30 => SpecOp::LoadLinked { width: W::Wd, rt, base: rs, imm: simm },
+        0x34 => SpecOp::LoadLinked { width: W::D, rt, base: rs, imm: simm },
+        0x37 => load(W::D, false),
+        0x38 => SpecOp::StoreCond { width: W::Wd, rt, base: rs, imm: simm },
+        0x3c => SpecOp::StoreCond { width: W::D, rt, base: rs, imm: simm },
+        0x3f => store(W::D),
+        _ => illegal,
+    }
+}
+
+/// The COP2 sub-table: `| 0x12 | sub(5) | r1(5) | r2(5) | r3(5) | imm6 |`,
+/// with `CBTU`/`CBTS` using a 16-bit branch offset in the `r2..imm6`
+/// span instead.
+fn decode_cop2(word: u32) -> SpecOp {
+    let sub = (word >> 21) & 0x1f;
+    let r1 = ((word >> 16) & 0x1f) as u8;
+    let r2 = ((word >> 11) & 0x1f) as u8;
+    let r3 = ((word >> 6) & 0x1f) as u8;
+    let raw6 = (word & 0x3f) as i8;
+    let imm6 = if raw6 >= 32 { raw6 - 64 } else { raw6 };
+    let offset = (word & 0xffff) as u16 as i16;
+
+    let cload =
+        |width, unsigned| SpecOp::CLoad { width, rd: r1, cb: r2, rt: r3, imm: imm6, unsigned };
+    let cstore = |width| SpecOp::CStore { width, rs: r1, cb: r2, rt: r3, imm: imm6 };
+
+    match sub {
+        0..=3 => SpecOp::CGet { field: sub as u8, rd: r1, cb: r2 },
+        4 => SpecOp::CGetPcc { rd: r1, cd: r2 },
+        5 => SpecOp::CIncBase { cd: r1, cb: r2, rt: r3 },
+        6 => SpecOp::CSetLen { cd: r1, cb: r2, rt: r3 },
+        7 => SpecOp::CClearTag { cd: r1, cb: r2 },
+        8 => SpecOp::CAndPerm { cd: r1, cb: r2, rt: r3 },
+        9 => SpecOp::CToPtr { rd: r1, cb: r2, ct: r3 },
+        10 => SpecOp::CFromPtr { cd: r1, cb: r2, rt: r3 },
+        11 => SpecOp::CBranchTag { on_set: false, cb: r1, offset },
+        12 => SpecOp::CBranchTag { on_set: true, cb: r1, offset },
+        13 => SpecOp::Clc { cd: r1, cb: r2, rt: r3, imm: imm6 },
+        14 => SpecOp::Csc { cs: r1, cb: r2, rt: r3, imm: imm6 },
+        15 => cload(W::B, false),
+        16 => cload(W::B, true),
+        17 => cload(W::H, false),
+        18 => cload(W::H, true),
+        19 => cload(W::Wd, false),
+        20 => cload(W::Wd, true),
+        21 => cload(W::D, false),
+        22 => cstore(W::B),
+        23 => cstore(W::H),
+        24 => cstore(W::Wd),
+        25 => cstore(W::D),
+        26 => SpecOp::Clld { rd: r1, cb: r2, rt: r3, imm: imm6 },
+        27 => SpecOp::Cscd { rs: r1, cb: r2, rt: r3, imm: imm6 },
+        28 => SpecOp::Cjr { cb: r1 },
+        29 => SpecOp::Cjalr { cd: r1, cb: r2 },
+        _ => SpecOp::Illegal { word },
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn canonical_nop() {
+        assert_eq!(decode(0), SpecOp::Shift { kind: Sh::SllW, rd: 0, rt: 0, amount: 0 });
+    }
+
+    #[test]
+    fn cop2_field_extraction() {
+        // CLC c5, c6, $0, imm -1: sub 13, r1 5, r2 6, r3 0, imm6 0x3f.
+        let word = (0x12 << 26) | (13 << 21) | (5 << 16) | (6 << 11) | 0x3f;
+        assert_eq!(decode(word), SpecOp::Clc { cd: 5, cb: 6, rt: 0, imm: -1 });
+    }
+
+    #[test]
+    fn unallocated_is_illegal() {
+        assert!(matches!(decode(0x13 << 26), SpecOp::Illegal { .. }));
+        assert!(matches!(decode(0x0000_0001), SpecOp::Illegal { .. }));
+        assert!(matches!(decode((0x12 << 26) | (30 << 21)), SpecOp::Illegal { .. }));
+    }
+}

@@ -1,0 +1,39 @@
+//! `cheri-spec` — an executable reference specification of the CHERI
+//! capability semantics of the ISCA 2014 paper.
+//!
+//! This crate is the *oracle* half of the lockstep differential fuzzer
+//! (see `specfuzz` in `cheri-bench`): a second, deliberately slow
+//! implementation of the architecture written straight from the paper's
+//! ISA description. It shares **no code** with the simulator — not the
+//! decoder, not the capability arithmetic, not the byte layouts:
+//!
+//! * bounds checks are done in 128-bit arithmetic rather than the
+//!   simulator's carefully restated 64-bit comparisons;
+//! * the instruction decoder re-derives every encoding from the
+//!   documented opcode tables, so an encode/decode bug in the simulator
+//!   is *visible* rather than faithfully mirrored;
+//! * the 256-bit (Figure 1) and compressed 128-bit (Low-Fat) memory
+//!   images are re-serialised field by field;
+//! * memory is a flat byte vector plus a one-`bool`-per-granule tag
+//!   map — no caches, no timing, no predecoding, no snapshots.
+//!
+//! Anything the two models disagree on — a retired register value, a
+//! trap cause, a CP0 side effect, a memory byte, a tag bit — is a bug
+//! in one of them, and the fuzzer shrinks it to a replayable case.
+//!
+//! The [`seal`] module additionally models the paper's sealed-capability
+//! mechanism (`CSealCode`/`CSealData`/`CUnseal`, Section 3.6), which the
+//! simulator does not implement; it is specified and unit-tested here so
+//! the object-capability story has an executable definition, but it is
+//! not part of the lockstep comparison.
+
+pub mod cap;
+pub mod compress;
+pub mod decode;
+pub mod machine;
+pub mod seal;
+
+pub use cap::{perms, SpecCap};
+pub use compress::{decompress128, pack128, representable128, required_alignment128, unpack128};
+pub use decode::{decode, SpecOp};
+pub use machine::{SpecEvent, SpecFormat, SpecMachine};

@@ -1,0 +1,179 @@
+//! Sealed capabilities (Section 3.6), specified executably.
+//!
+//! The paper's object-capability mechanism: `CSealCode`/`CSealData`
+//! mint a *sealed* (non-dereferenceable, non-modifiable) pair tied to an
+//! object type `otype`, and `CUnseal` redeems a sealed data capability
+//! against an authorizing code capability whose bounds span the type.
+//! The simulator does not implement these instructions; this module
+//! gives the mechanism an executable definition with the same
+//! monotonicity flavour as the rest of the ISA, so a future sim-side
+//! implementation has an oracle ready.
+//!
+//! Model notes, straight from the paper:
+//!
+//! * the object type is drawn from the *address space* — here the base
+//!   of the sealing code capability — so type allocation needs no new
+//!   namespace, just address-space management;
+//! * a sealed capability keeps its bounds and permissions but cannot be
+//!   dereferenced or modified; only `CUnseal` (checked) or `CCall`'s
+//!   trap handler may use it;
+//! * unsealing requires the authorizing capability to actually span the
+//!   otype and carry [`crate::cap::perms::SEAL`].
+
+use crate::cap::{exc, perms, SpecCap};
+
+/// A capability extended with the paper's seal state. The base
+/// [`SpecCap`] stays unsealed-only so the lockstep machine can't
+/// accidentally accept sealed values; sealing wraps it.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct SealedCap {
+    /// The underlying capability (bounds/perms/tag as when sealed).
+    pub inner: SpecCap,
+    /// The object type, or `None` while unsealed.
+    pub otype: Option<u64>,
+}
+
+impl SealedCap {
+    /// Wraps an ordinary capability, unsealed.
+    #[must_use]
+    pub fn unsealed(inner: SpecCap) -> SealedCap {
+        SealedCap { inner, otype: None }
+    }
+
+    /// Whether the capability is sealed.
+    #[must_use]
+    pub fn is_sealed(&self) -> bool {
+        self.otype.is_some()
+    }
+}
+
+/// `CSealCode`: seals an executable capability with an otype drawn from
+/// its *own* base address, producing the code half of an object pair.
+///
+/// # Errors
+///
+/// Capability exception codes: tag violation for an untagged source,
+/// permit-execute for a non-executable one, and a seal violation if the
+/// source is already sealed.
+pub fn seal_code(code: &SealedCap) -> Result<SealedCap, u8> {
+    if !code.inner.tag {
+        return Err(exc::TAG);
+    }
+    if code.is_sealed() {
+        return Err(exc::SEAL);
+    }
+    if code.inner.perms & perms::EXECUTE == 0 {
+        return Err(exc::PERMIT_EXECUTE);
+    }
+    Ok(SealedCap { inner: code.inner, otype: Some(code.inner.base) })
+}
+
+/// `CSealData`: seals a data capability with the otype named by an
+/// authorizing code capability, which must hold [`perms::SEAL`] and span
+/// the otype address within its bounds.
+///
+/// # Errors
+///
+/// Capability exception codes, highest priority first: tag violation
+/// (either operand), seal violation (either already sealed),
+/// permit-seal, then length if `otype` falls outside the authorizer.
+pub fn seal_data(data: &SealedCap, auth: &SealedCap, otype: u64) -> Result<SealedCap, u8> {
+    if !data.inner.tag || !auth.inner.tag {
+        return Err(exc::TAG);
+    }
+    if data.is_sealed() || auth.is_sealed() {
+        return Err(exc::SEAL);
+    }
+    if auth.inner.perms & perms::SEAL == 0 {
+        return Err(exc::PERMIT_SEAL);
+    }
+    if !auth.inner.in_bounds(otype, 1) {
+        return Err(exc::LENGTH);
+    }
+    Ok(SealedCap { inner: data.inner, otype: Some(otype) })
+}
+
+/// `CUnseal`: redeems a sealed capability against an authorizing
+/// capability that spans its otype and holds [`perms::SEAL`]. The result
+/// is the original unsealed capability — unsealing never amplifies.
+///
+/// # Errors
+///
+/// Capability exception codes: tag violation, seal violation if the
+/// operand is not actually sealed (or the authorizer is), permit-seal,
+/// and length if the otype is outside the authorizer's bounds.
+pub fn unseal(sealed: &SealedCap, auth: &SealedCap) -> Result<SealedCap, u8> {
+    if !sealed.inner.tag || !auth.inner.tag {
+        return Err(exc::TAG);
+    }
+    let Some(otype) = sealed.otype else {
+        return Err(exc::SEAL);
+    };
+    if auth.is_sealed() {
+        return Err(exc::SEAL);
+    }
+    if auth.inner.perms & perms::SEAL == 0 {
+        return Err(exc::PERMIT_SEAL);
+    }
+    if !auth.inner.in_bounds(otype, 1) {
+        return Err(exc::LENGTH);
+    }
+    Ok(SealedCap::unsealed(sealed.inner))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cap(base: u64, length: u64, p: u32) -> SealedCap {
+        SealedCap::unsealed(SpecCap { tag: true, perms: p, reserved: 0, base, length })
+    }
+
+    #[test]
+    fn code_seals_to_its_own_base() {
+        let code = cap(0x4000, 0x100, perms::EXECUTE);
+        let sealed = seal_code(&code).unwrap();
+        assert_eq!(sealed.otype, Some(0x4000));
+        assert_eq!(sealed.inner, code.inner);
+    }
+
+    #[test]
+    fn data_seal_and_unseal_round_trip() {
+        let auth = cap(0x4000, 0x100, perms::SEAL);
+        let data = cap(0x9000, 0x40, perms::LOAD | perms::STORE);
+        let sealed = seal_data(&data, &auth, 0x4010).unwrap();
+        assert!(sealed.is_sealed());
+        let back = unseal(&sealed, &auth).unwrap();
+        assert_eq!(back, data);
+    }
+
+    #[test]
+    fn unseal_requires_spanning_authorizer() {
+        let auth = cap(0x4000, 0x100, perms::SEAL);
+        let data = cap(0x9000, 0x40, perms::LOAD);
+        let sealed = seal_data(&data, &auth, 0x4010).unwrap();
+        let narrow = cap(0x4020, 0x10, perms::SEAL);
+        assert_eq!(unseal(&sealed, &narrow), Err(exc::LENGTH));
+        let no_perm = cap(0x4000, 0x100, perms::LOAD);
+        assert_eq!(unseal(&sealed, &no_perm), Err(exc::PERMIT_SEAL));
+    }
+
+    #[test]
+    fn sealing_is_not_idempotent() {
+        let auth = cap(0x4000, 0x100, perms::SEAL);
+        let data = cap(0x9000, 0x40, perms::LOAD);
+        let sealed = seal_data(&data, &auth, 0x4010).unwrap();
+        assert_eq!(seal_data(&sealed, &auth, 0x4010), Err(exc::SEAL));
+        let code = cap(0x4000, 0x100, perms::EXECUTE);
+        let sealed_code = seal_code(&code).unwrap();
+        assert_eq!(seal_code(&sealed_code), Err(exc::SEAL));
+    }
+
+    #[test]
+    fn untagged_operands_fault_first() {
+        let mut auth = cap(0x4000, 0x100, perms::SEAL);
+        auth.inner.tag = false;
+        let data = cap(0x9000, 0x40, perms::LOAD);
+        assert_eq!(seal_data(&data, &auth, 0x4010), Err(exc::TAG));
+    }
+}

@@ -1,0 +1,178 @@
+//! Edge-case tests for the specification: 128-bit representability at
+//! boundary lengths, `CSetLen`/`CIncBase` against unrepresentable
+//! regions, and exception-priority ordering when an access violates
+//! several rules at once.
+
+use cheri_spec::cap::{exc, pack_cause, perms};
+use cheri_spec::machine::{mips, SpecEvent, SpecFormat, SpecMachine};
+use cheri_spec::{decompress128, pack128, representable128, required_alignment128, SpecCap};
+
+fn region(base: u64, length: u64) -> SpecCap {
+    SpecCap { tag: true, perms: perms::ALL, reserved: 0, base, length }
+}
+
+// --- 128-bit representability at the mantissa boundary ----------------
+
+#[test]
+fn alignment_steps_at_every_mantissa_boundary() {
+    // For lengths of n significant bits, the required alignment is
+    // 2^(n-18) once n exceeds the 18-bit mantissa. Walk several
+    // boundaries exactly.
+    for extra in 1..=10u32 {
+        let bits = 18 + extra;
+        let align = 1u64 << extra;
+        // Every length with exactly `bits` significant bits shares one
+        // alignment; the next power of two doubles it.
+        assert_eq!(required_alignment128(1 << (bits - 1)), align, "bits={bits}");
+        assert_eq!(required_alignment128((1 << bits) - 1), align, "bits={bits}");
+        assert_eq!(required_alignment128(1 << bits), align * 2, "bits={bits}");
+    }
+}
+
+#[test]
+fn boundary_lengths_round_trip_exactly() {
+    // Lengths exactly at the mantissa edge survive compression with no
+    // loss when the alignment rule is honoured.
+    for &len in &[(1u64 << 18) - 1, 1 << 18, (1 << 19) - 2, 1 << 24, (1 << 30) - (1 << 12)] {
+        let align = required_alignment128(len);
+        if len % align != 0 {
+            continue;
+        }
+        let c = region(align * 3, len);
+        assert!(representable128(&c), "len={len:#x}");
+        let back = decompress128(&pack128(&c), true);
+        assert_eq!((back.base, back.length), (c.base, c.length), "len={len:#x}");
+    }
+}
+
+#[test]
+fn misaligned_boundary_lengths_are_rejected() {
+    // One byte past the mantissa: length 2^18 + 1 can never be stored
+    // (odd length, 2-byte alignment required)...
+    assert!(!representable128(&region(0, (1 << 18) + 1)));
+    // ...and 2^18 + 2 only from an even base.
+    assert!(!representable128(&region(1, (1 << 18) + 2)));
+    assert!(representable128(&region(2, (1 << 18) + 2)));
+}
+
+#[test]
+fn address_ceiling_is_inclusive_at_the_top() {
+    // A region ending exactly at 2^40 is representable; one byte past
+    // is not, and neither is a base at the ceiling.
+    assert!(representable128(&region((1 << 40) - 16, 16)));
+    assert!(!representable128(&region((1 << 40) - 16, 32)));
+    assert!(!representable128(&region(1 << 40, 0)));
+}
+
+// --- CSetBounds-style derivation on unrepresentable regions -----------
+
+#[test]
+fn csc_of_unrepresentable_region_is_an_alignment_fault() {
+    let mut m = SpecMachine::new(SpecFormat::C128, 1 << 20);
+    // CIncBase c1, c0, $8 ; CSetLen c1, c1, $9 ; CSC c1, c0, $10, 0
+    let cop2 = |sub: u32, r1: u32, r2: u32, r3: u32| {
+        (0x12 << 26) | (sub << 21) | (r1 << 16) | (r2 << 11) | (r3 << 6)
+    };
+    for (i, w) in [cop2(5, 1, 0, 8), cop2(6, 1, 1, 9), cop2(14, 1, 0, 10)].into_iter().enumerate() {
+        m.poke_u32(0x1000 + 4 * i as u64, w);
+    }
+    m.jump_to(0x1000);
+    m.gpr[8] = 0x8001; // odd base
+    m.gpr[9] = (1 << 18) + 2; // needs 2-byte alignment
+    m.gpr[10] = 0x4000;
+    assert_eq!(m.step(), SpecEvent::Retired);
+    assert_eq!(m.step(), SpecEvent::Retired);
+    // The derived capability exists in the register file (derivation is
+    // exact there), but storing it through the 128-bit format faults.
+    assert_eq!(m.caps[1].base, 0x8001);
+    assert_eq!(m.step(), SpecEvent::Trap { code: mips::CAP });
+    assert_eq!(m.cp0.capcause, pack_cause(exc::ALIGNMENT, 1));
+}
+
+#[test]
+fn representable_csc_with_same_shape_succeeds() {
+    let mut m = SpecMachine::new(SpecFormat::C128, 1 << 20);
+    let cop2 = |sub: u32, r1: u32, r2: u32, r3: u32| {
+        (0x12 << 26) | (sub << 21) | (r1 << 16) | (r2 << 11) | (r3 << 6)
+    };
+    for (i, w) in [cop2(5, 1, 0, 8), cop2(6, 1, 1, 9), cop2(14, 1, 0, 10), cop2(13, 2, 0, 10)]
+        .into_iter()
+        .enumerate()
+    {
+        m.poke_u32(0x1000 + 4 * i as u64, w);
+    }
+    m.jump_to(0x1000);
+    m.gpr[8] = 0x8000;
+    m.gpr[9] = (1 << 18) + 2;
+    m.gpr[10] = 0x4000;
+    for _ in 0..4 {
+        assert_eq!(m.step(), SpecEvent::Retired);
+    }
+    assert!(m.caps[2].tag);
+    assert_eq!(m.caps[2].base, 0x8000);
+    assert_eq!(m.caps[2].length, (1 << 18) + 2);
+}
+
+// --- exception priority with multiple simultaneous faults -------------
+
+/// `CLB` through an untagged, permissionless, out-of-bounds capability:
+/// the tag check wins.
+#[test]
+fn tag_beats_permission_beats_length() {
+    let everything_wrong = SpecCap { tag: false, perms: 0, reserved: 0, base: 0, length: 0 };
+    assert_eq!(everything_wrong.check_data(0x9999, 1, false), Err(exc::TAG));
+    let tagged = SpecCap { tag: true, ..everything_wrong };
+    assert_eq!(tagged.check_data(0x9999, 1, false), Err(exc::PERMIT_LOAD));
+    let with_perm = SpecCap { perms: perms::LOAD, ..tagged };
+    assert_eq!(with_perm.check_data(0x9999, 1, false), Err(exc::LENGTH));
+}
+
+/// A misaligned *and* capability-violating scalar access: address error
+/// (the AGU) outranks the capability check (the coprocessor), exactly
+/// as the simulator orders it.
+#[test]
+fn alignment_outranks_capability_violation() {
+    let mut m = SpecMachine::new(SpecFormat::C256, 1 << 20);
+    // CClearTag c1, c0 ; CLW $2, $1(c1) with $1 holding a misaligned
+    // address.
+    let clear = (0x12 << 26) | (7 << 21) | (1 << 16);
+    let clw = (0x12 << 26) | (19 << 21) | (2 << 16) | (1 << 11) | (1 << 6);
+    m.poke_u32(0x1000, clear);
+    m.poke_u32(0x1004, clw);
+    m.jump_to(0x1000);
+    m.gpr[1] = 0x8003;
+    assert_eq!(m.step(), SpecEvent::Retired);
+    assert_eq!(m.step(), SpecEvent::Trap { code: mips::ADDR_LOAD });
+    assert_eq!(m.cp0.badvaddr, 0x8003, "BadVAddr records the faulting address");
+}
+
+/// Both halves wrong on a capability store: the capability permission
+/// check fires before the alignment check inside `check_cap` would.
+#[test]
+fn cap_store_priority_permission_then_alignment_then_length() {
+    let c = SpecCap { tag: true, perms: perms::STORE, reserved: 0, base: 0x8000, length: 0x100 };
+    // No STORE_CAP: permission first, even though also misaligned and
+    // out of bounds.
+    assert_eq!(c.check_cap(0x9001, true, 32), Err(exc::PERMIT_STORE_CAP));
+    let c = SpecCap { perms: perms::STORE_CAP, ..c };
+    assert_eq!(c.check_cap(0x9001, true, 32), Err(exc::ALIGNMENT));
+    assert_eq!(c.check_cap(0x9000, true, 32), Err(exc::LENGTH));
+    assert_eq!(c.check_cap(0x8020, true, 32), Ok(()));
+}
+
+/// A PCC fetch fault in a delay slot still reports the branch PC in
+/// `EPC` with the BD bit set, and names register 0xff in `capcause`.
+#[test]
+fn pcc_fault_in_delay_slot() {
+    let mut m = SpecMachine::new(SpecFormat::C256, 1 << 20);
+    let beq = (0x04 << 26) | 0x100u32; // branch far forward
+    m.poke_u32(0x1000, beq);
+    m.jump_to(0x1000);
+    m.pcc = SpecCap { tag: true, perms: perms::ALL, reserved: 0, base: 0x1000, length: 4 };
+    assert_eq!(m.step(), SpecEvent::Retired);
+    // The delay slot at 0x1004 is outside PCC.
+    assert_eq!(m.step(), SpecEvent::Trap { code: mips::CAP });
+    assert_eq!(m.cp0.epc, 0x1000, "EPC points at the branch");
+    assert_eq!(m.cp0.cause & (1 << 31), 1 << 31, "BD bit set");
+    assert_eq!(m.cp0.capcause, pack_cause(exc::LENGTH, exc::PCC_REG));
+}
