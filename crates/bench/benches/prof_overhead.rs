@@ -14,11 +14,11 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use beri_sim::MachineConfig;
-use cheri_olden::dsl::DslBench;
 use cheri_olden::OldenParams;
 use cheri_sweep::{run_spec_profiled, run_spec_with_config, JobSpec, StrategyKind};
+use cheri_work::Workload;
 
-fn spec(workload: DslBench, strategy: StrategyKind) -> JobSpec {
+fn spec(workload: Workload, strategy: StrategyKind) -> JobSpec {
     JobSpec::new(workload, strategy, OldenParams::scaled())
 }
 
@@ -42,8 +42,8 @@ fn run(spec: &JobSpec, enabled: bool, profiled: bool) -> (u64, u64) {
 
 fn bench_prof_overhead(c: &mut Criterion) {
     let jobs = [
-        ("treeadd/mips", spec(DslBench::Treeadd, StrategyKind::Mips)),
-        ("treeadd/cheri", spec(DslBench::Treeadd, StrategyKind::Cheri256)),
+        ("treeadd/mips", spec(Workload::Treeadd, StrategyKind::Mips)),
+        ("treeadd/cheri", spec(Workload::Treeadd, StrategyKind::Cheri256)),
     ];
     let mut g = c.benchmark_group("prof_overhead");
     for (name, job) in &jobs {

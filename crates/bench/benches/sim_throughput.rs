@@ -13,14 +13,14 @@
 use criterion::{criterion_group, criterion_main, Criterion, Throughput};
 
 use beri_sim::MachineConfig;
-use cheri_olden::dsl::DslBench;
 use cheri_olden::OldenParams;
 use cheri_sweep::{run_spec_with_config, JobSpec, StrategyKind};
+use cheri_work::Workload;
 
 /// One fig4-style job: workload × strategy at smoke-profile size (small
 /// enough for Criterion's sample counts, big enough that the guest loop
 /// dominates compile/boot).
-fn spec(workload: DslBench, strategy: StrategyKind) -> JobSpec {
+fn spec(workload: Workload, strategy: StrategyKind) -> JobSpec {
     JobSpec::new(workload, strategy, OldenParams::scaled())
 }
 
@@ -35,9 +35,9 @@ fn run(spec: &JobSpec, enabled: bool) -> (u64, u64) {
 
 fn bench_sim_throughput(c: &mut Criterion) {
     let jobs = [
-        ("treeadd/mips", spec(DslBench::Treeadd, StrategyKind::Mips)),
-        ("treeadd/cheri", spec(DslBench::Treeadd, StrategyKind::Cheri256)),
-        ("mst/cheri", spec(DslBench::Mst, StrategyKind::Cheri256)),
+        ("treeadd/mips", spec(Workload::Treeadd, StrategyKind::Mips)),
+        ("treeadd/cheri", spec(Workload::Treeadd, StrategyKind::Cheri256)),
+        ("mst/cheri", spec(Workload::Mst, StrategyKind::Cheri256)),
     ];
     let mut g = c.benchmark_group("sim_throughput");
     for (name, job) in &jobs {

@@ -10,12 +10,12 @@
 //! `cheri-sweep`, executed on the parallel sweep engine (`--jobs N`).
 
 use cheri_bench::{overhead_pct, params_for, parse_jobs, parse_scale};
-use cheri_olden::dsl::DslBench;
 use cheri_sweep::{run_specs, JobSpec, CAPWIDTH_STRATEGIES};
+use cheri_work::Workload;
 
 fn main() {
     let params = params_for(parse_scale());
-    let specs: Vec<JobSpec> = DslBench::ALL
+    let specs: Vec<JobSpec> = Workload::ALL
         .into_iter()
         .flat_map(|bench| {
             CAPWIDTH_STRATEGIES.into_iter().map(move |s| JobSpec::new(bench, s, params))
@@ -25,7 +25,7 @@ fn main() {
 
     println!("== Capability width ablation: 256-bit vs 128-bit CHERI (execution) ==\n");
     println!("{:<11}{:>14}{:>14}{:>14}", "benchmark", "cheri-256", "cheri-128", "recovered");
-    for (bench, group) in DslBench::ALL.iter().zip(results.chunks(CAPWIDTH_STRATEGIES.len())) {
+    for (bench, group) in Workload::ALL.iter().zip(results.chunks(CAPWIDTH_STRATEGIES.len())) {
         for r in group {
             assert!(
                 r.run.outcome.exit_value().is_some(),

@@ -8,12 +8,12 @@
 //! `cheri-sweep`, executed on the parallel sweep engine (`--jobs N`).
 
 use cheri_bench::{overhead_pct, params_for, parse_jobs, parse_scale};
-use cheri_olden::dsl::DslBench;
 use cheri_sweep::{run_specs, JobSpec, ELISION_STRATEGIES};
+use cheri_work::Workload;
 
 fn main() {
     let params = params_for(parse_scale());
-    let specs: Vec<JobSpec> = DslBench::ALL
+    let specs: Vec<JobSpec> = Workload::ALL
         .into_iter()
         .flat_map(|bench| {
             ELISION_STRATEGIES.into_iter().map(move |s| JobSpec::new(bench, s, params))
@@ -23,7 +23,7 @@ fn main() {
 
     println!("== Software bounds-check elision ablation ==\n");
     println!("{:<11}{:>14}{:>14}{:>14}", "benchmark", "checked", "eliding", "saved");
-    for (bench, group) in DslBench::ALL.iter().zip(results.chunks(ELISION_STRATEGIES.len())) {
+    for (bench, group) in Workload::ALL.iter().zip(results.chunks(ELISION_STRATEGIES.len())) {
         let totals: Vec<u64> = group.iter().map(|r| r.run.total_cycles()).collect();
         assert_eq!(
             group[1].run.checksums(),

@@ -7,9 +7,9 @@
 //! `cheri-sweep`, executed on the parallel sweep engine (`--jobs N`).
 
 use cheri_bench::parse_jobs;
-use cheri_olden::dsl::DslBench;
 use cheri_olden::OldenParams;
 use cheri_sweep::{run_specs, JobSpec, StrategyKind, TAG_ABLATION_KB};
+use cheri_work::Workload;
 
 fn main() {
     let params = OldenParams::scaled().with_treeadd_depth(15);
@@ -17,7 +17,7 @@ fn main() {
         .into_iter()
         .map(|kb| JobSpec {
             tag_cache_kb: kb,
-            ..JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, params)
+            ..JobSpec::new(Workload::Treeadd, StrategyKind::Cheri256, params)
         })
         .collect();
     let results = run_specs(&specs, parse_jobs());

@@ -1,14 +1,16 @@
 //! Figure 3 reproduction: the trace-driven limit study.
 //!
-//! Records pointer-event traces of the native Olden workloads, evaluates
-//! all eight protection models over each, and prints the five overhead
-//! panels (pages, bytes, references, optimistic and pessimistic
-//! instructions) normalised to the unprotected baseline.
+//! Records pointer-event traces of the native workloads — the seven
+//! Olden kernels plus the `cheri-work` runtime-system pair (`vmloop`,
+//! `allocstress`) — evaluates all eight protection models over each,
+//! and prints the five overhead panels (pages, bytes, references,
+//! optimistic and pessimistic instructions) normalised to the
+//! unprotected baseline.
 
 use cheri_bench::{params_for, parse_jobs, parse_scale};
 use cheri_limit::run_study;
-use cheri_olden::native::WORKLOADS;
 use cheri_sweep::run_indexed;
+use cheri_work::native::WORKLOADS;
 
 fn main() {
     let scale = parse_scale();

@@ -9,9 +9,10 @@
 //! so the event stream stays one ordered file).
 
 use cheri_bench::{bar, overhead_pct, params_for, parse_jobs, parse_scale, parse_trace_out};
-use cheri_olden::dsl::{BenchRun, DslBench};
+use cheri_olden::dsl::BenchRun;
 use cheri_sweep::{run_specs, run_specs_traced, JobSpec, FIGURE4_STRATEGIES};
 use cheri_trace::Sink;
+use cheri_work::Workload;
 
 fn main() {
     let scale = parse_scale();
@@ -19,7 +20,7 @@ fn main() {
     // `--trace-out <path>`: stream every event of every run as JSON
     // lines, with a marker line delimiting each benchmark/mode pair.
     let sink = parse_trace_out();
-    let specs: Vec<JobSpec> = DslBench::ALL
+    let specs: Vec<JobSpec> = Workload::ALL
         .into_iter()
         .flat_map(|bench| {
             FIGURE4_STRATEGIES.into_iter().map(move |s| JobSpec::new(bench, s, params))
@@ -32,11 +33,11 @@ fn main() {
 
     println!("== Figure 4: execution-time overhead vs unsafe MIPS ({scale:?} sizes) ==\n");
     println!(
-        "{:<11}{:<14}{:>9}{:>10}{:>9}   total",
+        "{:<12}{:<14}{:>9}{:>10}{:>9}   total",
         "benchmark", "mode", "alloc%", "compute%", "total%"
     );
 
-    for (bench, group) in DslBench::ALL.iter().zip(results.chunks(FIGURE4_STRATEGIES.len())) {
+    for (bench, group) in Workload::ALL.iter().zip(results.chunks(FIGURE4_STRATEGIES.len())) {
         let runs: Vec<&BenchRun> = group.iter().map(|r| &r.run).collect();
         // All three binaries must compute the same result.
         let base_sums = runs[0].checksums();
@@ -55,7 +56,7 @@ fn main() {
             let compute = overhead_pct(r.compute.cycles, base.compute.cycles);
             let total = overhead_pct(r.total_cycles(), base.total_cycles());
             println!(
-                "{:<11}{:<14}{:>8.1}%{:>9.1}%{:>8.1}%   {}",
+                "{:<12}{:<14}{:>8.1}%{:>9.1}%{:>8.1}%   {}",
                 bench.name(),
                 r.mode,
                 alloc,

@@ -8,16 +8,16 @@
 //! path).
 
 use cheri_bench::{bar, overhead_pct, parse_jobs, parse_trace_out};
-use cheri_olden::dsl::DslBench;
 use cheri_sweep::{heapsize_sweep, run_specs, run_specs_traced, JobSpec, HEAPSIZE_STRATEGIES};
 use cheri_trace::Sink;
+use cheri_work::Workload;
 
 fn main() {
     println!("== Figure 5: CHERI slowdown at different heap sizes ==");
     println!("(cache geometry: 16KB L1 / 64KB L2 / TLB covering 1MB)\n");
     // `--trace-out <path>`: stream every event of every sweep point.
     let sink = parse_trace_out();
-    let specs: Vec<JobSpec> = DslBench::ALL
+    let specs: Vec<JobSpec> = Workload::ALL
         .into_iter()
         .flat_map(|bench| {
             heapsize_sweep(bench).into_iter().flat_map(move |(param, p)| {
@@ -33,7 +33,7 @@ fn main() {
     };
 
     let mut rows = results.chunks(HEAPSIZE_STRATEGIES.len());
-    for bench in DslBench::ALL {
+    for bench in Workload::ALL {
         println!("{}:", bench.name());
         println!("{:>10} {:>12} {:>10}", "param", "heap (KB)", "slowdown");
         for _ in heapsize_sweep(bench) {

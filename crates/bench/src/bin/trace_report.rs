@@ -15,10 +15,11 @@
 
 use cheri_bench::cli::Cli;
 use cheri_bench::{params_for, parse_bench_name, parse_scale, parse_strategy};
-use cheri_olden::dsl::{machine_config, run_bench_with_sink};
+use cheri_olden::dsl::BenchSession;
 use cheri_trace::{marker, names, shared, AggregateSink, AnySink, JsonlSink, Sink, Snapshot};
+use cheri_work::machine_config;
 
-const USAGE: &str = "trace_report <bisort|mst|treeadd|perimeter> [--strategy <name>]\n\
+const USAGE: &str = "trace_report <workload> [--strategy <name>]\n\
      \u{20}                   [--scaled|--paper] [--jsonl <path>] [--out <path>]\n\
      \u{20}      trace_report --diff <a.json> <b.json>\n\
      strategies: mips, ccured, ccured-elide, cheri (aka cap), cheri128";
@@ -112,7 +113,10 @@ fn main() {
 
     marker(&Some(sink.clone()), &format!("run start: {}/{}", bench.name(), strategy.name()));
     let cfg = machine_config(bench, &params, strategy.as_ref());
-    let run = run_bench_with_sink(bench, &params, strategy.as_ref(), cfg, Some(sink.clone()))
+    let module = bench.module(&params);
+    let run = BenchSession::start_module(&module, strategy.as_ref(), cfg, Some(sink.clone()))
+        .map_err(|e| e.to_string())
+        .and_then(|mut s| s.run_to_completion().map_err(|e| e.to_string()))
         .unwrap_or_else(|e| panic!("{} [{}]: {e}", bench.name(), strategy.name()));
     marker(&Some(sink.clone()), "run end");
     sink.borrow_mut().flush();

@@ -10,6 +10,9 @@
 //!
 //! ```text
 //! xsweep [--profile smoke|full|paper]   matrix preset (default: full)
+//!        [--workloads W1,W2,...]        restrict every mode to the named
+//!                                       workloads (comma-separated canonical
+//!                                       names); --check gates only their jobs
 //!        [--jobs N]                     worker threads (default: host)
 //!        [--out PATH]                   report path (default: results/sweep.json)
 //!        [--check PATH]                 gate against a baseline; nonzero exit on drift
@@ -35,21 +38,24 @@
 //! triage with `snapreplay`.
 
 use cheri_bench::cli::{self, Cli};
+use cheri_bench::parse_workloads_csv;
 use cheri_snap::Snapshot;
 use cheri_sweep::{
     check_reports, comparisons, profile_matrix, render_drifts, run_indexed, run_matrix,
     run_spec_final_snap, run_spec_resume, run_spec_split, run_specs, run_specs_block_cache,
-    run_specs_profiled, JobRecord, JobResult, Profile, SweepReport,
+    run_specs_profiled, JobRecord, JobResult, JobSpec, Profile, SweepReport,
 };
 use cheri_trace::json::{self, Json};
+use cheri_work::Workload;
 use std::path::{Path, PathBuf};
 use std::time::Instant;
 
-const USAGE: &str = "xsweep [--profile smoke|full|paper] [--jobs N] [--out PATH] \
-     [--check BASELINE] [--bless [PATH]] [--perf [PATH]] [--warm] [--prof]";
+const USAGE: &str = "xsweep [--profile smoke|full|paper] [--workloads W1,W2,...] [--jobs N] \
+     [--out PATH] [--check BASELINE] [--bless [PATH]] [--perf [PATH]] [--warm] [--prof]";
 
 struct Args {
     profile: Profile,
+    workloads: Option<Vec<Workload>>,
     jobs: usize,
     out: PathBuf,
     check: Option<PathBuf>,
@@ -71,6 +77,7 @@ fn parse_args() -> Args {
     let mut cli = Cli::new("xsweep", USAGE);
     let mut args = Args {
         profile: Profile::Full,
+        workloads: None,
         jobs: cheri_sweep::default_threads(),
         out: PathBuf::from("results/sweep.json"),
         check: None,
@@ -86,6 +93,10 @@ fn parse_args() -> Args {
                 let name = cli.value("--profile");
                 args.profile = Profile::parse(&name)
                     .unwrap_or_else(|| cli.usage_exit(&format!("unknown profile '{name}'")));
+            }
+            "--workloads" => {
+                let csv = cli.value("--workloads");
+                args.workloads = Some(parse_workloads_csv(&cli, &csv));
             }
             "--jobs" => args.jobs = cli.positive("--jobs"),
             "--out" => args.out = PathBuf::from(cli.value("--out")),
@@ -109,6 +120,9 @@ fn parse_args() -> Args {
     if blessed && args.bless.is_none() {
         args.bless = Some(PathBuf::from(format!("baselines/sweep-{}.json", args.profile.name())));
     }
+    if blessed && args.workloads.is_some() {
+        cli.usage_exit("--bless writes the whole matrix; it cannot be combined with --workloads");
+    }
     if args.warm && args.perf.is_some() {
         cli.usage_exit("--warm and --perf are separate timing modes; pass one at a time");
     }
@@ -120,6 +134,18 @@ fn parse_args() -> Args {
 
 fn write_report(path: &Path, text: &str) {
     cli::write_file("xsweep", path, text);
+}
+
+/// Expands the profile's matrix, restricted to the `--workloads`
+/// selection when one was given. Every mode (default, `--perf`,
+/// `--warm`, `--prof`) draws its specs from here, so the filter means
+/// the same thing everywhere.
+fn selected_matrix(args: &Args) -> Vec<JobSpec> {
+    let specs = profile_matrix(args.profile);
+    match &args.workloads {
+        None => specs,
+        Some(ws) => specs.into_iter().filter(|s| ws.contains(&s.workload)).collect(),
+    }
 }
 
 /// Writes a divergence snapshot under `results/` with the job key
@@ -221,7 +247,7 @@ fn write_perf_doc(
 /// the first offending job is re-run under both settings and its final
 /// machine+kernel snapshots land in `results/` for `snapreplay`.
 fn run_perf(args: &Args, path: &Path) -> ! {
-    let specs = profile_matrix(args.profile);
+    let specs = selected_matrix(args);
     println!(
         "== xsweep --perf: {} jobs ({} profile) on {} thread{}, block cache on vs off ==\n",
         specs.len(),
@@ -301,7 +327,7 @@ struct WarmCell {
 /// the two reports are byte-identical in-process, and records the
 /// aggregate warm-start speedup in the perf report.
 fn run_warm(args: &Args) -> ! {
-    let specs = profile_matrix(args.profile);
+    let specs = selected_matrix(args);
     println!(
         "== xsweep --warm: {} jobs ({} profile) on {} thread{}, cold + warm-started ==\n",
         specs.len(),
@@ -399,7 +425,7 @@ fn run_warm(args: &Args) -> ! {
 /// (`.timeline.json`). On divergence the first offending job's final
 /// machine+kernel snapshot lands in `results/` for `snapreplay`.
 fn run_prof(args: &Args) -> ! {
-    let specs = profile_matrix(args.profile);
+    let specs = selected_matrix(args);
     println!(
         "== xsweep --prof: {} jobs ({} profile) on {} thread{}, plain vs profiled ==\n",
         specs.len(),
@@ -467,7 +493,7 @@ fn main() {
     if args.prof {
         run_prof(&args);
     }
-    let specs = profile_matrix(args.profile);
+    let specs = selected_matrix(&args);
     println!(
         "== xsweep: {} jobs ({} profile) on {} thread{} ==\n",
         specs.len(),
@@ -476,9 +502,13 @@ fn main() {
         if args.jobs == 1 { "" } else { "s" }
     );
     let t0 = Instant::now();
-    // The library form of this default mode — the same call the
-    // cheri-serve transparency gate compares a served sweep against.
-    let report = run_matrix(args.profile, args.jobs);
+    // Unfiltered runs use the library form of this default mode — the
+    // same call the cheri-serve transparency gate compares a served
+    // sweep against. A --workloads selection runs just its specs.
+    let report = match &args.workloads {
+        None => run_matrix(args.profile, args.jobs),
+        Some(_) => SweepReport::from_results(args.profile.name(), &run_specs(&specs, args.jobs)),
+    };
     let wall = t0.elapsed();
 
     println!("{:<28} {:>14} {:>14} {:>9} {:>9}", "job", "instructions", "cycles", "l1d%", "tag%");
@@ -514,8 +544,16 @@ fn main() {
     if let Some(path) = &args.check {
         let baseline_text = std::fs::read_to_string(path)
             .unwrap_or_else(|e| fail(&format!("cannot read baseline {}: {e}", path.display())));
-        let baseline = SweepReport::from_json(&baseline_text)
+        let mut baseline = SweepReport::from_json(&baseline_text)
             .unwrap_or_else(|e| fail(&format!("bad baseline {}: {e}", path.display())));
+        // Under a --workloads selection, gate only the selected
+        // workloads' jobs: the deselected baseline entries are absent
+        // by request, not structural drift.
+        if let Some(ws) = &args.workloads {
+            baseline
+                .jobs
+                .retain(|j| ws.iter().any(|w| j.key.starts_with(&format!("{}/", w.name()))));
+        }
         let drifts = check_reports(&baseline, &report);
         if drifts.is_empty() {
             println!(

@@ -26,10 +26,10 @@ pub mod specfuzz;
 pub mod triage;
 
 use cheri_cc::strategy::PtrStrategy;
-use cheri_olden::dsl::DslBench;
 use cheri_olden::OldenParams;
 use cheri_sweep::StrategyKind;
 use cheri_trace::{shared, AnySink, JsonlSink, SharedSink};
+use cheri_work::Workload;
 
 /// Which problem-size preset a harness should use.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -72,11 +72,34 @@ pub fn figure4_strategies() -> Vec<Box<dyn PtrStrategy>> {
     cheri_sweep::FIGURE4_STRATEGIES.iter().map(|k| k.strategy()).collect()
 }
 
-/// Resolves a benchmark by its canonical name (`bisort`, `mst`,
-/// `treeadd`, `perimeter`).
+/// Resolves a workload by its canonical name (`bisort`, `mst`,
+/// `treeadd`, `perimeter`, `vmloop`, `allocstress`).
 #[must_use]
-pub fn parse_bench_name(name: &str) -> Option<DslBench> {
-    DslBench::ALL.into_iter().find(|b| b.name() == name)
+pub fn parse_bench_name(name: &str) -> Option<Workload> {
+    Workload::parse(name)
+}
+
+/// Parses a `--workloads` CSV operand into workloads: canonical names,
+/// comma-separated, order preserved, duplicates collapsed. Unknown
+/// names and an empty list are command-line misuse (exit 2 via the
+/// scanner).
+pub fn parse_workloads_csv(cli: &cli::Cli, csv: &str) -> Vec<Workload> {
+    let mut ws: Vec<Workload> = Vec::new();
+    for name in csv.split(',').map(str::trim).filter(|n| !n.is_empty()) {
+        let w = Workload::parse(name).unwrap_or_else(|| {
+            cli.usage_exit(&format!(
+                "unknown workload '{name}' (known: {})",
+                Workload::ALL.map(Workload::name).join(", ")
+            ))
+        });
+        if !ws.contains(&w) {
+            ws.push(w);
+        }
+    }
+    if ws.is_empty() {
+        cli.usage_exit("--workloads requires a comma-separated list of workload names");
+    }
+    ws
 }
 
 /// Resolves a pointer strategy by name, accepting the common aliases

@@ -43,15 +43,15 @@ impl StudyResult {
             let _ = writeln!(out, "\n== Figure 3: {title} — overhead [%] ==");
             let _ = write!(out, "{:<14}", "model");
             for b in &self.benchmarks {
-                let _ = write!(out, "{b:>11}");
+                let _ = write!(out, "{b:>12}");
             }
-            let _ = writeln!(out, "{:>11}", "mean");
+            let _ = writeln!(out, "{:>12}", "mean");
             for (mi, model) in self.models.iter().enumerate() {
                 let _ = write!(out, "{model:<14}");
                 for bi in 0..self.benchmarks.len() {
-                    let _ = write!(out, "{:>10.1}%", get(&self.per_bench[mi][bi]));
+                    let _ = write!(out, "{:>11.1}%", get(&self.per_bench[mi][bi]));
                 }
-                let _ = writeln!(out, "{:>10.1}%", get(&self.mean[mi]));
+                let _ = writeln!(out, "{:>11.1}%", get(&self.mean[mi]));
             }
         }
         out

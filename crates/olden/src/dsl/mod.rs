@@ -166,8 +166,23 @@ pub fn compile_bench_with_symbols(
     params: &OldenParams,
     strategy: &dyn PtrStrategy,
 ) -> Result<(Program, cheri_prof::SymbolTable), CompileError> {
+    compile_module_with_symbols(&bench.module(params), strategy)
+}
+
+/// Compiles an arbitrary IR module under `strategy` and converts its
+/// symbol table to the profiler's form — the workload-agnostic core of
+/// [`compile_bench_with_symbols`], shared with the `cheri-work`
+/// workloads.
+///
+/// # Errors
+///
+/// Propagates [`CompileError`].
+pub fn compile_module_with_symbols(
+    module: &Module,
+    strategy: &dyn PtrStrategy,
+) -> Result<(Program, cheri_prof::SymbolTable), CompileError> {
     let (program, syms) = cheri_cc::compile_with_symbols(
-        &bench.module(params),
+        module,
         strategy,
         cheri_cc::codegen::CompileOpts::default(),
     )?;
@@ -248,7 +263,40 @@ impl BenchSession {
         machine: MachineConfig,
         sink: Option<cheri_trace::SharedSink>,
     ) -> Result<BenchSession, Box<dyn std::error::Error>> {
-        BenchSession::start_inner(bench, params, strategy, machine, sink, false)
+        BenchSession::start_inner(&bench.module(params), strategy, machine, sink, false)
+    }
+
+    /// [`BenchSession::start`] for an arbitrary IR module: the session
+    /// neither knows nor cares which workload built the module, so any
+    /// guest program with the Phase/Print conventions (the `cheri-work`
+    /// workloads) runs, snapshots, and resumes exactly like the Olden
+    /// four.
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchSession::start`].
+    pub fn start_module(
+        module: &Module,
+        strategy: &dyn PtrStrategy,
+        machine: MachineConfig,
+        sink: Option<cheri_trace::SharedSink>,
+    ) -> Result<BenchSession, Box<dyn std::error::Error>> {
+        BenchSession::start_inner(module, strategy, machine, sink, false)
+    }
+
+    /// [`BenchSession::start_module`] with the symbolized profiler
+    /// attached (the module analogue of [`BenchSession::start_profiled`]).
+    ///
+    /// # Errors
+    ///
+    /// As [`BenchSession::start`].
+    pub fn start_module_profiled(
+        module: &Module,
+        strategy: &dyn PtrStrategy,
+        machine: MachineConfig,
+        sink: Option<cheri_trace::SharedSink>,
+    ) -> Result<BenchSession, Box<dyn std::error::Error>> {
+        BenchSession::start_inner(module, strategy, machine, sink, true)
     }
 
     /// [`BenchSession::start`] with a [`cheri_prof::Profiler`] attached
@@ -268,18 +316,17 @@ impl BenchSession {
         machine: MachineConfig,
         sink: Option<cheri_trace::SharedSink>,
     ) -> Result<BenchSession, Box<dyn std::error::Error>> {
-        BenchSession::start_inner(bench, params, strategy, machine, sink, true)
+        BenchSession::start_inner(&bench.module(params), strategy, machine, sink, true)
     }
 
     fn start_inner(
-        bench: DslBench,
-        params: &OldenParams,
+        module: &Module,
         strategy: &dyn PtrStrategy,
         machine: MachineConfig,
         sink: Option<cheri_trace::SharedSink>,
         profiled: bool,
     ) -> Result<BenchSession, Box<dyn std::error::Error>> {
-        let (program, symbols) = compile_bench_with_symbols(bench, params, strategy)?;
+        let (program, symbols) = compile_module_with_symbols(module, strategy)?;
         let user_top = (machine.mem_bytes as u64).max(16 << 20) + (16 << 20);
         let layout = cheri_os::ProcessLayout {
             stack_top: user_top - 4096,

@@ -1,6 +1,14 @@
 //! Benchmark problem sizes.
 
-/// Problem sizes for the Olden workloads.
+use cheri_trace::json::{self, JsonWriter};
+
+/// Problem sizes for the guest workloads: the four Olden kernels, the
+/// native-only limit-study workloads, and the `cheri-work` runtime
+/// workloads (`vmloop`, `allocstress`).
+///
+/// The name is historical — the struct predates the non-Olden
+/// workloads and every surface (sweep matrix, serve protocol, reports)
+/// already spells it this way.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
 pub struct OldenParams {
     /// `treeadd` tree depth (paper: `treeadd 21 1 0`).
@@ -27,6 +35,73 @@ pub struct OldenParams {
     pub health_steps: u32,
     /// `power` feeders (native only).
     pub power_feeders: u32,
+    /// `vmloop`: repetitions of the bytecode-program suite.
+    pub vm_iters: u32,
+    /// `vmloop`: the iterative-fibonacci program's argument.
+    pub vm_fib: u32,
+    /// `vmloop`: elements bubble-sorted by the sort program.
+    pub vm_sort: u32,
+    /// `vmloop`: bytes hashed by the string-hash program.
+    pub vm_hash: u32,
+    /// `allocstress`: arena capacity in slots.
+    pub alloc_slots: u32,
+    /// `allocstress`: churn operations (alloc/free/scan mix).
+    pub alloc_ops: u32,
+    /// `allocstress`: width of the live-object root table.
+    pub alloc_roots: u32,
+}
+
+/// A named accessor for one parameter field.
+pub type ParamField = (&'static str, fn(&OldenParams) -> u32);
+
+/// The canonical field order of [`OldenParams::canonical_json`]: every
+/// field, paired with its accessor. One list drives serialization,
+/// parsing, and the exhaustiveness tests, so a new parameter cannot be
+/// added to the struct without joining the canonical form.
+pub const PARAM_FIELDS: [ParamField; 18] = [
+    ("treeadd_depth", |p| p.treeadd_depth),
+    ("bisort_log2", |p| p.bisort_log2),
+    ("perimeter_levels", |p| p.perimeter_levels),
+    ("mst_vertices", |p| p.mst_vertices),
+    ("mst_degree", |p| p.mst_degree),
+    ("em3d_nodes", |p| p.em3d_nodes),
+    ("em3d_degree", |p| p.em3d_degree),
+    ("em3d_iters", |p| p.em3d_iters),
+    ("health_levels", |p| p.health_levels),
+    ("health_steps", |p| p.health_steps),
+    ("power_feeders", |p| p.power_feeders),
+    ("vm_iters", |p| p.vm_iters),
+    ("vm_fib", |p| p.vm_fib),
+    ("vm_sort", |p| p.vm_sort),
+    ("vm_hash", |p| p.vm_hash),
+    ("alloc_slots", |p| p.alloc_slots),
+    ("alloc_ops", |p| p.alloc_ops),
+    ("alloc_roots", |p| p.alloc_roots),
+];
+
+fn set_field(p: &mut OldenParams, name: &str, v: u32) -> bool {
+    match name {
+        "treeadd_depth" => p.treeadd_depth = v,
+        "bisort_log2" => p.bisort_log2 = v,
+        "perimeter_levels" => p.perimeter_levels = v,
+        "mst_vertices" => p.mst_vertices = v,
+        "mst_degree" => p.mst_degree = v,
+        "em3d_nodes" => p.em3d_nodes = v,
+        "em3d_degree" => p.em3d_degree = v,
+        "em3d_iters" => p.em3d_iters = v,
+        "health_levels" => p.health_levels = v,
+        "health_steps" => p.health_steps = v,
+        "power_feeders" => p.power_feeders = v,
+        "vm_iters" => p.vm_iters = v,
+        "vm_fib" => p.vm_fib = v,
+        "vm_sort" => p.vm_sort = v,
+        "vm_hash" => p.vm_hash = v,
+        "alloc_slots" => p.alloc_slots = v,
+        "alloc_ops" => p.alloc_ops = v,
+        "alloc_roots" => p.alloc_roots = v,
+        _ => return false,
+    }
+    true
 }
 
 impl OldenParams {
@@ -46,6 +121,13 @@ impl OldenParams {
             health_levels: 5,
             health_steps: 60,
             power_feeders: 16,
+            vm_iters: 8,
+            vm_fib: 64,
+            vm_sort: 96,
+            vm_hash: 2048,
+            alloc_slots: 1024,
+            alloc_ops: 60_000,
+            alloc_roots: 64,
         }
     }
 
@@ -65,6 +147,13 @@ impl OldenParams {
             health_levels: 3,
             health_steps: 12,
             power_feeders: 4,
+            vm_iters: 2,
+            vm_fib: 24,
+            vm_sort: 16,
+            vm_hash: 96,
+            alloc_slots: 192,
+            alloc_ops: 1500,
+            alloc_roots: 16,
         }
     }
 
@@ -86,6 +175,13 @@ impl OldenParams {
             health_levels: 4,
             health_steps: 30,
             power_feeders: 8,
+            vm_iters: 4,
+            vm_fib: 48,
+            vm_sort: 48,
+            vm_hash: 768,
+            alloc_slots: 512,
+            alloc_ops: 12_000,
+            alloc_roots: 32,
         }
     }
 
@@ -95,6 +191,53 @@ impl OldenParams {
     pub fn with_treeadd_depth(mut self, depth: u32) -> OldenParams {
         self.treeadd_depth = depth;
         self
+    }
+
+    /// The canonical JSON serialization: every field, in the fixed
+    /// [`PARAM_FIELDS`] order, integers only. This is the `params`
+    /// object embedded in `JobSpec::canonical_json` (and therefore half
+    /// of the `cheri-serve` cache key), so two parameter sets are equal
+    /// iff their canonical forms are byte-equal.
+    #[must_use]
+    pub fn canonical_json(&self) -> String {
+        let mut w = JsonWriter::object();
+        for (name, get) in PARAM_FIELDS {
+            w.u64_field(name, u64::from(get(self)));
+        }
+        w.close()
+    }
+
+    /// Parses the canonical form back. Strict on the field set: every
+    /// field of [`PARAM_FIELDS`] must be present, and any field this
+    /// version does not know is rejected by name — a params object from
+    /// a newer (or corrupted) writer must not silently drop sizes.
+    ///
+    /// # Errors
+    ///
+    /// Describes the malformed / missing / unknown field.
+    pub fn from_canonical_json(text: &str) -> Result<OldenParams, String> {
+        let doc = json::parse(text).map_err(|e| format!("params: {e}"))?;
+        let obj = doc.as_obj().ok_or("params: not a JSON object")?;
+        let mut p = OldenParams::scaled();
+        let mut seen = 0usize;
+        for (name, value) in obj {
+            let v = value
+                .as_u64()
+                .and_then(|v| u32::try_from(v).ok())
+                .ok_or_else(|| format!("params: field '{name}' is not a u32"))?;
+            if !set_field(&mut p, name, v) {
+                return Err(format!("params: unknown field '{name}'"));
+            }
+            seen += 1;
+        }
+        if seen != PARAM_FIELDS.len() {
+            for (name, _) in PARAM_FIELDS {
+                if obj.get(name).is_none() {
+                    return Err(format!("params: missing field '{name}'"));
+                }
+            }
+        }
+        Ok(p)
     }
 }
 
@@ -127,11 +270,100 @@ mod tests {
         assert!(s.bisort_log2 < p.bisort_log2);
         assert!(s.perimeter_levels < p.perimeter_levels);
         assert!(s.mst_vertices < p.mst_vertices);
+        assert!(s.vm_iters < p.vm_iters);
+        assert!(s.vm_sort < p.vm_sort);
+        assert!(s.alloc_ops < p.alloc_ops);
     }
 
     #[test]
     fn builder_overrides_depth() {
         let p = OldenParams::scaled().with_treeadd_depth(16);
         assert_eq!(p.treeadd_depth, 16);
+    }
+
+    /// A params value with every field set to a distinct number, so a
+    /// codec bug that swaps or drops any one field is caught.
+    fn distinct_params() -> OldenParams {
+        let mut p = OldenParams::scaled();
+        for (i, (name, _)) in PARAM_FIELDS.iter().enumerate() {
+            assert!(set_field(&mut p, name, 1000 + i as u32), "setter for {name}");
+        }
+        p
+    }
+
+    #[test]
+    fn canonical_json_serializes_every_field_in_order() {
+        let p = distinct_params();
+        let text = p.canonical_json();
+        let mut at = 0usize;
+        for (i, (name, _)) in PARAM_FIELDS.iter().enumerate() {
+            let needle = format!("\"{name}\":{}", 1000 + i);
+            let pos = text[at..].find(&needle).unwrap_or_else(|| {
+                panic!("canonical form must contain {needle:?} after byte {at}: {text}")
+            });
+            at += pos + needle.len();
+        }
+    }
+
+    #[test]
+    fn canonical_json_round_trips_every_field() {
+        let p = distinct_params();
+        let back = OldenParams::from_canonical_json(&p.canonical_json()).unwrap();
+        assert_eq!(back, p);
+        // Idempotent: re-serializing the parse is byte-identical, so the
+        // canonical form is a fixed point (the cache-key property).
+        assert_eq!(back.canonical_json(), p.canonical_json());
+    }
+
+    #[test]
+    fn presets_round_trip() {
+        for p in [OldenParams::scaled(), OldenParams::medium(), OldenParams::paper()] {
+            assert_eq!(OldenParams::from_canonical_json(&p.canonical_json()).unwrap(), p);
+        }
+    }
+
+    #[test]
+    fn unknown_field_is_rejected_by_name() {
+        let text =
+            OldenParams::scaled().canonical_json().replacen("treeadd_depth", "tree_depth", 1);
+        let err = OldenParams::from_canonical_json(&text).unwrap_err();
+        assert!(err.contains("unknown field 'tree_depth'"), "{err}");
+    }
+
+    #[test]
+    fn missing_field_is_rejected_by_name() {
+        let p = OldenParams::scaled();
+        let text = p.canonical_json();
+        let needle = format!(",\"alloc_roots\":{}", p.alloc_roots);
+        let text = text.replace(&needle, "");
+        let err = OldenParams::from_canonical_json(&text).unwrap_err();
+        assert!(err.contains("missing field 'alloc_roots'"), "{err}");
+    }
+
+    #[test]
+    fn non_integer_value_is_rejected_by_name() {
+        let p = OldenParams::scaled();
+        let text = p.canonical_json().replacen(
+            &format!("\"vm_fib\":{}", p.vm_fib),
+            "\"vm_fib\":\"ten\"",
+            1,
+        );
+        let err = OldenParams::from_canonical_json(&text).unwrap_err();
+        assert!(err.contains("field 'vm_fib' is not a u32"), "{err}");
+    }
+
+    #[test]
+    fn non_object_is_rejected() {
+        assert!(OldenParams::from_canonical_json("[1,2]").unwrap_err().contains("not a JSON"));
+    }
+
+    #[test]
+    fn allocstress_presets_keep_the_arena_deeper_than_the_live_set() {
+        // The root table can pin at most `roots × 8` slots (chain depth
+        // is capped at 8 in the workload); the arena must exceed that
+        // or the guest allocator runs dry mid-churn.
+        for p in [OldenParams::scaled(), OldenParams::medium(), OldenParams::paper()] {
+            assert!(p.alloc_slots > p.alloc_roots * 8, "{p:?}");
+        }
     }
 }

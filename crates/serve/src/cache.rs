@@ -136,9 +136,9 @@ impl ResultCache {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cheri_olden::dsl::DslBench;
     use cheri_olden::OldenParams;
     use cheri_sweep::StrategyKind;
+    use cheri_work::Workload;
     use std::collections::BTreeMap;
 
     fn record(key: &str) -> JobRecord {
@@ -175,12 +175,23 @@ mod tests {
 
     #[test]
     fn key_separates_config_from_snapshot() {
-        let spec = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, OldenParams::scaled());
+        let spec = JobSpec::new(Workload::Treeadd, StrategyKind::Cheri256, OldenParams::scaled());
         let k1 = cache_key(&spec, NO_SNAPSHOT);
         let k2 = cache_key(&spec, StateHash(1));
         assert_ne!(k1, k2, "snapshot hash must contribute to the key");
-        let other = JobSpec::new(DslBench::Mst, StrategyKind::Cheri256, OldenParams::scaled());
+        let other = JobSpec::new(Workload::Mst, StrategyKind::Cheri256, OldenParams::scaled());
         assert_ne!(cache_key(&other, NO_SNAPSHOT), k1, "config must contribute to the key");
         assert_eq!(cache_key(&spec, NO_SNAPSHOT), k1, "key must be stable");
+        // Every workload (including the runtime-system pair) keys to a
+        // distinct entry at the same strategy/params.
+        let keys: Vec<u64> = Workload::ALL
+            .into_iter()
+            .map(|w| {
+                let s = JobSpec::new(w, StrategyKind::Cheri256, OldenParams::scaled());
+                cache_key(&s, NO_SNAPSHOT)
+            })
+            .collect();
+        let unique: std::collections::BTreeSet<u64> = keys.iter().copied().collect();
+        assert_eq!(unique.len(), keys.len(), "workloads must not collide in the cache");
     }
 }

@@ -88,14 +88,10 @@ impl SnapshotPool {
 /// Compile/OS errors rendered as strings, as in the sweep runners.
 pub fn boot_snapshot(spec: &JobSpec) -> Result<Option<Snapshot>, String> {
     let strategy = spec.strategy.strategy();
-    let mut session = BenchSession::start(
-        spec.workload,
-        &spec.params,
-        strategy.as_ref(),
-        spec.machine_config(),
-        None,
-    )
-    .map_err(|e| e.to_string())?;
+    let module = spec.workload.module(&spec.params);
+    let mut session =
+        BenchSession::start_module(&module, strategy.as_ref(), spec.machine_config(), None)
+            .map_err(|e| e.to_string())?;
     match session.run_until_phase(WARM_SNAPSHOT_PHASE).map_err(|e| e.to_string())? {
         Some(_) => Ok(None),
         None => Ok(Some(session.snapshot())),
@@ -105,13 +101,13 @@ pub fn boot_snapshot(spec: &JobSpec) -> Result<Option<Snapshot>, String> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use cheri_olden::dsl::DslBench;
     use cheri_olden::OldenParams;
     use cheri_sweep::StrategyKind;
+    use cheri_work::Workload;
 
     #[test]
     fn pool_insert_is_first_writer_wins() {
-        let spec = JobSpec::new(DslBench::Treeadd, StrategyKind::Mips, OldenParams::scaled());
+        let spec = JobSpec::new(Workload::Treeadd, StrategyKind::Mips, OldenParams::scaled());
         let snap = boot_snapshot(&spec).unwrap().expect("treeadd reaches phase 2");
         let pool = SnapshotPool::new();
         let canon = spec.canonical_json();

@@ -65,7 +65,8 @@ impl Origin {
 /// A job cell named by its command-line parts, as carried on the wire.
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub struct JobParts {
-    /// Workload name (`treeadd`, `bisort`, `mst`, `perimeter`).
+    /// Workload name (`treeadd`, `bisort`, `mst`, `perimeter`,
+    /// `vmloop`, `allocstress`).
     pub workload: String,
     /// Strategy name, aliases accepted (`cheri`, `c128`, ...).
     pub strategy: String,

@@ -70,6 +70,37 @@ fn single_job_record_matches_its_report_line() {
     handle.join().unwrap().unwrap();
 }
 
+/// The `cheri-work` runtime workloads served one job at a time over the
+/// socket must reproduce their batch report lines byte-for-byte, and a
+/// repeat of the same cell must come back from the result cache
+/// unchanged — the transparency contract extends to the new workloads,
+/// not just the Olden four.
+#[test]
+fn served_new_workload_jobs_match_batch_lines() {
+    let (addr, handle) = spawn_server(ServerConfig { workers: 2, ..ServerConfig::default() });
+    let mut client = Client::connect(&addr).unwrap();
+
+    let batch = run_matrix(Profile::Smoke, 2);
+    for (workload, strategy) in [("vmloop", "cheri128"), ("allocstress", "mips")] {
+        let parts = cheri_serve::JobParts {
+            workload: workload.into(),
+            strategy: strategy.into(),
+            tag_kb: 8,
+            profile: Profile::Smoke,
+        };
+        let (key, _origin, record) = client.job(parts.clone(), true).unwrap();
+        let expected = batch.job(&key).unwrap_or_else(|| panic!("{key} in the smoke matrix"));
+        assert_eq!(record, expected.to_json(), "{key}: served record must equal the batch line");
+
+        let (_, origin, repeat) = client.job(parts, true).unwrap();
+        assert_eq!(origin, Origin::Cached, "{key}: repeat must be answered from the cache");
+        assert_eq!(repeat, record, "{key}: cached record must not change a byte");
+    }
+
+    client.shutdown().unwrap();
+    handle.join().unwrap().unwrap();
+}
+
 /// The in-process gate the `--selfcheck` flag and `verify: true` sweeps
 /// run: served (cache + warm pool) vs cold batch, byte-compared.
 #[test]

@@ -8,9 +8,10 @@
 
 use beri_sim::MachineConfig;
 use cheri_cc::strategy::{CapPtr, LegacyPtr, PtrStrategy, SoftFatPtr};
-use cheri_olden::dsl::{machine_config, run_bench_with_sink, BenchRun, BenchSession, DslBench};
+use cheri_olden::dsl::{BenchRun, BenchSession};
 use cheri_olden::OldenParams;
 use cheri_trace::{marker, SharedSink};
+use cheri_work::{machine_config, Workload};
 
 use crate::engine;
 
@@ -119,30 +120,21 @@ pub const ELISION_STRATEGIES: [StrategyKind; 3] =
 /// The §4.2 tag-cache size ablation axis, in KB (0 = no tag cache).
 pub const TAG_ABLATION_KB: [usize; 7] = [0, 1, 2, 4, 8, 16, 64];
 
-/// Figure 5's sweep points for one benchmark: the parameter values
-/// whose *baseline* heaps span roughly 4 KB .. 1024 KB.
+/// Figure 5's sweep points for one workload: the parameter values
+/// whose *baseline* heaps span roughly 4 KB .. 1024 KB. The points live
+/// in the workload registry ([`cheri_work::WorkloadInfo::sweep_points`]);
+/// this re-export keeps the historical call-site spelling.
 #[must_use]
-pub fn heapsize_sweep(bench: DslBench) -> Vec<(u32, OldenParams)> {
-    let base = OldenParams::scaled();
-    match bench {
-        DslBench::Treeadd => (8..=16).map(|d| (d, base.with_treeadd_depth(d))).collect(),
-        DslBench::Bisort => (7..=14).map(|d| (d, OldenParams { bisort_log2: d, ..base })).collect(),
-        DslBench::Perimeter => {
-            (7..=12).map(|d| (d, OldenParams { perimeter_levels: d, ..base })).collect()
-        }
-        DslBench::Mst => [16u32, 32, 64, 128, 256, 512, 1024]
-            .iter()
-            .map(|&n| (n, OldenParams { mst_vertices: n, ..base }))
-            .collect(),
-    }
+pub fn heapsize_sweep(workload: Workload) -> Vec<(u32, OldenParams)> {
+    workload.sweep_points()
 }
 
 /// One fully specified experiment: a workload at a problem size, a
 /// pointer strategy, and a machine tag-cache configuration.
 #[derive(Clone, Copy, Debug)]
 pub struct JobSpec {
-    /// The Olden workload.
-    pub workload: DslBench,
+    /// The guest workload (Olden kernel or runtime-system workload).
+    pub workload: Workload,
     /// The pointer strategy (includes the capability width).
     pub strategy: StrategyKind,
     /// Tag-cache capacity in KB (0 = none).
@@ -157,7 +149,7 @@ pub struct JobSpec {
 impl JobSpec {
     /// A spec at the default tag-cache size with no variant label.
     #[must_use]
-    pub fn new(workload: DslBench, strategy: StrategyKind, params: OldenParams) -> JobSpec {
+    pub fn new(workload: Workload, strategy: StrategyKind, params: OldenParams) -> JobSpec {
         JobSpec { workload, strategy, tag_cache_kb: DEFAULT_TAG_CACHE_KB, params, variant: None }
     }
 
@@ -173,7 +165,7 @@ impl JobSpec {
         tag_cache_kb: usize,
         params: OldenParams,
     ) -> Option<JobSpec> {
-        let workload = DslBench::ALL.into_iter().find(|b| b.name() == workload)?;
+        let workload = Workload::parse(workload)?;
         let strategy = StrategyKind::parse(strategy)?;
         Some(JobSpec { workload, strategy, tag_cache_kb, params, variant: None })
     }
@@ -189,7 +181,6 @@ impl JobSpec {
     #[must_use]
     pub fn canonical_json(&self) -> String {
         use cheri_trace::json::JsonWriter;
-        let p = &self.params;
         let mut w = JsonWriter::object();
         w.str_field("workload", self.workload.name());
         w.str_field("strategy", self.strategy.name());
@@ -198,19 +189,7 @@ impl JobSpec {
             Some(v) => w.u64_field("variant", u64::from(v)),
             None => w.raw_field("variant", "null"),
         }
-        let mut pw = JsonWriter::object();
-        pw.u64_field("treeadd_depth", u64::from(p.treeadd_depth));
-        pw.u64_field("bisort_log2", u64::from(p.bisort_log2));
-        pw.u64_field("perimeter_levels", u64::from(p.perimeter_levels));
-        pw.u64_field("mst_vertices", u64::from(p.mst_vertices));
-        pw.u64_field("mst_degree", u64::from(p.mst_degree));
-        pw.u64_field("em3d_nodes", u64::from(p.em3d_nodes));
-        pw.u64_field("em3d_degree", u64::from(p.em3d_degree));
-        pw.u64_field("em3d_iters", u64::from(p.em3d_iters));
-        pw.u64_field("health_levels", u64::from(p.health_levels));
-        pw.u64_field("health_steps", u64::from(p.health_steps));
-        pw.u64_field("power_feeders", u64::from(p.power_feeders));
-        w.raw_field("params", &pw.close());
+        w.raw_field("params", &self.params.canonical_json());
         w.close()
     }
 
@@ -286,8 +265,10 @@ pub fn run_spec_with_config(
         marker(&sink, &format!("run start: {}", spec.marker_label()));
     }
     let strategy = spec.strategy.strategy();
-    let run = run_bench_with_sink(spec.workload, &spec.params, strategy.as_ref(), cfg, sink)
+    let module = spec.workload.module(&spec.params);
+    let mut session = BenchSession::start_module(&module, strategy.as_ref(), cfg, sink)
         .map_err(|e| e.to_string())?;
+    let run = session.run_to_completion().map_err(|e| e.to_string())?;
     Ok(JobResult { spec: *spec, run })
 }
 
@@ -310,9 +291,9 @@ pub fn run_spec_split(
     cfg: MachineConfig,
 ) -> Result<(JobResult, Option<cheri_snap::Snapshot>), String> {
     let strategy = spec.strategy.strategy();
-    let mut session =
-        BenchSession::start(spec.workload, &spec.params, strategy.as_ref(), cfg, None)
-            .map_err(|e| e.to_string())?;
+    let module = spec.workload.module(&spec.params);
+    let mut session = BenchSession::start_module(&module, strategy.as_ref(), cfg, None)
+        .map_err(|e| e.to_string())?;
     match session.run_until_phase(WARM_SNAPSHOT_PHASE).map_err(|e| e.to_string())? {
         Some(run) => Ok((JobResult { spec: *spec, run }, None)),
         None => {
@@ -353,9 +334,9 @@ pub fn run_spec_final_snap(
     cfg: MachineConfig,
 ) -> Result<(JobResult, cheri_snap::Snapshot), String> {
     let strategy = spec.strategy.strategy();
-    let mut session =
-        BenchSession::start(spec.workload, &spec.params, strategy.as_ref(), cfg, None)
-            .map_err(|e| e.to_string())?;
+    let module = spec.workload.module(&spec.params);
+    let mut session = BenchSession::start_module(&module, strategy.as_ref(), cfg, None)
+        .map_err(|e| e.to_string())?;
     let run = session.run_to_completion().map_err(|e| e.to_string())?;
     let snap = session.snapshot();
     Ok((JobResult { spec: *spec, run }, snap))
@@ -409,9 +390,9 @@ pub fn run_spec_profiled(
     cfg: MachineConfig,
 ) -> Result<(JobResult, cheri_prof::ProfileReport), String> {
     let strategy = spec.strategy.strategy();
-    let mut session =
-        BenchSession::start_profiled(spec.workload, &spec.params, strategy.as_ref(), cfg, None)
-            .map_err(|e| e.to_string())?;
+    let module = spec.workload.module(&spec.params);
+    let mut session = BenchSession::start_module_profiled(&module, strategy.as_ref(), cfg, None)
+        .map_err(|e| e.to_string())?;
     let run = session.run_to_completion().map_err(|e| e.to_string())?;
     let profile = session.take_profile().ok_or("profiled session lost its profiler")?;
     Ok((JobResult { spec: *spec, run }, profile))
@@ -517,7 +498,7 @@ impl Profile {
 pub fn profile_matrix(profile: Profile) -> Vec<JobSpec> {
     let params = profile.params();
     let mut specs = Vec::new();
-    for workload in DslBench::ALL {
+    for workload in Workload::ALL {
         for strategy in StrategyKind::ALL {
             let tag_axis: &[usize] = if strategy.is_capability() {
                 profile.tag_cache_axis()
@@ -550,17 +531,20 @@ mod tests {
     #[test]
     fn smoke_matrix_shape() {
         let specs = profile_matrix(Profile::Smoke);
-        // 4 workloads × (3 non-cap + 2 cap × 1 tag size).
-        assert_eq!(specs.len(), 20);
+        // 6 workloads × (3 non-cap + 2 cap × 1 tag size).
+        assert_eq!(specs.len(), 30);
         let keys: BTreeSet<String> = specs.iter().map(JobSpec::key).collect();
         assert_eq!(keys.len(), specs.len(), "job keys must be unique");
+        for w in ["vmloop", "allocstress"] {
+            assert!(keys.iter().any(|k| k.starts_with(w)), "{w} missing from the matrix");
+        }
     }
 
     #[test]
     fn full_matrix_shape() {
         let specs = profile_matrix(Profile::Full);
-        // 4 workloads × (3 non-cap + 2 cap × 3 tag sizes).
-        assert_eq!(specs.len(), 36);
+        // 6 workloads × (3 non-cap + 2 cap × 3 tag sizes).
+        assert_eq!(specs.len(), 54);
         assert!(specs.iter().any(|s| s.tag_cache_kb == 4 && s.strategy.is_capability()));
         assert!(!specs.iter().any(|s| s.tag_cache_kb != 8 && !s.strategy.is_capability()));
     }
@@ -568,7 +552,7 @@ mod tests {
     #[test]
     fn spec_key_and_marker_format() {
         let mut spec =
-            JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, OldenParams::scaled());
+            JobSpec::new(Workload::Treeadd, StrategyKind::Cheri256, OldenParams::scaled());
         assert_eq!(spec.key(), "treeadd/cheri/tag8");
         assert_eq!(spec.marker_label(), "treeadd/cheri");
         spec.variant = Some(12);
@@ -584,6 +568,11 @@ mod tests {
         // Aliases resolve to the same spec as canonical names.
         let alias = JobSpec::from_parts("treeadd", "c256", 8, p).unwrap();
         assert_eq!(alias.canonical_json(), spec.canonical_json());
+        // The runtime-system workloads are first-class citizens.
+        let vm = JobSpec::from_parts("vmloop", "cheri128", 8, p).unwrap();
+        assert_eq!(vm.key(), "vmloop/cheri128/tag8");
+        let al = JobSpec::from_parts("allocstress", "mips", 8, p).unwrap();
+        assert_eq!(al.key(), "allocstress/mips/tag8");
         assert!(JobSpec::from_parts("nosuch", "cheri", 8, p).is_none());
         assert!(JobSpec::from_parts("treeadd", "nosuch", 8, p).is_none());
     }
@@ -591,33 +580,39 @@ mod tests {
     #[test]
     fn canonical_json_covers_every_field() {
         let p = OldenParams::scaled();
-        let base = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, p);
+        let base = JobSpec::new(Workload::Treeadd, StrategyKind::Cheri256, p);
         let canon = base.canonical_json();
         // Stable under re-serialization.
         assert_eq!(base.canonical_json(), canon);
         // Every single-field change shows up.
         let variants = [
-            JobSpec { workload: DslBench::Mst, ..base },
+            JobSpec { workload: Workload::Mst, ..base },
+            JobSpec { workload: Workload::Vmloop, ..base },
             JobSpec { strategy: StrategyKind::Cheri128, ..base },
             JobSpec { tag_cache_kb: 16, ..base },
             JobSpec { variant: Some(3), ..base },
             JobSpec { params: OldenParams { treeadd_depth: p.treeadd_depth + 1, ..p }, ..base },
+            JobSpec { params: OldenParams { vm_sort: p.vm_sort + 1, ..p }, ..base },
+            JobSpec { params: OldenParams { alloc_slots: p.alloc_slots + 1, ..p }, ..base },
         ];
         for v in variants {
             assert_ne!(v.canonical_json(), canon, "{v:?} must change the canonical form");
         }
+        // The embedded params object is exactly the params codec's
+        // canonical form, so the two cannot drift.
+        assert!(canon.contains(&p.canonical_json()));
     }
 
     #[test]
     fn machine_config_follows_strategy() {
         use beri_sim::machine::CapFormat;
         let p = OldenParams::scaled();
-        let c128 = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri128, p).machine_config();
+        let c128 = JobSpec::new(Workload::Treeadd, StrategyKind::Cheri128, p).machine_config();
         assert_eq!(c128.cap_format, CapFormat::C128);
-        let c256 = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, p).machine_config();
+        let c256 = JobSpec::new(Workload::Treeadd, StrategyKind::Cheri256, p).machine_config();
         assert_eq!(c256.cap_format, CapFormat::C256);
         let spec =
-            JobSpec { tag_cache_kb: 64, ..JobSpec::new(DslBench::Mst, StrategyKind::Cheri256, p) };
+            JobSpec { tag_cache_kb: 64, ..JobSpec::new(Workload::Mst, StrategyKind::Cheri256, p) };
         assert_eq!(spec.machine_config().tag_cache_bytes, 64 * 1024);
     }
 
@@ -629,10 +624,10 @@ mod tests {
     }
 
     #[test]
-    fn heapsize_sweep_covers_all_benches() {
-        for bench in DslBench::ALL {
-            let points = heapsize_sweep(bench);
-            assert!(points.len() >= 6, "{}: too few sweep points", bench.name());
+    fn heapsize_sweep_covers_all_workloads() {
+        for workload in Workload::ALL {
+            let points = heapsize_sweep(workload);
+            assert!(points.len() >= 6, "{}: too few sweep points", workload.name());
         }
     }
 }

@@ -5,21 +5,23 @@
 //! retired instruction, and the timeline JSON must parse with
 //! monotonically ordered span timestamps.
 
-use cheri_olden::dsl::DslBench;
 use cheri_olden::OldenParams;
 use cheri_sweep::{
     run_spec_profiled, run_spec_with_config, JobRecord, JobSpec, StrategyKind, SweepReport,
 };
 use cheri_trace::json::{self, Json};
 use cheri_trace::names;
+use cheri_work::Workload;
 
 fn specs() -> Vec<JobSpec> {
     let params = OldenParams::scaled();
     vec![
-        JobSpec::new(DslBench::Treeadd, StrategyKind::Mips, params),
-        JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, params),
-        JobSpec::new(DslBench::Mst, StrategyKind::Cheri128, params),
-        JobSpec::new(DslBench::Perimeter, StrategyKind::Ccured, params),
+        JobSpec::new(Workload::Treeadd, StrategyKind::Mips, params),
+        JobSpec::new(Workload::Treeadd, StrategyKind::Cheri256, params),
+        JobSpec::new(Workload::Mst, StrategyKind::Cheri128, params),
+        JobSpec::new(Workload::Perimeter, StrategyKind::Ccured, params),
+        JobSpec::new(Workload::Vmloop, StrategyKind::Cheri256, params),
+        JobSpec::new(Workload::Allocstress, StrategyKind::Cheri128, params),
     ]
 }
 

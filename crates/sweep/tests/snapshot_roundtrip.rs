@@ -6,28 +6,30 @@
 //! simulator's block cache on AND off on the resumed side.
 
 use beri_sim::MachineConfig;
-use cheri_olden::dsl::{BenchSession, DslBench};
+use cheri_olden::dsl::BenchSession;
 use cheri_olden::OldenParams;
 use cheri_snap::Snapshot;
 use cheri_sweep::{JobRecord, JobResult, JobSpec, StrategyKind};
+use cheri_work::Workload;
 
 /// Snapshot after `k` retired instructions (through JSON), resume with
 /// `bc_resume`, finish, and compare against the straight-through run.
-fn check_workload(workload: DslBench, k: u64, bc_resume: bool) {
+fn check_workload(workload: Workload, k: u64, bc_resume: bool) {
     let spec = JobSpec::new(workload, StrategyKind::Cheri256, OldenParams::scaled());
     let cfg = MachineConfig { block_cache: true, ..spec.machine_config() };
     let strategy = spec.strategy.strategy();
 
+    let module = workload.module(&spec.params);
+
     // Uninterrupted run.
     let mut straight =
-        BenchSession::start(workload, &spec.params, strategy.as_ref(), cfg.clone(), None).unwrap();
+        BenchSession::start_module(&module, strategy.as_ref(), cfg.clone(), None).unwrap();
     let run = straight.run_to_completion().unwrap();
     let want_record = JobRecord::from_result(&JobResult { spec, run });
     let want_hash = straight.snapshot().state_hash();
 
     // Interrupted at instruction k, snapshot through the JSON codec.
-    let mut first =
-        BenchSession::start(workload, &spec.params, strategy.as_ref(), cfg, None).unwrap();
+    let mut first = BenchSession::start_module(&module, strategy.as_ref(), cfg, None).unwrap();
     assert!(first.run_for(k).unwrap().is_none(), "{}: k={k} must stop mid-run", workload.name());
     let json = first.snapshot().to_json();
     let snap = Snapshot::from_json(&json).unwrap();
@@ -53,26 +55,38 @@ fn check_workload(workload: DslBench, k: u64, bc_resume: bool) {
 
 #[test]
 fn treeadd_roundtrips_with_block_cache_on_and_off() {
-    check_workload(DslBench::Treeadd, 50_000, true);
-    check_workload(DslBench::Treeadd, 50_000, false);
+    check_workload(Workload::Treeadd, 50_000, true);
+    check_workload(Workload::Treeadd, 50_000, false);
 }
 
 #[test]
 fn bisort_roundtrips_with_block_cache_on_and_off() {
-    check_workload(DslBench::Bisort, 50_000, true);
-    check_workload(DslBench::Bisort, 50_000, false);
+    check_workload(Workload::Bisort, 50_000, true);
+    check_workload(Workload::Bisort, 50_000, false);
 }
 
 #[test]
 fn mst_roundtrips_with_block_cache_on_and_off() {
-    check_workload(DslBench::Mst, 50_000, true);
-    check_workload(DslBench::Mst, 50_000, false);
+    check_workload(Workload::Mst, 50_000, true);
+    check_workload(Workload::Mst, 50_000, false);
 }
 
 #[test]
 fn perimeter_roundtrips_with_block_cache_on_and_off() {
-    check_workload(DslBench::Perimeter, 50_000, true);
-    check_workload(DslBench::Perimeter, 50_000, false);
+    check_workload(Workload::Perimeter, 50_000, true);
+    check_workload(Workload::Perimeter, 50_000, false);
+}
+
+#[test]
+fn vmloop_roundtrips_with_block_cache_on_and_off() {
+    check_workload(Workload::Vmloop, 50_000, true);
+    check_workload(Workload::Vmloop, 50_000, false);
+}
+
+#[test]
+fn allocstress_roundtrips_with_block_cache_on_and_off() {
+    check_workload(Workload::Allocstress, 50_000, true);
+    check_workload(Workload::Allocstress, 50_000, false);
 }
 
 /// The warm-start path itself: `run_spec_split` captures a snapshot at
@@ -80,7 +94,7 @@ fn perimeter_roundtrips_with_block_cache_on_and_off() {
 /// byte-identical record.
 #[test]
 fn warm_start_split_and_resume_agree() {
-    let spec = JobSpec::new(DslBench::Treeadd, StrategyKind::Cheri256, OldenParams::scaled());
+    let spec = JobSpec::new(Workload::Treeadd, StrategyKind::Cheri256, OldenParams::scaled());
     let cfg = spec.machine_config();
     let (cold, snap) = cheri_sweep::run_spec_split(&spec, cfg.clone()).unwrap();
     let snap = snap.expect("treeadd reaches phase 2");

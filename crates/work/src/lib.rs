@@ -1,0 +1,240 @@
+//! Runtime-system guest workloads and the workload registry.
+//!
+//! The four Olden kernels chase trees; real language runtimes stress
+//! different pointer paths. This crate adds the two workloads the
+//! bytecode-interpreter and CRuby-porting CHERI papers identify as the
+//! interesting cases — `vmloop` (a guest bytecode VM whose dispatch
+//! loop and VM state live behind pointers) and `allocstress` (a
+//! free-list allocator with slot reuse, so capabilities are constantly
+//! re-derived over recycled memory) — and the [`Workload`] registry
+//! that presents all six workloads to every harness through one table:
+//! the sweep matrix, the figure binaries, the profiler, the snapshot
+//! pool, and `cheri-serve` all iterate [`Workload::ALL`] and index
+//! [`REGISTRY`], so adding a workload is one entry here, not N match
+//! arms scattered across binaries.
+
+pub mod allocstress;
+pub mod native;
+pub mod vmloop;
+
+use beri_sim::machine::CapFormat;
+use beri_sim::MachineConfig;
+use cheri_cc::ir::Module;
+use cheri_cc::strategy::PtrStrategy;
+use cheri_olden::dsl::DslBench;
+use cheri_olden::OldenParams;
+
+/// One guest workload: the four Olden kernels plus the two
+/// runtime-system workloads defined in this crate.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum Workload {
+    /// Bitonic sort over a perfect binary tree (Olden).
+    Bisort,
+    /// Minimum spanning tree with per-vertex hash tables (Olden).
+    Mst,
+    /// Recursive binary-tree summation (Olden).
+    Treeadd,
+    /// Quadtree image perimeter (Olden).
+    Perimeter,
+    /// Guest bytecode VM: dispatch loop + pointer-held VM state.
+    Vmloop,
+    /// Free-list allocator churn with slot reuse and pointer scans.
+    Allocstress,
+}
+
+/// Everything a harness needs to run a workload, looked up by
+/// [`Workload::info`]. One row per workload in [`REGISTRY`].
+pub struct WorkloadInfo {
+    /// The canonical name (report keys, CLI flags, wire protocol).
+    pub name: &'static str,
+    /// Builds the IR module at the given problem size.
+    pub module: fn(&OldenParams) -> Module,
+    /// Rough physical-memory requirement under the strategy.
+    pub mem_needed: fn(&OldenParams, &dyn PtrStrategy) -> usize,
+    /// The Figure-5-style heap-size sweep points: (x-axis label,
+    /// params) pairs whose baseline heaps span small → large.
+    pub sweep_points: fn() -> Vec<(u32, OldenParams)>,
+}
+
+/// The workload table, in canonical report order ([`Workload::ALL`]
+/// indexes it by discriminant).
+pub const REGISTRY: [WorkloadInfo; 6] = [
+    WorkloadInfo {
+        name: "bisort",
+        module: |p| DslBench::Bisort.module(p),
+        mem_needed: |p, s| DslBench::Bisort.mem_needed(p, s),
+        sweep_points: || {
+            let base = OldenParams::scaled();
+            (7..=14).map(|d| (d, OldenParams { bisort_log2: d, ..base })).collect()
+        },
+    },
+    WorkloadInfo {
+        name: "mst",
+        module: |p| DslBench::Mst.module(p),
+        mem_needed: |p, s| DslBench::Mst.mem_needed(p, s),
+        sweep_points: || {
+            let base = OldenParams::scaled();
+            [16u32, 32, 64, 128, 256, 512, 1024]
+                .iter()
+                .map(|&n| (n, OldenParams { mst_vertices: n, ..base }))
+                .collect()
+        },
+    },
+    WorkloadInfo {
+        name: "treeadd",
+        module: |p| DslBench::Treeadd.module(p),
+        mem_needed: |p, s| DslBench::Treeadd.mem_needed(p, s),
+        sweep_points: || {
+            let base = OldenParams::scaled();
+            (8..=16).map(|d| (d, base.with_treeadd_depth(d))).collect()
+        },
+    },
+    WorkloadInfo {
+        name: "perimeter",
+        module: |p| DslBench::Perimeter.module(p),
+        mem_needed: |p, s| DslBench::Perimeter.mem_needed(p, s),
+        sweep_points: || {
+            let base = OldenParams::scaled();
+            (7..=12).map(|d| (d, OldenParams { perimeter_levels: d, ..base })).collect()
+        },
+    },
+    WorkloadInfo {
+        name: "vmloop",
+        module: vmloop::module,
+        mem_needed: vmloop::mem_needed,
+        sweep_points: || {
+            let base = OldenParams::scaled();
+            [16u32, 32, 64, 128, 256, 512]
+                .iter()
+                .map(|&n| (n, OldenParams { vm_sort: n, ..base }))
+                .collect()
+        },
+    },
+    WorkloadInfo {
+        name: "allocstress",
+        module: allocstress::module,
+        mem_needed: allocstress::mem_needed,
+        sweep_points: || {
+            let base = OldenParams::scaled();
+            [128u32, 256, 512, 1024, 2048, 4096]
+                .iter()
+                .map(|&n| (n, OldenParams { alloc_slots: n, alloc_roots: n / 16, ..base }))
+                .collect()
+        },
+    },
+];
+
+impl Workload {
+    /// Every workload, in canonical report order (Olden four first, in
+    /// the paper's Figure 4 order, then the runtime-system pair).
+    pub const ALL: [Workload; 6] = [
+        Workload::Bisort,
+        Workload::Mst,
+        Workload::Treeadd,
+        Workload::Perimeter,
+        Workload::Vmloop,
+        Workload::Allocstress,
+    ];
+
+    /// This workload's registry row.
+    #[must_use]
+    pub fn info(self) -> &'static WorkloadInfo {
+        &REGISTRY[self as usize]
+    }
+
+    /// The canonical name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        self.info().name
+    }
+
+    /// Resolves a workload by its canonical name.
+    #[must_use]
+    pub fn parse(name: &str) -> Option<Workload> {
+        Workload::ALL.into_iter().find(|w| w.name() == name)
+    }
+
+    /// Builds the IR module at the given problem size.
+    #[must_use]
+    pub fn module(self, p: &OldenParams) -> Module {
+        (self.info().module)(p)
+    }
+
+    /// A rough physical-memory requirement for the workload under the
+    /// given strategy (heap + headroom), used to size the machine.
+    #[must_use]
+    pub fn mem_needed(self, p: &OldenParams, strategy: &dyn PtrStrategy) -> usize {
+        (self.info().mem_needed)(p, strategy)
+    }
+
+    /// The heap-size sweep points (Figure 5 x-axis label, params).
+    #[must_use]
+    pub fn sweep_points(self) -> Vec<(u32, OldenParams)> {
+        (self.info().sweep_points)()
+    }
+}
+
+/// Builds a machine configuration sized for the workload with the
+/// capability format matching the strategy — the registry analogue of
+/// `cheri_olden::dsl::machine_config`.
+#[must_use]
+pub fn machine_config(
+    workload: Workload,
+    params: &OldenParams,
+    strategy: &dyn PtrStrategy,
+) -> MachineConfig {
+    MachineConfig {
+        mem_bytes: workload.mem_needed(params, strategy),
+        cap_format: if strategy.ptr_size() == 16 { CapFormat::C128 } else { CapFormat::C256 },
+        ..MachineConfig::default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cheri_cc::strategy::{CapPtr, LegacyPtr};
+
+    #[test]
+    fn registry_order_matches_discriminants() {
+        for w in Workload::ALL {
+            assert_eq!(REGISTRY[w as usize].name, w.name());
+            assert_eq!(Workload::parse(w.name()), Some(w));
+        }
+        assert_eq!(Workload::parse("nosuch"), None);
+    }
+
+    #[test]
+    fn olden_rows_delegate_to_dsl_bench() {
+        let p = OldenParams::scaled();
+        for (w, b) in [
+            (Workload::Bisort, DslBench::Bisort),
+            (Workload::Mst, DslBench::Mst),
+            (Workload::Treeadd, DslBench::Treeadd),
+            (Workload::Perimeter, DslBench::Perimeter),
+        ] {
+            assert_eq!(w.name(), b.name());
+            assert_eq!(w.mem_needed(&p, &LegacyPtr), b.mem_needed(&p, &LegacyPtr));
+            assert_eq!(w.module(&p).funcs.len(), b.module(&p).funcs.len());
+        }
+    }
+
+    #[test]
+    fn every_workload_has_enough_sweep_points() {
+        for w in Workload::ALL {
+            let points = w.sweep_points();
+            assert!(points.len() >= 6, "{}: too few sweep points", w.name());
+        }
+    }
+
+    #[test]
+    fn machine_config_tracks_strategy_format() {
+        use beri_sim::machine::CapFormat;
+        let p = OldenParams::scaled();
+        let cfg = machine_config(Workload::Vmloop, &p, &CapPtr::c128());
+        assert_eq!(cfg.cap_format, CapFormat::C128);
+        let cfg = machine_config(Workload::Vmloop, &p, &CapPtr::c256());
+        assert_eq!(cfg.cap_format, CapFormat::C256);
+        assert!(cfg.mem_bytes >= 8 << 20);
+    }
+}

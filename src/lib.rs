@@ -58,3 +58,4 @@ pub use cheri_serve as serve;
 pub use cheri_snap as snap;
 pub use cheri_sweep as sweep;
 pub use cheri_trace as trace;
+pub use cheri_work as work;
