@@ -18,8 +18,18 @@
 //!             [--prewarm PROFILE]     pre-boot the snapshot pool for a
 //!                                     profile (smoke|full|paper) before
 //!                                     accepting work
+//!             [--prewarm-background PROFILE]
+//!                                     as --prewarm, but serve while booting;
+//!                                     `health` answers ready:false until done
 //!             [--results DIR]         persist every completed served sweep
 //!                                     report under DIR (atomic write+rename)
+//!             [--telem-out FILE]      on drain, flush the request-span
+//!                                     timeline (Chrome trace JSON + final
+//!                                     metric snapshot) to FILE atomically
+//!             [--no-telem]            disable telemetry entirely (the
+//!                                     detached half of the overhead A/B)
+//!             [--queue-limit N]       queue depth at which `health` reports
+//!                                     not ready (default 256)
 //!             [--selfcheck PROFILE]   no server: run the in-process
 //!                                     transparency gate (served report must
 //!                                     be byte-identical to the cold batch
@@ -33,7 +43,8 @@ use std::path::PathBuf;
 use std::sync::Arc;
 
 const USAGE: &str = "cheri-serve [--addr HOST:PORT] [--workers N] [--no-cache] [--no-warm] \
-     [--prewarm smoke|full|paper] [--results DIR] [--selfcheck smoke|full|paper]";
+     [--prewarm smoke|full|paper] [--prewarm-background smoke|full|paper] [--results DIR] \
+     [--telem-out FILE] [--no-telem] [--queue-limit N] [--selfcheck smoke|full|paper]";
 
 struct Args {
     addr: String,
@@ -41,7 +52,11 @@ struct Args {
     cache: bool,
     warm: bool,
     prewarm: Option<Profile>,
+    prewarm_background: Option<Profile>,
     results: Option<PathBuf>,
+    telem: bool,
+    telem_out: Option<PathBuf>,
+    queue_limit: u64,
     selfcheck: Option<Profile>,
 }
 
@@ -57,7 +72,11 @@ fn parse_args() -> Args {
         cache: true,
         warm: true,
         prewarm: None,
+        prewarm_background: None,
         results: None,
+        telem: true,
+        telem_out: None,
+        queue_limit: 256,
         selfcheck: None,
     };
     let profile = |cli: &mut Cli, flag: &str| -> Profile {
@@ -72,7 +91,13 @@ fn parse_args() -> Args {
             "--no-cache" => args.cache = false,
             "--no-warm" => args.warm = false,
             "--prewarm" => args.prewarm = Some(profile(&mut cli, "--prewarm")),
+            "--prewarm-background" => {
+                args.prewarm_background = Some(profile(&mut cli, "--prewarm-background"));
+            }
             "--results" => args.results = Some(PathBuf::from(cli.value("--results"))),
+            "--telem-out" => args.telem_out = Some(PathBuf::from(cli.value("--telem-out"))),
+            "--no-telem" => args.telem = false,
+            "--queue-limit" => args.queue_limit = cli.positive("--queue-limit") as u64,
             "--selfcheck" => args.selfcheck = Some(profile(&mut cli, "--selfcheck")),
             other => cli.unknown(other),
         }
@@ -122,6 +147,9 @@ fn main() {
         warm: args.warm,
         results_dir: args.results.clone(),
         watch_signals: true,
+        telem: args.telem,
+        telem_out: args.telem_out.clone(),
+        queue_limit: args.queue_limit,
     };
     let server =
         Server::bind(&args.addr, cfg).unwrap_or_else(|e| fail(&format!("bind {}: {e}", args.addr)));
@@ -138,8 +166,21 @@ fn main() {
         let added = server.prewarm(profile);
         println!("cheri-serve: prewarmed {added} snapshot(s) for the {} profile", profile.name());
     }
+    if let Some(profile) = args.prewarm_background {
+        server.prewarm_background(profile);
+        println!(
+            "cheri-serve: prewarming the {} profile in the background (health reports ready \
+             once done)",
+            profile.name()
+        );
+    }
     match server.serve() {
-        Ok(()) => println!("cheri-serve: drained, exiting"),
+        Ok(()) => {
+            if let Some(path) = &args.telem_out {
+                println!("cheri-serve: telemetry flushed to {}", path.display());
+            }
+            println!("cheri-serve: drained, exiting");
+        }
         Err(e) => fail(&format!("serve: {e}")),
     }
 }

@@ -35,6 +35,7 @@
 //! ```
 
 use cheri_bench::cli::{self, Cli};
+use cheri_bench::latency::nearest_rank;
 use cheri_bench::triage::first_json_difference;
 use cheri_serve::protocol::JobParts;
 use cheri_serve::Client;
@@ -157,12 +158,15 @@ fn parse_args() -> Args {
     args
 }
 
-/// One request's outcome: latency when it succeeded, and the report
-/// bytes if it was a sweep (kept so `--expect` can compare them).
+/// One request's outcome: latency when it succeeded, the report bytes
+/// if it was a sweep (kept so `--expect` can compare them), and the
+/// server-assigned request id (the span lane to look for in a
+/// `--telem-out` timeline; 0 against pre-telemetry servers).
 struct Outcome {
     latency_us: Option<u64>,
     report: Option<String>,
     error: Option<String>,
+    req: u64,
 }
 
 fn one_request(client: &mut Client, work: &Work, cache: bool) -> Outcome {
@@ -174,9 +178,10 @@ fn one_request(client: &mut Client, work: &Work, cache: bool) -> Outcome {
         Work::Job(parts) => client.job(parts.clone(), cache).map(|_| None),
     };
     let latency_us = t0.elapsed().as_micros() as u64;
+    let req = client.last_req();
     match done {
-        Ok(report) => Outcome { latency_us: Some(latency_us), report, error: None },
-        Err(e) => Outcome { latency_us: None, report: None, error: Some(e) },
+        Ok(report) => Outcome { latency_us: Some(latency_us), report, error: None, req },
+        Err(e) => Outcome { latency_us: None, report: None, error: Some(e), req },
     }
 }
 
@@ -191,7 +196,7 @@ fn run_closed(args: &Args, tx: &mpsc::Sender<Outcome>) {
                     Ok(c) => c,
                     Err(e) => {
                         let error = Some(format!("connect {}: {e}", args.addr));
-                        let _ = tx.send(Outcome { latency_us: None, report: None, error });
+                        let _ = tx.send(Outcome { latency_us: None, report: None, error, req: 0 });
                         return;
                     }
                 };
@@ -222,6 +227,7 @@ fn run_open(args: &Args, tx: &mpsc::Sender<Outcome>) {
                         latency_us: None,
                         report: None,
                         error: Some(format!("connect {}: {e}", args.addr)),
+                        req: 0,
                     },
                 };
                 let _ = tx.send(outcome);
@@ -322,14 +328,6 @@ fn write_results(path: &Path, label: &str, section: Section) {
     println!("load report: {}", path.display());
 }
 
-fn percentile(sorted: &[u64], pct: u64) -> u64 {
-    if sorted.is_empty() {
-        return 0;
-    }
-    let rank = (pct * (sorted.len() as u64 - 1) + 50) / 100;
-    sorted[rank as usize]
-}
-
 fn main() {
     let args = parse_args();
     let (tx, rx) = mpsc::channel::<Outcome>();
@@ -359,9 +357,9 @@ fn main() {
         errors: errors.len() as u64,
         wall_ms,
         jobs_per_sec_x100: completed.saturating_mul(100_000) / wall_ms,
-        p50_us: percentile(&latencies, 50),
-        p90_us: percentile(&latencies, 90),
-        p99_us: percentile(&latencies, 99),
+        p50_us: nearest_rank(&latencies, 50),
+        p90_us: nearest_rank(&latencies, 90),
+        p99_us: nearest_rank(&latencies, 99),
         max_us: latencies.last().copied().unwrap_or(0),
     };
     println!(
@@ -379,6 +377,12 @@ fn main() {
         section.p99_us,
         section.max_us
     );
+    // The server's request-id range for this run: grep these lanes in a
+    // `--telem-out` timeline to see each request's phase breakdown.
+    let reqs: Vec<u64> = outcomes.iter().map(|o| o.req).filter(|&r| r != 0).collect();
+    if let (Some(lo), Some(hi)) = (reqs.iter().min(), reqs.iter().max()) {
+        println!("request ids {lo}..{hi} (span lanes in the server's --telem-out timeline)");
+    }
     write_results(&args.out, &args.label, section);
 
     // The transparency half: the last served report's exact bytes.

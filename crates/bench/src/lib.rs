@@ -22,6 +22,7 @@
 //! including the common command-line scanner ([`cli::Cli`]).
 
 pub mod cli;
+pub mod latency;
 pub mod specfuzz;
 pub mod triage;
 

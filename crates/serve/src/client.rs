@@ -9,7 +9,7 @@
 //! re-serialises them.
 
 use crate::protocol::{
-    decode_event, encode_request, Event, JobParts, Origin, Request, StatsSnapshot,
+    decode_event, encode_request, Event, HealthSnapshot, JobParts, Origin, Request, StatsSnapshot,
 };
 use cheri_sweep::Profile;
 use std::io::{BufRead, BufReader, Write};
@@ -19,6 +19,7 @@ use std::net::TcpStream;
 pub struct Client {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
+    last_req: u64,
 }
 
 impl Client {
@@ -30,7 +31,15 @@ impl Client {
     pub fn connect(addr: &str) -> std::io::Result<Client> {
         let writer = TcpStream::connect(addr)?;
         let reader = BufReader::new(writer.try_clone()?);
-        Ok(Client { reader, writer })
+        Ok(Client { reader, writer, last_req: 0 })
+    }
+
+    /// The server-assigned request id of the most recent terminal
+    /// work event read on this connection (0 before any) — the span
+    /// lane to look for in a `--telem-out` timeline.
+    #[must_use]
+    pub fn last_req(&self) -> u64 {
+        self.last_req
     }
 
     /// Sends one request line.
@@ -56,7 +65,16 @@ impl Client {
         let mut line = String::new();
         match self.reader.read_line(&mut line) {
             Ok(0) => Err("server closed the connection".into()),
-            Ok(_) => decode_event(&line),
+            Ok(_) => {
+                let ev = decode_event(&line)?;
+                if let Event::Report { req, .. }
+                | Event::Record { req, .. }
+                | Event::Profile { req, .. } = &ev
+                {
+                    self.last_req = *req;
+                }
+                Ok(ev)
+            }
             Err(e) => Err(format!("read failed: {e}")),
         }
     }
@@ -130,7 +148,7 @@ impl Client {
     pub fn profile(&mut self, parts: JobParts) -> Result<(String, String, String), String> {
         self.send(&Request::Profile { parts })?;
         match self.next_event()? {
-            Event::Profile { key, record, profile } => Ok((key, record, profile)),
+            Event::Profile { key, record, profile, .. } => Ok((key, record, profile)),
             Event::Error { message } => Err(message),
             other => Err(format!("expected profile, got {other:?}")),
         }
@@ -162,6 +180,34 @@ impl Client {
             Event::Stats(s) => Ok(s),
             Event::Error { message } => Err(message),
             other => Err(format!("expected stats, got {other:?}")),
+        }
+    }
+
+    /// Fetches one Prometheus text exposition of the server's metrics.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or an unexpected event.
+    pub fn metrics(&mut self) -> Result<String, String> {
+        self.send(&Request::Metrics)?;
+        match self.next_event()? {
+            Event::Metrics { text } => Ok(text),
+            Event::Error { message } => Err(message),
+            other => Err(format!("expected metrics, got {other:?}")),
+        }
+    }
+
+    /// Fetches the server's readiness.
+    ///
+    /// # Errors
+    ///
+    /// Transport errors or an unexpected event.
+    pub fn health(&mut self) -> Result<HealthSnapshot, String> {
+        self.send(&Request::Health)?;
+        match self.next_event()? {
+            Event::Health(h) => Ok(h),
+            Event::Error { message } => Err(message),
+            other => Err(format!("expected health, got {other:?}")),
         }
     }
 

@@ -14,13 +14,15 @@ use crate::cache::{cache_key_canonical, ResultCache, NO_SNAPSHOT};
 use crate::pool::{boot_snapshot, SnapshotPool};
 use crate::protocol::{Origin, StatsSnapshot};
 use crate::signal;
+use crate::telem::{elapsed_us, JobCtx, PhaseRecorder, ServiceTelem};
 use cheri_sweep::{
-    profile_matrix, run_matrix, run_spec_profiled, run_spec_resume, run_spec_split, JobRecord,
-    JobSpec, Profile, SweepReport,
+    profile_matrix, run_matrix, run_spec_profiled, run_spec_resume_spanned, run_spec_split_spanned,
+    JobRecord, JobSpec, Profile, SweepReport,
 };
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{mpsc, Arc, Mutex};
 use std::thread::JoinHandle;
+use std::time::Instant;
 
 /// A cooperative stop token: set programmatically (shutdown request,
 /// test) and optionally wired to the process signal flag (SIGINT /
@@ -64,6 +66,9 @@ pub struct WorkerPool {
     tx: Mutex<Option<mpsc::Sender<Task>>>,
     handles: Mutex<Vec<JoinHandle<()>>>,
     workers: usize,
+    queued: Arc<AtomicU64>,
+    busy: Arc<AtomicU64>,
+    alive: Arc<AtomicU64>,
 }
 
 impl WorkerPool {
@@ -73,23 +78,44 @@ impl WorkerPool {
         let workers = workers.max(1);
         let (tx, rx) = mpsc::channel::<Task>();
         let rx = Arc::new(Mutex::new(rx));
+        let queued = Arc::new(AtomicU64::new(0));
+        let busy = Arc::new(AtomicU64::new(0));
+        let alive = Arc::new(AtomicU64::new(workers as u64));
         let mut handles = Vec::with_capacity(workers);
         for _ in 0..workers {
             let rx = rx.clone();
-            handles.push(std::thread::spawn(move || loop {
-                // Take the next task with the queue lock released
-                // before running it, so workers execute concurrently.
-                let task = match rx.lock() {
-                    Ok(guard) => guard.recv(),
-                    Err(_) => break,
-                };
-                match task {
-                    Ok(task) => task(),
-                    Err(_) => break, // all senders gone: shutdown
+            let queued = queued.clone();
+            let busy = busy.clone();
+            let alive = alive.clone();
+            handles.push(std::thread::spawn(move || {
+                loop {
+                    // Take the next task with the queue lock released
+                    // before running it, so workers execute concurrently.
+                    let task = match rx.lock() {
+                        Ok(guard) => guard.recv(),
+                        Err(_) => break,
+                    };
+                    match task {
+                        Ok(task) => {
+                            queued.fetch_sub(1, Ordering::Relaxed);
+                            busy.fetch_add(1, Ordering::Relaxed);
+                            task();
+                            busy.fetch_sub(1, Ordering::Relaxed);
+                        }
+                        Err(_) => break, // all senders gone: shutdown
+                    }
                 }
+                alive.fetch_sub(1, Ordering::Relaxed);
             }));
         }
-        WorkerPool { tx: Mutex::new(Some(tx)), handles: Mutex::new(handles), workers }
+        WorkerPool {
+            tx: Mutex::new(Some(tx)),
+            handles: Mutex::new(handles),
+            workers,
+            queued,
+            busy,
+            alive,
+        }
     }
 
     /// The pool's thread count.
@@ -98,12 +124,39 @@ impl WorkerPool {
         self.workers
     }
 
+    /// Tasks submitted but not yet picked up by a worker.
+    #[must_use]
+    pub fn queue_depth(&self) -> u64 {
+        self.queued.load(Ordering::Relaxed)
+    }
+
+    /// Workers currently executing a task.
+    #[must_use]
+    pub fn busy(&self) -> u64 {
+        self.busy.load(Ordering::Relaxed)
+    }
+
+    /// Worker threads still running (drops below [`WorkerPool::workers`]
+    /// only during shutdown — or if a worker died, which `health`
+    /// reports as not ready).
+    #[must_use]
+    pub fn alive(&self) -> u64 {
+        self.alive.load(Ordering::Relaxed)
+    }
+
     /// Submits a task; returns `false` if the pool has shut down (the
     /// task is dropped).
     pub fn submit<F: FnOnce() + Send + 'static>(&self, task: F) -> bool {
         match self.tx.lock() {
             Ok(guard) => match guard.as_ref() {
-                Some(tx) => tx.send(Box::new(task)).is_ok(),
+                Some(tx) => {
+                    self.queued.fetch_add(1, Ordering::Relaxed);
+                    let sent = tx.send(Box::new(task)).is_ok();
+                    if !sent {
+                        self.queued.fetch_sub(1, Ordering::Relaxed);
+                    }
+                    sent
+                }
                 None => false,
             },
             Err(_) => false,
@@ -142,15 +195,28 @@ pub struct JobEngine {
     jobs: AtomicU64,
     warm_runs: AtomicU64,
     cold_runs: AtomicU64,
+    telem: Arc<ServiceTelem>,
 }
 
 impl JobEngine {
     /// A fresh engine. `cache_enabled` gates the result cache;
     /// `warm_enabled` gates snapshot-pool execution (off = every
     /// uncached job boots cold, the configuration the warm-vs-cold
-    /// benchmark compares against).
+    /// benchmark compares against). Telemetry is attached and enabled;
+    /// use [`JobEngine::with_telem`] to share or disable it.
     #[must_use]
     pub fn new(cache_enabled: bool, warm_enabled: bool) -> JobEngine {
+        JobEngine::with_telem(cache_enabled, warm_enabled, Arc::new(ServiceTelem::new(true)))
+    }
+
+    /// As [`JobEngine::new`] with a caller-supplied telemetry handle
+    /// (the server shares one between the engine and the wire verbs).
+    #[must_use]
+    pub fn with_telem(
+        cache_enabled: bool,
+        warm_enabled: bool,
+        telem: Arc<ServiceTelem>,
+    ) -> JobEngine {
         JobEngine {
             cache: ResultCache::new(cache_enabled),
             pool: SnapshotPool::new(),
@@ -158,6 +224,7 @@ impl JobEngine {
             jobs: AtomicU64::new(0),
             warm_runs: AtomicU64::new(0),
             cold_runs: AtomicU64::new(0),
+            telem,
         }
     }
 
@@ -173,6 +240,18 @@ impl JobEngine {
         &self.cache
     }
 
+    /// The telemetry handle this engine records into.
+    #[must_use]
+    pub fn telem(&self) -> &Arc<ServiceTelem> {
+        &self.telem
+    }
+
+    /// Whether warm (snapshot-pool) execution is enabled.
+    #[must_use]
+    pub fn warm_enabled(&self) -> bool {
+        self.warm
+    }
+
     /// Executes one job through the ladder:
     ///
     /// 1. pooled snapshot present → cache lookup under (config,
@@ -185,31 +264,52 @@ impl JobEngine {
     /// `use_cache = false` (the load generator's hot mode) skips step 1
     /// and does not store, forcing real execution.
     ///
+    /// `ctx` attributes the job's phase spans and latency to a request
+    /// (pass [`JobCtx::default`] outside request handling). Telemetry
+    /// observes the ladder, never steers it: the `*_spanned` runners
+    /// invoked here are the same functions the batch path runs with a
+    /// no-op hook.
+    ///
     /// # Errors
     ///
     /// Compile/OS/restore errors rendered as strings.
-    pub fn execute(&self, spec: &JobSpec, use_cache: bool) -> Result<(JobRecord, Origin), String> {
+    pub fn execute(
+        &self,
+        spec: &JobSpec,
+        use_cache: bool,
+        ctx: JobCtx,
+    ) -> Result<(JobRecord, Origin), String> {
+        let t0 = Instant::now();
         self.jobs.fetch_add(1, Ordering::Relaxed);
         let canon = spec.canonical_json();
         if let Some(entry) = self.pool.get(&canon) {
             let key = cache_key_canonical(&canon, entry.hash);
             if use_cache {
                 if let Some(rec) = self.cache.lookup(key) {
+                    self.telem.job_finished(Origin::Cached, elapsed_us(t0));
                     return Ok((rec, Origin::Cached));
                 }
             }
             if self.warm {
                 let block_cache = spec.machine_config().block_cache;
-                let result = run_spec_resume(spec, &entry.snapshot, block_cache)?;
+                let mut phases = PhaseRecorder::new(&self.telem, ctx, Origin::Warm.name());
+                let result =
+                    run_spec_resume_spanned(spec, &entry.snapshot, block_cache, &mut |n, b| {
+                        phases.note(n, b);
+                    })?;
                 let rec = JobRecord::from_result(&result);
                 if use_cache {
                     self.cache.store(key, &rec);
                 }
                 self.warm_runs.fetch_add(1, Ordering::Relaxed);
+                self.telem.job_finished(Origin::Warm, elapsed_us(t0));
                 return Ok((rec, Origin::Warm));
             }
         }
-        let (result, snap) = run_spec_split(spec, spec.machine_config())?;
+        let mut phases = PhaseRecorder::new(&self.telem, ctx, Origin::Cold.name());
+        let (result, snap) = run_spec_split_spanned(spec, spec.machine_config(), &mut |n, b| {
+            phases.note(n, b);
+        })?;
         let rec = JobRecord::from_result(&result);
         let hash = match snap {
             Some(snap) => self.pool.insert(canon.clone(), snap).hash,
@@ -219,6 +319,7 @@ impl JobEngine {
             self.cache.store(cache_key_canonical(&canon, hash), &rec);
         }
         self.cold_runs.fetch_add(1, Ordering::Relaxed);
+        self.telem.job_finished(Origin::Cold, elapsed_us(t0));
         Ok((rec, Origin::Cold))
     }
 
@@ -232,15 +333,21 @@ impl JobEngine {
     pub fn execute_replay(
         &self,
         spec: &JobSpec,
+        ctx: JobCtx,
     ) -> Result<(JobRecord, cheri_snap::StateHash), String> {
+        let t0 = Instant::now();
         self.jobs.fetch_add(1, Ordering::Relaxed);
         let canon = spec.canonical_json();
         let entry = self.pool.get(&canon).ok_or_else(|| {
             format!("no pooled snapshot for {} (run it once or prewarm)", spec.key())
         })?;
         let block_cache = spec.machine_config().block_cache;
-        let result = run_spec_resume(spec, &entry.snapshot, block_cache)?;
+        let mut phases = PhaseRecorder::new(&self.telem, ctx, Origin::Warm.name());
+        let result = run_spec_resume_spanned(spec, &entry.snapshot, block_cache, &mut |n, b| {
+            phases.note(n, b);
+        })?;
         self.warm_runs.fetch_add(1, Ordering::Relaxed);
+        self.telem.job_finished(Origin::Warm, elapsed_us(t0));
         Ok((JobRecord::from_result(&result), entry.hash))
     }
 
@@ -253,9 +360,11 @@ impl JobEngine {
     ///
     /// As [`JobEngine::execute`].
     pub fn execute_profiled(&self, spec: &JobSpec) -> Result<(JobRecord, String), String> {
+        let t0 = Instant::now();
         self.jobs.fetch_add(1, Ordering::Relaxed);
         let (result, profile) = run_spec_profiled(spec, spec.machine_config())?;
         self.cold_runs.fetch_add(1, Ordering::Relaxed);
+        self.telem.job_finished(Origin::Cold, elapsed_us(t0));
         Ok((JobRecord::from_result(&result), profile.to_json()))
     }
 
@@ -299,7 +408,8 @@ impl JobEngine {
 
     /// The engine's counters as one consistent-enough snapshot (each
     /// counter is individually exact; the set is sampled without a
-    /// global lock).
+    /// global lock). Server-level fields — uptime, worker count,
+    /// version — are the caller's to fill in.
     #[must_use]
     pub fn stats(&self, requests: u64) -> StatsSnapshot {
         StatsSnapshot {
@@ -311,6 +421,9 @@ impl JobEngine {
             warm_runs: self.warm_runs.load(Ordering::Relaxed),
             cold_runs: self.cold_runs.load(Ordering::Relaxed),
             pool_entries: self.pool.len() as u64,
+            cache_enabled: self.cache.enabled(),
+            warm_enabled: self.warm,
+            ..StatsSnapshot::default()
         }
     }
 }
@@ -329,6 +442,9 @@ enum JobOut {
 /// tripped before every job executed (the drain path: running jobs
 /// complete, queued jobs bail).
 ///
+/// `req` attributes the sweep's spans (queue wait per job, phases per
+/// job) to a request id; pass 0 for work not driven by a wire request.
+///
 /// # Errors
 ///
 /// The first job failure, with its key.
@@ -338,6 +454,7 @@ pub fn run_profile<F>(
     profile: Profile,
     use_cache: bool,
     stop: &Stop,
+    req: u64,
     mut progress: F,
 ) -> Result<Option<SweepReport>, String>
 where
@@ -349,14 +466,19 @@ where
     let mut submitted = 0usize;
     for (i, spec) in specs.iter().enumerate() {
         let spec = *spec;
-        let engine = engine.clone();
+        let worker_engine = engine.clone();
         let stop = stop.clone();
         let tx = tx.clone();
+        let ctx = JobCtx { req, job: i as u64 };
+        let queued_at = Instant::now();
+        engine.telem().queue_begin(ctx);
         let ok = workers.submit(move || {
+            let engine = worker_engine;
+            engine.telem().queue_end(ctx, elapsed_us(queued_at));
             let out = if stop.stopping() {
                 JobOut::Aborted
             } else {
-                match engine.execute(&spec, use_cache) {
+                match engine.execute(&spec, use_cache, ctx) {
                     Ok(done) => JobOut::Done(Box::new(done)),
                     Err(e) => JobOut::Failed(format!("{}: {e}", spec.key())),
                 }
@@ -365,6 +487,10 @@ where
         });
         if ok {
             submitted += 1;
+        } else {
+            // The task never entered the queue; close its span so the
+            // stream stays balanced.
+            engine.telem().queue_end(ctx, elapsed_us(queued_at));
         }
     }
     drop(tx);
@@ -407,7 +533,7 @@ pub fn transparency_gate(
     profile: Profile,
 ) -> Result<SweepReport, String> {
     let stop = Stop::new(false);
-    let served = run_profile(engine, workers, profile, true, &stop, |_, _, _, _| {})?
+    let served = run_profile(engine, workers, profile, true, &stop, 0, |_, _, _, _| {})?
         .ok_or("served sweep aborted unexpectedly")?;
     let batch = run_matrix(profile, workers.workers());
     verify_against_batch(&served, &batch)?;

@@ -34,6 +34,7 @@ pub mod pool;
 pub mod protocol;
 pub mod server;
 pub mod signal;
+pub mod telem;
 
 pub use cache::{cache_key, cache_key_canonical, ResultCache, NO_SNAPSHOT};
 pub use client::Client;
@@ -42,7 +43,8 @@ pub use engine::{
 };
 pub use pool::{boot_snapshot, PoolEntry, SnapshotPool};
 pub use protocol::{
-    decode_event, decode_request, encode_event, encode_request, Event, JobParts, Origin, Request,
-    StatsSnapshot, SCHEMA,
+    decode_event, decode_request, encode_event, encode_request, Event, HealthSnapshot, JobParts,
+    Origin, Request, StatsSnapshot, SCHEMA,
 };
 pub use server::{Server, ServerConfig};
+pub use telem::{JobCtx, PhaseRecorder, ServiceTelem, HIST_COUNTER_PAIRS};

@@ -126,12 +126,17 @@ pub enum Request {
     },
     /// Server counters; end with `stats`.
     Stats,
+    /// Prometheus text exposition of the telemetry registry; end with
+    /// `metrics`.
+    Metrics,
+    /// Readiness probe; end with `health`.
+    Health,
     /// Drain in-flight jobs and exit; end with `ok`.
     Shutdown,
 }
 
-/// A snapshot of the server's counters, all integers.
-#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+/// A snapshot of the server's counters plus its build/config identity.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
 pub struct StatsSnapshot {
     /// Requests accepted (all kinds).
     pub requests: u64,
@@ -149,6 +154,39 @@ pub struct StatsSnapshot {
     pub cold_runs: u64,
     /// Phase-2 snapshots resident in the pool.
     pub pool_entries: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
+    /// Worker threads in the pool (config echo).
+    pub workers: u64,
+    /// Whether the result cache is enabled (config echo).
+    pub cache_enabled: bool,
+    /// Whether warm execution is enabled (config echo).
+    pub warm_enabled: bool,
+    /// The server's crate version.
+    pub version: String,
+}
+
+/// The server's readiness, as answered by the `health` verb. `ready`
+/// is the conjunction the CI probe keys on: every worker alive, any
+/// requested prewarm finished, queue depth under the limit, and not
+/// draining.
+#[derive(Clone, Debug, Default, PartialEq, Eq)]
+pub struct HealthSnapshot {
+    /// The overall readiness verdict.
+    pub ready: bool,
+    /// Prewarm state: `none` (never requested — ready), `running`, or
+    /// `done`.
+    pub prewarm: String,
+    /// Worker threads still running.
+    pub workers_alive: u64,
+    /// Worker threads configured.
+    pub workers: u64,
+    /// Tasks queued but not yet picked up.
+    pub queue_depth: u64,
+    /// Queue depth at or above which the server reports not ready.
+    pub queue_limit: u64,
+    /// Milliseconds since the server started.
+    pub uptime_ms: u64,
 }
 
 /// A server event: one line; terminal unless it is `progress`.
@@ -179,6 +217,9 @@ pub enum Event {
         /// The serialised `SweepReport`, byte-identical to what the
         /// batch `xsweep` path writes for the same matrix.
         report: String,
+        /// The server-assigned request id (the span lane in a telemetry
+        /// dump; 0 from servers predating telemetry).
+        req: u64,
     },
     /// A single job finished.
     Record {
@@ -191,6 +232,8 @@ pub enum Event {
         snap_hash: String,
         /// The serialised `JobRecord`.
         record: String,
+        /// The server-assigned request id (see [`Event::Report`]).
+        req: u64,
     },
     /// A profiled job finished.
     Profile {
@@ -201,9 +244,19 @@ pub enum Event {
         record: String,
         /// The serialised `ProfileReport`.
         profile: String,
+        /// The server-assigned request id (see [`Event::Report`]).
+        req: u64,
     },
     /// Reply to `stats`.
     Stats(StatsSnapshot),
+    /// Reply to `metrics`.
+    Metrics {
+        /// The Prometheus text exposition (format 0.0.4), byte-stable
+        /// across idle scrapes.
+        text: String,
+    },
+    /// Reply to `health`.
+    Health(HealthSnapshot),
     /// Acknowledgement (shutdown accepted).
     Ok,
     /// The request failed; the connection stays usable.
@@ -246,6 +299,8 @@ pub fn encode_request(req: &Request) -> String {
             job_fields(&mut w, parts);
         }
         Request::Stats => w.str_field("type", "stats"),
+        Request::Metrics => w.str_field("type", "metrics"),
+        Request::Health => w.str_field("type", "health"),
         Request::Shutdown => w.str_field("type", "shutdown"),
     }
     w.close()
@@ -268,6 +323,25 @@ fn get_bool(obj: &BTreeMap<String, Json>, key: &str, default: bool) -> Result<bo
 
 fn get_u64(obj: &BTreeMap<String, Json>, key: &str) -> Result<u64, String> {
     obj.get(key).and_then(Json::as_u64).ok_or_else(|| format!("missing integer field '{key}'"))
+}
+
+/// Tolerant integer read for fields newer than the oldest speaker of
+/// the schema: absent means `default`, present must be an integer.
+fn get_u64_or(obj: &BTreeMap<String, Json>, key: &str, default: u64) -> Result<u64, String> {
+    match obj.get(key) {
+        None => Ok(default),
+        Some(v) => v.as_u64().ok_or_else(|| format!("field '{key}' must be an integer")),
+    }
+}
+
+/// As [`get_u64_or`] for strings.
+fn get_str_or(obj: &BTreeMap<String, Json>, key: &str, default: &str) -> Result<String, String> {
+    match obj.get(key) {
+        None => Ok(default.to_string()),
+        Some(v) => {
+            v.as_str().map(str::to_string).ok_or_else(|| format!("field '{key}' must be a string"))
+        }
+    }
 }
 
 fn get_profile(obj: &BTreeMap<String, Json>, default: Profile) -> Result<Profile, String> {
@@ -316,6 +390,8 @@ pub fn decode_request(line: &str) -> Result<Request, String> {
         "profile" => Request::Profile { parts: get_parts(obj)? },
         "replay" => Request::Replay { parts: get_parts(obj)? },
         "stats" => Request::Stats,
+        "metrics" => Request::Metrics,
+        "health" => Request::Health,
         "shutdown" => Request::Shutdown,
         other => return Err(format!("unknown request type '{other}'")),
     })
@@ -337,24 +413,27 @@ pub fn encode_event(ev: &Event) -> String {
             w.str_field("key", key);
             w.str_field("origin", origin.name());
         }
-        Event::Report { profile, verified, report } => {
+        Event::Report { profile, verified, report, req } => {
             w.str_field("type", "report");
             w.str_field("profile", profile);
             w.bool_field("verified", *verified);
             w.str_field("report", report);
+            w.u64_field("req", *req);
         }
-        Event::Record { key, origin, snap_hash, record } => {
+        Event::Record { key, origin, snap_hash, record, req } => {
             w.str_field("type", "record");
             w.str_field("key", key);
             w.str_field("origin", origin.name());
             w.str_field("snap_hash", snap_hash);
             w.str_field("record", record);
+            w.u64_field("req", *req);
         }
-        Event::Profile { key, record, profile } => {
+        Event::Profile { key, record, profile, req } => {
             w.str_field("type", "profile");
             w.str_field("key", key);
             w.str_field("record", record);
             w.str_field("profile", profile);
+            w.u64_field("req", *req);
         }
         Event::Stats(s) => {
             w.str_field("type", "stats");
@@ -366,6 +445,25 @@ pub fn encode_event(ev: &Event) -> String {
             w.u64_field("warm_runs", s.warm_runs);
             w.u64_field("cold_runs", s.cold_runs);
             w.u64_field("pool_entries", s.pool_entries);
+            w.u64_field("uptime_ms", s.uptime_ms);
+            w.u64_field("workers", s.workers);
+            w.bool_field("cache_enabled", s.cache_enabled);
+            w.bool_field("warm_enabled", s.warm_enabled);
+            w.str_field("version", &s.version);
+        }
+        Event::Metrics { text } => {
+            w.str_field("type", "metrics");
+            w.str_field("text", text);
+        }
+        Event::Health(h) => {
+            w.str_field("type", "health");
+            w.bool_field("ready", h.ready);
+            w.str_field("prewarm", &h.prewarm);
+            w.u64_field("workers_alive", h.workers_alive);
+            w.u64_field("workers", h.workers);
+            w.u64_field("queue_depth", h.queue_depth);
+            w.u64_field("queue_limit", h.queue_limit);
+            w.u64_field("uptime_ms", h.uptime_ms);
         }
         Event::Ok => w.str_field("type", "ok"),
         Event::Error { message } => {
@@ -401,17 +499,20 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             profile: get_str(obj, "profile")?,
             verified: get_bool(obj, "verified", false)?,
             report: get_str(obj, "report")?,
+            req: get_u64_or(obj, "req", 0)?,
         },
         "record" => Event::Record {
             key: get_str(obj, "key")?,
             origin: origin(obj)?,
             snap_hash: get_str(obj, "snap_hash")?,
             record: get_str(obj, "record")?,
+            req: get_u64_or(obj, "req", 0)?,
         },
         "profile" => Event::Profile {
             key: get_str(obj, "key")?,
             record: get_str(obj, "record")?,
             profile: get_str(obj, "profile")?,
+            req: get_u64_or(obj, "req", 0)?,
         },
         "stats" => Event::Stats(StatsSnapshot {
             requests: get_u64(obj, "requests")?,
@@ -422,6 +523,21 @@ pub fn decode_event(line: &str) -> Result<Event, String> {
             warm_runs: get_u64(obj, "warm_runs")?,
             cold_runs: get_u64(obj, "cold_runs")?,
             pool_entries: get_u64(obj, "pool_entries")?,
+            uptime_ms: get_u64_or(obj, "uptime_ms", 0)?,
+            workers: get_u64_or(obj, "workers", 0)?,
+            cache_enabled: get_bool(obj, "cache_enabled", false)?,
+            warm_enabled: get_bool(obj, "warm_enabled", false)?,
+            version: get_str_or(obj, "version", "")?,
+        }),
+        "metrics" => Event::Metrics { text: get_str(obj, "text")? },
+        "health" => Event::Health(HealthSnapshot {
+            ready: get_bool(obj, "ready", false)?,
+            prewarm: get_str_or(obj, "prewarm", "none")?,
+            workers_alive: get_u64_or(obj, "workers_alive", 0)?,
+            workers: get_u64_or(obj, "workers", 0)?,
+            queue_depth: get_u64_or(obj, "queue_depth", 0)?,
+            queue_limit: get_u64_or(obj, "queue_limit", 0)?,
+            uptime_ms: get_u64_or(obj, "uptime_ms", 0)?,
         }),
         "ok" => Event::Ok,
         "error" => Event::Error { message: get_str(obj, "message")? },
@@ -465,6 +581,8 @@ mod tests {
                 },
             },
             Request::Stats,
+            Request::Metrics,
+            Request::Health,
             Request::Shutdown,
         ];
         for req in reqs {
@@ -485,23 +603,45 @@ mod tests {
                 key: "treeadd/cheri/tag8".into(),
                 origin: Origin::Warm,
             },
-            Event::Report { profile: "smoke".into(), verified: true, report: report.into() },
+            Event::Report {
+                profile: "smoke".into(),
+                verified: true,
+                report: report.into(),
+                req: 4,
+            },
             Event::Record {
                 key: "mst/mips/tag8".into(),
                 origin: Origin::Cached,
                 snap_hash: "00000000deadbeef".into(),
                 record: "{\"key\":\"mst/mips/tag8\"}".into(),
+                req: 17,
             },
             Event::Profile {
                 key: "mst/cheri/tag8".into(),
                 record: "{}".into(),
                 profile: "{\"total\":{}}".into(),
+                req: 0,
             },
             Event::Stats(StatsSnapshot {
                 requests: 9,
                 jobs: 40,
                 cache_hits: 12,
+                uptime_ms: 4321,
+                workers: 2,
+                cache_enabled: true,
+                warm_enabled: true,
+                version: "0.1.0".into(),
                 ..StatsSnapshot::default()
+            }),
+            Event::Metrics { text: "# TYPE serve_jobs_total counter\nserve_jobs_total 3\n".into() },
+            Event::Health(HealthSnapshot {
+                ready: true,
+                prewarm: "done".into(),
+                workers_alive: 2,
+                workers: 2,
+                queue_depth: 0,
+                queue_limit: 256,
+                uptime_ms: 99,
             }),
             Event::Ok,
             Event::Error { message: "no pooled snapshot\nfor job".into() },
@@ -518,7 +658,12 @@ mod tests {
         // Multi-line payload with quotes and tabs: the exact bytes must
         // come back out — this is what the byte-identity gate rides on.
         let payload = "{\"a\":1,\n\t\"b\":[2,3]}\n";
-        let ev = Event::Report { profile: "full".into(), verified: false, report: payload.into() };
+        let ev = Event::Report {
+            profile: "full".into(),
+            verified: false,
+            report: payload.into(),
+            req: 1,
+        };
         match decode_event(&encode_event(&ev)).unwrap() {
             Event::Report { report, .. } => assert_eq!(report, payload),
             other => panic!("wrong event: {other:?}"),
@@ -537,6 +682,31 @@ mod tests {
         )
         .unwrap();
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn decode_tolerates_pre_telemetry_lines() {
+        // Lines from a server predating the telemetry fields decode with
+        // defaults rather than erroring.
+        match decode_event("{\"type\":\"record\",\"key\":\"k\",\"origin\":\"cold\",\"snap_hash\":\"\",\"record\":\"{}\"}")
+            .unwrap()
+        {
+            Event::Record { req, .. } => assert_eq!(req, 0),
+            other => panic!("wrong event: {other:?}"),
+        }
+        match decode_event(
+            "{\"type\":\"stats\",\"requests\":1,\"jobs\":0,\"cache_hits\":0,\"cache_misses\":0,\
+             \"cached_results\":0,\"warm_runs\":0,\"cold_runs\":0,\"pool_entries\":0}",
+        )
+        .unwrap()
+        {
+            Event::Stats(s) => {
+                assert_eq!(s.uptime_ms, 0);
+                assert_eq!(s.version, "");
+                assert!(!s.cache_enabled);
+            }
+            other => panic!("wrong event: {other:?}"),
+        }
     }
 
     #[test]

@@ -1,8 +1,13 @@
 //! The transparency contract, end to end: a sweep served over real TCP
 //! must deliver a report byte-identical to the cold batch path, and the
-//! result cache must serve repeats without changing a byte.
+//! result cache must serve repeats without changing a byte — with
+//! telemetry attached and recording throughout, since that is how the
+//! service actually runs.
 
-use cheri_serve::{transparency_gate, Client, JobEngine, Origin, Server, ServerConfig, WorkerPool};
+use cheri_serve::{
+    transparency_gate, Client, JobEngine, Origin, Server, ServerConfig, WorkerPool,
+    HIST_COUNTER_PAIRS,
+};
 use cheri_sweep::{run_matrix, Profile};
 use std::sync::Arc;
 
@@ -45,6 +50,10 @@ fn served_sweep_is_byte_identical_to_batch() {
     let stats = client.stats().unwrap();
     assert!(stats.cache_hits >= origins.len() as u64);
     assert!(stats.pool_entries > 0, "phase-2 snapshots should have been pooled");
+    assert_eq!(stats.workers, 2, "stats must echo the worker config");
+    assert!(stats.cache_enabled && stats.warm_enabled, "stats must echo the cache/warm config");
+    assert_eq!(stats.version, env!("CARGO_PKG_VERSION"));
+    assert_eq!(client.last_req(), 2, "two sweeps -> request ids 1 and 2");
 
     client.shutdown().unwrap();
     handle.join().unwrap().unwrap();
@@ -102,13 +111,31 @@ fn served_new_workload_jobs_match_batch_lines() {
 }
 
 /// The in-process gate the `--selfcheck` flag and `verify: true` sweeps
-/// run: served (cache + warm pool) vs cold batch, byte-compared.
+/// run: served (cache + warm pool) vs cold batch, byte-compared — with
+/// telemetry enabled, which is the acceptance form of "observation does
+/// not perturb results". The span stream the gate produced must also
+/// balance, and every phase histogram must agree with its counter.
 #[test]
-fn transparency_gate_passes_on_smoke() {
+fn transparency_gate_passes_on_smoke_with_telemetry_attached() {
     let engine = Arc::new(JobEngine::new(true, true));
+    assert!(engine.telem().enabled(), "the gate must run with telemetry recording");
     let workers = WorkerPool::new(2);
     let report = transparency_gate(&engine, &workers, Profile::Smoke).unwrap();
     assert_eq!(report.profile, "smoke");
     assert!(!report.jobs.is_empty());
     workers.shutdown();
+
+    let telem = engine.telem();
+    assert!(!telem.spans().is_empty(), "the served pass must have recorded phase spans");
+    telem.spans().check_balance().expect("every span the gate opened must close");
+    let snap = telem.registry().snapshot();
+    assert_eq!(
+        snap.counter("serve_jobs_total"),
+        report.jobs.len() as u64,
+        "one job_finished per matrix job"
+    );
+    for (hist, counter) in HIST_COUNTER_PAIRS {
+        let count = snap.histogram(hist).map_or(0, cheri_telem::HistSnapshot::count);
+        assert_eq!(count, snap.counter(counter), "{hist} count must equal {counter}");
+    }
 }

@@ -1,9 +1,11 @@
 //! Graceful-shutdown drain: tripping the stop token mid-sweep must
 //! leave `results/` with no partial files — either nothing new, or only
-//! complete, parseable reports.
+//! complete, parseable reports — and the telemetry flush must follow
+//! the same contract: a whole, parseable timeline or no file at all.
 
 use cheri_serve::{Client, Event, Request, Server, ServerConfig};
 use cheri_sweep::{Profile, SweepReport};
+use cheri_trace::json;
 use std::path::PathBuf;
 
 /// A per-test scratch directory under the target dir (unique per test
@@ -18,12 +20,14 @@ fn scratch(name: &str) -> PathBuf {
 #[test]
 fn mid_sweep_shutdown_leaves_no_partial_files() {
     let dir = scratch("shutdown-drain");
+    let telem_out = dir.join("telem").join("serve-telem.json");
     let cfg = ServerConfig {
         workers: 2,
         cache: false, // force real execution so the sweep takes time
         warm: true,
         results_dir: Some(dir.clone()),
-        watch_signals: false,
+        telem_out: Some(telem_out.clone()),
+        ..ServerConfig::default()
     };
     let server = Server::bind("127.0.0.1:0", cfg).unwrap();
     let addr = server.local_addr().unwrap().to_string();
@@ -64,6 +68,9 @@ fn mid_sweep_shutdown_leaves_no_partial_files() {
     // persisted is a complete, parseable report for the full matrix.
     for entry in std::fs::read_dir(&dir).unwrap() {
         let path = entry.unwrap().path();
+        if path.is_dir() {
+            continue;
+        }
         let name = path.file_name().unwrap().to_string_lossy().into_owned();
         assert!(!name.ends_with(".tmp"), "partial file left behind: {name}");
         let text = std::fs::read_to_string(&path).unwrap();
@@ -71,6 +78,20 @@ fn mid_sweep_shutdown_leaves_no_partial_files() {
             .unwrap_or_else(|e| panic!("{name} is not a complete report: {e}"));
         assert_eq!(report.jobs.len(), cheri_sweep::profile_matrix(Profile::Smoke).len());
     }
+
+    // The same contract for the telemetry flush: the drain wrote the
+    // whole file (valid JSON, a traceEvents array, the final metric
+    // snapshot) and left no `.tmp` sibling behind.
+    let telem_dir = telem_out.parent().unwrap();
+    for entry in std::fs::read_dir(telem_dir).unwrap() {
+        let name = entry.unwrap().file_name().to_string_lossy().into_owned();
+        assert!(!name.ends_with(".tmp"), "partial telem file left behind: {name}");
+    }
+    let flushed = std::fs::read_to_string(&telem_out).expect("telem flush missing after drain");
+    let parsed = json::parse(&flushed).unwrap();
+    let obj = parsed.as_obj().unwrap();
+    assert!(obj["traceEvents"].as_arr().is_some());
+    assert!(obj["telemMetrics"].as_obj().is_some());
 }
 
 #[test]

@@ -31,10 +31,11 @@ pub use check::{check_reports, comparisons, render_drifts, tolerance_for, Drift,
 pub use engine::{default_threads, run_indexed};
 pub use matrix::{
     heapsize_sweep, profile_matrix, run_spec_final_snap, run_spec_profiled, run_spec_resume,
-    run_spec_split, run_spec_with_config, run_spec_with_sink, run_specs, run_specs_block_cache,
-    run_specs_profiled, run_specs_traced, JobResult, JobSpec, Profile, StrategyKind,
-    CAPWIDTH_STRATEGIES, DEFAULT_TAG_CACHE_KB, ELISION_STRATEGIES, FIGURE4_STRATEGIES,
-    HEAPSIZE_STRATEGIES, TAG_ABLATION_KB, WARM_SNAPSHOT_PHASE,
+    run_spec_resume_spanned, run_spec_split, run_spec_split_spanned, run_spec_with_config,
+    run_spec_with_sink, run_specs, run_specs_block_cache, run_specs_profiled, run_specs_traced,
+    JobResult, JobSpec, Profile, StrategyKind, CAPWIDTH_STRATEGIES, DEFAULT_TAG_CACHE_KB,
+    ELISION_STRATEGIES, FIGURE4_STRATEGIES, HEAPSIZE_STRATEGIES, TAG_ABLATION_KB,
+    WARM_SNAPSHOT_PHASE,
 };
 pub use report::{hit_rate_bp, JobRecord, SweepReport, ARCH_COUNTERS, SCHEMA_VERSION};
 

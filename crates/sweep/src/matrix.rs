@@ -290,16 +290,44 @@ pub fn run_spec_split(
     spec: &JobSpec,
     cfg: MachineConfig,
 ) -> Result<(JobResult, Option<cheri_snap::Snapshot>), String> {
+    run_spec_split_spanned(spec, cfg, &mut |_, _| {})
+}
+
+/// As [`run_spec_split`], invoking `span(phase, is_begin)` around the
+/// run's phases — `"boot"` covers module start through the phase-2
+/// boundary, `"simulate"` the measured remainder. Ends are emitted on
+/// error paths too, so a span stream built from the hook always
+/// balances. The unspanned form delegates here with a no-op hook: there
+/// is one execution path, observed or not, which is what keeps
+/// telemetry out of the byte-identity argument.
+///
+/// # Errors
+///
+/// As [`run_spec_with_config`].
+pub fn run_spec_split_spanned(
+    spec: &JobSpec,
+    cfg: MachineConfig,
+    span: &mut dyn FnMut(&'static str, bool),
+) -> Result<(JobResult, Option<cheri_snap::Snapshot>), String> {
     let strategy = spec.strategy.strategy();
     let module = spec.workload.module(&spec.params);
-    let mut session = BenchSession::start_module(&module, strategy.as_ref(), cfg, None)
-        .map_err(|e| e.to_string())?;
-    match session.run_until_phase(WARM_SNAPSHOT_PHASE).map_err(|e| e.to_string())? {
+    span("boot", true);
+    let booted = BenchSession::start_module(&module, strategy.as_ref(), cfg, None)
+        .map_err(|e| e.to_string())
+        .and_then(|mut session| {
+            let early = session.run_until_phase(WARM_SNAPSHOT_PHASE).map_err(|e| e.to_string())?;
+            Ok((session, early))
+        });
+    span("boot", false);
+    let (mut session, early) = booted?;
+    match early {
         Some(run) => Ok((JobResult { spec: *spec, run }, None)),
         None => {
             let snap = session.snapshot();
-            let run = session.run_to_completion().map_err(|e| e.to_string())?;
-            Ok((JobResult { spec: *spec, run }, Some(snap)))
+            span("simulate", true);
+            let run = session.run_to_completion().map_err(|e| e.to_string());
+            span("simulate", false);
+            Ok((JobResult { spec: *spec, run: run? }, Some(snap)))
         }
     }
 }
@@ -316,10 +344,32 @@ pub fn run_spec_resume(
     snap: &cheri_snap::Snapshot,
     block_cache: bool,
 ) -> Result<JobResult, String> {
-    let mut session =
-        BenchSession::resume(snap, spec.strategy.name(), block_cache).map_err(|e| e.to_string())?;
-    let run = session.run_to_completion().map_err(|e| e.to_string())?;
-    Ok(JobResult { spec: *spec, run })
+    run_spec_resume_spanned(spec, snap, block_cache, &mut |_, _| {})
+}
+
+/// As [`run_spec_resume`], invoking `span(phase, is_begin)` around the
+/// run's phases — `"restore"` covers the snapshot restore, `"simulate"`
+/// the resumed remainder. See [`run_spec_split_spanned`] for the
+/// balance and single-code-path guarantees.
+///
+/// # Errors
+///
+/// As [`run_spec_resume`].
+pub fn run_spec_resume_spanned(
+    spec: &JobSpec,
+    snap: &cheri_snap::Snapshot,
+    block_cache: bool,
+    span: &mut dyn FnMut(&'static str, bool),
+) -> Result<JobResult, String> {
+    span("restore", true);
+    let restored =
+        BenchSession::resume(snap, spec.strategy.name(), block_cache).map_err(|e| e.to_string());
+    span("restore", false);
+    let mut session = restored?;
+    span("simulate", true);
+    let run = session.run_to_completion().map_err(|e| e.to_string());
+    span("simulate", false);
+    Ok(JobResult { spec: *spec, run: run? })
 }
 
 /// Runs one job to completion and returns the result together with the

@@ -57,5 +57,6 @@ pub use cheri_prof as prof;
 pub use cheri_serve as serve;
 pub use cheri_snap as snap;
 pub use cheri_sweep as sweep;
+pub use cheri_telem as telem;
 pub use cheri_trace as trace;
 pub use cheri_work as work;
